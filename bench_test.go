@@ -1,0 +1,384 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one benchmark per experiment), microbenchmarks of the core data
+// structures (the prototype's 4.3us in-memory / 10.8ms on-disk hint lookup,
+// Section 3.2.1), end-to-end simulator throughput, and ablations of the
+// design choices DESIGN.md calls out.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks run at a very small trace scale per iteration;
+// use cmd/cachesim for full-resolution output.
+package beyondcache_test
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"beyondcache/internal/core"
+	"beyondcache/internal/experiments"
+	"beyondcache/internal/hintcache"
+	"beyondcache/internal/hints"
+	"beyondcache/internal/netmodel"
+	"beyondcache/internal/plaxton"
+	"beyondcache/internal/push"
+	"beyondcache/internal/sim"
+	"beyondcache/internal/trace"
+)
+
+// benchScale keeps one experiment iteration under a second.
+const benchScale = trace.Scale(0.001)
+
+func benchOpts() experiments.Options {
+	return experiments.Options{Scale: benchScale}
+}
+
+// runExperiment is the shared driver for the per-figure benchmarks.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Render() == "" {
+			b.Fatal("empty render")
+		}
+	}
+}
+
+// --- One benchmark per table and figure ------------------------------------
+
+func BenchmarkFigure1(b *testing.B)  { runExperiment(b, "fig1") }
+func BenchmarkTable3(b *testing.B)   { runExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B)   { runExperiment(b, "table4") }
+func BenchmarkFigure2(b *testing.B)  { runExperiment(b, "fig2") }
+func BenchmarkFigure3(b *testing.B)  { runExperiment(b, "fig3") }
+func BenchmarkFigure5(b *testing.B)  { runExperiment(b, "fig5") }
+func BenchmarkFigure6(b *testing.B)  { runExperiment(b, "fig6") }
+func BenchmarkTable5(b *testing.B)   { runExperiment(b, "table5") }
+func BenchmarkFigure8(b *testing.B)  { runExperiment(b, "fig8") }
+func BenchmarkTable6(b *testing.B)   { runExperiment(b, "table6") }
+func BenchmarkFigure10(b *testing.B) { runExperiment(b, "fig10") }
+func BenchmarkFigure11(b *testing.B) { runExperiment(b, "fig11") }
+func BenchmarkFigure4(b *testing.B)  { runExperiment(b, "fig4") }
+
+// Extension experiments (the paper's qualitative arguments, quantified).
+func BenchmarkExtICP(b *testing.B)         { runExperiment(b, "icp") }
+func BenchmarkExtPlaxton(b *testing.B)     { runExperiment(b, "plaxton") }
+func BenchmarkExtConsistency(b *testing.B) { runExperiment(b, "consistency") }
+func BenchmarkExtReplacement(b *testing.B) { runExperiment(b, "replacement") }
+func BenchmarkExtCrawl(b *testing.B)       { runExperiment(b, "crawl") }
+func BenchmarkExtLoad(b *testing.B)        { runExperiment(b, "load") }
+func BenchmarkExtDigests(b *testing.B)     { runExperiment(b, "digests") }
+func BenchmarkExtAllPolicies(b *testing.B) { runExperiment(b, "allpolicies") }
+
+// --- Prototype microbenchmarks (Section 3.2.1) ------------------------------
+
+// BenchmarkHintLookupMem measures the in-memory hint lookup the paper
+// reports at 4.3 microseconds on 1998 hardware.
+func BenchmarkHintLookupMem(b *testing.B) {
+	c := hintcache.NewMem(1<<20, 4)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1<<19; i++ {
+		if err := c.Insert(rng.Uint64(), uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	keys := make([]uint64, 4096)
+	rng = rand.New(rand.NewSource(1))
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(keys[i%len(keys)])
+	}
+}
+
+// BenchmarkHintLookupFile measures the file-backed lookup (one pread per
+// set), the paper's 10.8ms disk-fault case modulo four decades of storage
+// progress.
+func BenchmarkHintLookupFile(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "hints.dat")
+	fs, err := hintcache.NewFileStore(path, 1<<18, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := hintcache.New(fs)
+	defer c.Close()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1<<16; i++ {
+		if err := c.Insert(rng.Uint64(), uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	keys := make([]uint64, 4096)
+	rng = rand.New(rand.NewSource(1))
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(keys[i%len(keys)])
+	}
+}
+
+// BenchmarkHintLookupFronted measures the file-backed store behind the
+// Section 3.2.1 front-end cache. On a random-key stream it matches the
+// plain file store — empirically confirming the paper's own doubt that
+// "any arrangement of a hint cache will yield good memory locality because
+// the stream of references to the hint cache exhibits poor locality".
+// Update-heavy streams with repeated sets are where the front cache pays.
+func BenchmarkHintLookupFronted(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "hints.dat")
+	fs, err := hintcache.NewFileStore(path, 1<<18, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := hintcache.New(hintcache.NewFrontStore(fs, 1<<14))
+	defer c.Close()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1<<16; i++ {
+		if err := c.Insert(rng.Uint64(), uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	keys := make([]uint64, 4096)
+	rng = rand.New(rand.NewSource(1))
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(keys[i%len(keys)])
+	}
+}
+
+// BenchmarkHintInsert measures hint installation (the update-apply path).
+func BenchmarkHintInsert(b *testing.B) {
+	c := hintcache.NewMem(1<<20, 4)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Insert(rng.Uint64(), uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUpdateCodec measures the 20-byte wire record encode/decode.
+func BenchmarkUpdateCodec(b *testing.B) {
+	batch := make([]hintcache.Update, 128)
+	for i := range batch {
+		batch[i] = hintcache.Update{Action: hintcache.ActionInform, URLHash: uint64(i) + 1, Machine: 7}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		msg := hintcache.EncodeUpdates(batch)
+		if _, err := hintcache.DecodeUpdates(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(batch) * hintcache.UpdateSize))
+}
+
+// --- Simulator throughput ----------------------------------------------------
+
+// benchRequests pre-generates a workload once.
+func benchRequests(b *testing.B) []trace.Request {
+	b.Helper()
+	p := trace.DECProfile(benchScale)
+	reqs, err := trace.ReadAll(trace.MustGenerator(p))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return reqs
+}
+
+func BenchmarkHierarchyProcess(b *testing.B) {
+	reqs := benchRequests(b)
+	sys, err := core.NewSystem(core.Config{Policy: core.PolicyHierarchy, Model: netmodel.NewTestbed()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Process(reqs[i%len(reqs)])
+	}
+}
+
+func BenchmarkHintsProcess(b *testing.B) {
+	reqs := benchRequests(b)
+	sys, err := core.NewSystem(core.Config{Policy: core.PolicyHints, Model: netmodel.NewTestbed()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Process(reqs[i%len(reqs)])
+	}
+}
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	p := trace.DECProfile(benchScale)
+	g := trace.MustGenerator(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Next(); err != nil {
+			g = trace.MustGenerator(p)
+		}
+	}
+}
+
+// --- Ablations of the design choices DESIGN.md calls out --------------------
+
+// BenchmarkAblationHintWays sweeps hint-table associativity, reporting the
+// global hit ratio each achieves at a fixed table size. Justifies the
+// prototype's 4-way choice.
+func BenchmarkAblationHintWays(b *testing.B) {
+	p := trace.DECProfile(benchScale)
+	entries := hintcache.EntriesForBytes(64 << 10)
+	for _, ways := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("ways=%d", ways), func(b *testing.B) {
+			var hit float64
+			for i := 0; i < b.N; i++ {
+				h, err := hints.New(hints.Config{
+					Model:       netmodel.NewTestbed(),
+					HintEntries: entries,
+					HintWays:    ways,
+					Warmup:      p.Warmup(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sim.Run(trace.MustGenerator(p), h); err != nil {
+					b.Fatal(err)
+				}
+				hit = h.HitRatio()
+			}
+			b.ReportMetric(hit, "hitratio")
+		})
+	}
+}
+
+// BenchmarkAblationPlaxtonArity sweeps the metadata-tree arity, reporting
+// the mean path length updates traverse (wider trees are flatter but each
+// parent serves more children).
+func BenchmarkAblationPlaxtonArity(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	nodes := make([]plaxton.Node, 64)
+	used := map[uint64]bool{}
+	for i := range nodes {
+		id := rng.Uint64()
+		for used[id] {
+			id = rng.Uint64()
+		}
+		used[id] = true
+		nodes[i] = plaxton.Node{ID: id}
+	}
+	dist := func(a, c int) float64 {
+		d := a - c
+		if d < 0 {
+			d = -d
+		}
+		return float64(d)
+	}
+	for _, bits := range []uint{1, 2, 4} {
+		b.Run(fmt.Sprintf("arity=%d", 1<<bits), func(b *testing.B) {
+			nw, err := plaxton.New(nodes, bits, dist)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var pathLen float64
+			var samples int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				obj := rng.Uint64()
+				p := nw.Path(obj, i%len(nodes))
+				pathLen += float64(len(p))
+				samples++
+			}
+			b.ReportMetric(pathLen/float64(samples), "pathlen")
+		})
+	}
+}
+
+// BenchmarkAblationSpeculativeEviction compares the repository's
+// speculative-second-class eviction (pushes can never displace demand data)
+// against plain LRU treatment of pushed copies, reporting the mean response
+// time each yields under push-all.
+func BenchmarkAblationSpeculativeEviction(b *testing.B) {
+	p := trace.DECProfile(benchScale)
+	fullCap := int64(5) << 30
+	capBytes := int64(float64(fullCap) * float64(benchScale))
+	for _, plain := range []bool{false, true} {
+		name := "speculative-second-class"
+		if plain {
+			name = "plain-lru"
+		}
+		b.Run(name, func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				rep := runPushAll(b, p, capBytes, plain)
+				mean = float64(rep.MeanResponse.Milliseconds())
+			}
+			b.ReportMetric(mean, "mean_ms")
+		})
+	}
+}
+
+func runPushAll(b *testing.B, p trace.Profile, capBytes int64, plainLRU bool) core.Report {
+	b.Helper()
+	sys, err := core.NewSystem(core.Config{
+		Policy:       core.PolicyHintsPush,
+		PushStrategy: push.HierAll,
+		Model:        netmodel.NewRousskovMax(),
+		L1Capacity:   capBytes,
+		Warmup:       p.Warmup(),
+		Seed:         1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if plainLRU {
+		sys.Hints().SetEvictDemandFirst(true)
+	}
+	rep, err := sys.Run(trace.MustGenerator(p))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rep
+}
+
+// BenchmarkAblationDirectoryVsHints reports the speedup of local hint
+// caches over a centralized directory (the design's core bet: metadata
+// lookups must not cost a network round trip).
+func BenchmarkAblationDirectoryVsHints(b *testing.B) {
+	p := trace.DECProfile(benchScale)
+	run := func(policy core.Policy) core.Report {
+		sys, err := core.NewSystem(core.Config{
+			Policy: policy,
+			Model:  netmodel.NewTestbed(),
+			Warmup: p.Warmup(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := sys.Run(trace.MustGenerator(p))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rep
+	}
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		dir := run(core.PolicyDirectory)
+		hint := run(core.PolicyHints)
+		speedup = core.Speedup(dir, hint)
+	}
+	b.ReportMetric(speedup, "speedup")
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"beyondcache/internal/cluster"
+)
+
+// startDaemon runs the command with a controllable wait, returning the base
+// URL it printed and a stopper.
+func startDaemon(t *testing.T, args []string) (url string, stop func()) {
+	t.Helper()
+	var out bytes.Buffer
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	started := make(chan struct{})
+	go func() {
+		done <- run(args, &out, func() {
+			close(started)
+			<-release
+		})
+	}()
+	select {
+	case <-started:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v (output %q)", err, out.String())
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not start")
+	}
+	m := regexp.MustCompile(`serving on (http://\S+)`).FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("no URL in output %q", out.String())
+	}
+	return m[1], func() {
+		close(release)
+		if err := <-done; err != nil {
+			t.Errorf("daemon shutdown: %v", err)
+		}
+	}
+}
+
+func TestOriginAndNodeEndToEnd(t *testing.T) {
+	originURL, stopOrigin := startDaemon(t, []string{"-origin", "-object-size", "2048"})
+	defer stopOrigin()
+	nodeURL, stopNode := startDaemon(t, []string{"-origin-url", originURL})
+	defer stopNode()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	res, err := cluster.FetchFrom(client, nodeURL, "http://example.com/cli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Miss() || res.Bytes != 2048 {
+		t.Fatalf("first fetch = %+v, want 2048-byte MISS", res)
+	}
+	res, err = cluster.FetchFrom(client, nodeURL, "http://example.com/cli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Local() {
+		t.Fatalf("second fetch = %+v, want LOCAL", res)
+	}
+}
+
+func TestNodeRequiresOrigin(t *testing.T) {
+	err := run([]string{}, &bytes.Buffer{}, func() {})
+	if err == nil || !strings.Contains(err.Error(), "origin-url") {
+		t.Errorf("missing origin not rejected: %v", err)
+	}
+}
+
+func TestBadFlagsRejected(t *testing.T) {
+	if err := run([]string{"-bogus"}, &bytes.Buffer{}, func() {}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-origin", "-listen", "999.999.999.999:1"}, &bytes.Buffer{}, func() {}); err == nil {
+		t.Error("unlistenable address accepted")
+	}
+}

@@ -1,0 +1,121 @@
+// Command cachesim regenerates the paper's tables and figures from the
+// trace-driven simulators.
+//
+// Usage:
+//
+//	cachesim -list
+//	cachesim -exp fig8 -scale 0.005
+//	cachesim -exp all
+//
+// Each experiment prints the same rows/series the paper reports. The -scale
+// flag sets the fraction of the published trace sizes to generate (the
+// virtual clock is compressed by the same factor, so rates and delays stay
+// comparable to the paper's).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"beyondcache/internal/experiments"
+	"beyondcache/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cachesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cachesim", flag.ContinueOnError)
+	var (
+		exp      = fs.String("exp", "all", "experiment id, or \"all\"")
+		scale    = fs.Float64("scale", float64(trace.ScaleSmall), "fraction of published trace size")
+		list     = fs.Bool("list", false, "list experiment ids and exit")
+		parallel = fs.Bool("parallel", false, "run independent experiments concurrently")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range experiments.IDs() {
+			title, _ := experiments.Title(id)
+			fmt.Printf("%-8s %s\n", id, title)
+		}
+		return nil
+	}
+	if *scale <= 0 || *scale > 1 {
+		return fmt.Errorf("scale must be in (0, 1], got %g", *scale)
+	}
+	opts := experiments.Options{Scale: trace.Scale(*scale)}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		if _, ok := experiments.Title(id); !ok {
+			return fmt.Errorf("unknown experiment %q; use -list", id)
+		}
+	}
+	if *parallel {
+		return runParallel(ids, opts)
+	}
+	for _, id := range ids {
+		out, err := runOne(id, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+	}
+	return nil
+}
+
+// runOne executes one experiment and formats its report.
+func runOne(id string, opts experiments.Options) (string, error) {
+	title, _ := experiments.Title(id)
+	start := time.Now()
+	res, err := experiments.Run(id, opts)
+	if err != nil {
+		return "", fmt.Errorf("%s: %w", id, err)
+	}
+	return fmt.Sprintf("=== %s ===\n%s\n(%s in %v)\n\n",
+		title, res.Render(), id, time.Since(start).Round(time.Millisecond)), nil
+}
+
+// runParallel executes independent experiments concurrently but prints
+// their reports in the original order.
+func runParallel(ids []string, opts experiments.Options) error {
+	type outcome struct {
+		out string
+		err error
+	}
+	results := make([]chan outcome, len(ids))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, id := range ids {
+		results[i] = make(chan outcome, 1)
+		go func(id string, ch chan outcome) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out, err := runOne(id, opts)
+			ch <- outcome{out: out, err: err}
+		}(id, results[i])
+	}
+	var firstErr error
+	for _, ch := range results {
+		o := <-ch
+		if o.err != nil {
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			continue
+		}
+		fmt.Print(o.out)
+	}
+	return firstErr
+}

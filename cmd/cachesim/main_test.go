@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list failed: %v", err)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	// table3 is analytic and instant.
+	if err := run([]string{"-exp", "table3"}); err != nil {
+		t.Fatalf("-exp table3 failed: %v", err)
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	if err := run([]string{"-exp", "nonsense"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-scale", "0"}); err == nil {
+		t.Error("scale 0 accepted")
+	}
+	if err := run([]string{"-scale", "1.5"}); err == nil {
+		t.Error("scale > 1 accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunParallel(t *testing.T) {
+	// Two cheap analytic experiments concurrently.
+	if err := run([]string{"-exp", "table3", "-parallel"}); err != nil {
+		t.Fatalf("-parallel failed: %v", err)
+	}
+}
+
+func TestMainSmoke(t *testing.T) {
+	// Exercise the experiment path at a tiny scale via run (not main, to
+	// keep the process alive).
+	if err := run([]string{"-exp", "fig3", "-scale", "0.001"}); err != nil {
+		t.Fatalf("fig3 failed: %v", err)
+	}
+	_ = os.Stdout
+}

@@ -1,0 +1,80 @@
+// Command tracegen emits a synthetic proxy trace in the library's text
+// format (one request per line: seq timeNanos client object size version
+// flags).
+//
+// Usage:
+//
+//	tracegen -trace DEC -scale 0.005 > dec.trace
+//	tracegen -trace Prodigy -requests 100000 -out prodigy.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"beyondcache/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		name     = fs.String("trace", "DEC", "workload: DEC, Berkeley, or Prodigy")
+		scale    = fs.Float64("scale", float64(trace.ScaleSmall), "fraction of published trace size")
+		requests = fs.Int64("requests", 0, "override request count (0 = per scale)")
+		seed     = fs.Int64("seed", 0, "override the profile seed (0 = default)")
+		out      = fs.String("out", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var p trace.Profile
+	switch strings.ToLower(*name) {
+	case "dec":
+		p = trace.DECProfile(trace.Scale(*scale))
+	case "berkeley":
+		p = trace.BerkeleyProfile(trace.Scale(*scale))
+	case "prodigy":
+		p = trace.ProdigyProfile(trace.Scale(*scale))
+	default:
+		return fmt.Errorf("unknown trace %q (want DEC, Berkeley, or Prodigy)", *name)
+	}
+	if *requests > 0 {
+		p.Requests = *requests
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+
+	g, err := trace.NewGenerator(p)
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	fmt.Fprintf(w, "# %s trace, scale %g: %d requests, %d distinct URLs, %d clients, %.3f days\n",
+		p.Name, *scale, p.Requests, p.DistinctURLs, p.Clients, p.Days)
+	n, err := trace.WriteText(w, g)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d requests\n", n)
+	return nil
+}

@@ -1,0 +1,13 @@
+// Package beyondcache reproduces "Beyond Hierarchies: Design Considerations
+// for Distributed Caching on the Internet" (Tewari, Dahlin, Vin, Kay; ICDCS
+// 1999 / UTCS TR98-04): a distributed web-cache architecture that separates
+// data paths from metadata paths using compact location hints, plus push
+// caching algorithms that move data near future readers.
+//
+// The library lives under internal/ (core facade, trace generators, cache
+// and hint-cache data structures, Plaxton tree embedding, network cost
+// models, policy simulators, push algorithms, a networked prototype) with
+// executables under cmd/ and runnable examples under examples/. The
+// root-level benchmarks (bench_test.go) regenerate every table and figure
+// of the paper's evaluation; see DESIGN.md and EXPERIMENTS.md.
+package beyondcache

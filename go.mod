@@ -1,0 +1,3 @@
+module beyondcache
+
+go 1.22

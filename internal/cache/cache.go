@@ -1,0 +1,377 @@
+// Package cache implements the byte-capacity LRU object cache used by every
+// cache node in the system: the data caches at each level of the traditional
+// hierarchy, the L1 proxy caches of the hint architecture, and the networked
+// prototype nodes.
+//
+// The cache tracks object versions so that callers can implement the paper's
+// strong-consistency assumption (Section 2.2.1): a cached copy whose version
+// is older than the requested version is treated as invalid (a communication
+// miss) rather than served stale.
+//
+// Entries come in three classes. Demand entries are objects a client
+// actually requested. Speculative entries were push-cached (Section 4) and
+// are second-class: they are evicted before any demand entry and convert to
+// demand on their first reference, so speculation can never displace data
+// with demonstrated value. Pinned entries model the push-ideal bound's free
+// replicas: they charge no capacity and are never evicted for space.
+package cache
+
+import (
+	"fmt"
+)
+
+// Object is a cached item. Size is the number of bytes the object charges
+// against the cache capacity; Version identifies the object's content
+// generation.
+type Object struct {
+	ID      uint64
+	Size    int64
+	Version int64
+}
+
+// class identifies an entry's standing in the cache.
+type class int8
+
+const (
+	classDemand class = iota
+	classSpeculative
+	classPinned
+)
+
+// entry is an intrusive doubly-linked LRU list node.
+type entry struct {
+	obj        Object
+	prev, next *entry
+	class      class
+}
+
+// lruList is one intrusive list; head is MRU, tail is LRU.
+type lruList struct {
+	head, tail *entry
+}
+
+func (l *lruList) pushFront(e *entry) {
+	e.prev = nil
+	e.next = l.head
+	if l.head != nil {
+		l.head.prev = e
+	}
+	l.head = e
+	if l.tail == nil {
+		l.tail = e
+	}
+}
+
+func (l *lruList) pushBack(e *entry) {
+	e.next = nil
+	e.prev = l.tail
+	if l.tail != nil {
+		l.tail.next = e
+	}
+	l.tail = e
+	if l.head == nil {
+		l.head = e
+	}
+}
+
+func (l *lruList) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// LRU is a byte-capacity LRU cache of Objects. A non-positive capacity means
+// infinite (nothing is ever evicted for space). LRU is not safe for
+// concurrent use; wrap it if sharing across goroutines.
+type LRU struct {
+	capacity int64
+	used     int64
+	index    map[uint64]*entry
+	demand   lruList // demand + pinned entries
+	spec     lruList // speculative (pushed) entries
+	onEvict  func(Object)
+
+	// EvictDemandFirst flips the eviction preference so speculative
+	// entries are treated exactly like demand entries (single logical
+	// pool, speculative still tracked). Used by the ablation benchmarks;
+	// leave false for the paper's behavior.
+	EvictDemandFirst bool
+
+	// statistics
+	evictions int64
+	inserts   int64
+}
+
+// NewLRU returns a cache bounded to capacity bytes; capacity <= 0 means
+// unbounded.
+func NewLRU(capacity int64) *LRU {
+	return &LRU{
+		capacity: capacity,
+		index:    make(map[uint64]*entry),
+	}
+}
+
+// OnEvict registers fn to run whenever an object leaves the cache due to
+// capacity pressure or explicit removal (not on version-replacing updates of
+// the same object). Passing nil clears the callback.
+func (c *LRU) OnEvict(fn func(Object)) { c.onEvict = fn }
+
+// Capacity returns the configured byte capacity (<= 0 means infinite).
+func (c *LRU) Capacity() int64 { return c.capacity }
+
+// Used returns the bytes currently charged against capacity.
+func (c *LRU) Used() int64 { return c.used }
+
+// Len returns the number of cached objects (pinned included).
+func (c *LRU) Len() int { return len(c.index) }
+
+// Evictions returns the number of capacity/explicit evictions so far.
+func (c *LRU) Evictions() int64 { return c.evictions }
+
+// Inserts returns the number of Put operations that added a new object.
+func (c *LRU) Inserts() int64 { return c.inserts }
+
+// listOf returns the list an entry belongs to.
+func (c *LRU) listOf(e *entry) *lruList {
+	if e.class == classSpeculative {
+		return &c.spec
+	}
+	return &c.demand
+}
+
+// promote makes e a most-recently-used demand entry (referencing a
+// speculative entry converts it).
+func (c *LRU) promote(e *entry) {
+	l := c.listOf(e)
+	l.unlink(e)
+	if e.class == classSpeculative {
+		e.class = classDemand
+	}
+	c.demand.pushFront(e)
+}
+
+// Get returns the object and promotes it to most-recently-used demand.
+func (c *LRU) Get(id uint64) (Object, bool) {
+	e, ok := c.index[id]
+	if !ok {
+		return Object{}, false
+	}
+	c.promote(e)
+	return e.obj, true
+}
+
+// Peek returns the object without touching recency or class.
+func (c *LRU) Peek(id uint64) (Object, bool) {
+	e, ok := c.index[id]
+	if !ok {
+		return Object{}, false
+	}
+	return e.obj, true
+}
+
+// Contains reports whether the object is cached, without touching recency.
+func (c *LRU) Contains(id uint64) bool {
+	_, ok := c.index[id]
+	return ok
+}
+
+// IsSpeculative reports whether the cached copy (if any) is speculative.
+func (c *LRU) IsSpeculative(id uint64) bool {
+	e, ok := c.index[id]
+	return ok && e.class == classSpeculative
+}
+
+// GetVersion returns the object only if its cached version is >= version;
+// otherwise it invalidates any stale copy and reports a miss. This is the
+// strong-consistency read the simulators use: stale data is never served.
+func (c *LRU) GetVersion(id uint64, version int64) (Object, bool) {
+	e, ok := c.index[id]
+	if !ok {
+		return Object{}, false
+	}
+	if e.obj.Version < version {
+		c.removeEntry(e, true)
+		return Object{}, false
+	}
+	c.promote(e)
+	return e.obj, true
+}
+
+// Put inserts or refreshes an object as a demand entry and promotes it,
+// evicting other entries as needed (speculative first). Objects larger than
+// the whole capacity are not cached. It reports whether the object is
+// cached afterwards.
+func (c *LRU) Put(obj Object) bool {
+	return c.put(obj, classDemand)
+}
+
+// PutSpeculative inserts an object as a speculative (push-cached) entry. If
+// a demand copy of the same ID exists it is refreshed in place and keeps
+// demand standing. Speculative entries charge capacity but lose every
+// eviction contest against demand entries.
+func (c *LRU) PutSpeculative(obj Object) bool {
+	return c.put(obj, classSpeculative)
+}
+
+// PutPinned inserts an object that does not charge capacity and cannot be
+// evicted for space. The push-ideal bound uses this to model replicas that
+// are free by construction (Section 4.1.1).
+func (c *LRU) PutPinned(obj Object) bool {
+	return c.put(obj, classPinned)
+}
+
+func (c *LRU) put(obj Object, cl class) bool {
+	if obj.Size < 0 {
+		panic(fmt.Sprintf("cache: negative object size %d", obj.Size))
+	}
+	if e, ok := c.index[obj.ID]; ok {
+		// Refresh in place; adjust the charged bytes. A speculative
+		// put never downgrades an existing demand entry.
+		if cl == classSpeculative && e.class == classDemand {
+			cl = classDemand
+		}
+		if e.class != classPinned {
+			c.used -= e.obj.Size
+		}
+		c.listOf(e).unlink(e)
+		e.obj = obj
+		e.class = cl
+		if cl != classPinned {
+			c.used += obj.Size
+		}
+		c.listOf(e).pushFront(e)
+		c.evictForSpace(e)
+		return c.index[obj.ID] != nil
+	}
+	if cl != classPinned && c.capacity > 0 && obj.Size > c.capacity {
+		return false
+	}
+	e := &entry{obj: obj, class: cl}
+	c.index[obj.ID] = e
+	c.listOf(e).pushFront(e)
+	if cl != classPinned {
+		c.used += obj.Size
+	}
+	c.inserts++
+	c.evictForSpace(e)
+	return c.index[obj.ID] != nil
+}
+
+// Remove deletes an object, firing the eviction callback. It reports whether
+// the object was present.
+func (c *LRU) Remove(id uint64) bool {
+	e, ok := c.index[id]
+	if !ok {
+		return false
+	}
+	c.removeEntry(e, true)
+	return true
+}
+
+// RemoveQuiet deletes an object without firing the eviction callback or
+// counting an eviction. Used when the caller already accounts for the
+// removal (e.g. replacing a stale version during a push).
+func (c *LRU) RemoveQuiet(id uint64) bool {
+	e, ok := c.index[id]
+	if !ok {
+		return false
+	}
+	c.removeEntry(e, false)
+	return true
+}
+
+// Age demotes an object to the LRU end of its class without removing it.
+// The update push algorithm uses this to "age" objects that are updated
+// many times without being read (Section 4.1.2).
+func (c *LRU) Age(id uint64) {
+	e, ok := c.index[id]
+	if !ok {
+		return
+	}
+	l := c.listOf(e)
+	l.unlink(e)
+	l.pushBack(e)
+}
+
+// Objects returns a snapshot of cached objects: demand entries in MRU-to-LRU
+// order, followed by speculative entries in MRU-to-LRU order.
+func (c *LRU) Objects() []Object {
+	out := make([]Object, 0, len(c.index))
+	for e := c.demand.head; e != nil; e = e.next {
+		out = append(out, e.obj)
+	}
+	for e := c.spec.head; e != nil; e = e.next {
+		out = append(out, e.obj)
+	}
+	return out
+}
+
+// victim picks the next entry to evict: the speculative LRU if any (unless
+// EvictDemandFirst disabled the preference), else the demand LRU, skipping
+// pinned entries and keep. When the entry being kept is itself speculative,
+// only other speculative entries are eligible: a push may never displace
+// demand-fetched data.
+func (c *LRU) victim(keep *entry) *entry {
+	specOnly := keep != nil && keep.class == classSpeculative && !c.EvictDemandFirst
+	if !c.EvictDemandFirst {
+		if v := c.spec.tail; v != nil && v != keep {
+			return v
+		}
+	}
+	if specOnly {
+		return nil
+	}
+	// Scan demand from LRU end, skipping pinned entries and keep. With
+	// EvictDemandFirst, speculative entries are considered at equal
+	// standing by falling through to the spec tail afterwards.
+	for v := c.demand.tail; v != nil; v = v.prev {
+		if v.class != classPinned && v != keep {
+			return v
+		}
+	}
+	if v := c.spec.tail; v != nil && v != keep {
+		return v
+	}
+	return nil
+}
+
+// evictForSpace evicts entries until used fits capacity. keep, if non-nil,
+// is the entry just inserted: if even after evicting everything else it does
+// not fit, keep itself is evicted.
+func (c *LRU) evictForSpace(keep *entry) {
+	if c.capacity <= 0 {
+		return
+	}
+	for c.used > c.capacity {
+		v := c.victim(keep)
+		if v == nil {
+			if keep != nil && keep.class != classPinned && c.used > c.capacity {
+				c.removeEntry(keep, true)
+			}
+			return
+		}
+		c.removeEntry(v, true)
+	}
+}
+
+func (c *LRU) removeEntry(e *entry, notify bool) {
+	c.listOf(e).unlink(e)
+	delete(c.index, e.obj.ID)
+	if e.class != classPinned {
+		c.used -= e.obj.Size
+	}
+	if notify {
+		c.evictions++
+		if c.onEvict != nil {
+			c.onEvict(e.obj)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGet(t *testing.T) {
+	c := NewLRU(100)
+	c.Put(Object{ID: 1, Size: 10, Version: 1})
+	got, ok := c.Get(1)
+	if !ok || got.Size != 10 || got.Version != 1 {
+		t.Fatalf("Get(1) = %+v, %v", got, ok)
+	}
+	if _, ok := c.Get(2); ok {
+		t.Error("Get(2) hit on empty slot")
+	}
+	if c.Used() != 10 || c.Len() != 1 {
+		t.Errorf("used=%d len=%d, want 10, 1", c.Used(), c.Len())
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := NewLRU(30)
+	c.Put(Object{ID: 1, Size: 10})
+	c.Put(Object{ID: 2, Size: 10})
+	c.Put(Object{ID: 3, Size: 10})
+	// Touch 1 so 2 becomes LRU.
+	c.Get(1)
+	c.Put(Object{ID: 4, Size: 10})
+	if c.Contains(2) {
+		t.Error("object 2 should have been evicted (LRU)")
+	}
+	for _, id := range []uint64{1, 3, 4} {
+		if !c.Contains(id) {
+			t.Errorf("object %d unexpectedly evicted", id)
+		}
+	}
+}
+
+func TestEvictionCallback(t *testing.T) {
+	c := NewLRU(20)
+	var evicted []uint64
+	c.OnEvict(func(o Object) { evicted = append(evicted, o.ID) })
+	c.Put(Object{ID: 1, Size: 10})
+	c.Put(Object{ID: 2, Size: 10})
+	c.Put(Object{ID: 3, Size: 10}) // evicts 1
+	c.Remove(2)                    // explicit
+	if len(evicted) != 2 || evicted[0] != 1 || evicted[1] != 2 {
+		t.Errorf("evicted = %v, want [1 2]", evicted)
+	}
+	if c.Evictions() != 2 {
+		t.Errorf("Evictions() = %d, want 2", c.Evictions())
+	}
+}
+
+func TestOversizedObjectRejected(t *testing.T) {
+	c := NewLRU(10)
+	if c.Put(Object{ID: 1, Size: 11}) {
+		t.Error("oversized Put reported success")
+	}
+	if c.Contains(1) || c.Used() != 0 {
+		t.Error("oversized object was cached")
+	}
+}
+
+func TestRefreshSameIDAdjustsBytes(t *testing.T) {
+	c := NewLRU(100)
+	c.Put(Object{ID: 1, Size: 10, Version: 1})
+	c.Put(Object{ID: 1, Size: 40, Version: 2})
+	if c.Used() != 40 || c.Len() != 1 {
+		t.Errorf("used=%d len=%d, want 40, 1", c.Used(), c.Len())
+	}
+	got, _ := c.Get(1)
+	if got.Version != 2 {
+		t.Errorf("version = %d, want 2", got.Version)
+	}
+}
+
+func TestGetVersionInvalidatesStale(t *testing.T) {
+	c := NewLRU(100)
+	c.Put(Object{ID: 1, Size: 10, Version: 1})
+	if _, ok := c.GetVersion(1, 2); ok {
+		t.Error("stale version served")
+	}
+	if c.Contains(1) {
+		t.Error("stale copy not invalidated")
+	}
+	c.Put(Object{ID: 2, Size: 10, Version: 5})
+	if _, ok := c.GetVersion(2, 5); !ok {
+		t.Error("current version missed")
+	}
+	if _, ok := c.GetVersion(2, 4); !ok {
+		t.Error("newer-than-requested version missed")
+	}
+}
+
+func TestInfiniteCapacity(t *testing.T) {
+	c := NewLRU(0)
+	for i := uint64(0); i < 1000; i++ {
+		c.Put(Object{ID: i, Size: 1 << 20})
+	}
+	if c.Len() != 1000 {
+		t.Errorf("len = %d, want 1000 (no eviction when unbounded)", c.Len())
+	}
+	if c.Evictions() != 0 {
+		t.Errorf("evictions = %d, want 0", c.Evictions())
+	}
+}
+
+func TestPinnedObjectsFreeAndUnevictable(t *testing.T) {
+	c := NewLRU(20)
+	c.PutPinned(Object{ID: 100, Size: 1 << 30})
+	if c.Used() != 0 {
+		t.Errorf("pinned object charged %d bytes", c.Used())
+	}
+	c.Put(Object{ID: 1, Size: 10})
+	c.Put(Object{ID: 2, Size: 10})
+	c.Put(Object{ID: 3, Size: 10}) // evicts 1, never 100
+	if !c.Contains(100) {
+		t.Error("pinned object evicted")
+	}
+	if c.Contains(1) {
+		t.Error("LRU unpinned object survived")
+	}
+}
+
+func TestAgeDemotes(t *testing.T) {
+	c := NewLRU(30)
+	c.Put(Object{ID: 1, Size: 10})
+	c.Put(Object{ID: 2, Size: 10})
+	c.Put(Object{ID: 3, Size: 10})
+	// 1 is currently LRU; age 3 so it becomes the eviction victim instead.
+	c.Age(3)
+	c.Put(Object{ID: 4, Size: 10})
+	if c.Contains(3) {
+		t.Error("aged object survived eviction")
+	}
+	if !c.Contains(1) {
+		t.Error("object 1 evicted despite aging of 3")
+	}
+	// Aging a missing ID must be a no-op.
+	c.Age(999)
+}
+
+func TestRemoveQuietNoCallback(t *testing.T) {
+	c := NewLRU(100)
+	fired := false
+	c.OnEvict(func(Object) { fired = true })
+	c.Put(Object{ID: 1, Size: 10})
+	if !c.RemoveQuiet(1) {
+		t.Fatal("RemoveQuiet missed present object")
+	}
+	if fired {
+		t.Error("RemoveQuiet fired the eviction callback")
+	}
+	if c.RemoveQuiet(1) {
+		t.Error("RemoveQuiet hit on absent object")
+	}
+}
+
+func TestObjectsMRUOrder(t *testing.T) {
+	c := NewLRU(0)
+	c.Put(Object{ID: 1, Size: 1})
+	c.Put(Object{ID: 2, Size: 1})
+	c.Put(Object{ID: 3, Size: 1})
+	c.Get(1)
+	objs := c.Objects()
+	want := []uint64{1, 3, 2}
+	if len(objs) != 3 {
+		t.Fatalf("len = %d, want 3", len(objs))
+	}
+	for i, w := range want {
+		if objs[i].ID != w {
+			t.Errorf("objs[%d].ID = %d, want %d", i, objs[i].ID, w)
+		}
+	}
+}
+
+func TestPeekDoesNotPromote(t *testing.T) {
+	c := NewLRU(20)
+	c.Put(Object{ID: 1, Size: 10})
+	c.Put(Object{ID: 2, Size: 10})
+	c.Peek(1) // must NOT promote 1
+	c.Put(Object{ID: 3, Size: 10})
+	if c.Contains(1) {
+		t.Error("Peek promoted object 1")
+	}
+}
+
+// TestCapacityInvariantQuick drives random operations and checks the core
+// invariants: used <= capacity (when bounded), used equals the sum of
+// unpinned sizes, and the index matches the list.
+func TestCapacityInvariantQuick(t *testing.T) {
+	f := func(ops []uint16) bool {
+		const capBytes = 500
+		c := NewLRU(capBytes)
+		for _, op := range ops {
+			id := uint64(op % 50)
+			size := int64(op%97) + 1
+			switch op % 4 {
+			case 0, 1:
+				c.Put(Object{ID: id, Size: size})
+			case 2:
+				c.Get(id)
+			case 3:
+				c.Remove(id)
+			}
+			if c.Used() > capBytes {
+				return false
+			}
+			var sum int64
+			n := 0
+			for _, o := range c.Objects() {
+				sum += o.Size
+				n++
+			}
+			if sum != c.Used() || n != c.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

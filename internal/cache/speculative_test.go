@@ -1,0 +1,126 @@
+package cache
+
+import "testing"
+
+func TestSpeculativeEvictedBeforeDemand(t *testing.T) {
+	c := NewLRU(30)
+	c.Put(Object{ID: 1, Size: 10})
+	c.Put(Object{ID: 2, Size: 10})
+	c.PutSpeculative(Object{ID: 3, Size: 10})
+	// Cache full. A new demand object must evict the speculative entry,
+	// not the older demand entries.
+	c.Put(Object{ID: 4, Size: 10})
+	if c.Contains(3) {
+		t.Error("speculative entry survived while demand entries were protected")
+	}
+	if !c.Contains(1) || !c.Contains(2) || !c.Contains(4) {
+		t.Error("demand entry evicted before speculative entry")
+	}
+}
+
+func TestSpeculativePromotesOnReference(t *testing.T) {
+	c := NewLRU(30)
+	c.PutSpeculative(Object{ID: 1, Size: 10})
+	if !c.IsSpeculative(1) {
+		t.Fatal("entry not marked speculative")
+	}
+	// Referencing it converts it to demand standing.
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("speculative entry not readable")
+	}
+	if c.IsSpeculative(1) {
+		t.Error("referenced entry still speculative")
+	}
+	// Now it outlives new speculative entries under pressure.
+	c.PutSpeculative(Object{ID: 2, Size: 10})
+	c.PutSpeculative(Object{ID: 3, Size: 10})
+	c.PutSpeculative(Object{ID: 4, Size: 10}) // evicts a speculative one
+	if !c.Contains(1) {
+		t.Error("promoted entry evicted before speculative ones")
+	}
+}
+
+func TestSpeculativeGetVersionPromotes(t *testing.T) {
+	c := NewLRU(0)
+	c.PutSpeculative(Object{ID: 1, Size: 10, Version: 3})
+	if _, ok := c.GetVersion(1, 3); !ok {
+		t.Fatal("GetVersion missed speculative entry")
+	}
+	if c.IsSpeculative(1) {
+		t.Error("GetVersion did not promote")
+	}
+}
+
+func TestSpeculativeDoesNotDowngradeDemand(t *testing.T) {
+	c := NewLRU(0)
+	c.Put(Object{ID: 1, Size: 10, Version: 1})
+	c.PutSpeculative(Object{ID: 1, Size: 10, Version: 2})
+	if c.IsSpeculative(1) {
+		t.Error("speculative refresh downgraded a demand entry")
+	}
+	got, _ := c.Peek(1)
+	if got.Version != 2 {
+		t.Errorf("version = %d, want refreshed to 2", got.Version)
+	}
+}
+
+func TestSpeculativeEvictsWithinClassLRU(t *testing.T) {
+	c := NewLRU(30)
+	c.PutSpeculative(Object{ID: 1, Size: 10})
+	c.PutSpeculative(Object{ID: 2, Size: 10})
+	c.PutSpeculative(Object{ID: 3, Size: 10})
+	c.PutSpeculative(Object{ID: 4, Size: 10}) // evicts 1 (spec LRU)
+	if c.Contains(1) {
+		t.Error("speculative LRU not evicted first")
+	}
+	for _, id := range []uint64{2, 3, 4} {
+		if !c.Contains(id) {
+			t.Errorf("speculative entry %d wrongly evicted", id)
+		}
+	}
+}
+
+func TestOversizedSpeculativeSelfEvicts(t *testing.T) {
+	c := NewLRU(30)
+	c.Put(Object{ID: 1, Size: 10})
+	// A speculative object bigger than remaining slack must not displace
+	// demand data; it is dropped instead (possibly after consuming all
+	// speculative slack).
+	ok := c.PutSpeculative(Object{ID: 2, Size: 25})
+	if ok || c.Contains(2) {
+		t.Error("oversized speculative entry displaced demand data")
+	}
+	if !c.Contains(1) {
+		t.Error("demand entry evicted by speculative insert")
+	}
+}
+
+func TestEvictDemandFirstAblation(t *testing.T) {
+	c := NewLRU(30)
+	c.EvictDemandFirst = true
+	c.Put(Object{ID: 1, Size: 10})
+	c.Put(Object{ID: 2, Size: 10})
+	c.PutSpeculative(Object{ID: 3, Size: 10})
+	// With the preference disabled, eviction order is plain global LRU
+	// over the demand list first: object 1 is the demand LRU.
+	c.Put(Object{ID: 4, Size: 10})
+	if c.Contains(1) {
+		t.Error("with EvictDemandFirst, demand LRU should be evicted")
+	}
+	if !c.Contains(3) {
+		t.Error("speculative entry evicted despite EvictDemandFirst")
+	}
+}
+
+func TestObjectsIncludesSpeculative(t *testing.T) {
+	c := NewLRU(0)
+	c.Put(Object{ID: 1, Size: 1})
+	c.PutSpeculative(Object{ID: 2, Size: 1})
+	objs := c.Objects()
+	if len(objs) != 2 {
+		t.Fatalf("Objects() returned %d entries, want 2", len(objs))
+	}
+	if objs[0].ID != 1 || objs[1].ID != 2 {
+		t.Errorf("order = %v, want demand then speculative", objs)
+	}
+}

@@ -1,0 +1,340 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startFleet boots a small fleet with a long batch interval (tests flush
+// explicitly) and registers cleanup.
+func startFleet(t *testing.T, nodes int, cfg FleetConfig) *Fleet {
+	t.Helper()
+	cfg.Nodes = nodes
+	if cfg.UpdateInterval == 0 {
+		cfg.UpdateInterval = time.Hour // tests drive Flush explicitly
+	}
+	f, err := StartFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := f.Close(); err != nil {
+			t.Errorf("fleet close: %v", err)
+		}
+	})
+	return f
+}
+
+func TestFleetValidation(t *testing.T) {
+	if _, err := StartFleet(FleetConfig{Nodes: 0}); err == nil {
+		t.Error("zero-node fleet accepted")
+	}
+	if _, err := NewNode(NodeConfig{}); err == nil {
+		t.Error("node without origin accepted")
+	}
+}
+
+func TestMissThenLocalHit(t *testing.T) {
+	f := startFleet(t, 2, FleetConfig{ObjectSize: 4096})
+	res, err := f.Fetch(0, "http://example.com/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Miss() || res.Bytes != 4096 {
+		t.Fatalf("first fetch = %+v, want 4096-byte MISS", res)
+	}
+	res, err = f.Fetch(0, "http://example.com/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Local() {
+		t.Fatalf("second fetch = %+v, want LOCAL", res)
+	}
+	st := f.Nodes[0].Stats()
+	if st.Misses != 1 || st.LocalHits != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestHintPropagationEnablesRemoteHit(t *testing.T) {
+	f := startFleet(t, 3, FleetConfig{})
+	const url = "http://example.com/shared"
+	if _, err := f.Fetch(0, url); err != nil {
+		t.Fatal(err)
+	}
+	// Before hints propagate, node 1 must go to the origin (misses are
+	// detected locally; the system never searches on a hint miss).
+	res, err := f.Fetch(1, url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Miss() {
+		t.Fatalf("pre-propagation fetch = %+v, want MISS", res)
+	}
+	// Propagate hints; node 2 now fetches cache-to-cache.
+	f.FlushAll()
+	res, err = f.Fetch(2, url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Remote() {
+		t.Fatalf("post-propagation fetch = %+v, want REMOTE", res)
+	}
+	// Someone served a peer.
+	total := int64(0)
+	for _, n := range f.Nodes {
+		total += n.Stats().PeerServes
+	}
+	if total != 1 {
+		t.Errorf("peer serves = %d, want 1", total)
+	}
+}
+
+func TestStaleHintFallsThroughToOrigin(t *testing.T) {
+	f := startFleet(t, 2, FleetConfig{})
+	const url = "http://example.com/stale"
+	if _, err := f.Fetch(0, url); err != nil {
+		t.Fatal(err)
+	}
+	f.FlushAll() // node 1 learns node 0 has it
+	// Node 0 drops its copy; the invalidate is NOT yet flushed, so node
+	// 1's hint is stale.
+	if err := f.Purge(0, url); err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Fetch(1, url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Miss() || !res.StaleHint() {
+		t.Fatalf("fetch with stale hint = %+v, want MISS,STALE-HINT", res)
+	}
+	st := f.Nodes[1].Stats()
+	if st.FalsePositives != 1 {
+		t.Errorf("false positives = %d, want 1", st.FalsePositives)
+	}
+	if f.Nodes[0].Stats().PeerRejects != 1 {
+		t.Errorf("peer rejects = %d, want 1", f.Nodes[0].Stats().PeerRejects)
+	}
+	// The stale hint was dropped: the next fetch goes straight to the
+	// origin with no wasted probe. (Node 1 cached the object when it
+	// fell through, so ask node 1 for a *different* view: purge first.)
+	if err := f.Purge(1, url); err != nil {
+		t.Fatal(err)
+	}
+	res, err = f.Fetch(1, url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StaleHint() {
+		t.Errorf("stale hint not dropped after false positive: %+v", res)
+	}
+}
+
+func TestInvalidatePropagates(t *testing.T) {
+	f := startFleet(t, 2, FleetConfig{})
+	const url = "http://example.com/inv"
+	if _, err := f.Fetch(0, url); err != nil {
+		t.Fatal(err)
+	}
+	f.FlushAll()
+	if err := f.Purge(0, url); err != nil {
+		t.Fatal(err)
+	}
+	f.FlushAll() // invalidate reaches node 1
+	res, err := f.Fetch(1, url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clean miss: no stale-hint probe.
+	if !res.Miss() || res.StaleHint() {
+		t.Fatalf("fetch after invalidate = %+v, want clean MISS", res)
+	}
+}
+
+func TestVersionBumpVisibleThroughCacheBypass(t *testing.T) {
+	f := startFleet(t, 1, FleetConfig{})
+	const url = "http://example.com/v"
+	res, err := f.Fetch(0, url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 1 {
+		t.Fatalf("initial version = %d, want 1", res.Version)
+	}
+	f.Origin.Bump(url)
+	// The cached copy still serves (the prototype, like Squid, provides
+	// weak consistency between origin updates and caches).
+	res, _ = f.Fetch(0, url)
+	if res.Version != 1 || !res.Local() {
+		t.Fatalf("cached fetch = %+v, want LOCAL v1", res)
+	}
+	// After a purge the new version is fetched.
+	if err := f.Purge(0, url); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = f.Fetch(0, url)
+	if res.Version != 2 {
+		t.Fatalf("post-bump fetch version = %d, want 2", res.Version)
+	}
+}
+
+func TestCapacityEvictionAdvertisesInvalidate(t *testing.T) {
+	// Cache fits one 4 KB object; fetching a second evicts the first and
+	// must queue an invalidate that reaches peers on flush.
+	f := startFleet(t, 2, FleetConfig{CacheBytes: 6144, ObjectSize: 4096})
+	if _, err := f.Fetch(0, "http://example.com/one"); err != nil {
+		t.Fatal(err)
+	}
+	f.FlushAll()
+	if _, err := f.Fetch(0, "http://example.com/two"); err != nil {
+		t.Fatal(err)
+	}
+	f.FlushAll()
+	// Node 1's hint for /one must be gone: clean miss, no stale probe.
+	res, err := f.Fetch(1, "http://example.com/one")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StaleHint() {
+		t.Errorf("eviction invalidate did not propagate: %+v", res)
+	}
+}
+
+func TestUpdatesEndpointRejectsGarbage(t *testing.T) {
+	f := startFleet(t, 1, FleetConfig{})
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Post(f.Nodes[0].URL()+"/updates", "application/octet-stream",
+		strings.NewReader("not a multiple of twenty"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage updates accepted with status %d", resp.StatusCode)
+	}
+	// GET is rejected too.
+	resp, err = client.Get(f.Nodes[0].URL() + "/updates")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /updates got %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestMissingURLParameterRejected(t *testing.T) {
+	f := startFleet(t, 1, FleetConfig{})
+	client := &http.Client{Timeout: 5 * time.Second}
+	for _, path := range []string{"/fetch", "/object"} {
+		resp, err := client.Get(f.Nodes[0].URL() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s without url got %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	f := startFleet(t, 1, FleetConfig{})
+	if _, err := f.Fetch(0, "http://example.com/s"); err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(f.Nodes[0].URL() + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 4096)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+	if !strings.Contains(body, `"misses":1`) {
+		t.Errorf("stats body missing miss count: %s", body)
+	}
+}
+
+func TestDeterministicBodies(t *testing.T) {
+	f := startFleet(t, 2, FleetConfig{ObjectSize: 1000})
+	a, err := f.Fetch(0, "http://example.com/det")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Fetch(1, "http://example.com/det")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Bytes != b.Bytes || a.Version != b.Version {
+		t.Errorf("bodies differ across nodes: %+v vs %+v", a, b)
+	}
+}
+
+func TestConcurrentFetches(t *testing.T) {
+	f := startFleet(t, 4, FleetConfig{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				url := fmt.Sprintf("http://example.com/c%d", i%4)
+				if _, err := f.Fetch((w+i)%4, url); err != nil {
+					errs <- err
+					return
+				}
+				if w == 0 && i == 3 {
+					f.FlushAll()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// All fetches accounted for across nodes.
+	var total int64
+	for _, n := range f.Nodes {
+		st := n.Stats()
+		total += st.LocalHits + st.RemoteHits + st.Misses
+	}
+	if total != 64 {
+		t.Errorf("accounted fetches = %d, want 64", total)
+	}
+}
+
+func TestBackgroundBatcherDeliversWithoutFlush(t *testing.T) {
+	// Use a short real interval and wait for propagation.
+	f := startFleet(t, 2, FleetConfig{UpdateInterval: 20 * time.Millisecond})
+	const url = "http://example.com/bg"
+	if _, err := f.Fetch(0, url); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		res, err := f.Fetch(1, url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Remote() || res.Local() {
+			return // hint arrived via the background batcher
+		}
+		// Node 1 cached it on the miss; purge so the next try can be a
+		// remote hit once the hint lands.
+		if err := f.Purge(1, url); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("hint never propagated via background batcher")
+}

@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+
+	"beyondcache/internal/digest"
+)
+
+// Digest support for the prototype: instead of exchanging exact 20-byte
+// hint updates, nodes can periodically pull each other's Bloom-filter cache
+// digests (the Summary Cache / Squid Cache Digests scheme). A node's own
+// digest is rebuilt from its true cache contents on demand, so a freshly
+// pulled digest is accurate; it then goes stale until the next exchange.
+
+// rebuildDigestLocked regenerates the node's digest from its cache
+// contents. Callers must hold n.mu.
+func (n *Node) rebuildDigestLocked() *digest.Filter {
+	f := n.ownDigest
+	f.Reset()
+	for _, o := range n.data.Objects() {
+		f.Add(o.ID)
+	}
+	return f
+}
+
+// handleDigest serves GET /digest: the node's current contents summary.
+func (n *Node) handleDigest(w http.ResponseWriter, r *http.Request) {
+	if !n.cfg.UseDigests {
+		http.Error(w, "digests disabled", http.StatusNotFound)
+		return
+	}
+	n.mu.Lock()
+	data, err := n.rebuildDigestLocked().MarshalBinary()
+	n.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data)
+}
+
+// PullDigests fetches every peer's digest now. The batcher calls it
+// periodically in digest mode; tests call it directly.
+func (n *Node) PullDigests() {
+	n.mu.Lock()
+	type peer struct {
+		id  uint64
+		url string
+	}
+	peers := make([]peer, 0, len(n.peers))
+	for id, u := range n.peers {
+		peers = append(peers, peer{id: id, url: u})
+	}
+	n.mu.Unlock()
+
+	for _, p := range peers {
+		resp, err := n.client.Get(p.url + "/digest")
+		if err != nil {
+			n.mu.Lock()
+			n.stats.SendErrors++
+			n.mu.Unlock()
+			continue
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			n.mu.Lock()
+			n.stats.SendErrors++
+			n.mu.Unlock()
+			continue
+		}
+		f, err := digest.Decode(data)
+		if err != nil {
+			n.mu.Lock()
+			n.stats.SendErrors++
+			n.mu.Unlock()
+			continue
+		}
+		n.mu.Lock()
+		n.peerDigests[p.id] = f
+		n.stats.DigestsPulled++
+		n.mu.Unlock()
+	}
+}
+
+// digestPeerLocked returns the first peer whose digest claims the object.
+// Callers must hold n.mu.
+func (n *Node) digestPeerLocked(urlHash uint64) string {
+	for _, id := range n.peerOrder {
+		if f, ok := n.peerDigests[id]; ok && f.MayContain(urlHash) {
+			return n.peers[id]
+		}
+	}
+	return ""
+}
+
+// validateDigestConfig applies digest-mode defaults.
+func validateDigestConfig(cfg *NodeConfig) error {
+	if !cfg.UseDigests {
+		return nil
+	}
+	if cfg.DigestCapacity <= 0 {
+		cfg.DigestCapacity = 8192
+	}
+	if cfg.DigestBitsPerEntry <= 0 {
+		cfg.DigestBitsPerEntry = 8
+	}
+	if cfg.DigestBitsPerEntry > 64 {
+		return fmt.Errorf("cluster: digest bits/entry %g implausibly large", cfg.DigestBitsPerEntry)
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"beyondcache/internal/trace"
+)
+
+func startDigestFleet(t *testing.T, nodes int) *Fleet {
+	t.Helper()
+	f, err := StartFleet(FleetConfig{
+		Nodes:          nodes,
+		UpdateInterval: time.Hour, // tests pull digests explicitly
+		UseDigests:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := f.Close(); err != nil {
+			t.Errorf("fleet close: %v", err)
+		}
+	})
+	return f
+}
+
+func TestDigestFleetRemoteHit(t *testing.T) {
+	f := startDigestFleet(t, 3)
+	const url = "http://example.com/dig"
+	if _, err := f.Fetch(0, url); err != nil {
+		t.Fatal(err)
+	}
+	// Before any digest pull, node 1 misses to the origin.
+	res, err := f.Fetch(1, url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Miss() {
+		t.Fatalf("pre-pull fetch = %+v, want MISS", res)
+	}
+	// Pull digests fleet-wide: node 2 now resolves to a peer copy.
+	f.FlushAll()
+	res, err = f.Fetch(2, url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Remote() {
+		t.Fatalf("post-pull fetch = %+v, want REMOTE", res)
+	}
+	if f.Nodes[2].Stats().DigestsPulled == 0 {
+		t.Error("no digests pulled")
+	}
+}
+
+func TestDigestStalenessFalsePositiveOverWire(t *testing.T) {
+	f := startDigestFleet(t, 2)
+	const url = "http://example.com/staledig"
+	if _, err := f.Fetch(0, url); err != nil {
+		t.Fatal(err)
+	}
+	f.FlushAll() // node 1's copy of node 0's digest includes the object
+	// Node 0 drops the object; node 1's digest snapshot is now stale
+	// (digests cannot advertise deletions until the next pull).
+	if err := f.Purge(0, url); err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Fetch(1, url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Miss() || !res.StaleHint() {
+		t.Fatalf("fetch with stale digest = %+v, want MISS,STALE-HINT", res)
+	}
+	if f.Nodes[1].Stats().FalsePositives != 1 {
+		t.Errorf("false positives = %d, want 1", f.Nodes[1].Stats().FalsePositives)
+	}
+	// After a fresh pull the stale entry is gone: purge node 1's own
+	// fallback copy first, then the fetch is a clean miss.
+	if err := f.Purge(1, url); err != nil {
+		t.Fatal(err)
+	}
+	f.FlushAll()
+	res, err = f.Fetch(1, url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StaleHint() {
+		t.Errorf("digest still stale after re-pull: %+v", res)
+	}
+}
+
+func TestDigestFleetReplay(t *testing.T) {
+	f := startDigestFleet(t, 4)
+	p := trace.DECProfile(trace.ScaleSmall)
+	p.Requests = 1000
+	p.DistinctURLs = 200
+	p.Clients = 32
+	p.MaxSize = 64 << 10
+	stats, err := f.Replay(trace.MustGenerator(p), ReplayConfig{FlushEvery: 25, StrongConsistency: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RemoteHits == 0 {
+		t.Error("digest fleet produced no cache-to-cache hits")
+	}
+	if stats.HitRatio() <= 0.2 {
+		t.Errorf("hit ratio %.3f too low", stats.HitRatio())
+	}
+}
+
+func TestDigestEndpointDisabledInHintMode(t *testing.T) {
+	f := startFleet(t, 1, FleetConfig{})
+	resp, err := f.client.Get(f.Nodes[0].URL() + "/digest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("hint-mode /digest returned %d, want 404", resp.StatusCode)
+	}
+}

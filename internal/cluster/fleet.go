@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	neturl "net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Fleet is a running set of cache nodes plus their origin server, fully
+// meshed for hint exchange — the shape of the paper's prototype deployment.
+type Fleet struct {
+	Origin *Origin
+	Nodes  []*Node
+	// Relays are the metadata-relay tree nodes of a hierarchical fleet
+	// (empty for a full-mesh fleet).
+	Relays []*Relay
+	client *http.Client
+}
+
+// FleetConfig parameterizes StartFleet.
+type FleetConfig struct {
+	// Nodes is the number of cache nodes (must be >= 1).
+	Nodes int
+	// CacheBytes per node (<= 0 for the node default).
+	CacheBytes int64
+	// HintEntries per node (<= 0 for the node default).
+	HintEntries int
+	// UpdateInterval between hint batches or digest pulls (<= 0 for 1s).
+	UpdateInterval time.Duration
+	// ObjectSize is the origin's default object size (<= 0 for 8 KB).
+	ObjectSize int64
+	// UseDigests switches every node to Bloom-filter digest exchange.
+	UseDigests bool
+}
+
+// StartFleet boots an origin and n meshed nodes on loopback ephemeral
+// ports. Call Close when done.
+func StartFleet(cfg FleetConfig) (*Fleet, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("cluster: fleet needs at least one node, got %d", cfg.Nodes)
+	}
+	f := &Fleet{
+		Origin: NewOrigin(cfg.ObjectSize),
+		client: &http.Client{Timeout: 10 * time.Second},
+	}
+	if err := f.Origin.Start("127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		n, err := NewNode(NodeConfig{
+			Name:           fmt.Sprintf("node-%d", i),
+			CacheBytes:     cfg.CacheBytes,
+			HintEntries:    cfg.HintEntries,
+			OriginURL:      f.Origin.URL(),
+			UpdateInterval: cfg.UpdateInterval,
+			Seed:           int64(i) + 1,
+			UseDigests:     cfg.UseDigests,
+		})
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := n.Start("127.0.0.1:0"); err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.Nodes = append(f.Nodes, n)
+	}
+	// Full mesh.
+	for _, a := range f.Nodes {
+		for _, b := range f.Nodes {
+			if a != b {
+				a.AddPeer(b.URL())
+			}
+		}
+	}
+	return f, nil
+}
+
+// Close shuts down every node, relay, and the origin, returning the first
+// error.
+func (f *Fleet) Close() error {
+	var first error
+	for _, n := range f.Nodes {
+		if err := n.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, r := range f.Relays {
+		if err := r.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if f.Origin != nil {
+		if err := f.Origin.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// FlushAll forces a metadata round on every node now — a hint-update flush,
+// or a digest pull in digest mode. Tests and demos use it instead of
+// waiting for the batch timers.
+func (f *Fleet) FlushAll() {
+	for _, n := range f.Nodes {
+		n.exchange()
+	}
+}
+
+// FetchResult describes how a /fetch was served.
+type FetchResult struct {
+	// How is LOCAL, REMOTE, MISS, or "MISS,STALE-HINT".
+	How string
+	// Version is the object version served.
+	Version int64
+	// Bytes is the body length.
+	Bytes int64
+	// Elapsed is the client-observed fetch duration.
+	Elapsed time.Duration
+}
+
+// Local reports whether the fetch was a local cache hit.
+func (r FetchResult) Local() bool { return r.How == "LOCAL" }
+
+// Remote reports whether the fetch was served by a cache-to-cache transfer.
+func (r FetchResult) Remote() bool { return r.How == "REMOTE" }
+
+// Miss reports whether the origin served the fetch.
+func (r FetchResult) Miss() bool { return strings.HasPrefix(r.How, "MISS") }
+
+// StaleHint reports whether a false positive was paid before the origin
+// fetch.
+func (r FetchResult) StaleHint() bool { return strings.HasSuffix(r.How, "STALE-HINT") }
+
+// Fetch asks node i of the fleet for a URL.
+func (f *Fleet) Fetch(i int, url string) (FetchResult, error) {
+	return FetchFrom(f.client, f.Nodes[i].URL(), url)
+}
+
+// Purge drops node i's copy of a URL (404 from the node is reported as an
+// error).
+func (f *Fleet) Purge(i int, url string) error {
+	resp, err := f.client.Post(f.Nodes[i].URL()+"/purge?url="+neturl.QueryEscape(url), "", nil)
+	if err != nil {
+		return fmt.Errorf("purge: %w", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("purge: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// FetchFrom asks an arbitrary node (by base URL) for a URL, measuring the
+// client-observed duration.
+func FetchFrom(client *http.Client, nodeURL, url string) (FetchResult, error) {
+	start := time.Now()
+	resp, err := client.Get(nodeURL + "/fetch?url=" + neturl.QueryEscape(url))
+	if err != nil {
+		return FetchResult{}, fmt.Errorf("fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return FetchResult{}, fmt.Errorf("fetch read: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return FetchResult{}, fmt.Errorf("fetch: status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	version, _ := strconv.ParseInt(resp.Header.Get(headerVersion), 10, 64)
+	return FetchResult{
+		How:     resp.Header.Get(headerCache),
+		Version: version,
+		Bytes:   int64(len(body)),
+		Elapsed: time.Since(start),
+	}, nil
+}

@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// StartHierFleet boots a fleet whose hint updates travel through a
+// two-level relay tree instead of a full mesh: each group of
+// cfg.Nodes/groups leaves reports to a group relay, the group relays meet
+// at a root relay, and the tree fans every update back out to all leaves.
+// Data transfers remain direct cache-to-cache — only metadata rides the
+// tree, the paper's Figure 4a structure.
+//
+// groups must divide cfg.Nodes.
+func StartHierFleet(cfg FleetConfig, groups int) (*Fleet, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("cluster: fleet needs at least one node, got %d", cfg.Nodes)
+	}
+	if groups < 1 || cfg.Nodes%groups != 0 {
+		return nil, fmt.Errorf("cluster: groups (%d) must divide nodes (%d)", groups, cfg.Nodes)
+	}
+	f := &Fleet{
+		Origin: NewOrigin(cfg.ObjectSize),
+		client: &http.Client{Timeout: 10 * time.Second},
+	}
+	if err := f.Origin.Start("127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+
+	// Root relay plus one relay per group.
+	root := NewRelay("root")
+	if err := root.Start("127.0.0.1:0"); err != nil {
+		f.Close()
+		return nil, err
+	}
+	f.Relays = append(f.Relays, root)
+	groupRelays := make([]*Relay, groups)
+	for g := 0; g < groups; g++ {
+		r := NewRelay(fmt.Sprintf("relay-%d", g))
+		if err := r.Start("127.0.0.1:0"); err != nil {
+			f.Close()
+			return nil, err
+		}
+		groupRelays[g] = r
+		f.Relays = append(f.Relays, r)
+		r.Subscribe(root.URL())
+		root.Subscribe(r.URL())
+	}
+
+	perGroup := cfg.Nodes / groups
+	for i := 0; i < cfg.Nodes; i++ {
+		n, err := NewNode(NodeConfig{
+			Name:           fmt.Sprintf("node-%d", i),
+			CacheBytes:     cfg.CacheBytes,
+			HintEntries:    cfg.HintEntries,
+			OriginURL:      f.Origin.URL(),
+			UpdateInterval: cfg.UpdateInterval,
+			Seed:           int64(i) + 1,
+		})
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := n.Start("127.0.0.1:0"); err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.Nodes = append(f.Nodes, n)
+		relay := groupRelays[i/perGroup]
+		n.AddUpdateTarget(relay.URL())
+		relay.Subscribe(n.URL())
+	}
+	// Data-path peer resolution is still all-to-all: hints can point at
+	// any leaf, and transfers go direct.
+	for _, a := range f.Nodes {
+		for _, b := range f.Nodes {
+			if a != b {
+				a.AddPeer(b.URL())
+			}
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"beyondcache/internal/trace"
+)
+
+func startHierFleet(t *testing.T, nodes, groups int) *Fleet {
+	t.Helper()
+	f, err := StartHierFleet(FleetConfig{
+		Nodes:          nodes,
+		UpdateInterval: time.Hour, // tests flush explicitly
+	}, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := f.Close(); err != nil {
+			t.Errorf("fleet close: %v", err)
+		}
+	})
+	return f
+}
+
+func TestHierFleetValidation(t *testing.T) {
+	if _, err := StartHierFleet(FleetConfig{Nodes: 0}, 1); err == nil {
+		t.Error("zero-node fleet accepted")
+	}
+	if _, err := StartHierFleet(FleetConfig{Nodes: 4}, 3); err == nil {
+		t.Error("non-divisible grouping accepted")
+	}
+	if _, err := StartHierFleet(FleetConfig{Nodes: 4}, 0); err == nil {
+		t.Error("zero groups accepted")
+	}
+}
+
+func TestHierFleetPropagatesThroughTree(t *testing.T) {
+	// 4 leaves, 2 groups: node 0's update must cross the root to reach
+	// nodes 2 and 3 in the other group.
+	f := startHierFleet(t, 4, 2)
+	const url = "http://example.com/tree"
+	if _, err := f.Fetch(0, url); err != nil {
+		t.Fatal(err)
+	}
+	f.FlushAll() // synchronous through the relay tree
+
+	// A leaf in the OTHER group now has the hint: remote hit.
+	res, err := f.Fetch(3, url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Remote() {
+		t.Fatalf("cross-group fetch = %+v, want REMOTE", res)
+	}
+	// The root relay carried the update (one batch of >= 1 update).
+	root := f.Relays[0]
+	if root.Received() == 0 {
+		t.Error("root relay received nothing")
+	}
+	if root.Forwarded() == 0 {
+		t.Error("root relay forwarded nothing")
+	}
+}
+
+func TestHierFleetSameGroupSkipsRoot(t *testing.T) {
+	f := startHierFleet(t, 4, 2)
+	const url = "http://example.com/near"
+	if _, err := f.Fetch(0, url); err != nil {
+		t.Fatal(err)
+	}
+	f.FlushAll()
+	// Node 1 shares node 0's group relay.
+	res, err := f.Fetch(1, url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Remote() {
+		t.Fatalf("same-group fetch = %+v, want REMOTE", res)
+	}
+}
+
+func TestHierFleetNoUpdateLoops(t *testing.T) {
+	f := startHierFleet(t, 4, 2)
+	if _, err := f.Fetch(0, "http://example.com/loop"); err != nil {
+		t.Fatal(err)
+	}
+	f.FlushAll()
+	// One update from node 0: the root sees it exactly once (no echo).
+	if got := f.Relays[0].Received(); got != 1 {
+		t.Errorf("root received %d updates, want exactly 1 (loop?)", got)
+	}
+	// Each node received the update at most once: total updates received
+	// across leaves is 3 (everyone but the origin leaf).
+	var total int64
+	for _, n := range f.Nodes {
+		total += n.Stats().UpdatesReceived
+	}
+	if total != 3 {
+		t.Errorf("leaves received %d update deliveries, want 3", total)
+	}
+}
+
+func TestHierFleetReplay(t *testing.T) {
+	f := startHierFleet(t, 4, 2)
+	p := trace.DECProfile(trace.ScaleSmall)
+	p.Requests = 800
+	p.DistinctURLs = 150
+	p.Clients = 32
+	p.MaxSize = 64 << 10
+	stats, err := f.Replay(trace.MustGenerator(p), ReplayConfig{FlushEvery: 20, StrongConsistency: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RemoteHits == 0 {
+		t.Error("no cache-to-cache hits through the relay tree")
+	}
+	if stats.HitRatio() <= 0.2 {
+		t.Errorf("hit ratio %.3f too low", stats.HitRatio())
+	}
+}

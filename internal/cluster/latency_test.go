@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPrototypeTimingShape is the end-to-end timing argument over real
+// sockets: with a slow origin, a local hit is much faster than an origin
+// miss, and a cache-to-cache remote hit sits near the local end — the
+// paper's whole point, measured on the wire.
+func TestPrototypeTimingShape(t *testing.T) {
+	f := startFleet(t, 2, FleetConfig{ObjectSize: 4096})
+	const originLatency = 60 * time.Millisecond
+	f.Origin.SetLatency(originLatency)
+
+	const url = "http://example.com/timing"
+	miss, err := f.Fetch(0, url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !miss.Miss() {
+		t.Fatalf("first fetch = %+v, want MISS", miss)
+	}
+	if miss.Elapsed < originLatency {
+		t.Errorf("miss took %v, below the injected origin latency %v", miss.Elapsed, originLatency)
+	}
+
+	local, err := f.Fetch(0, url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !local.Local() {
+		t.Fatalf("second fetch = %+v, want LOCAL", local)
+	}
+	if local.Elapsed >= originLatency {
+		t.Errorf("local hit took %v, not faster than the origin path", local.Elapsed)
+	}
+
+	f.FlushAll()
+	remote, err := f.Fetch(1, url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !remote.Remote() {
+		t.Fatalf("peer fetch = %+v, want REMOTE", remote)
+	}
+	// The cache-to-cache transfer avoids the origin entirely.
+	if remote.Elapsed >= originLatency {
+		t.Errorf("remote hit took %v, not faster than the origin path", remote.Elapsed)
+	}
+}
+
+func TestOriginLatencyInjection(t *testing.T) {
+	f := startFleet(t, 1, FleetConfig{})
+	f.Origin.SetLatency(30 * time.Millisecond)
+	res, err := f.Fetch(0, "http://example.com/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed < 30*time.Millisecond {
+		t.Errorf("injected latency not observed: %v", res.Elapsed)
+	}
+	// Clearing it restores fast fetches.
+	f.Origin.SetLatency(0)
+	res, err = f.Fetch(0, "http://example.com/fast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed > 20*time.Millisecond {
+		t.Errorf("zero-latency fetch took %v", res.Elapsed)
+	}
+}

@@ -1,0 +1,570 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	neturl "net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"beyondcache/internal/cache"
+	"beyondcache/internal/digest"
+	"beyondcache/internal/hintcache"
+)
+
+// Protocol headers.
+const (
+	// headerVersion carries the object's version.
+	headerVersion = "X-Object-Version"
+	// headerCache reports how a /fetch was served: LOCAL, REMOTE, or
+	// MISS (origin fetch), optionally suffixed with ",STALE-HINT" when a
+	// false positive was paid first.
+	headerCache = "X-Cache"
+)
+
+// NodeConfig parameterizes a cache node.
+type NodeConfig struct {
+	// Name labels the node in logs and stats.
+	Name string
+	// CacheBytes bounds the object cache (<= 0 means 64 MB).
+	CacheBytes int64
+	// HintEntries and HintWays shape the hint table (defaults 65536 x 4).
+	HintEntries int
+	HintWays    int
+	// OriginURL is the origin server's base URL.
+	OriginURL string
+	// UpdateInterval is the mean delay between hint-update batches. The
+	// actual period is randomized uniformly in [0.5, 1.5] x interval to
+	// avoid synchronization effects (Section 3.2 cites Floyd & Jacobson).
+	// Zero means 1 second. In digest mode it is the digest pull interval.
+	UpdateInterval time.Duration
+	// Seed feeds the update-interval jitter.
+	Seed int64
+
+	// UseDigests switches the node from exact hint records to pulling
+	// Bloom-filter cache digests from its peers (the Summary Cache /
+	// Squid Cache Digests alternative). DigestCapacity and
+	// DigestBitsPerEntry size each digest (defaults 8192 entries x 8
+	// bits).
+	UseDigests         bool
+	DigestCapacity     int
+	DigestBitsPerEntry float64
+}
+
+// Stats counts node activity.
+type Stats struct {
+	LocalHits       int64 `json:"localHits"`
+	RemoteHits      int64 `json:"remoteHits"`
+	Misses          int64 `json:"misses"`
+	FalsePositives  int64 `json:"falsePositives"`
+	PeerServes      int64 `json:"peerServes"`
+	PeerRejects     int64 `json:"peerRejects"`
+	UpdatesSent     int64 `json:"updatesSent"`
+	UpdatesReceived int64 `json:"updatesReceived"`
+	BatchesSent     int64 `json:"batchesSent"`
+	SendErrors      int64 `json:"sendErrors"`
+	DigestsPulled   int64 `json:"digestsPulled"`
+}
+
+// Node is one proxy cache in the prototype.
+type Node struct {
+	cfg NodeConfig
+
+	mu     sync.Mutex
+	data   *cache.LRU
+	bodies map[uint64][]byte
+	hints  *hintcache.Cache
+	peers  map[uint64]string // machine ID -> base URL
+	// peerOrder fixes a deterministic scan order for digest lookups.
+	peerOrder   []uint64
+	peerDigests map[uint64]*digest.Filter
+	ownDigest   *digest.Filter
+	updates     []string // update targets; empty means all peers
+	pending     []hintcache.Update
+	stats       Stats
+	rng         *rand.Rand
+
+	machineID uint64
+	lis       net.Listener
+	srv       *http.Server
+	client    *http.Client
+
+	stopBatch chan struct{}
+	batchDone chan struct{}
+	srvDone   chan struct{}
+	closeOnce sync.Once
+}
+
+// NewNode builds a node; call Start to begin serving.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.OriginURL == "" {
+		return nil, fmt.Errorf("cluster: node %q: OriginURL required", cfg.Name)
+	}
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = 64 << 20
+	}
+	if cfg.HintEntries <= 0 {
+		cfg.HintEntries = 65536
+	}
+	if cfg.HintWays <= 0 {
+		cfg.HintWays = 4
+	}
+	if cfg.UpdateInterval <= 0 {
+		cfg.UpdateInterval = time.Second
+	}
+	if err := validateDigestConfig(&cfg); err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:       cfg,
+		data:      cache.NewLRU(cfg.CacheBytes),
+		bodies:    make(map[uint64][]byte),
+		hints:     hintcache.NewMem(cfg.HintEntries, cfg.HintWays),
+		peers:     make(map[uint64]string),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		client:    &http.Client{Timeout: 10 * time.Second},
+		stopBatch: make(chan struct{}),
+		batchDone: make(chan struct{}),
+		srvDone:   make(chan struct{}),
+	}
+	if cfg.UseDigests {
+		own, err := digest.NewForCapacity(cfg.DigestCapacity, cfg.DigestBitsPerEntry)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %q: %w", cfg.Name, err)
+		}
+		n.ownDigest = own
+		n.peerDigests = make(map[uint64]*digest.Filter)
+	}
+	// Capacity evictions advertise non-presence (the prototype's
+	// invalidate command). The callback runs under n.mu because all
+	// cache mutations happen there.
+	n.data.OnEvict(func(o cache.Object) {
+		delete(n.bodies, o.ID)
+		n.pending = append(n.pending, hintcache.Update{
+			Action:  hintcache.ActionInvalidate,
+			URLHash: o.ID,
+			Machine: n.machineID,
+		})
+	})
+	return n, nil
+}
+
+// Start listens on addr ("127.0.0.1:0" for ephemeral) and starts the update
+// batcher.
+func (n *Node) Start(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("cluster: node %q listen: %w", n.cfg.Name, err)
+	}
+	n.lis = lis
+	n.machineID = hintcache.HashMachine(lis.Addr().String())
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fetch", n.handleFetch)
+	mux.HandleFunc("/object", n.handleObject)
+	mux.HandleFunc("/updates", n.handleUpdates)
+	mux.HandleFunc("/purge", n.handlePurge)
+	mux.HandleFunc("/stats", n.handleStats)
+	mux.HandleFunc("/digest", n.handleDigest)
+	n.srv = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       30 * time.Second,
+	}
+	go func() {
+		defer close(n.srvDone)
+		_ = n.srv.Serve(lis)
+	}()
+	go n.batchLoop()
+	return nil
+}
+
+// Addr returns the node's listening address.
+func (n *Node) Addr() string {
+	if n.lis == nil {
+		return ""
+	}
+	return n.lis.Addr().String()
+}
+
+// URL returns the node's base URL.
+func (n *Node) URL() string { return "http://" + n.Addr() }
+
+// MachineID returns the node's 8-byte machine identifier.
+func (n *Node) MachineID() uint64 { return n.machineID }
+
+// AddPeer registers a peer node by base URL ("http://host:port"). Hint
+// updates are broadcast to all peers, and hints pointing at a peer are
+// resolved through this table.
+func (n *Node) AddPeer(baseURL string) {
+	hostport := hostPortOf(baseURL)
+	id := hintcache.HashMachine(hostport)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, known := n.peers[id]; !known {
+		n.peerOrder = append(n.peerOrder, id)
+	}
+	n.peers[id] = baseURL
+}
+
+// AddUpdateTarget directs hint-update batches to baseURL (a metadata relay
+// or parent) instead of broadcasting to every peer. Data-path peer
+// resolution (AddPeer) is unaffected: transfers remain direct cache-to-
+// cache regardless of how metadata travels (the paper's core separation).
+func (n *Node) AddUpdateTarget(baseURL string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.updates = append(n.updates, baseURL)
+}
+
+// hostPortOf strips an "http://" prefix.
+func hostPortOf(baseURL string) string {
+	const prefix = "http://"
+	if len(baseURL) > len(prefix) && baseURL[:len(prefix)] == prefix {
+		return baseURL[len(prefix):]
+	}
+	return baseURL
+}
+
+// Close stops the batcher (flushing once) and shuts the server down. Close
+// is idempotent.
+func (n *Node) Close() error {
+	var err error
+	n.closeOnce.Do(func() {
+		close(n.stopBatch)
+		<-n.batchDone
+		if n.srv == nil {
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		err = n.srv.Shutdown(ctx)
+		if err != nil {
+			// A connection stuck between states can hold Shutdown
+			// open indefinitely; force-close stragglers. This is
+			// not an application error.
+			_ = n.srv.Close()
+			err = nil
+		}
+		<-n.srvDone
+	})
+	return err
+}
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// HintStats returns the hint table's counters.
+func (n *Node) HintStats() hintcache.Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.hints.Stats()
+}
+
+// batchLoop periodically flushes pending hint updates to all peers, with a
+// randomized period to avoid synchronization.
+func (n *Node) batchLoop() {
+	defer close(n.batchDone)
+	for {
+		interval := n.jitteredInterval()
+		select {
+		case <-n.stopBatch:
+			n.exchange()
+			return
+		case <-time.After(interval):
+			n.exchange()
+		}
+	}
+}
+
+func (n *Node) jitteredInterval() time.Duration {
+	n.mu.Lock()
+	f := 0.5 + n.rng.Float64()
+	n.mu.Unlock()
+	return time.Duration(float64(n.cfg.UpdateInterval) * f)
+}
+
+// exchange performs one metadata round: hint-update flush, or digest pull.
+func (n *Node) exchange() {
+	if n.cfg.UseDigests {
+		n.PullDigests()
+		return
+	}
+	n.Flush()
+}
+
+// Flush sends all pending hint updates to every peer immediately. It is
+// also called by the batcher; tests call it directly to avoid sleeping.
+func (n *Node) Flush() {
+	n.mu.Lock()
+	batch := n.pending
+	n.pending = nil
+	var targets []string
+	if len(n.updates) > 0 {
+		targets = append(targets, n.updates...)
+	} else {
+		for _, u := range n.peers {
+			targets = append(targets, u)
+		}
+	}
+	n.mu.Unlock()
+	if len(batch) == 0 || len(targets) == 0 {
+		return
+	}
+	body := hintcache.EncodeUpdates(batch)
+	for _, t := range targets {
+		req, err := http.NewRequest(http.MethodPost, t+"/updates", bytes.NewReader(body))
+		if err != nil {
+			continue
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		req.Header.Set("X-Relay-From", n.URL())
+		resp, err := n.client.Do(req)
+		if err != nil {
+			n.mu.Lock()
+			n.stats.SendErrors++
+			n.mu.Unlock()
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		n.mu.Lock()
+		n.stats.BatchesSent++
+		n.stats.UpdatesSent += int64(len(batch))
+		n.mu.Unlock()
+	}
+}
+
+// queueInform records a local copy and schedules its advertisement.
+// Callers must hold n.mu.
+func (n *Node) queueInformLocked(urlHash uint64) {
+	n.pending = append(n.pending, hintcache.Update{
+		Action:  hintcache.ActionInform,
+		URLHash: urlHash,
+		Machine: n.machineID,
+	})
+}
+
+// storeLocked caches a fetched object. Callers must hold n.mu.
+func (n *Node) storeLocked(urlHash uint64, version int64, body []byte) {
+	if n.data.Put(cache.Object{ID: urlHash, Size: int64(len(body)), Version: version}) {
+		n.bodies[urlHash] = body
+		n.queueInformLocked(urlHash)
+	}
+}
+
+// handleFetch is the client-facing entry point: GET /fetch?url=U.
+func (n *Node) handleFetch(w http.ResponseWriter, r *http.Request) {
+	url := r.URL.Query().Get("url")
+	if url == "" {
+		http.Error(w, "missing url parameter", http.StatusBadRequest)
+		return
+	}
+	h := hintcache.HashURL(url)
+
+	// Local cache.
+	n.mu.Lock()
+	if obj, ok := n.data.Get(h); ok {
+		body := n.bodies[h]
+		n.stats.LocalHits++
+		n.mu.Unlock()
+		serveObject(w, "LOCAL", obj.Version, body)
+		return
+	}
+	// Local metadata lookup (the find-nearest command). Misses are
+	// detected locally: no hint or digest match means go straight to the
+	// origin.
+	var peerURL string
+	if n.cfg.UseDigests {
+		peerURL = n.digestPeerLocked(h)
+	} else if machine, ok := n.hints.Lookup(h); ok && machine != n.machineID {
+		peerURL = n.peers[machine]
+	}
+	n.mu.Unlock()
+
+	stale := false
+	if peerURL != "" {
+		version, body, err := n.fetchPeer(peerURL, url)
+		if err == nil {
+			n.mu.Lock()
+			n.storeLocked(h, version, body)
+			n.stats.RemoteHits++
+			n.mu.Unlock()
+			serveObject(w, "REMOTE", version, body)
+			return
+		}
+		// Stale hint or digest false positive: pay the wasted probe,
+		// drop the exact hint (digests cannot delete), fall through to
+		// the origin (never search further, Section 3.1.1).
+		stale = true
+		n.mu.Lock()
+		n.stats.FalsePositives++
+		if !n.cfg.UseDigests {
+			n.hints.Delete(h, 0)
+		}
+		n.mu.Unlock()
+	}
+
+	version, body, err := n.fetchOrigin(url)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("origin fetch: %v", err), http.StatusBadGateway)
+		return
+	}
+	n.mu.Lock()
+	n.storeLocked(h, version, body)
+	n.stats.Misses++
+	n.mu.Unlock()
+	how := "MISS"
+	if stale {
+		how = "MISS,STALE-HINT"
+	}
+	serveObject(w, how, version, body)
+}
+
+// handleObject is the cache-to-cache path: GET /object?url=U serves only
+// locally cached data.
+func (n *Node) handleObject(w http.ResponseWriter, r *http.Request) {
+	url := r.URL.Query().Get("url")
+	if url == "" {
+		http.Error(w, "missing url parameter", http.StatusBadRequest)
+		return
+	}
+	h := hintcache.HashURL(url)
+	n.mu.Lock()
+	obj, ok := n.data.Get(h)
+	var body []byte
+	if ok {
+		body = n.bodies[h]
+		n.stats.PeerServes++
+	} else {
+		n.stats.PeerRejects++
+	}
+	n.mu.Unlock()
+	if !ok {
+		http.Error(w, "not cached", http.StatusNotFound)
+		return
+	}
+	serveObject(w, "PEER", obj.Version, body)
+}
+
+// handleUpdates ingests a batch of hint updates: POST /updates.
+func (n *Node) handleUpdates(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	msg, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, "read body", http.StatusBadRequest)
+		return
+	}
+	updates, err := hintcache.DecodeUpdates(msg)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	n.mu.Lock()
+	for _, u := range updates {
+		if u.Machine == n.machineID {
+			continue // our own copies are tracked by the data cache
+		}
+		_ = n.hints.Apply(u)
+	}
+	n.stats.UpdatesReceived += int64(len(updates))
+	n.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handlePurge drops the local copy of a URL: POST /purge?url=U. The
+// resulting invalidate propagates with the next batch.
+func (n *Node) handlePurge(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	url := r.URL.Query().Get("url")
+	if url == "" {
+		http.Error(w, "missing url parameter", http.StatusBadRequest)
+		return
+	}
+	h := hintcache.HashURL(url)
+	n.mu.Lock()
+	removed := n.data.Remove(h) // fires the eviction callback
+	n.mu.Unlock()
+	if !removed {
+		http.Error(w, "not cached", http.StatusNotFound)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleStats serves GET /stats as JSON.
+func (n *Node) handleStats(w http.ResponseWriter, r *http.Request) {
+	payload := struct {
+		Name string `json:"name"`
+		Stats
+	}{Name: n.cfg.Name, Stats: n.Stats()}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(payload); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// fetchPeer performs a cache-to-cache transfer.
+func (n *Node) fetchPeer(peerURL, url string) (int64, []byte, error) {
+	resp, err := n.client.Get(peerURL + "/object?url=" + neturl.QueryEscape(url))
+	if err != nil {
+		return 0, nil, fmt.Errorf("peer fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return 0, nil, fmt.Errorf("peer fetch: status %d", resp.StatusCode)
+	}
+	return readObject(resp)
+}
+
+// fetchOrigin fetches from the origin server.
+func (n *Node) fetchOrigin(url string) (int64, []byte, error) {
+	resp, err := n.client.Get(n.cfg.OriginURL + "/obj?url=" + neturl.QueryEscape(url))
+	if err != nil {
+		return 0, nil, fmt.Errorf("origin fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return 0, nil, fmt.Errorf("origin fetch: status %d", resp.StatusCode)
+	}
+	return readObject(resp)
+}
+
+func readObject(resp *http.Response) (int64, []byte, error) {
+	version, err := strconv.ParseInt(resp.Header.Get(headerVersion), 10, 64)
+	if err != nil {
+		return 0, nil, fmt.Errorf("bad %s header: %w", headerVersion, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, fmt.Errorf("read body: %w", err)
+	}
+	return version, body, nil
+}
+
+func serveObject(w http.ResponseWriter, how string, version int64, body []byte) {
+	w.Header().Set(headerCache, how)
+	w.Header().Set(headerVersion, strconv.FormatInt(version, 10))
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}

@@ -1,0 +1,201 @@
+// Package cluster is the networked prototype of the hint architecture,
+// mirroring the paper's Squid modification (Section 3.2): cache nodes speak
+// HTTP over TCP, keep 16-byte location-hint records in a set-associative
+// table, exchange batched 20-byte hint updates (4-byte action, 8-byte object
+// hash, 8-byte machine ID) via periodic POSTs, and serve each other's misses
+// with direct cache-to-cache transfers. A miss whose hint turns out stale
+// gets an error from the peer and falls through to the origin server — the
+// false-positive path of Section 3.1.1.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Origin is a synthetic origin server: it serves a deterministic body for
+// any URL path, with an explicit version that can be bumped to invalidate
+// cached copies. It stands in for the live web servers the paper's testbed
+// fetched from.
+type Origin struct {
+	mu       sync.Mutex
+	versions map[string]int64
+	sizes    map[string]int64
+	fetches  int64
+
+	defaultSize int64
+	// latency is an artificial service delay per object request,
+	// standing in for WAN round trips to far-away servers.
+	latency time.Duration
+	srv     *http.Server
+	lis     net.Listener
+	done    chan struct{}
+}
+
+// NewOrigin creates an origin whose objects default to defaultSize bytes.
+func NewOrigin(defaultSize int64) *Origin {
+	if defaultSize <= 0 {
+		defaultSize = 8 << 10
+	}
+	return &Origin{
+		versions:    make(map[string]int64),
+		sizes:       make(map[string]int64),
+		defaultSize: defaultSize,
+		done:        make(chan struct{}),
+	}
+}
+
+// Start listens on addr ("127.0.0.1:0" for an ephemeral port) and serves
+// until Close.
+func (o *Origin) Start(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("origin listen: %w", err)
+	}
+	o.lis = lis
+	mux := http.NewServeMux()
+	mux.HandleFunc("/obj", o.handleObj)
+	mux.HandleFunc("/bump", o.handleBump)
+	o.srv = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       30 * time.Second,
+	}
+	go func() {
+		defer close(o.done)
+		// ErrServerClosed is the normal shutdown signal.
+		_ = o.srv.Serve(lis)
+	}()
+	return nil
+}
+
+// Addr returns the listening address.
+func (o *Origin) Addr() string {
+	if o.lis == nil {
+		return ""
+	}
+	return o.lis.Addr().String()
+}
+
+// URL returns the base URL of the origin.
+func (o *Origin) URL() string { return "http://" + o.Addr() }
+
+// Close shuts the server down.
+func (o *Origin) Close() error {
+	if o.srv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	err := o.srv.Shutdown(ctx)
+	if err != nil {
+		_ = o.srv.Close()
+		err = nil
+	}
+	<-o.done
+	return err
+}
+
+// SetLatency injects an artificial delay before every object reply,
+// modeling the WAN distance to origin servers. Safe to call while serving.
+func (o *Origin) SetLatency(d time.Duration) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.latency = d
+}
+
+// SetSize fixes the body size of one URL.
+func (o *Origin) SetSize(url string, size int64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.sizes[url] = size
+}
+
+// Bump increments the version of a URL, changing its body.
+func (o *Origin) Bump(url string) int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.versions[url]++
+	return o.versions[url] + 1
+}
+
+// Fetches returns how many object requests the origin has served.
+func (o *Origin) Fetches() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.fetches
+}
+
+// lookup returns (version, size) for a URL.
+func (o *Origin) lookup(url string) (int64, int64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.fetches++
+	size, ok := o.sizes[url]
+	if !ok {
+		size = o.defaultSize
+	}
+	return o.versions[url] + 1, size
+}
+
+// handleObj serves GET /obj?url=U.
+func (o *Origin) handleObj(w http.ResponseWriter, r *http.Request) {
+	url := r.URL.Query().Get("url")
+	if url == "" {
+		http.Error(w, "missing url parameter", http.StatusBadRequest)
+		return
+	}
+	version, size := o.lookup(url)
+	o.mu.Lock()
+	delay := o.latency
+	o.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	w.Header().Set(headerVersion, strconv.FormatInt(version, 10))
+	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	w.WriteHeader(http.StatusOK)
+	writeBody(w, url, version, size)
+}
+
+// handleBump serves POST /bump?url=U, invalidating the current body.
+func (o *Origin) handleBump(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	url := r.URL.Query().Get("url")
+	if url == "" {
+		http.Error(w, "missing url parameter", http.StatusBadRequest)
+		return
+	}
+	v := o.Bump(url)
+	fmt.Fprintf(w, "%d", v)
+}
+
+// writeBody streams the deterministic body for (url, version, size): a
+// repeating pattern derived from both, so any version change is visible in
+// the payload.
+func writeBody(w http.ResponseWriter, url string, version int64, size int64) {
+	pattern := []byte(fmt.Sprintf("%s#%d|", url, version))
+	buf := make([]byte, 0, 4096)
+	for int64(len(buf)) < 4096 {
+		buf = append(buf, pattern...)
+	}
+	remaining := size
+	for remaining > 0 {
+		n := int64(len(buf))
+		if n > remaining {
+			n = remaining
+		}
+		if _, err := w.Write(buf[:n]); err != nil {
+			return
+		}
+		remaining -= n
+	}
+}

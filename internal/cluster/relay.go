@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"beyondcache/internal/hintcache"
+)
+
+// Relay is a metadata-only node of the hint distribution hierarchy: it
+// caches no data, only receives batched hint updates and forwards them to
+// its subscribers (its children and, optionally, a parent relay). Wiring
+// relays into a tree gives the prototype the paper's metadata hierarchy —
+// leaves talk to a nearby relay instead of broadcasting to every peer, and
+// the tree fans updates out (Figure 4a's metadata path).
+//
+// Relays forward a batch to every subscriber except the one it arrived
+// from, which is loop-free on a tree.
+type Relay struct {
+	name string
+
+	mu          sync.Mutex
+	subscribers []string // base URLs
+	received    int64
+	forwarded   int64
+
+	lis       net.Listener
+	srv       *http.Server
+	client    *http.Client
+	srvDone   chan struct{}
+	closeOnce sync.Once
+}
+
+// NewRelay builds a relay; call Start to begin serving.
+func NewRelay(name string) *Relay {
+	return &Relay{
+		name:    name,
+		client:  &http.Client{Timeout: 10 * time.Second},
+		srvDone: make(chan struct{}),
+	}
+}
+
+// Start listens on addr.
+func (r *Relay) Start(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("cluster: relay %q listen: %w", r.name, err)
+	}
+	r.lis = lis
+	mux := http.NewServeMux()
+	mux.HandleFunc("/updates", r.handleUpdates)
+	r.srv = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       30 * time.Second,
+	}
+	go func() {
+		defer close(r.srvDone)
+		_ = r.srv.Serve(lis)
+	}()
+	return nil
+}
+
+// Addr returns the listening address.
+func (r *Relay) Addr() string {
+	if r.lis == nil {
+		return ""
+	}
+	return r.lis.Addr().String()
+}
+
+// URL returns the relay's base URL.
+func (r *Relay) URL() string { return "http://" + r.Addr() }
+
+// Subscribe registers a subscriber (a cache node's or another relay's base
+// URL) to receive forwarded updates.
+func (r *Relay) Subscribe(baseURL string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.subscribers = append(r.subscribers, baseURL)
+}
+
+// Received returns the number of updates this relay has received.
+func (r *Relay) Received() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.received
+}
+
+// Forwarded returns the number of update deliveries this relay has made
+// (updates x subscribers reached).
+func (r *Relay) Forwarded() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.forwarded
+}
+
+// Close shuts the relay down. Idempotent.
+func (r *Relay) Close() error {
+	var err error
+	r.closeOnce.Do(func() {
+		if r.srv == nil {
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		err = r.srv.Shutdown(ctx)
+		if err != nil {
+			_ = r.srv.Close()
+			err = nil
+		}
+		<-r.srvDone
+	})
+	return err
+}
+
+// handleUpdates validates and forwards a batch. The sender identifies
+// itself with the X-Relay-From header carrying its base URL so the relay
+// can avoid echoing the batch back.
+func (r *Relay) handleUpdates(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	msg, err := io.ReadAll(io.LimitReader(req.Body, 1<<20))
+	if err != nil {
+		http.Error(w, "read body", http.StatusBadRequest)
+		return
+	}
+	updates, err := hintcache.DecodeUpdates(msg)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	from := req.Header.Get("X-Relay-From")
+
+	r.mu.Lock()
+	r.received += int64(len(updates))
+	targets := make([]string, 0, len(r.subscribers))
+	for _, s := range r.subscribers {
+		if s != from {
+			targets = append(targets, s)
+		}
+	}
+	r.mu.Unlock()
+
+	for _, t := range targets {
+		hreq, err := http.NewRequest(http.MethodPost, t+"/updates", bytes.NewReader(msg))
+		if err != nil {
+			continue
+		}
+		hreq.Header.Set("Content-Type", "application/octet-stream")
+		hreq.Header.Set("X-Relay-From", r.URL())
+		resp, err := r.client.Do(hreq)
+		if err != nil {
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		r.mu.Lock()
+		r.forwarded += int64(len(updates))
+		r.mu.Unlock()
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

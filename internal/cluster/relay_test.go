@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func startRelay(t *testing.T) *Relay {
+	t.Helper()
+	r := NewRelay("test")
+	if err := r.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := r.Close(); err != nil {
+			t.Errorf("relay close: %v", err)
+		}
+	})
+	return r
+}
+
+func TestRelayRejectsGarbage(t *testing.T) {
+	r := startRelay(t)
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	resp, err := client.Post(r.URL()+"/updates", "application/octet-stream",
+		strings.NewReader("seventeen bytes!!"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage got %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = client.Get(r.URL() + "/updates")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET got %d, want 405", resp.StatusCode)
+	}
+	if r.Received() != 0 || r.Forwarded() != 0 {
+		t.Error("rejected traffic was counted")
+	}
+}
+
+func TestRelayCloseIdempotent(t *testing.T) {
+	r := NewRelay("idem")
+	if err := r.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+	if r.Addr() == "" {
+		t.Error("Addr lost after close")
+	}
+}
+
+func TestRelaySkipsDeadSubscriber(t *testing.T) {
+	// A relay with one dead subscriber still forwards to live ones.
+	r := startRelay(t)
+	f := startFleet(t, 1, FleetConfig{})
+	r.Subscribe("http://127.0.0.1:1") // dead
+	r.Subscribe(f.Nodes[0].URL())
+
+	// Send a valid single-update batch straight to the relay.
+	body := validUpdateBatch(t)
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Post(r.URL()+"/updates", "application/octet-stream", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("relay post got %d", resp.StatusCode)
+	}
+	if r.Received() != 1 {
+		t.Errorf("received = %d, want 1", r.Received())
+	}
+	// Forwarded counts only successful deliveries: the live node.
+	if r.Forwarded() != 1 {
+		t.Errorf("forwarded = %d, want 1 (dead subscriber skipped)", r.Forwarded())
+	}
+	if f.Nodes[0].Stats().UpdatesReceived != 1 {
+		t.Errorf("live node received %d updates, want 1", f.Nodes[0].Stats().UpdatesReceived)
+	}
+}
+
+// validUpdateBatch builds one wire-format inform update.
+func validUpdateBatch(t *testing.T) []byte {
+	t.Helper()
+	b := make([]byte, 20)
+	b[0] = 1  // ActionInform, little-endian uint32
+	b[4] = 9  // URL hash
+	b[12] = 3 // machine
+	return b
+}

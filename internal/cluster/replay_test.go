@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"beyondcache/internal/trace"
+)
+
+// replayProfile is a small workload whose client count matches a 4-node
+// fleet nicely.
+func replayProfile() trace.Profile {
+	p := trace.DECProfile(trace.ScaleSmall)
+	p.Requests = 1500
+	p.DistinctURLs = 300
+	p.Clients = 64
+	p.MaxSize = 64 << 10 // keep bodies small for fast HTTP
+	return p
+}
+
+func TestReplayDrivesFleet(t *testing.T) {
+	f := startFleet(t, 4, FleetConfig{})
+	g := trace.MustGenerator(replayProfile())
+	stats, err := f.Replay(g, ReplayConfig{FlushEvery: 25, StrongConsistency: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests == 0 {
+		t.Fatal("nothing replayed")
+	}
+	if stats.LocalHits == 0 {
+		t.Error("no local hits over a Zipf workload")
+	}
+	if stats.RemoteHits == 0 {
+		t.Error("no remote (cache-to-cache) hits; hints not working")
+	}
+	if stats.Misses == 0 {
+		t.Error("no misses; origin never used")
+	}
+	if stats.Skipped == 0 {
+		t.Error("no uncachable/error requests skipped")
+	}
+	if got := stats.LocalHits + stats.RemoteHits + stats.Misses; got != stats.Requests {
+		t.Errorf("outcome sum %d != requests %d", got, stats.Requests)
+	}
+	if stats.HitRatio() <= 0.2 {
+		t.Errorf("hit ratio %.3f suspiciously low", stats.HitRatio())
+	}
+	// The origin served every miss exactly once-ish: fetches equal
+	// misses (strong consistency re-fetches count as misses too).
+	if f.Origin.Fetches() != stats.Misses {
+		t.Errorf("origin fetches %d != misses %d", f.Origin.Fetches(), stats.Misses)
+	}
+}
+
+func TestReplayStrongConsistencyPurges(t *testing.T) {
+	// A mutable-heavy profile: with strong consistency, version bumps
+	// force re-fetches, so misses exceed the distinct-object count.
+	p := replayProfile()
+	p.Requests = 600
+	p.DistinctURLs = 50
+	p.MutableFrac = 1.0
+	p.MinUpdatePeriod = time.Second
+	p.MaxUpdatePeriod = 2 * time.Second
+
+	f := startFleet(t, 2, FleetConfig{})
+	stats, err := f.Replay(trace.MustGenerator(p), ReplayConfig{FlushEvery: 10, StrongConsistency: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Misses <= int64(p.DistinctURLs) {
+		t.Errorf("misses %d <= distinct %d: version bumps did not force re-fetches",
+			stats.Misses, p.DistinctURLs)
+	}
+}
+
+func TestFleetSurvivesDeadPeer(t *testing.T) {
+	f := startFleet(t, 3, FleetConfig{})
+	const url = "http://example.com/resilient"
+	if _, err := f.Fetch(0, url); err != nil {
+		t.Fatal(err)
+	}
+	f.FlushAll() // nodes 1 and 2 learn node 0 holds it
+
+	// Kill node 0 (outside the fleet's Close bookkeeping: close it now,
+	// and replace it so Cleanup's Close is a no-op double call is safe).
+	if err := f.Nodes[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Node 1's hint points at the dead node: the peer fetch fails, and
+	// the request falls through to the origin — a slow miss, not an
+	// error (the same path as a stale hint).
+	res, err := f.Fetch(1, url)
+	if err != nil {
+		t.Fatalf("fetch with dead peer failed: %v", err)
+	}
+	if !res.Miss() || !res.StaleHint() {
+		t.Errorf("fetch with dead peer = %+v, want MISS,STALE-HINT", res)
+	}
+	// Flushing to the dead peer records send errors but doesn't wedge.
+	if _, err := f.Fetch(2, "http://example.com/other"); err != nil {
+		t.Fatal(err)
+	}
+	f.Nodes[2].Flush()
+	if f.Nodes[2].Stats().SendErrors == 0 {
+		t.Error("no send errors recorded against the dead peer")
+	}
+}
+
+func TestPurgeAllIgnoresAbsent(t *testing.T) {
+	f := startFleet(t, 2, FleetConfig{})
+	const url = "http://example.com/pa"
+	if _, err := f.Fetch(0, url); err != nil {
+		t.Fatal(err)
+	}
+	// Only node 0 has it; PurgeAll must not error on node 1.
+	f.PurgeAll(url)
+	res, err := f.Fetch(0, url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Miss() {
+		t.Errorf("after PurgeAll fetch = %+v, want MISS", res)
+	}
+}

@@ -1,0 +1,262 @@
+// Package consistency implements the cache-consistency protocols the paper
+// weighs in Section 2.2.1. The simulations assume strong consistency
+// (invalidating every cached copy when data changes) because weak
+// consistency "distorts cache performance either by increasing apparent hit
+// rates by counting hits to stale data or by reducing apparent hit rates by
+// discarding perfectly good data". This package makes that distortion
+// measurable by replaying a workload under:
+//
+//   - Strong: server-driven invalidation (the paper's assumption).
+//   - TTL: discard anything older than a fixed age — Squid's ad hoc rule
+//     ("current Squid caches discard any data older than two days").
+//   - Poll: validate with the server (if-modified-since) on every access.
+//   - Lease: server-granted leases (Yin et al., cited as [41]): reads
+//     within a lease are fresh for free; expired leases are renewed with a
+//     validation; the server invalidates lease holders on writes.
+package consistency
+
+import (
+	"fmt"
+	"time"
+
+	"beyondcache/internal/trace"
+)
+
+// Kind selects a protocol.
+type Kind int
+
+// Protocols.
+const (
+	Strong Kind = iota + 1
+	TTL
+	Poll
+	Lease
+)
+
+// String labels the protocol.
+func (k Kind) String() string {
+	switch k {
+	case Strong:
+		return "Strong (invalidate)"
+	case TTL:
+		return "TTL"
+	case Poll:
+		return "Poll every access"
+	case Lease:
+		return "Leases"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Config parameterizes a protocol run.
+type Config struct {
+	// Kind selects the protocol.
+	Kind Kind
+	// TTL is the discard age for the TTL protocol (Squid's rule is two
+	// days; scale it with compressed traces).
+	TTL time.Duration
+	// LeaseDuration is the lease term for the Lease protocol.
+	LeaseDuration time.Duration
+}
+
+// Validate reports the first configuration error.
+func (c Config) Validate() error {
+	switch c.Kind {
+	case Strong, Poll:
+		return nil
+	case TTL:
+		if c.TTL <= 0 {
+			return fmt.Errorf("consistency: TTL protocol needs a positive TTL")
+		}
+		return nil
+	case Lease:
+		if c.LeaseDuration <= 0 {
+			return fmt.Errorf("consistency: lease protocol needs a positive duration")
+		}
+		return nil
+	default:
+		return fmt.Errorf("consistency: unknown protocol %d", int(c.Kind))
+	}
+}
+
+// Stats counts what each protocol serves and what it costs.
+type Stats struct {
+	// Requests is the number of cachable requests replayed.
+	Requests int64
+	// FreshHits served current data from the cache.
+	FreshHits int64
+	// StaleHits served outdated data from the cache (weak consistency's
+	// first distortion).
+	StaleHits int64
+	// DiscardedGood counts requests that re-fetched data the cache had
+	// discarded even though it was still current (the second
+	// distortion).
+	DiscardedGood int64
+	// Misses fetched from the server for any other reason (first
+	// access, genuine update).
+	Misses int64
+	// Validations counts round trips that only checked freshness.
+	Validations int64
+	// Invalidations counts server-to-cache invalidation messages.
+	Invalidations int64
+}
+
+// ApparentHitRatio counts stale hits as hits, as a weakly consistent cache
+// would report.
+func (s Stats) ApparentHitRatio() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.FreshHits+s.StaleHits) / float64(s.Requests)
+}
+
+// TrueHitRatio counts only fresh data served from the cache.
+func (s Stats) TrueHitRatio() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.FreshHits) / float64(s.Requests)
+}
+
+// StaleRate is the fraction of requests served stale data.
+func (s Stats) StaleRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.StaleHits) / float64(s.Requests)
+}
+
+// MessagesPerRequest is the control-message overhead (validations plus
+// invalidations) per request.
+func (s Stats) MessagesPerRequest() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Validations+s.Invalidations) / float64(s.Requests)
+}
+
+// entry is a cached copy's consistency state.
+type entry struct {
+	version     int64
+	fetchedAt   time.Duration
+	leaseExpiry time.Duration
+}
+
+// Simulator replays a workload against an infinite shared cache under one
+// consistency protocol. (Infinite capacity isolates consistency effects
+// from replacement effects.)
+type Simulator struct {
+	cfg     Config
+	entries map[uint64]*entry
+	stats   Stats
+}
+
+// New builds a simulator.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Simulator{
+		cfg:     cfg,
+		entries: make(map[uint64]*entry),
+	}, nil
+}
+
+// Process replays one request. Error and uncachable requests are skipped.
+func (s *Simulator) Process(req trace.Request) {
+	if !req.Cachable() {
+		return
+	}
+	s.stats.Requests++
+	now := req.Time
+
+	e, cached := s.entries[req.Object]
+	if !cached {
+		s.stats.Misses++
+		s.fetch(req, now)
+		return
+	}
+	fresh := e.version >= req.Version
+
+	switch s.cfg.Kind {
+	case Strong:
+		// The server invalidated the copy the moment the object
+		// changed; a stale entry is simply gone.
+		if !fresh {
+			s.stats.Invalidations++
+			s.stats.Misses++
+			s.fetch(req, now)
+			return
+		}
+		s.stats.FreshHits++
+
+	case TTL:
+		if now-e.fetchedAt > s.cfg.TTL {
+			// Discarded by age, current or not.
+			if fresh {
+				s.stats.DiscardedGood++
+			}
+			s.stats.Misses++
+			s.fetch(req, now)
+			return
+		}
+		if fresh {
+			s.stats.FreshHits++
+		} else {
+			s.stats.StaleHits++
+		}
+
+	case Poll:
+		s.stats.Validations++
+		if !fresh {
+			s.stats.Misses++
+			s.fetch(req, now)
+			return
+		}
+		s.stats.FreshHits++
+
+	case Lease:
+		if now < e.leaseExpiry {
+			// Within the lease the server would have invalidated us
+			// on a write: a stale version means exactly that.
+			if !fresh {
+				s.stats.Invalidations++
+				s.stats.Misses++
+				s.fetch(req, now)
+				return
+			}
+			s.stats.FreshHits++
+			return
+		}
+		// Lease expired: renew with a validation round trip.
+		s.stats.Validations++
+		e.leaseExpiry = now + s.cfg.LeaseDuration
+		if !fresh {
+			s.stats.Misses++
+			s.fetch(req, now)
+			return
+		}
+		s.stats.FreshHits++
+	}
+}
+
+// fetch installs the current version.
+func (s *Simulator) fetch(req trace.Request, now time.Duration) {
+	e := s.entries[req.Object]
+	if e == nil {
+		e = &entry{}
+		s.entries[req.Object] = e
+	}
+	e.version = req.Version
+	e.fetchedAt = now
+	if s.cfg.Kind == Lease {
+		e.leaseExpiry = now + s.cfg.LeaseDuration
+	}
+}
+
+// Stats returns the accumulated counters.
+func (s *Simulator) Stats() Stats { return s.stats }
+
+// Kinds lists the protocols in report order.
+func Kinds() []Kind { return []Kind{Strong, TTL, Poll, Lease} }

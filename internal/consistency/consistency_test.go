@@ -1,0 +1,239 @@
+package consistency
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"beyondcache/internal/trace"
+)
+
+func req(seq int64, t time.Duration, object uint64, version int64) trace.Request {
+	return trace.Request{Seq: seq, Time: t, Object: object, Size: 100, Version: version}
+}
+
+func mustNew(t *testing.T, cfg Config) *Simulator {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	if _, err := New(Config{Kind: TTL}); err == nil {
+		t.Error("TTL without duration accepted")
+	}
+	if _, err := New(Config{Kind: Lease}); err == nil {
+		t.Error("lease without duration accepted")
+	}
+	if _, err := New(Config{Kind: Kind(99)}); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	for _, k := range []Kind{Strong, Poll} {
+		if _, err := New(Config{Kind: k}); err != nil {
+			t.Errorf("%v rejected: %v", k, err)
+		}
+	}
+}
+
+func TestStrongNeverServesStale(t *testing.T) {
+	s := mustNew(t, Config{Kind: Strong})
+	s.Process(req(0, 0, 1, 1))
+	s.Process(req(1, time.Second, 1, 1)) // fresh hit
+	s.Process(req(2, 2*time.Second, 1, 2))
+	st := s.Stats()
+	if st.StaleHits != 0 {
+		t.Errorf("strong protocol served %d stale hits", st.StaleHits)
+	}
+	if st.FreshHits != 1 || st.Misses != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", st.Invalidations)
+	}
+}
+
+func TestTTLServesStaleWithinWindow(t *testing.T) {
+	s := mustNew(t, Config{Kind: TTL, TTL: time.Hour})
+	s.Process(req(0, 0, 1, 1))
+	// The object changed (version 2) but the copy is younger than the
+	// TTL: a weakly consistent cache serves it anyway.
+	s.Process(req(1, time.Minute, 1, 2))
+	if st := s.Stats(); st.StaleHits != 1 {
+		t.Errorf("TTL stale hits = %d, want 1 (stats %+v)", st.StaleHits, st)
+	}
+}
+
+func TestTTLDiscardsGoodData(t *testing.T) {
+	s := mustNew(t, Config{Kind: TTL, TTL: time.Hour})
+	s.Process(req(0, 0, 1, 1))
+	// Two hours later the object is unchanged, but the TTL discarded it.
+	s.Process(req(1, 2*time.Hour, 1, 1))
+	st := s.Stats()
+	if st.DiscardedGood != 1 {
+		t.Errorf("discarded-good = %d, want 1 (stats %+v)", st.DiscardedGood, st)
+	}
+	if st.Misses != 2 {
+		t.Errorf("misses = %d, want 2", st.Misses)
+	}
+}
+
+func TestPollValidatesEveryHit(t *testing.T) {
+	s := mustNew(t, Config{Kind: Poll})
+	s.Process(req(0, 0, 1, 1))
+	s.Process(req(1, time.Second, 1, 1))
+	s.Process(req(2, 2*time.Second, 1, 2)) // changed: validation + refetch
+	st := s.Stats()
+	if st.Validations != 2 {
+		t.Errorf("validations = %d, want 2", st.Validations)
+	}
+	if st.StaleHits != 0 {
+		t.Error("poll served stale data")
+	}
+	if st.FreshHits != 1 || st.Misses != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLeaseFreeWithinTermRenewsAfter(t *testing.T) {
+	s := mustNew(t, Config{Kind: Lease, LeaseDuration: time.Minute})
+	s.Process(req(0, 0, 1, 1))
+	// Within the lease: fresh hit, no validation.
+	s.Process(req(1, 30*time.Second, 1, 1))
+	if st := s.Stats(); st.Validations != 0 || st.FreshHits != 1 {
+		t.Errorf("within-lease stats = %+v", st)
+	}
+	// After expiry: renewal costs one validation.
+	s.Process(req(2, 2*time.Minute, 1, 1))
+	if st := s.Stats(); st.Validations != 1 || st.FreshHits != 2 {
+		t.Errorf("post-expiry stats = %+v", st)
+	}
+	// A change within a valid lease is an invalidation, never stale.
+	s.Process(req(3, 2*time.Minute+time.Second, 1, 2))
+	st := s.Stats()
+	if st.StaleHits != 0 {
+		t.Error("lease served stale data within term")
+	}
+	if st.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", st.Invalidations)
+	}
+}
+
+func TestLeaseCheaperThanPollSafeAsStrong(t *testing.T) {
+	// The design point of leases: strong-consistency semantics at a
+	// fraction of poll's message cost.
+	p := trace.DECProfile(trace.ScaleSmall)
+	p.Requests = 30_000
+	p.DistinctURLs = 6_000
+
+	run := func(cfg Config) Stats {
+		s := mustNew(t, cfg)
+		g := trace.MustGenerator(p)
+		for {
+			r, err := g.Next()
+			if err == io.EOF {
+				break
+			}
+			s.Process(r)
+		}
+		return s.Stats()
+	}
+	poll := run(Config{Kind: Poll})
+	lease := run(Config{Kind: Lease, LeaseDuration: scaledLease(p)})
+	strong := run(Config{Kind: Strong})
+
+	if lease.StaleHits != 0 || poll.StaleHits != 0 || strong.StaleHits != 0 {
+		t.Error("a strongly consistent protocol served stale data")
+	}
+	if lease.MessagesPerRequest() >= poll.MessagesPerRequest() {
+		t.Errorf("lease messages/request (%.3f) not below poll (%.3f)",
+			lease.MessagesPerRequest(), poll.MessagesPerRequest())
+	}
+	// All three serve the same fresh data (true hit ratios agree).
+	if d := lease.TrueHitRatio() - strong.TrueHitRatio(); d > 0.01 || d < -0.01 {
+		t.Errorf("lease true hit ratio %.3f != strong %.3f", lease.TrueHitRatio(), strong.TrueHitRatio())
+	}
+}
+
+// scaledLease picks a lease term proportional to the compressed trace span.
+func scaledLease(p trace.Profile) time.Duration {
+	return p.Span() / 200
+}
+
+func TestWeakConsistencyDistortsHitRates(t *testing.T) {
+	// The Section 2.2.1 claim: TTL either inflates apparent hit rates
+	// (stale hits) or deflates true ones (discarded good data).
+	p := trace.BerkeleyProfile(trace.ScaleSmall) // update-heavy
+	p.Requests = 30_000
+	p.DistinctURLs = 6_000
+
+	run := func(cfg Config) Stats {
+		s := mustNew(t, cfg)
+		g := trace.MustGenerator(p)
+		for {
+			r, err := g.Next()
+			if err == io.EOF {
+				break
+			}
+			s.Process(r)
+		}
+		return s.Stats()
+	}
+	strong := run(Config{Kind: Strong})
+	// A long TTL on an update-heavy trace: stale hits inflate the
+	// apparent hit rate above strong's true rate.
+	longTTL := run(Config{Kind: TTL, TTL: p.Span()})
+	if longTTL.StaleHits == 0 {
+		t.Fatal("long TTL produced no stale hits on an update-heavy trace")
+	}
+	if longTTL.ApparentHitRatio() <= strong.TrueHitRatio() {
+		t.Errorf("long-TTL apparent hit ratio %.3f not above strong %.3f",
+			longTTL.ApparentHitRatio(), strong.TrueHitRatio())
+	}
+	// A short TTL: discarded-good requests deflate the true hit rate
+	// below strong's.
+	shortTTL := run(Config{Kind: TTL, TTL: p.Span() / 500})
+	if shortTTL.DiscardedGood == 0 {
+		t.Fatal("short TTL discarded nothing")
+	}
+	if shortTTL.TrueHitRatio() >= strong.TrueHitRatio() {
+		t.Errorf("short-TTL true hit ratio %.3f not below strong %.3f",
+			shortTTL.TrueHitRatio(), strong.TrueHitRatio())
+	}
+}
+
+func TestStatsDerivedMetrics(t *testing.T) {
+	s := Stats{Requests: 10, FreshHits: 4, StaleHits: 2, Validations: 5, Invalidations: 5}
+	if s.ApparentHitRatio() != 0.6 {
+		t.Errorf("apparent = %g", s.ApparentHitRatio())
+	}
+	if s.TrueHitRatio() != 0.4 {
+		t.Errorf("true = %g", s.TrueHitRatio())
+	}
+	if s.StaleRate() != 0.2 {
+		t.Errorf("stale = %g", s.StaleRate())
+	}
+	if s.MessagesPerRequest() != 1.0 {
+		t.Errorf("messages = %g", s.MessagesPerRequest())
+	}
+	var empty Stats
+	if empty.ApparentHitRatio() != 0 || empty.MessagesPerRequest() != 0 {
+		t.Error("empty stats nonzero")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range Kinds() {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty label", int(k))
+		}
+	}
+	if Kind(42).String() != "Kind(42)" {
+		t.Error("unknown kind label")
+	}
+}

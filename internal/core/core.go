@@ -1,0 +1,303 @@
+// Package core is the public facade of the library: it assembles a
+// distributed cache system out of the building blocks (a workload, a cost
+// model, a topology, a caching policy) and replays traces against it,
+// producing a report with the metrics the paper evaluates.
+//
+// The three policies correspond to the systems compared in Figure 8:
+// the traditional three-level data hierarchy, a centralized-directory
+// design, and the paper's hint architecture — optionally extended with the
+// push-caching algorithms of Section 4 or the push-ideal bound.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"beyondcache/internal/hierarchy"
+	"beyondcache/internal/hints"
+	"beyondcache/internal/metrics"
+	"beyondcache/internal/netmodel"
+	"beyondcache/internal/push"
+	"beyondcache/internal/sim"
+	"beyondcache/internal/trace"
+)
+
+// Policy selects the cache organization.
+type Policy int
+
+// Policies.
+const (
+	// PolicyHierarchy is the traditional 3-level data-cache hierarchy.
+	PolicyHierarchy Policy = iota + 1
+	// PolicyDirectory is a centralized global directory (CRISP-style)
+	// with direct cache-to-cache transfers.
+	PolicyDirectory
+	// PolicyHints is the paper's hint architecture.
+	PolicyHints
+	// PolicyHintsPush is the hint architecture plus a push algorithm
+	// (set Config.PushStrategy).
+	PolicyHintsPush
+	// PolicyHintsIdeal is the hint architecture with the push-ideal
+	// bound: every remote hit is charged as a local hit.
+	PolicyHintsIdeal
+	// PolicyHierarchyICP is the traditional hierarchy with ICP-style
+	// sibling queries on L1 misses (Section 3.1.1's multicast
+	// alternative): sibling hits become direct transfers, but every
+	// locally-missing request pays the query round trip.
+	PolicyHierarchyICP
+	// PolicyClientHints is the alternate configuration of Figure 4b:
+	// hint tables at the clients, remote accesses skipping the L1 hop.
+	PolicyClientHints
+	// PolicyDigests replaces exact hint records with Bloom-filter cache
+	// digests (the Summary Cache / Squid Cache Digests alternative).
+	PolicyDigests
+)
+
+// String labels the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyHierarchy:
+		return "Hierarchy"
+	case PolicyDirectory:
+		return "Directory"
+	case PolicyHints:
+		return "Hints"
+	case PolicyHintsPush:
+		return "Hints+Push"
+	case PolicyHintsIdeal:
+		return "Push-ideal"
+	case PolicyHierarchyICP:
+		return "Hierarchy+ICP"
+	case PolicyClientHints:
+		return "Client hints"
+	case PolicyDigests:
+		return "Digests"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config assembles a system.
+type Config struct {
+	// Policy selects the cache organization.
+	Policy Policy
+
+	// Model prices network accesses; nil means the Testbed model.
+	Model netmodel.Model
+
+	// Topology is the 3-level layout; zero value means sim.Default().
+	Topology sim.Topology
+
+	// PushStrategy selects the algorithm for PolicyHintsPush.
+	PushStrategy push.Strategy
+
+	// L1Capacity bounds each leaf cache in bytes (<= 0 infinite). For
+	// the hierarchy policy, L2Capacity and L3Capacity bound the upper
+	// levels.
+	L1Capacity int64
+	L2Capacity int64
+	L3Capacity int64
+
+	// HintEntries bounds the hint tables (0 = unbounded); HintWays is
+	// the associativity (0 = 4).
+	HintEntries int
+	HintWays    int
+
+	// PropagationDelay delays hint visibility (hint policies only).
+	PropagationDelay time.Duration
+
+	// Warmup excludes early requests from statistics.
+	Warmup time.Duration
+
+	// Seed feeds the push algorithms' random choices.
+	Seed int64
+}
+
+// System is a runnable cache system.
+type System struct {
+	cfg    Config
+	proc   sim.Processor
+	hier   *hierarchy.Simulator
+	hint   *hints.Simulator
+	pusher *push.Push
+}
+
+// NewSystem builds a system from the config.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.Model == nil {
+		cfg.Model = netmodel.NewTestbed()
+	}
+	if cfg.Topology == (sim.Topology{}) {
+		cfg.Topology = sim.Default()
+	}
+	s := &System{cfg: cfg}
+
+	switch cfg.Policy {
+	case PolicyHierarchy, PolicyHierarchyICP:
+		h, err := hierarchy.New(hierarchy.Config{
+			Topology:   cfg.Topology,
+			Model:      cfg.Model,
+			L1Capacity: cfg.L1Capacity,
+			L2Capacity: cfg.L2Capacity,
+			L3Capacity: cfg.L3Capacity,
+			Warmup:     cfg.Warmup,
+			UseICP:     cfg.Policy == PolicyHierarchyICP,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		s.hier = h
+		s.proc = h
+		return s, nil
+
+	case PolicyDirectory, PolicyHints, PolicyHintsPush, PolicyHintsIdeal, PolicyClientHints, PolicyDigests:
+		hcfg := hints.Config{
+			Topology:         cfg.Topology,
+			Model:            cfg.Model,
+			L1Capacity:       cfg.L1Capacity,
+			HintEntries:      cfg.HintEntries,
+			HintWays:         cfg.HintWays,
+			PropagationDelay: cfg.PropagationDelay,
+			Warmup:           cfg.Warmup,
+		}
+		if cfg.Policy == PolicyDirectory {
+			hcfg.Mode = hints.ModeCentralDirectory
+		}
+		if cfg.Policy == PolicyClientHints {
+			hcfg.Mode = hints.ModeClientHints
+		}
+		if cfg.Policy == PolicyDigests {
+			hcfg.Mode = hints.ModeDigests
+		}
+		if cfg.Policy == PolicyHintsIdeal {
+			hcfg.IdealPush = true
+		}
+		if cfg.Policy == PolicyHintsPush {
+			p, err := push.New(cfg.PushStrategy, cfg.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			hcfg.Pusher = p
+			s.pusher = p
+		}
+		h, err := hints.New(hcfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		if s.pusher != nil {
+			s.pusher.Bind(h)
+		}
+		s.hint = h
+		s.proc = h
+		return s, nil
+
+	default:
+		return nil, fmt.Errorf("core: unknown policy %d", int(cfg.Policy))
+	}
+}
+
+// Report summarizes a run.
+type Report struct {
+	// Policy and Model label the configuration.
+	Policy string
+	Model  string
+
+	// Requests counts the recorded (post-warmup, cachable) requests.
+	Requests int64
+	// MeanResponse is the mean response time over recorded requests.
+	MeanResponse time.Duration
+	// HitRatio is the fraction served from any cache in the system.
+	HitRatio float64
+	// LocalHitRatio is the fraction served from the client's own L1.
+	LocalHitRatio float64
+	// OutcomeFracs breaks recorded requests down by outcome label.
+	OutcomeFracs map[string]float64
+
+	// Push statistics (zero unless a push policy ran).
+	Push           push.Stats
+	PushEfficiency float64
+
+	// Hint-update traffic (hint policies only).
+	RootUpdates    int64
+	CentralUpdates int64
+	RootRate       float64 // updates/sec of virtual time
+	CentralRate    float64
+
+	// FalsePositives and FalseNegatives count wasted probes and
+	// lost-hint misses (hint policies only).
+	FalsePositives int64
+	FalseNegatives int64
+
+	// DemandBytes and PushBytes are the transfer volumes.
+	DemandBytes int64
+	PushBytes   int64
+}
+
+// Run replays the reader through the system and reports. Run may be called
+// once per System; build a new System for a fresh run.
+func (s *System) Run(r trace.Reader) (Report, error) {
+	if _, err := sim.Run(r, s.proc); err != nil {
+		return Report{}, fmt.Errorf("core run: %w", err)
+	}
+	return s.Report(), nil
+}
+
+// Process forwards one request (for callers driving the system manually).
+func (s *System) Process(req trace.Request) { s.proc.Process(req) }
+
+// Report builds the report from current state.
+func (s *System) Report() Report {
+	rep := Report{
+		Policy: s.cfg.Policy.String(),
+		Model:  s.cfg.Model.Name(),
+	}
+	var stats *metrics.Response
+	switch {
+	case s.hier != nil:
+		stats = s.hier.Stats()
+		rep.HitRatio = s.hier.HitRatio(netmodel.L3)
+		rep.LocalHitRatio = s.hier.HitRatio(netmodel.L1)
+	case s.hint != nil:
+		stats = s.hint.Stats()
+		rep.HitRatio = s.hint.HitRatio()
+		rep.LocalHitRatio = s.hint.LocalHitRatio()
+		rep.RootUpdates = s.hint.RootUpdates()
+		rep.CentralUpdates = s.hint.CentralUpdates()
+		rep.RootRate = s.hint.UpdateRate(rep.RootUpdates)
+		rep.CentralRate = s.hint.UpdateRate(rep.CentralUpdates)
+		rep.FalsePositives = s.hint.FalsePositives()
+		rep.FalseNegatives = s.hint.FalseNegatives()
+		rep.DemandBytes = s.hint.Bandwidth().Bytes("demand")
+		rep.PushBytes = s.hint.Bandwidth().Bytes("push")
+	}
+	if stats != nil {
+		rep.Requests = stats.N()
+		rep.MeanResponse = stats.Mean()
+		rep.OutcomeFracs = make(map[string]float64)
+		for _, o := range stats.Outcomes() {
+			rep.OutcomeFracs[o] = stats.Frac(o)
+		}
+	}
+	if s.pusher != nil {
+		rep.Push = s.pusher.Stats()
+		rep.PushEfficiency = s.pusher.Efficiency()
+	}
+	return rep
+}
+
+// Hints exposes the underlying hints simulator (nil for the hierarchy
+// policy), for callers needing lower-level access.
+func (s *System) Hints() *hints.Simulator { return s.hint }
+
+// Hierarchy exposes the underlying hierarchy simulator (nil for hint
+// policies).
+func (s *System) Hierarchy() *hierarchy.Simulator { return s.hier }
+
+// Speedup returns a.MeanResponse / b.MeanResponse: how many times faster b
+// is than a.
+func Speedup(a, b Report) float64 {
+	if b.MeanResponse == 0 {
+		return 0
+	}
+	return float64(a.MeanResponse) / float64(b.MeanResponse)
+}

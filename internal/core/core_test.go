@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"beyondcache/internal/netmodel"
+	"beyondcache/internal/push"
+	"beyondcache/internal/trace"
+)
+
+func smallDEC() trace.Profile {
+	p := trace.DECProfile(trace.ScaleSmall)
+	p.Requests = 30_000
+	p.DistinctURLs = 6_000
+	return p
+}
+
+func runPolicy(t *testing.T, cfg Config, p trace.Profile) Report {
+	t.Helper()
+	cfg.Warmup = p.Warmup()
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Run(trace.MustGenerator(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(Config{}); err == nil {
+		t.Error("zero policy accepted")
+	}
+	if _, err := NewSystem(Config{Policy: Policy(42)}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := NewSystem(Config{Policy: PolicyHintsPush}); err == nil {
+		t.Error("push policy without strategy accepted")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	want := map[Policy]string{
+		PolicyHierarchy:    "Hierarchy",
+		PolicyHierarchyICP: "Hierarchy+ICP",
+		PolicyDirectory:    "Directory",
+		PolicyHints:        "Hints",
+		PolicyHintsPush:    "Hints+Push",
+		PolicyHintsIdeal:   "Push-ideal",
+		PolicyClientHints:  "Client hints",
+		PolicyDigests:      "Digests",
+	}
+	for p, w := range want {
+		if p.String() != w {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), w)
+		}
+	}
+	if Policy(9).String() != "Policy(9)" {
+		t.Error("unknown policy label")
+	}
+}
+
+func TestAllPoliciesRun(t *testing.T) {
+	p := smallDEC()
+	for _, pol := range []Policy{
+		PolicyHierarchy, PolicyHierarchyICP, PolicyDirectory,
+		PolicyHints, PolicyHintsIdeal, PolicyClientHints, PolicyDigests,
+	} {
+		rep := runPolicy(t, Config{Policy: pol, Model: netmodel.NewRousskovMin()}, p)
+		if rep.Requests == 0 {
+			t.Errorf("%v: no requests recorded", pol)
+		}
+		if rep.MeanResponse <= 0 {
+			t.Errorf("%v: mean response %v", pol, rep.MeanResponse)
+		}
+		if rep.HitRatio <= 0 || rep.HitRatio > 1 {
+			t.Errorf("%v: hit ratio %g", pol, rep.HitRatio)
+		}
+		if rep.Policy != pol.String() {
+			t.Errorf("report policy %q != %q", rep.Policy, pol.String())
+		}
+	}
+	rep := runPolicy(t, Config{
+		Policy: PolicyHintsPush, PushStrategy: push.HierAll,
+		Model: netmodel.NewRousskovMin(),
+	}, p)
+	if rep.Push.PushedCount == 0 {
+		t.Error("push policy pushed nothing")
+	}
+	if rep.PushEfficiency <= 0 || rep.PushEfficiency > 1 {
+		t.Errorf("push efficiency %g out of (0,1]", rep.PushEfficiency)
+	}
+}
+
+// TestFigure8Ordering: for every cost model, hierarchy >= directory >= hints
+// in mean response time (the Figure 8 bar ordering).
+func TestFigure8Ordering(t *testing.T) {
+	p := smallDEC()
+	for _, m := range netmodel.Models() {
+		hier := runPolicy(t, Config{Policy: PolicyHierarchy, Model: m}, p)
+		dir := runPolicy(t, Config{Policy: PolicyDirectory, Model: m}, p)
+		hint := runPolicy(t, Config{Policy: PolicyHints, Model: m}, p)
+		if hier.MeanResponse < dir.MeanResponse {
+			t.Errorf("%s: hierarchy (%v) faster than directory (%v)",
+				m.Name(), hier.MeanResponse, dir.MeanResponse)
+		}
+		if dir.MeanResponse < hint.MeanResponse {
+			t.Errorf("%s: directory (%v) faster than hints (%v)",
+				m.Name(), dir.MeanResponse, hint.MeanResponse)
+		}
+		sp := Speedup(hier, hint)
+		if sp < 1.1 || sp > 5 {
+			t.Errorf("%s: hierarchy/hints speedup %.2f outside plausible band", m.Name(), sp)
+		}
+	}
+}
+
+func TestHitRatiosComparableAcrossPolicies(t *testing.T) {
+	// The paper stresses that hints win on time, not hit rate: the
+	// global hit ratios of hierarchy and hints should be in the same
+	// neighborhood with infinite caches.
+	p := smallDEC()
+	m := netmodel.NewTestbed()
+	hier := runPolicy(t, Config{Policy: PolicyHierarchy, Model: m}, p)
+	hint := runPolicy(t, Config{Policy: PolicyHints, Model: m}, p)
+	diff := hier.HitRatio - hint.HitRatio
+	if diff < -0.1 || diff > 0.1 {
+		t.Errorf("hit ratios diverge: hierarchy %.3f vs hints %.3f", hier.HitRatio, hint.HitRatio)
+	}
+}
+
+func TestSpeedupHelper(t *testing.T) {
+	a := Report{MeanResponse: 200 * time.Millisecond}
+	b := Report{MeanResponse: 100 * time.Millisecond}
+	if got := Speedup(a, b); got != 2 {
+		t.Errorf("Speedup = %g, want 2", got)
+	}
+	if Speedup(a, Report{}) != 0 {
+		t.Error("zero denominator not handled")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	sys, err := NewSystem(Config{Policy: PolicyHierarchy, Model: netmodel.NewTestbed()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Hierarchy() == nil || sys.Hints() != nil {
+		t.Error("hierarchy accessors wrong")
+	}
+	sys2, err := NewSystem(Config{Policy: PolicyHints, Model: netmodel.NewTestbed()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys2.Hints() == nil || sys2.Hierarchy() != nil {
+		t.Error("hints accessors wrong")
+	}
+	// Manual Process path.
+	sys2.Process(trace.Request{Object: 1, Size: 100, Version: 1})
+	if rep := sys2.Report(); rep.Requests != 1 {
+		t.Errorf("manual process recorded %d requests", rep.Requests)
+	}
+}

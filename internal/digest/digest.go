@@ -1,0 +1,145 @@
+// Package digest implements Bloom-filter cache digests (Fan et al.'s
+// Summary Cache / Squid's Cache Digests, contemporaries of the paper): each
+// cache summarizes its contents in a compact bit vector that peers consult
+// instead of an exact hint table. Digests trade the paper's 16-byte-exact
+// hint records for a few bits per object — at the price of hash false
+// positives and, because plain Bloom filters cannot delete, growing
+// staleness between periodic rebuilds.
+//
+// The library provides the filter itself; internal/hints integrates it as
+// an alternative metadata scheme so the two designs can be compared under
+// identical workloads.
+package digest
+
+import (
+	"fmt"
+	"math"
+)
+
+// Filter is a Bloom filter over 64-bit object identifiers. The zero value
+// is not usable; call New.
+type Filter struct {
+	bits []uint64
+	m    uint64 // number of bits
+	k    int    // number of hash functions
+	n    int64  // insertions since last reset
+}
+
+// New builds a filter with m bits and k hash functions. m is rounded up to
+// a multiple of 64.
+func New(m uint64, k int) (*Filter, error) {
+	if m == 0 {
+		return nil, fmt.Errorf("digest: filter needs at least one bit")
+	}
+	if k < 1 || k > 16 {
+		return nil, fmt.Errorf("digest: k must be in [1,16], got %d", k)
+	}
+	words := (m + 63) / 64
+	return &Filter{
+		bits: make([]uint64, words),
+		m:    words * 64,
+		k:    k,
+	}, nil
+}
+
+// NewForCapacity sizes a filter for n entries at bitsPerEntry bits each,
+// with the optimal hash count k = bitsPerEntry * ln2.
+func NewForCapacity(n int, bitsPerEntry float64) (*Filter, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("digest: capacity must be positive, got %d", n)
+	}
+	if bitsPerEntry <= 0 {
+		return nil, fmt.Errorf("digest: bitsPerEntry must be positive, got %g", bitsPerEntry)
+	}
+	m := uint64(math.Ceil(float64(n) * bitsPerEntry))
+	k := int(math.Round(bitsPerEntry * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return New(m, k)
+}
+
+// splitmix64 is the hash kernel used to derive the k probe positions.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// probe returns the bit position of the i-th hash of id (double hashing).
+func (f *Filter) probe(id uint64, i int) uint64 {
+	h1 := splitmix64(id)
+	h2 := splitmix64(id ^ 0x5bd1e9955bd1e995)
+	return (h1 + uint64(i)*h2) % f.m
+}
+
+// Add inserts an identifier.
+func (f *Filter) Add(id uint64) {
+	for i := 0; i < f.k; i++ {
+		p := f.probe(id, i)
+		f.bits[p/64] |= 1 << (p % 64)
+	}
+	f.n++
+}
+
+// MayContain reports whether the identifier might be present. False
+// positives are possible; false negatives are not (for identifiers Added
+// since the last Reset).
+func (f *Filter) MayContain(id uint64) bool {
+	for i := 0; i < f.k; i++ {
+		p := f.probe(id, i)
+		if f.bits[p/64]&(1<<(p%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset clears the filter (a digest rebuild starts here).
+func (f *Filter) Reset() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.n = 0
+}
+
+// Bits returns the filter size in bits.
+func (f *Filter) Bits() uint64 { return f.m }
+
+// SizeBytes returns the wire/storage size of the filter.
+func (f *Filter) SizeBytes() int64 { return int64(f.m / 8) }
+
+// K returns the hash count.
+func (f *Filter) K() int { return f.k }
+
+// Insertions returns the number of Adds since the last Reset.
+func (f *Filter) Insertions() int64 { return f.n }
+
+// FillRatio returns the fraction of set bits.
+func (f *Filter) FillRatio() float64 {
+	var set int
+	for _, w := range f.bits {
+		set += popcount(w)
+	}
+	return float64(set) / float64(f.m)
+}
+
+// EstimatedFPR returns the expected false-positive rate at the current
+// fill: fill^k.
+func (f *Filter) EstimatedFPR() float64 {
+	return math.Pow(f.FillRatio(), float64(f.k))
+}
+
+func popcount(x uint64) int {
+	// Kernighan's loop is plenty for stats-path use.
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

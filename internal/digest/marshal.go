@@ -1,0 +1,61 @@
+package digest
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire format: 8-byte bit count, 4-byte hash count, then the filter words
+// little-endian. Digests travel whole (Squid transfers complete digests on
+// the order of once an hour), so the format favors simplicity over deltas.
+
+// headerSize is the marshaled header length in bytes.
+const headerSize = 12
+
+// MarshalBinary encodes the filter.
+func (f *Filter) MarshalBinary() ([]byte, error) {
+	out := make([]byte, headerSize+len(f.bits)*8)
+	binary.LittleEndian.PutUint64(out[0:8], f.m)
+	binary.LittleEndian.PutUint32(out[8:12], uint32(f.k))
+	for i, w := range f.bits {
+		binary.LittleEndian.PutUint64(out[headerSize+i*8:], w)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes a filter, replacing the receiver's contents.
+func (f *Filter) UnmarshalBinary(data []byte) error {
+	if len(data) < headerSize {
+		return fmt.Errorf("digest: message too short (%d bytes)", len(data))
+	}
+	m := binary.LittleEndian.Uint64(data[0:8])
+	k := int(binary.LittleEndian.Uint32(data[8:12]))
+	if k < 1 || k > 16 {
+		return fmt.Errorf("digest: bad hash count %d", k)
+	}
+	if m == 0 || m%64 != 0 {
+		return fmt.Errorf("digest: bad bit count %d", m)
+	}
+	words := int(m / 64)
+	if len(data) != headerSize+words*8 {
+		return fmt.Errorf("digest: length %d does not match %d bits", len(data), m)
+	}
+	bits := make([]uint64, words)
+	for i := range bits {
+		bits[i] = binary.LittleEndian.Uint64(data[headerSize+i*8:])
+	}
+	f.bits = bits
+	f.m = m
+	f.k = k
+	f.n = 0 // unknown after transfer; only stats are affected
+	return nil
+}
+
+// Decode parses a marshaled filter into a fresh Filter.
+func Decode(data []byte) (*Filter, error) {
+	f := &Filter{}
+	if err := f.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"beyondcache/internal/core"
+	"beyondcache/internal/metrics"
+	"beyondcache/internal/netmodel"
+	"beyondcache/internal/push"
+	"beyondcache/internal/trace"
+)
+
+// AllPoliciesCell is one (policy, model) mean response time.
+type AllPoliciesCell struct {
+	Policy string
+	Model  string
+	Mean   time.Duration
+}
+
+// AllPoliciesResult is the grand comparison: every cache organization in
+// the repository — the paper's systems, its baselines, and the era's
+// alternatives — on the DEC workload under all three cost models.
+type AllPoliciesResult struct {
+	Scale trace.Scale
+	Cells []AllPoliciesCell
+	// Order lists policies fastest-last for the Testbed model.
+	Order []string
+}
+
+// allPolicyVariants lists the organizations compared, roughly slowest
+// first.
+var allPolicyVariants = []struct {
+	label    string
+	policy   core.Policy
+	strategy push.Strategy
+}{
+	{label: "Hierarchy+ICP", policy: core.PolicyHierarchyICP},
+	{label: "Hierarchy", policy: core.PolicyHierarchy},
+	{label: "Directory (CRISP)", policy: core.PolicyDirectory},
+	{label: "Digests (Summary Cache)", policy: core.PolicyDigests},
+	{label: "Hints (paper)", policy: core.PolicyHints},
+	{label: "Client hints (Fig 4b)", policy: core.PolicyClientHints},
+	{label: "Hints + push-all", policy: core.PolicyHintsPush, strategy: push.HierAll},
+	{label: "Push-ideal (bound)", policy: core.PolicyHintsIdeal},
+}
+
+// AllPolicies runs the grand comparison.
+func AllPolicies(o Options) (*AllPoliciesResult, error) {
+	p := trace.DECProfile(o.Scale)
+	r := &AllPoliciesResult{Scale: o.Scale}
+	for _, m := range netmodel.Models() {
+		for _, v := range allPolicyVariants {
+			sys, err := core.NewSystem(core.Config{
+				Policy:       v.policy,
+				PushStrategy: v.strategy,
+				Model:        m,
+				Warmup:       p.Warmup(),
+				Seed:         1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			g, err := trace.NewGenerator(p)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := sys.Run(g)
+			if err != nil {
+				return nil, err
+			}
+			r.Cells = append(r.Cells, AllPoliciesCell{
+				Policy: v.label,
+				Model:  m.Name(),
+				Mean:   rep.MeanResponse,
+			})
+		}
+	}
+	for _, v := range allPolicyVariants {
+		r.Order = append(r.Order, v.label)
+	}
+	return r, nil
+}
+
+// Find returns the cell for (policy label, model name).
+func (r *AllPoliciesResult) Find(policy, model string) (AllPoliciesCell, bool) {
+	for _, c := range r.Cells {
+		if c.Policy == policy && c.Model == model {
+			return c, true
+		}
+	}
+	return AllPoliciesCell{}, false
+}
+
+// Render implements Result.
+func (r *AllPoliciesResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Grand comparison: every cache organization, DEC trace (scale %g)\n", float64(r.Scale))
+	t := metrics.NewTable("Organization", "Max", "Min", "Testbed")
+	for _, label := range r.Order {
+		row := []string{label}
+		for _, mdl := range []string{"Max", "Min", "Testbed"} {
+			if c, ok := r.Find(label, mdl); ok {
+				row = append(row, metrics.Ms(c.Mean))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	sb.WriteString(t.String())
+	sb.WriteString("Top to bottom: multicast queries, the data hierarchy, a central\n" +
+		"directory, Bloom digests, the paper's hints, client-side hints, hints\n" +
+		"with push caching, and the push-ideal lower bound.\n")
+	return sb.String()
+}

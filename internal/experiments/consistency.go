@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"beyondcache/internal/consistency"
+	"beyondcache/internal/metrics"
+	"beyondcache/internal/trace"
+)
+
+// ConsistencyRow is one protocol's measurements.
+type ConsistencyRow struct {
+	Protocol      string
+	TrueHit       float64
+	ApparentHit   float64
+	StaleRate     float64
+	DiscardedGood int64
+	MsgsPerReq    float64
+}
+
+// ConsistencyResult quantifies Section 2.2.1's methodology argument: weak
+// consistency (TTL) distorts hit rates in both directions, polling is
+// accurate but message-expensive, and leases deliver strong semantics at a
+// fraction of poll's cost — which is why the paper's simulations may assume
+// strong consistency without losing realism.
+type ConsistencyResult struct {
+	Scale trace.Scale
+	Trace string
+	Rows  []ConsistencyRow
+}
+
+// Consistency replays the Berkeley workload (the update-heavy one) under
+// each protocol. The TTL is Squid's two days and the lease term one hour,
+// both compressed with the trace clock.
+func Consistency(o Options) (*ConsistencyResult, error) {
+	p := trace.BerkeleyProfile(o.Scale)
+	r := &ConsistencyResult{Scale: o.Scale, Trace: p.Name}
+
+	squidTTL := time.Duration(float64(48*time.Hour) * float64(o.Scale))
+	leaseTerm := time.Duration(float64(time.Hour) * float64(o.Scale))
+	if squidTTL < time.Second {
+		squidTTL = time.Second
+	}
+	if leaseTerm < 100*time.Millisecond {
+		leaseTerm = 100 * time.Millisecond
+	}
+
+	cfgs := []consistency.Config{
+		{Kind: consistency.Strong},
+		{Kind: consistency.TTL, TTL: squidTTL},
+		{Kind: consistency.Poll},
+		{Kind: consistency.Lease, LeaseDuration: leaseTerm},
+	}
+	for _, cfg := range cfgs {
+		s, err := consistency.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		g, err := trace.NewGenerator(p)
+		if err != nil {
+			return nil, err
+		}
+		for {
+			req, err := g.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			s.Process(req)
+		}
+		st := s.Stats()
+		r.Rows = append(r.Rows, ConsistencyRow{
+			Protocol:      cfg.Kind.String(),
+			TrueHit:       st.TrueHitRatio(),
+			ApparentHit:   st.ApparentHitRatio(),
+			StaleRate:     st.StaleRate(),
+			DiscardedGood: st.DiscardedGood,
+			MsgsPerReq:    st.MessagesPerRequest(),
+		})
+	}
+	return r, nil
+}
+
+// Render implements Result.
+func (r *ConsistencyResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Consistency extension (Section 2.2.1), %s trace (scale %g)\n",
+		r.Trace, float64(r.Scale))
+	t := metrics.NewTable("Protocol", "True hit", "Apparent hit", "Stale rate",
+		"Discarded good", "Msgs/req")
+	for _, row := range r.Rows {
+		t.AddRow(row.Protocol,
+			metrics.F3(row.TrueHit),
+			metrics.F3(row.ApparentHit),
+			metrics.F3(row.StaleRate),
+			fmt.Sprintf("%d", row.DiscardedGood),
+			metrics.F3(row.MsgsPerReq))
+	}
+	sb.WriteString(t.String())
+	sb.WriteString("TTL (Squid's 2-day rule) serves stale data and/or discards good data;\n" +
+		"polling never lies but pays a validation on every hit; leases match strong\n" +
+		"consistency at a fraction of the messages — supporting the paper's choice\n" +
+		"to simulate strong consistency.\n")
+	return sb.String()
+}

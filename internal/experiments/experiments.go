@@ -1,0 +1,118 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment has a constructor returning a result object
+// that carries both the structured data (for tests and downstream tooling)
+// and a Render method that prints the same rows/series the paper reports.
+//
+// The experiments run the synthetic workloads of internal/trace at a
+// configurable scale; capacities quoted in the paper (e.g. 5 GB per cache)
+// are scaled by the same factor so that the capacity-to-workload ratio
+// matches the original setup.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"beyondcache/internal/trace"
+)
+
+// Options control experiment scale.
+type Options struct {
+	// Scale is the fraction of the published trace sizes to generate.
+	Scale trace.Scale
+}
+
+// DefaultOptions runs at a scale where the full suite completes in tens of
+// seconds on a laptop.
+func DefaultOptions() Options {
+	return Options{Scale: trace.ScaleSmall}
+}
+
+// scaledBytes scales a capacity quoted for the full-size traces down to the
+// experiment scale, with a floor of 64 KB so tiny scales stay meaningful.
+func scaledBytes(published int64, s trace.Scale) int64 {
+	b := int64(float64(published) * float64(s))
+	if b < 64<<10 {
+		b = 64 << 10
+	}
+	return b
+}
+
+// GB is one gigabyte in bytes.
+const GB = int64(1) << 30
+
+// MB is one megabyte in bytes.
+const MB = int64(1) << 20
+
+// Result is what every experiment returns: a renderable report.
+type Result interface {
+	// Render formats the experiment's rows/series as the paper reports
+	// them.
+	Render() string
+}
+
+// runner produces a Result.
+type runner func(Options) (Result, error)
+
+// registry maps experiment IDs ("fig8", "table5", ...) to runners.
+var registry = map[string]struct {
+	title string
+	run   runner
+}{
+	"fig1":   {"Figure 1: testbed access times vs object size", func(o Options) (Result, error) { return Figure1() }},
+	"table3": {"Table 3: Squid hierarchy performance bounds (Rousskov)", func(o Options) (Result, error) { return Table3() }},
+	"table4": {"Table 4: trace workload characteristics", func(o Options) (Result, error) { return Table4(o) }},
+	"fig4":   {"Figure 4 / Section 3.3: proxy-hint vs client-hint configurations", func(o Options) (Result, error) { return Figure4(o) }},
+	"fig2":   {"Figure 2: miss-class breakdown vs cache size", func(o Options) (Result, error) { return Figure2(o) }},
+	"fig3":   {"Figure 3: hit ratio vs sharing level", func(o Options) (Result, error) { return Figure3(o) }},
+	"fig5":   {"Figure 5: hit rate vs hint-cache size (DEC)", func(o Options) (Result, error) { return Figure5(o) }},
+	"fig6":   {"Figure 6: hit rate vs hint propagation delay (DEC)", func(o Options) (Result, error) { return Figure6(o) }},
+	"table5": {"Table 5: root update load, centralized vs hierarchy (DEC)", func(o Options) (Result, error) { return Table5(o) }},
+	"fig8":   {"Figure 8: response times, hierarchy vs directory vs hints", func(o Options) (Result, error) { return Figure8(o) }},
+	"table6": {"Table 6: hierarchy/hints speedup ratios", func(o Options) (Result, error) { return Table6(o) }},
+	"fig10":  {"Figure 10: push algorithm response times (DEC)", func(o Options) (Result, error) { return Figure10(o) }},
+	"fig11":  {"Figure 11: push efficiency and bandwidth (DEC)", func(o Options) (Result, error) { return Figure11(o) }},
+	"icp":    {"Extension: ICP sibling queries vs hints (Section 3.1.1 quantified)", func(o Options) (Result, error) { return ICP(o) }},
+	"plaxton": {"Extension: Plaxton metadata-tree properties (Section 3.1.3 quantified)",
+		func(o Options) (Result, error) { return Plaxton(o) }},
+	"consistency": {"Extension: consistency protocols (Section 2.2.1 quantified)",
+		func(o Options) (Result, error) { return Consistency(o) }},
+	"replacement": {"Extension: replacement-policy ablation (LRU vs LFU vs SIZE vs GDS)",
+		func(o Options) (Result, error) { return Replacement(o) }},
+	"crawl": {"Extension: crawler prefetch of compulsory misses (Section 4.1 future work)",
+		func(o Options) (Result, error) { return Crawl(o) }},
+	"load": {"Extension: cache utilization sweep (Section 2.1.1 note quantified)",
+		func(o Options) (Result, error) { return Load(o) }},
+	"digests": {"Extension: exact hint records vs Bloom-filter cache digests",
+		func(o Options) (Result, error) { return Digests(o) }},
+	"allpolicies": {"Extension: grand comparison of every cache organization",
+		func(o Options) (Result, error) { return AllPolicies(o) }},
+}
+
+// IDs lists the experiment identifiers in a stable order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Title returns the human-readable title of an experiment.
+func Title(id string) (string, bool) {
+	e, ok := registry[id]
+	if !ok {
+		return "", false
+	}
+	return e.title, true
+}
+
+// Run executes one experiment by ID.
+func Run(id string, o Options) (Result, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return e.run(o)
+}

@@ -1,0 +1,630 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"beyondcache/internal/missclass"
+	"beyondcache/internal/trace"
+)
+
+// tinyOpts keeps experiment tests fast.
+func tinyOpts() Options { return Options{Scale: trace.Scale(0.002)} }
+
+// TestEveryExperimentRunsAndRenders drives each registered experiment
+// through the public Run entry point and checks it renders non-empty
+// output — the path cmd/cachesim exercises.
+func TestEveryExperimentRunsAndRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	opts := Options{Scale: trace.Scale(0.001)}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := res.Render()
+			if len(out) < 40 {
+				t.Errorf("render suspiciously short: %q", out)
+			}
+		})
+	}
+	if DefaultOptions().Scale <= 0 {
+		t.Error("default scale not positive")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 21 {
+		t.Errorf("registry has %d experiments, want 21: %v", len(ids), ids)
+	}
+	for _, id := range ids {
+		title, ok := Title(id)
+		if !ok || title == "" {
+			t.Errorf("experiment %q has no title", id)
+		}
+	}
+	if _, ok := Title("nope"); ok {
+		t.Error("unknown experiment has a title")
+	}
+	if _, err := Run("nope", tinyOpts()); err == nil {
+		t.Error("unknown experiment ran")
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	r, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Sizes) != 10 { // 2KB..1024KB
+		t.Fatalf("swept %d sizes, want 10", len(r.Sizes))
+	}
+	for i := range r.Sizes {
+		a, b := r.PanelA[i], r.PanelB[i]
+		// Within a size: deeper hierarchy paths cost more.
+		if !(a[0] < a[1] && a[1] < a[2] && a[2] < a[3]) {
+			t.Errorf("size %d: panel A not increasing: %v", r.Sizes[i], a)
+		}
+		// Hierarchical L3 access costs more than direct L3 access.
+		if a[2] <= b[2] {
+			t.Errorf("size %d: hierarchy (%v) not slower than direct (%v)", r.Sizes[i], a[2], b[2])
+		}
+		// Larger objects cost more on every path.
+		if i > 0 && r.PanelA[i][3] <= r.PanelA[i-1][3] {
+			t.Errorf("panel A miss time not increasing with size")
+		}
+	}
+	out := r.Render()
+	for _, want := range []string{"Figure 1(a)", "Figure 1(b)", "Figure 1(c)", "2KB", "1024KB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestTable3Render(t *testing.T) {
+	r, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Render()
+	// Spot-check the paper's published values appear.
+	for _, want := range []string{"163ms", "271ms", "531ms", "981ms", "550ms", "641ms", "7217ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 3 render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable4Characteristics(t *testing.T) {
+	r, err := Table4(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Chars) != 3 {
+		t.Fatalf("measured %d traces, want 3", len(r.Chars))
+	}
+	for _, c := range r.Chars {
+		if c.Requests == 0 || c.DistinctObjects == 0 || c.DistinctClients == 0 {
+			t.Errorf("%s: empty characteristics %+v", c.Name, c)
+		}
+		if c.FirstAccessFrac <= 0 || c.FirstAccessFrac >= 1 {
+			t.Errorf("%s: first-access fraction %g", c.Name, c.FirstAccessFrac)
+		}
+	}
+	if !strings.Contains(r.Render(), "DEC") {
+		t.Error("render missing trace name")
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	r, err := Figure2(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range r.Traces {
+		pts := r.Points[name]
+		if len(pts) != len(figure2GBs) {
+			t.Fatalf("%s: %d points, want %d", name, len(pts), len(figure2GBs))
+		}
+		// Capacity misses shrink as the cache grows; compulsory misses
+		// are capacity-independent.
+		first, last := pts[0], pts[len(pts)-1]
+		if last.MissRatio[missclass.Capacity] > first.MissRatio[missclass.Capacity] {
+			t.Errorf("%s: capacity misses grew with cache size", name)
+		}
+		comp0 := first.MissRatio[missclass.Compulsory]
+		compN := last.MissRatio[missclass.Compulsory]
+		if comp0 < 0.5*compN || comp0 > 2*compN {
+			t.Errorf("%s: compulsory rate varies wildly with capacity: %g vs %g", name, comp0, compN)
+		}
+		// For multi-gigabyte caches, capacity misses are minor relative
+		// to compulsory misses (Section 2.2.2).
+		if last.MissRatio[missclass.Capacity] > last.MissRatio[missclass.Compulsory] {
+			t.Errorf("%s: at the largest cache, capacity (%g) > compulsory (%g)",
+				name, last.MissRatio[missclass.Capacity], last.MissRatio[missclass.Compulsory])
+		}
+		if last.TotalMiss <= 0 || last.TotalMiss > 1 {
+			t.Errorf("%s: total miss ratio %g", name, last.TotalMiss)
+		}
+	}
+	if !strings.Contains(r.Render(), "Compulsory") {
+		t.Error("render missing column")
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	r, err := Figure3(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if !(row.HitRatio[0] < row.HitRatio[1] && row.HitRatio[1] < row.HitRatio[2]) {
+			t.Errorf("%s: hit ratio not increasing with sharing: %v", row.Trace, row.HitRatio)
+		}
+	}
+	if !strings.Contains(r.Render(), "L3 hit") {
+		t.Error("render missing column")
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	r, err := Figure4(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != len(figure4ClientMBs) {
+		t.Fatalf("%d points, want %d", len(r.Points), len(figure4ClientMBs))
+	}
+	// Unbounded client tables beat the proxy configuration (skip the L1
+	// hop); tiny tables lose to it (false negatives dominate).
+	inf := r.Points[len(r.Points)-1]
+	if inf.Ratio <= 1.0 {
+		t.Errorf("unbounded client hints ratio = %.2f, want > 1 (paper: ~1.2)", inf.Ratio)
+	}
+	if inf.Ratio > 1.6 {
+		t.Errorf("unbounded client hints ratio = %.2f implausibly high", inf.Ratio)
+	}
+	smallest := r.Points[0]
+	if smallest.Ratio >= 1.0 {
+		t.Errorf("tiny client table ratio = %.2f, want < 1 (false negatives dominate)", smallest.Ratio)
+	}
+	if smallest.FalseNegRate <= inf.FalseNegRate {
+		t.Error("false-negative rate did not fall with table size")
+	}
+	// Client mean response improves monotonically-ish with table size.
+	if r.Points[0].ClientMean < r.Points[len(r.Points)-1].ClientMean {
+		t.Error("bigger client table made things slower")
+	}
+	if !strings.Contains(r.Render(), "Proxy/Client") {
+		t.Error("render missing ratio column")
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	r, err := Figure5(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != len(figure5MBs) {
+		t.Fatalf("%d points, want %d", len(r.Points), len(figure5MBs))
+	}
+	// The unbounded point (last) must dominate every bounded point.
+	inf := r.Points[len(r.Points)-1]
+	for _, pt := range r.Points[:len(r.Points)-1] {
+		if pt.HitRatio > inf.HitRatio+1e-9 {
+			t.Errorf("bounded table (%gMB) beats unbounded: %g > %g",
+				pt.EquivalentMB, pt.HitRatio, inf.HitRatio)
+		}
+	}
+	// Tiny tables must lose reach: the smallest table's hit ratio is
+	// strictly below unbounded, with false negatives recorded.
+	small := r.Points[0]
+	if small.HitRatio >= inf.HitRatio {
+		t.Errorf("smallest table ties unbounded (%g); sweep shows nothing", small.HitRatio)
+	}
+	if small.FalseNegatives == 0 {
+		t.Error("smallest table produced no false negatives")
+	}
+	// Large tables approach the unbounded hit rate (Figure 5's plateau).
+	big := r.Points[len(r.Points)-2]
+	if inf.HitRatio-big.HitRatio > 0.05 {
+		t.Errorf("largest bounded table %g still far from unbounded %g", big.HitRatio, inf.HitRatio)
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	r, err := Figure6(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != len(figure6Delays) {
+		t.Fatalf("%d points, want %d", len(r.Points), len(figure6Delays))
+	}
+	first := r.Points[0]
+	last := r.Points[len(r.Points)-1]
+	if last.HitRatio > first.HitRatio+1e-9 {
+		t.Errorf("hit ratio grew with delay: %g -> %g", first.HitRatio, last.HitRatio)
+	}
+	// A 1000-minute delay must hurt noticeably; a 1-minute delay barely.
+	minute := r.Points[1]
+	if first.HitRatio-minute.HitRatio > 0.05 {
+		t.Errorf("1-minute delay cost %.3f hit ratio; should be minor",
+			first.HitRatio-minute.HitRatio)
+	}
+	if first.HitRatio-last.HitRatio < 0.02 {
+		t.Errorf("1000-minute delay cost only %.3f hit ratio; should be visible",
+			first.HitRatio-last.HitRatio)
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	r, err := Table5(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HierarchyCount == 0 || r.CentralizedCount == 0 {
+		t.Fatal("no update traffic")
+	}
+	if r.Reduction < 1.5 {
+		t.Errorf("filtering reduction = %.2f, want >= 1.5 (paper: ~3)", r.Reduction)
+	}
+	if !strings.Contains(r.Render(), "Centralized") {
+		t.Error("render missing row")
+	}
+}
+
+func TestFigure8AndTable6Shape(t *testing.T) {
+	fig8, err := Figure8(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig8.Cells) != 3*3*2*3 {
+		t.Fatalf("%d cells, want 54", len(fig8.Cells))
+	}
+	// Hints beat the hierarchy in every configuration.
+	for _, tr := range []string{"DEC", "Berkeley", "Prodigy"} {
+		for _, mdl := range []string{"Max", "Min", "Testbed"} {
+			for _, constrained := range []bool{false, true} {
+				hier, ok1 := fig8.Find(tr, mdl, "Hierarchy", constrained)
+				hint, ok2 := fig8.Find(tr, mdl, "Hints", constrained)
+				if !ok1 || !ok2 {
+					t.Fatalf("missing cells for %s/%s", tr, mdl)
+				}
+				if hint.Mean >= hier.Mean {
+					t.Errorf("%s/%s constrained=%v: hints (%v) not faster than hierarchy (%v)",
+						tr, mdl, constrained, hint.Mean, hier.Mean)
+				}
+			}
+		}
+	}
+
+	t6, err := table6From(fig8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tr, byModel := range t6.Speedup {
+		for mdl, sp := range byModel {
+			if sp < 1.1 || sp > 5 {
+				t.Errorf("%s/%s: speedup %.2f outside plausible band (paper: 1.28-2.79)", tr, mdl, sp)
+			}
+		}
+	}
+	if !strings.Contains(t6.Render(), "Paper reports") {
+		t.Error("table 6 render missing reference line")
+	}
+}
+
+func TestICPShape(t *testing.T) {
+	r, err := ICP(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// Hints beat both hierarchy variants under every model.
+		if row.Hints >= row.Hierarchy || row.Hints >= row.ICP {
+			t.Errorf("%s: hints (%v) not fastest (hier %v, icp %v)",
+				row.Model, row.Hints, row.Hierarchy, row.ICP)
+		}
+		if row.MissPenalty <= 0 {
+			t.Errorf("%s: zero miss penalty", row.Model)
+		}
+	}
+	if !strings.Contains(r.Render(), "Hierarchy+ICP") {
+		t.Error("render missing column")
+	}
+}
+
+func TestPlaxtonShape(t *testing.T) {
+	r, err := Plaxton(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// Load distribution: far below the fixed hierarchy's 1.0.
+		if row.MaxRootShare >= 0.3 {
+			t.Errorf("arity %d: max root share %.3f, want well below fixed-root 1.0",
+				row.Arity, row.MaxRootShare)
+		}
+		// Locality: low-level parents no farther than top-level ones.
+		if row.Level0Dist > row.TopDist {
+			t.Errorf("arity %d: level-0 parent distance %.2f > top %.2f",
+				row.Arity, row.Level0Dist, row.TopDist)
+		}
+		if row.MeanPathLen < 1 {
+			t.Errorf("arity %d: mean path length %.2f < 1", row.Arity, row.MeanPathLen)
+		}
+	}
+	// Wider trees are flatter.
+	if r.Rows[0].MeanPathLen < r.Rows[len(r.Rows)-1].MeanPathLen {
+		t.Error("path length did not shrink with arity")
+	}
+	// Trace-driven load: the Plaxton fabric spreads metadata far better
+	// than the fixed hierarchy's single root.
+	if r.TraceLoad.Updates == 0 || r.TraceLoad.TotalReceived == 0 {
+		t.Fatal("no trace-driven metadata traffic recorded")
+	}
+	if r.TraceLoad.MaxShare >= r.FixedMaxShare {
+		t.Errorf("plaxton busiest-node share %.3f not below fixed hierarchy's %.3f",
+			r.TraceLoad.MaxShare, r.FixedMaxShare)
+	}
+	if r.TraceLoad.MeanHops <= 0 {
+		t.Error("zero mean hops")
+	}
+}
+
+func TestReplacementShape(t *testing.T) {
+	r, err := Replacement(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3*4 {
+		t.Fatalf("%d rows, want 12", len(r.Rows))
+	}
+	byKey := map[string]ReplacementRow{}
+	for _, row := range r.Rows {
+		byKey[row.Trace+"/"+row.Policy] = row
+		if row.HitRatio < 0 || row.HitRatio > 1 || row.ByteHit < 0 || row.ByteHit > 1 {
+			t.Errorf("%s/%s: ratios out of range: %+v", row.Trace, row.Policy, row)
+		}
+	}
+	// The classic result: GreedyDual-Size matches or beats LRU on
+	// per-request hit ratio for every trace.
+	for _, tr := range []string{"DEC", "Berkeley", "Prodigy"} {
+		lru := byKey[tr+"/LRU"]
+		gds := byKey[tr+"/GreedyDual-Size"]
+		if gds.HitRatio < lru.HitRatio-0.01 {
+			t.Errorf("%s: GDS hit ratio %.3f below LRU %.3f", tr, gds.HitRatio, lru.HitRatio)
+		}
+	}
+	if !strings.Contains(r.Render(), "GreedyDual-Size") {
+		t.Error("render missing policy")
+	}
+}
+
+func TestAllPoliciesShape(t *testing.T) {
+	r, err := AllPolicies(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cells) != 3*len(r.Order) {
+		t.Fatalf("%d cells, want %d", len(r.Cells), 3*len(r.Order))
+	}
+	for _, mdl := range []string{"Max", "Min", "Testbed"} {
+		hier, _ := r.Find("Hierarchy", mdl)
+		hints, _ := r.Find("Hints (paper)", mdl)
+		ideal, _ := r.Find("Push-ideal (bound)", mdl)
+		icp, _ := r.Find("Hierarchy+ICP", mdl)
+		if hier.Mean == 0 || hints.Mean == 0 || ideal.Mean == 0 {
+			t.Fatalf("%s: missing cells", mdl)
+		}
+		// The anchors of the ordering: ideal <= hints < hierarchy <= ICP.
+		if !(ideal.Mean <= hints.Mean && hints.Mean < hier.Mean && hier.Mean <= icp.Mean) {
+			t.Errorf("%s: ordering broken: ideal %v, hints %v, hier %v, icp %v",
+				mdl, ideal.Mean, hints.Mean, hier.Mean, icp.Mean)
+		}
+	}
+	if !strings.Contains(r.Render(), "Grand comparison") {
+		t.Error("render missing title")
+	}
+}
+
+func TestDigestsShape(t *testing.T) {
+	r, err := Digests(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(r.Rows))
+	}
+	exact := r.Rows[0]
+	if exact.FalsePos != 0 || exact.FalseNeg != 0 {
+		t.Errorf("exact hints produced false pos/neg: %+v", exact)
+	}
+	for _, row := range r.Rows[1:] {
+		// Digests spend far less metadata...
+		if row.BytesPerNode >= exact.BytesPerNode {
+			t.Errorf("%s: metadata %d not below exact %d", row.Scheme, row.BytesPerNode, exact.BytesPerNode)
+		}
+		// ...and never miss what exists (no false negatives)...
+		if row.FalseNeg != 0 {
+			t.Errorf("%s: digest false negatives %d", row.Scheme, row.FalseNeg)
+		}
+		// ...but pay wasted probes.
+		if row.FalsePos == 0 {
+			t.Errorf("%s: no false positives; staleness not modeled?", row.Scheme)
+		}
+		// Latency stays in the same neighborhood as exact hints.
+		if float64(row.Mean) > 1.25*float64(exact.Mean) {
+			t.Errorf("%s: mean %v far above exact %v", row.Scheme, row.Mean, exact.Mean)
+		}
+	}
+	// More bits per entry means fewer hash false positives.
+	if r.Rows[1].FalsePos < r.Rows[3].FalsePos {
+		t.Errorf("false positives did not fall with bits/entry: %d -> %d",
+			r.Rows[1].FalsePos, r.Rows[3].FalsePos)
+	}
+	if !strings.Contains(r.Render(), "Metadata/node") {
+		t.Error("render missing column")
+	}
+}
+
+func TestLoadShape(t *testing.T) {
+	r, err := Load(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(r.Rows))
+	}
+	for i := 1; i < len(r.Rows); i++ {
+		prev, cur := r.Rows[i-1], r.Rows[i]
+		// Load slows everyone down...
+		if cur.Hierarchy <= prev.Hierarchy || cur.Hints <= prev.Hints {
+			t.Errorf("rho %.1f: response did not grow with load", cur.Rho)
+		}
+		// ...and widens the hint architecture's absolute lead.
+		if cur.Gap <= prev.Gap {
+			t.Errorf("rho %.1f: absolute gap shrank (%v -> %v)", cur.Rho, prev.Gap, cur.Gap)
+		}
+		// Hints always win.
+		if cur.Speedup <= 1 {
+			t.Errorf("rho %.1f: speedup %.2f <= 1", cur.Rho, cur.Speedup)
+		}
+	}
+	if !strings.Contains(r.Render(), "Utilization") {
+		t.Error("render missing column")
+	}
+}
+
+func TestCrawlShape(t *testing.T) {
+	r, err := Crawl(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(r.Rows))
+	}
+	base := r.Rows[0]
+	if base.Fanout != 0 || base.Efficiency != 0 {
+		t.Fatalf("first row should be the no-crawler baseline: %+v", base)
+	}
+	widest := r.Rows[len(r.Rows)-1]
+	if widest.MissFrac >= base.MissFrac {
+		t.Errorf("crawling did not reduce misses: %.3f -> %.3f", base.MissFrac, widest.MissFrac)
+	}
+	if widest.Mean >= base.Mean {
+		t.Errorf("crawling did not improve response time: %v -> %v", base.Mean, widest.Mean)
+	}
+	if widest.PrefetchKBs <= r.Rows[1].PrefetchKBs {
+		t.Error("wider fanout did not cost more bandwidth")
+	}
+	if !strings.Contains(r.Render(), "Fanout") {
+		t.Error("render missing column")
+	}
+}
+
+func TestConsistencyShape(t *testing.T) {
+	r, err := Consistency(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(r.Rows))
+	}
+	byName := map[string]ConsistencyRow{}
+	for _, row := range r.Rows {
+		byName[row.Protocol] = row
+	}
+	strong := byName["Strong (invalidate)"]
+	ttl := byName["TTL"]
+	poll := byName["Poll every access"]
+	lease := byName["Leases"]
+	// Strong, poll, and leases never serve stale data.
+	for _, row := range []ConsistencyRow{strong, poll, lease} {
+		if row.StaleRate != 0 {
+			t.Errorf("%s served stale data (rate %.3f)", row.Protocol, row.StaleRate)
+		}
+	}
+	// TTL distorts: stale hits and/or discarded-good.
+	if ttl.StaleRate == 0 && ttl.DiscardedGood == 0 {
+		t.Error("TTL showed no distortion")
+	}
+	// Leases cost fewer messages than polling.
+	if lease.MsgsPerReq >= poll.MsgsPerReq {
+		t.Errorf("leases (%.3f msgs/req) not cheaper than poll (%.3f)",
+			lease.MsgsPerReq, poll.MsgsPerReq)
+	}
+	if !strings.Contains(r.Render(), "Msgs/req") {
+		t.Error("render missing column")
+	}
+}
+
+func TestFigure10And11Shape(t *testing.T) {
+	fig10, err := Figure10(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mdl := range []string{"Max", "Min", "Testbed"} {
+		hier, _ := fig10.Find(mdl, "Hierarchy")
+		hints, _ := fig10.Find(mdl, "Hints")
+		ideal, _ := fig10.Find(mdl, "Push-ideal")
+		pushAll, _ := fig10.Find(mdl, "Push-all")
+		if hier.Mean == 0 || hints.Mean == 0 || ideal.Mean == 0 || pushAll.Mean == 0 {
+			t.Fatalf("%s: missing cells", mdl)
+		}
+		if !(ideal.Mean <= pushAll.Mean) {
+			t.Errorf("%s: ideal (%v) not <= push-all (%v)", mdl, ideal.Mean, pushAll.Mean)
+		}
+		if !(pushAll.Mean <= hints.Mean) {
+			t.Errorf("%s: push-all (%v) not <= hints (%v)", mdl, pushAll.Mean, hints.Mean)
+		}
+		if !(hints.Mean < hier.Mean) {
+			t.Errorf("%s: hints (%v) not < hierarchy (%v)", mdl, hints.Mean, hier.Mean)
+		}
+	}
+
+	fig11, err := figure11From(fig10, tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig11.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(fig11.Rows))
+	}
+	var update, pushAll Figure11Row
+	for _, row := range fig11.Rows {
+		if row.Efficiency < 0 || row.Efficiency > 1 {
+			t.Errorf("%s: efficiency %g outside [0,1]", row.Algorithm, row.Efficiency)
+		}
+		switch row.Algorithm {
+		case "Update Push":
+			update = row
+		case "Push-all":
+			pushAll = row
+		}
+	}
+	// Update push is the selective algorithm: more efficient but less
+	// bandwidth-hungry than push-all (Figure 11's shape).
+	if pushAll.Efficiency > 0 && update.Efficiency > 0 && update.Efficiency < pushAll.Efficiency {
+		t.Errorf("update push efficiency (%g) below push-all (%g); selectivity lost",
+			update.Efficiency, pushAll.Efficiency)
+	}
+	if pushAll.PushRate <= update.PushRate {
+		t.Errorf("push-all bandwidth (%g) not above update push (%g)",
+			pushAll.PushRate, update.PushRate)
+	}
+}

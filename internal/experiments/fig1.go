@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"beyondcache/internal/metrics"
+	"beyondcache/internal/netmodel"
+)
+
+// Figure1Result reproduces the three panels of Figure 1: access time versus
+// object size for (a) the full hierarchy path, (b) direct accesses, and
+// (c) accesses through the L1 proxy, under the testbed cost model.
+type Figure1Result struct {
+	// Sizes are the object sizes swept (bytes), 2 KB to 1 MB as in the
+	// paper.
+	Sizes []int64
+	// PanelA[i] is {CLN-L1, CLN-L1-L2, CLN-L1-L2-L3, CLN-L1-L2-L3-SRV}
+	// at Sizes[i].
+	PanelA [][4]time.Duration
+	// PanelB[i] is {CLN-L1, CLN-L2, CLN-L3, CLN-SRV} at Sizes[i].
+	PanelB [][4]time.Duration
+	// PanelC[i] is {CLN-L1, CLN-L1-L2, CLN-L1-L3, CLN-L1-SRV} at
+	// Sizes[i].
+	PanelC [][4]time.Duration
+}
+
+// Figure1 computes the three panels from the testbed model.
+func Figure1() (*Figure1Result, error) {
+	m := netmodel.NewTestbed()
+	r := &Figure1Result{}
+	for kb := int64(2); kb <= 1024; kb *= 2 {
+		size := kb << 10
+		r.Sizes = append(r.Sizes, size)
+		r.PanelA = append(r.PanelA, [4]time.Duration{
+			m.HierHit(netmodel.L1, size),
+			m.HierHit(netmodel.L2, size),
+			m.HierHit(netmodel.L3, size),
+			m.HierMiss(size),
+		})
+		r.PanelB = append(r.PanelB, [4]time.Duration{
+			m.DirectHit(netmodel.L1, size),
+			m.DirectHit(netmodel.L2, size),
+			m.DirectHit(netmodel.L3, size),
+			m.DirectMiss(size),
+		})
+		r.PanelC = append(r.PanelC, [4]time.Duration{
+			m.ViaL1Hit(netmodel.L1, size),
+			m.ViaL1Hit(netmodel.L2, size),
+			m.ViaL1Hit(netmodel.L3, size),
+			m.ViaL1Miss(size),
+		})
+	}
+	return r, nil
+}
+
+// Render implements Result.
+func (r *Figure1Result) Render() string {
+	var sb strings.Builder
+	panel := func(name string, cols [4]string, data [][4]time.Duration) {
+		fmt.Fprintf(&sb, "Figure 1(%s): response time (ms) vs object size, testbed model\n", name)
+		t := metrics.NewTable("Size", cols[0], cols[1], cols[2], cols[3])
+		for i, size := range r.Sizes {
+			t.AddRow(fmt.Sprintf("%dKB", size>>10),
+				metrics.Ms(data[i][0]), metrics.Ms(data[i][1]),
+				metrics.Ms(data[i][2]), metrics.Ms(data[i][3]))
+		}
+		sb.WriteString(t.String())
+		sb.WriteString("\n")
+	}
+	panel("a", [4]string{"CLN-L1", "CLN-L1-L2", "CLN-L1-L2-L3", "CLN-..-SRV"}, r.PanelA)
+	panel("b", [4]string{"CLN-L1", "CLN-L2", "CLN-L3", "CLN-SRV"}, r.PanelB)
+	panel("c", [4]string{"CLN-L1", "CLN-L1-L2", "CLN-L1-L3", "CLN-L1-SRV"}, r.PanelC)
+	return sb.String()
+}
+
+// Table3Result prints the Rousskov-derived bounds exactly as Table 3 does.
+type Table3Result struct {
+	// Rows are [level][column] durations: columns are hierarchical,
+	// direct, via-L1 for min and max models; levels are leaf,
+	// intermediate, root, miss.
+	MinHier, MaxHier, MinDirect, MaxDirect, MinVia, MaxVia [4]time.Duration
+}
+
+// Table3 evaluates the Rousskov models at each level.
+func Table3() (*Table3Result, error) {
+	min := netmodel.NewRousskovMin()
+	max := netmodel.NewRousskovMax()
+	r := &Table3Result{}
+	for i, lvl := range []netmodel.Level{netmodel.L1, netmodel.L2, netmodel.L3} {
+		r.MinHier[i] = min.HierHit(lvl, 0)
+		r.MaxHier[i] = max.HierHit(lvl, 0)
+		r.MinDirect[i] = min.DirectHit(lvl, 0)
+		r.MaxDirect[i] = max.DirectHit(lvl, 0)
+		r.MinVia[i] = min.ViaL1Hit(lvl, 0)
+		r.MaxVia[i] = max.ViaL1Hit(lvl, 0)
+	}
+	r.MinHier[3] = min.HierMiss(0)
+	r.MaxHier[3] = max.HierMiss(0)
+	r.MinDirect[3] = min.DirectMiss(0)
+	r.MaxDirect[3] = max.DirectMiss(0)
+	r.MinVia[3] = min.ViaL1Miss(0)
+	r.MaxVia[3] = max.ViaL1Miss(0)
+	return r, nil
+}
+
+// Render implements Result.
+func (r *Table3Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Table 3: Squid cache hierarchy performance (Rousskov-derived)\n")
+	t := metrics.NewTable("Level",
+		"Hier min", "Hier max",
+		"Direct min", "Direct max",
+		"ViaL1 min", "ViaL1 max")
+	names := []string{"Leaf", "Intermediate", "Root", "Miss"}
+	for i, name := range names {
+		t.AddRow(name,
+			metrics.Ms(r.MinHier[i]), metrics.Ms(r.MaxHier[i]),
+			metrics.Ms(r.MinDirect[i]), metrics.Ms(r.MaxDirect[i]),
+			metrics.Ms(r.MinVia[i]), metrics.Ms(r.MaxVia[i]))
+	}
+	sb.WriteString(t.String())
+	return sb.String()
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"beyondcache/internal/metrics"
+	"beyondcache/internal/missclass"
+	"beyondcache/internal/trace"
+)
+
+// Table4Result reports the generated traces' characteristics alongside the
+// published ones (Table 4).
+type Table4Result struct {
+	Scale trace.Scale
+	Chars []trace.Characteristics
+}
+
+// Table4 measures the synthetic traces.
+func Table4(o Options) (*Table4Result, error) {
+	r := &Table4Result{Scale: o.Scale}
+	for _, p := range trace.Profiles(o.Scale) {
+		g, err := trace.NewGenerator(p)
+		if err != nil {
+			return nil, err
+		}
+		c, err := trace.Measure(p.Name, p.Days, g)
+		if err != nil {
+			return nil, err
+		}
+		r.Chars = append(r.Chars, c)
+	}
+	return r, nil
+}
+
+// Render implements Result.
+func (r *Table4Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 4: trace characteristics (synthetic, scale %g of published size)\n", float64(r.Scale))
+	t := metrics.NewTable("Trace", "Clients", "Accesses", "Distinct URLs",
+		"Days", "First-access", "Uncachable", "Error", "Mean size")
+	for _, c := range r.Chars {
+		t.AddRow(c.Name,
+			fmt.Sprintf("%d", c.DistinctClients),
+			fmt.Sprintf("%d", c.Requests),
+			fmt.Sprintf("%d", c.DistinctObjects),
+			fmt.Sprintf("%g", c.Days),
+			metrics.F3(c.FirstAccessFrac),
+			metrics.F3(c.UncachableFrac),
+			metrics.F3(c.ErrorFrac),
+			fmt.Sprintf("%dB", c.MeanSize))
+	}
+	sb.WriteString(t.String())
+	return sb.String()
+}
+
+// Figure2Point is one cache size in the Figure 2 sweep.
+type Figure2Point struct {
+	// CacheBytes is the global cache capacity (scaled).
+	CacheBytes int64
+	// EquivalentGB is the capacity expressed in full-scale gigabytes.
+	EquivalentGB float64
+	// MissRatio and ByteMissRatio per miss kind, plus totals.
+	MissRatio     map[missclass.Kind]float64
+	ByteMissRatio map[missclass.Kind]float64
+	TotalMiss     float64
+}
+
+// Figure2Result is the per-trace miss-class breakdown versus cache size.
+type Figure2Result struct {
+	Scale  trace.Scale
+	Traces []string
+	// Points[trace] is the sweep for that trace.
+	Points map[string][]Figure2Point
+}
+
+// figure2GBs is the swept capacity grid in full-scale gigabytes
+// (Figure 2's x axis runs to 35 GB).
+var figure2GBs = []float64{0.5, 1, 2, 4, 8, 16, 32}
+
+// Figure2 replays each trace through a single shared cache per capacity
+// point, classifying every miss.
+func Figure2(o Options) (*Figure2Result, error) {
+	r := &Figure2Result{
+		Scale:  o.Scale,
+		Points: make(map[string][]Figure2Point),
+	}
+	for _, p := range trace.Profiles(o.Scale) {
+		r.Traces = append(r.Traces, p.Name)
+		for _, gb := range figure2GBs {
+			capBytes := scaledBytes(int64(gb*float64(GB)), o.Scale)
+			pt, err := figure2Point(p, capBytes, gb)
+			if err != nil {
+				return nil, err
+			}
+			r.Points[p.Name] = append(r.Points[p.Name], pt)
+		}
+	}
+	return r, nil
+}
+
+func figure2Point(p trace.Profile, capBytes int64, gb float64) (Figure2Point, error) {
+	g, err := trace.NewGenerator(p)
+	if err != nil {
+		return Figure2Point{}, err
+	}
+	cl := missclass.NewClassifier(capBytes)
+	warm := p.Warmup()
+	warmed := false
+	for {
+		req, err := g.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Figure2Point{}, err
+		}
+		if !warmed && req.Time >= warm {
+			cl.Reset()
+			warmed = true
+		}
+		cl.Observe(req)
+	}
+	counts := cl.Counts()
+	pt := Figure2Point{
+		CacheBytes:    capBytes,
+		EquivalentGB:  gb,
+		MissRatio:     make(map[missclass.Kind]float64),
+		ByteMissRatio: make(map[missclass.Kind]float64),
+		TotalMiss:     counts.TotalMissRatio(),
+	}
+	for _, k := range missclass.MissKinds() {
+		pt.MissRatio[k] = counts.MissRatio(k)
+		pt.ByteMissRatio[k] = counts.ByteMissRatio(k)
+	}
+	return pt, nil
+}
+
+// Render implements Result.
+func (r *Figure2Result) Render() string {
+	var sb strings.Builder
+	for _, name := range r.Traces {
+		fmt.Fprintf(&sb, "Figure 2 (%s): miss ratios vs global cache size (scale %g)\n",
+			name, float64(r.Scale))
+		t := metrics.NewTable("Cache", "Total", "Compulsory", "Capacity",
+			"Communication", "Error", "Uncachable")
+		for _, pt := range r.Points[name] {
+			t.AddRow(fmt.Sprintf("%gGB", pt.EquivalentGB),
+				metrics.F3(pt.TotalMiss),
+				metrics.F3(pt.MissRatio[missclass.Compulsory]),
+				metrics.F3(pt.MissRatio[missclass.Capacity]),
+				metrics.F3(pt.MissRatio[missclass.Communication]),
+				metrics.F3(pt.MissRatio[missclass.Error]),
+				metrics.F3(pt.MissRatio[missclass.Uncachable]))
+		}
+		sb.WriteString(t.String())
+		fmt.Fprintf(&sb, "Figure 2 (%s): byte miss ratios\n", name)
+		bt := metrics.NewTable("Cache", "Compulsory", "Capacity", "Communication")
+		for _, pt := range r.Points[name] {
+			bt.AddRow(fmt.Sprintf("%gGB", pt.EquivalentGB),
+				metrics.F3(pt.ByteMissRatio[missclass.Compulsory]),
+				metrics.F3(pt.ByteMissRatio[missclass.Capacity]),
+				metrics.F3(pt.ByteMissRatio[missclass.Communication]))
+		}
+		sb.WriteString(bt.String())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"beyondcache/internal/hierarchy"
+	"beyondcache/internal/metrics"
+	"beyondcache/internal/netmodel"
+	"beyondcache/internal/sim"
+	"beyondcache/internal/trace"
+)
+
+// Figure3Row is one trace's hit ratios at each sharing level.
+type Figure3Row struct {
+	Trace        string
+	HitRatio     [3]float64 // L1 (256 clients), L2 (2048), L3 (all)
+	ByteHitRatio [3]float64
+}
+
+// Figure3Result reproduces Figure 3: per-read and per-byte hit rates within
+// infinite L1/L2/L3 caches as sharing widens.
+type Figure3Result struct {
+	Scale trace.Scale
+	Rows  []Figure3Row
+}
+
+// Figure3 replays each trace through the infinite three-level hierarchy.
+func Figure3(o Options) (*Figure3Result, error) {
+	r := &Figure3Result{Scale: o.Scale}
+	for _, p := range trace.Profiles(o.Scale) {
+		h, err := hierarchy.New(hierarchy.Config{
+			Model:  netmodel.NewTestbed(),
+			Warmup: p.Warmup(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		g, err := trace.NewGenerator(p)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sim.Run(g, h); err != nil {
+			return nil, err
+		}
+		row := Figure3Row{Trace: p.Name}
+		for i, lvl := range []netmodel.Level{netmodel.L1, netmodel.L2, netmodel.L3} {
+			row.HitRatio[i] = h.HitRatio(lvl)
+			row.ByteHitRatio[i] = h.ByteHitRatio(lvl)
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	return r, nil
+}
+
+// Render implements Result.
+func (r *Figure3Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 3: hit ratio vs sharing level, infinite caches (scale %g)\n", float64(r.Scale))
+	t := metrics.NewTable("Trace", "L1 hit", "L2 hit", "L3 hit",
+		"L1 byte", "L2 byte", "L3 byte")
+	for _, row := range r.Rows {
+		t.AddRow(row.Trace,
+			metrics.F3(row.HitRatio[0]), metrics.F3(row.HitRatio[1]), metrics.F3(row.HitRatio[2]),
+			metrics.F3(row.ByteHitRatio[0]), metrics.F3(row.ByteHitRatio[1]), metrics.F3(row.ByteHitRatio[2]))
+	}
+	sb.WriteString(t.String())
+	return sb.String()
+}

@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"beyondcache/internal/hintcache"
+	"beyondcache/internal/hints"
+	"beyondcache/internal/metrics"
+	"beyondcache/internal/netmodel"
+	"beyondcache/internal/sim"
+	"beyondcache/internal/trace"
+)
+
+// Figure5Point is one hint-cache size in the sweep.
+type Figure5Point struct {
+	// Entries is the hint table's entry count (0 = unbounded).
+	Entries int
+	// EquivalentMB is the table size in full-scale megabytes (16-byte
+	// records).
+	EquivalentMB float64
+	// HitRatio is the global hit rate achieved.
+	HitRatio float64
+	// LocalHitRatio is the local-only component.
+	LocalHitRatio float64
+	// FalseNegatives counts misses caused purely by hint-table eviction.
+	FalseNegatives int64
+}
+
+// Figure5Result reproduces Figure 5: global hit rate as a function of
+// hint-cache size for the DEC workload (groups of 256 clients per infinite
+// proxy cache).
+type Figure5Result struct {
+	Scale  trace.Scale
+	Points []Figure5Point
+}
+
+// figure5MBs is the swept hint-table size grid in full-scale megabytes
+// (Figure 5's x axis runs 0.1 MB to infinite).
+var figure5MBs = []float64{0.1, 0.5, 1, 5, 10, 50, 100, 0}
+
+// Figure5 sweeps the hint-table size.
+func Figure5(o Options) (*Figure5Result, error) {
+	p := trace.DECProfile(o.Scale)
+	r := &Figure5Result{Scale: o.Scale}
+	for _, mb := range figure5MBs {
+		entries := 0
+		if mb > 0 {
+			// Scale the table with the workload, but without the
+			// general capacity floor: the sweep's whole point is
+			// tables too small to index the population.
+			bytes := int64(mb * float64(MB) * float64(o.Scale))
+			if bytes < 4*hintcache.RecordSize {
+				bytes = 4 * hintcache.RecordSize
+			}
+			entries = hintcache.EntriesForBytes(bytes)
+		}
+		h, err := hints.New(hints.Config{
+			Model:       netmodel.NewTestbed(),
+			HintEntries: entries,
+			Warmup:      p.Warmup(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		g, err := trace.NewGenerator(p)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sim.Run(g, h); err != nil {
+			return nil, err
+		}
+		r.Points = append(r.Points, Figure5Point{
+			Entries:        entries,
+			EquivalentMB:   mb,
+			HitRatio:       h.HitRatio(),
+			LocalHitRatio:  h.LocalHitRatio(),
+			FalseNegatives: h.FalseNegatives(),
+		})
+	}
+	return r, nil
+}
+
+// Render implements Result.
+func (r *Figure5Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 5: hit rate vs hint-cache size, DEC trace (scale %g)\n", float64(r.Scale))
+	t := metrics.NewTable("Hint cache", "Entries", "Hit ratio", "Local-only", "False negatives")
+	for _, pt := range r.Points {
+		label := "Inf"
+		if pt.EquivalentMB > 0 {
+			label = fmt.Sprintf("%gMB", pt.EquivalentMB)
+		}
+		t.AddRow(label,
+			fmt.Sprintf("%d", pt.Entries),
+			metrics.F3(pt.HitRatio),
+			metrics.F3(pt.LocalHitRatio),
+			fmt.Sprintf("%d", pt.FalseNegatives))
+	}
+	sb.WriteString(t.String())
+	return sb.String()
+}
+
+// Figure6Point is one propagation delay in the sweep.
+type Figure6Point struct {
+	Delay          time.Duration
+	HitRatio       float64
+	FalsePositives int64
+}
+
+// Figure6Result reproduces Figure 6: global hit rate as a function of the
+// hint-propagation delay, DEC trace.
+type Figure6Result struct {
+	Scale  trace.Scale
+	Points []Figure6Point
+}
+
+// figure6Delays mirrors Figure 6's x axis (minutes, log scale).
+var figure6Delays = []time.Duration{
+	0,
+	time.Minute,
+	10 * time.Minute,
+	100 * time.Minute,
+	1000 * time.Minute,
+}
+
+// Figure6 sweeps the propagation delay.
+func Figure6(o Options) (*Figure6Result, error) {
+	p := trace.DECProfile(o.Scale)
+	r := &Figure6Result{Scale: o.Scale}
+	for _, d := range figure6Delays {
+		h, err := hints.New(hints.Config{
+			Model:            netmodel.NewTestbed(),
+			PropagationDelay: d,
+			Warmup:           p.Warmup(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		g, err := trace.NewGenerator(p)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sim.Run(g, h); err != nil {
+			return nil, err
+		}
+		r.Points = append(r.Points, Figure6Point{
+			Delay:          d,
+			HitRatio:       h.HitRatio(),
+			FalsePositives: h.FalsePositives(),
+		})
+	}
+	return r, nil
+}
+
+// Render implements Result.
+func (r *Figure6Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 6: hit rate vs hint propagation delay, DEC trace (scale %g)\n", float64(r.Scale))
+	t := metrics.NewTable("Delay", "Hit ratio", "False positives")
+	for _, pt := range r.Points {
+		t.AddRow(fmt.Sprintf("%gmin", pt.Delay.Minutes()),
+			metrics.F3(pt.HitRatio),
+			fmt.Sprintf("%d", pt.FalsePositives))
+	}
+	sb.WriteString(t.String())
+	return sb.String()
+}
+
+// Table5Result reproduces Table 5: the average hint-update load at the root
+// of the metadata hierarchy versus a centralized directory.
+type Table5Result struct {
+	Scale trace.Scale
+	// Rates are updates/second of virtual trace time.
+	HierarchyRate   float64
+	CentralizedRate float64
+	// Counts are the raw update totals.
+	HierarchyCount   int64
+	CentralizedCount int64
+	// Reduction is centralized/hierarchy.
+	Reduction float64
+}
+
+// Table5 replays DEC through the hint simulator with space-constrained
+// caches (updates require evictions as well as adds) and reads the
+// filtering counters.
+func Table5(o Options) (*Table5Result, error) {
+	p := trace.DECProfile(o.Scale)
+	h, err := hints.New(hints.Config{
+		Model:      netmodel.NewTestbed(),
+		L1Capacity: scaledBytes(5*GB, o.Scale),
+		Warmup:     p.Warmup(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	g, err := trace.NewGenerator(p)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sim.Run(g, h); err != nil {
+		return nil, err
+	}
+	r := &Table5Result{
+		Scale:            o.Scale,
+		HierarchyCount:   h.RootUpdates(),
+		CentralizedCount: h.CentralUpdates(),
+		HierarchyRate:    h.UpdateRate(h.RootUpdates()),
+		CentralizedRate:  h.UpdateRate(h.CentralUpdates()),
+	}
+	if r.HierarchyCount > 0 {
+		r.Reduction = float64(r.CentralizedCount) / float64(r.HierarchyCount)
+	}
+	return r, nil
+}
+
+// Render implements Result.
+func (r *Table5Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 5: hint updates reaching the root, DEC trace (scale %g)\n", float64(r.Scale))
+	t := metrics.NewTable("Organization", "Updates", "Avg rate (upd/s)")
+	t.AddRow("Centralized directory", fmt.Sprintf("%d", r.CentralizedCount), metrics.F2(r.CentralizedRate))
+	t.AddRow("Hierarchy", fmt.Sprintf("%d", r.HierarchyCount), metrics.F2(r.HierarchyRate))
+	sb.WriteString(t.String())
+	fmt.Fprintf(&sb, "Reduction: %.2fx (paper: 5.7 vs 1.9 upd/s = 3.0x)\n", r.Reduction)
+	return sb.String()
+}

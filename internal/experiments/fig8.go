@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"beyondcache/internal/core"
+	"beyondcache/internal/hintcache"
+	"beyondcache/internal/metrics"
+	"beyondcache/internal/netmodel"
+	"beyondcache/internal/trace"
+)
+
+// Figure8Cell is one bar of Figure 8: a (trace, model, policy, config)
+// mean response time.
+type Figure8Cell struct {
+	Trace       string
+	Model       string
+	Policy      string
+	Constrained bool
+	Mean        time.Duration
+	HitRatio    float64
+}
+
+// Figure8Result holds all bars of Figure 8 (a: infinite disk, b: space
+// constrained).
+type Figure8Result struct {
+	Scale trace.Scale
+	Cells []Figure8Cell
+}
+
+// figure8Policies are the three systems compared, in bar order.
+var figure8Policies = []core.Policy{core.PolicyHierarchy, core.PolicyDirectory, core.PolicyHints}
+
+// Figure8 runs the full 3 traces x 3 models x 2 configs x 3 policies grid.
+func Figure8(o Options) (*Figure8Result, error) {
+	r := &Figure8Result{Scale: o.Scale}
+	for _, p := range trace.Profiles(o.Scale) {
+		for _, m := range netmodel.Models() {
+			for _, constrained := range []bool{false, true} {
+				for _, pol := range figure8Policies {
+					cell, err := figure8Cell(o, p, m, pol, constrained)
+					if err != nil {
+						return nil, err
+					}
+					r.Cells = append(r.Cells, cell)
+				}
+			}
+		}
+	}
+	return r, nil
+}
+
+// figure8Cell runs one bar. In the space-constrained configuration each
+// node of the traditional hierarchy gets 5 GB for objects, while hint-
+// architecture L1s get 4.5 GB for objects plus a 500 MB hint table — the
+// paper's arrangement, which gives the hierarchy strictly more object
+// space.
+func figure8Cell(o Options, p trace.Profile, m netmodel.Model, pol core.Policy, constrained bool) (Figure8Cell, error) {
+	cfg := core.Config{
+		Policy: pol,
+		Model:  m,
+		Warmup: p.Warmup(),
+	}
+	if constrained {
+		if pol == core.PolicyHierarchy {
+			cfg.L1Capacity = scaledBytes(5*GB, o.Scale)
+			cfg.L2Capacity = scaledBytes(5*GB, o.Scale)
+			cfg.L3Capacity = scaledBytes(5*GB, o.Scale)
+		} else {
+			cfg.L1Capacity = scaledBytes(9*GB/2, o.Scale)
+			cfg.HintEntries = hintcache.EntriesForBytes(scaledBytes(500*MB, o.Scale))
+		}
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return Figure8Cell{}, err
+	}
+	g, err := trace.NewGenerator(p)
+	if err != nil {
+		return Figure8Cell{}, err
+	}
+	rep, err := sys.Run(g)
+	if err != nil {
+		return Figure8Cell{}, err
+	}
+	return Figure8Cell{
+		Trace:       p.Name,
+		Model:       m.Name(),
+		Policy:      pol.String(),
+		Constrained: constrained,
+		Mean:        rep.MeanResponse,
+		HitRatio:    rep.HitRatio,
+	}, nil
+}
+
+// Find returns the cell matching the key, or false.
+func (r *Figure8Result) Find(traceName, model, policy string, constrained bool) (Figure8Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Trace == traceName && c.Model == model && c.Policy == policy && c.Constrained == constrained {
+			return c, true
+		}
+	}
+	return Figure8Cell{}, false
+}
+
+// Render implements Result.
+func (r *Figure8Result) Render() string {
+	var sb strings.Builder
+	for _, constrained := range []bool{false, true} {
+		label := "(a) infinite disk"
+		if constrained {
+			label = "(b) space constrained (5GB-equivalent per node)"
+		}
+		fmt.Fprintf(&sb, "Figure 8 %s: mean response time (scale %g)\n", label, float64(r.Scale))
+		t := metrics.NewTable("Trace", "Model", "Hierarchy", "Directory", "Hints")
+		for _, tr := range []string{"DEC", "Berkeley", "Prodigy"} {
+			for _, mdl := range []string{"Max", "Min", "Testbed"} {
+				row := []string{tr, mdl}
+				for _, pol := range figure8Policies {
+					if c, ok := r.Find(tr, mdl, pol.String(), constrained); ok {
+						row = append(row, metrics.Ms(c.Mean))
+					} else {
+						row = append(row, "-")
+					}
+				}
+				t.AddRow(row...)
+			}
+		}
+		sb.WriteString(t.String())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Table6Result derives the hierarchy-to-hints speedup ratios of Table 6
+// from the infinite-disk Figure 8 cells.
+type Table6Result struct {
+	Scale trace.Scale
+	// Speedup[trace][model] is hierarchy mean / hints mean.
+	Speedup map[string]map[string]float64
+}
+
+// Table6 computes the ratios.
+func Table6(o Options) (*Table6Result, error) {
+	fig8, err := Figure8(o)
+	if err != nil {
+		return nil, err
+	}
+	return table6From(fig8)
+}
+
+func table6From(fig8 *Figure8Result) (*Table6Result, error) {
+	r := &Table6Result{Scale: fig8.Scale, Speedup: make(map[string]map[string]float64)}
+	for _, tr := range []string{"DEC", "Berkeley", "Prodigy"} {
+		r.Speedup[tr] = make(map[string]float64)
+		for _, mdl := range []string{"Max", "Min", "Testbed"} {
+			hier, ok1 := fig8.Find(tr, mdl, "Hierarchy", false)
+			hint, ok2 := fig8.Find(tr, mdl, "Hints", false)
+			if !ok1 || !ok2 || hint.Mean == 0 {
+				return nil, fmt.Errorf("experiments: missing figure 8 cell for %s/%s", tr, mdl)
+			}
+			r.Speedup[tr][mdl] = float64(hier.Mean) / float64(hint.Mean)
+		}
+	}
+	return r, nil
+}
+
+// Render implements Result.
+func (r *Table6Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 6: response-time ratio, hierarchy / hints (scale %g)\n", float64(r.Scale))
+	t := metrics.NewTable("Trace", "Max", "Min", "Testbed")
+	for _, tr := range []string{"Prodigy", "Berkeley", "DEC"} {
+		t.AddRow(tr,
+			metrics.F2(r.Speedup[tr]["Max"]),
+			metrics.F2(r.Speedup[tr]["Min"]),
+			metrics.F2(r.Speedup[tr]["Testbed"]))
+	}
+	sb.WriteString(t.String())
+	sb.WriteString("Paper reports: Prodigy 1.80/1.38/2.31, Berkeley 1.79/1.32/2.79, DEC 1.62/1.28/1.99\n")
+	return sb.String()
+}

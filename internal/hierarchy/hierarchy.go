@@ -1,0 +1,200 @@
+// Package hierarchy implements the traditional three-level data-cache
+// hierarchy (Harvest/Squid style) that the paper uses as its baseline: a
+// request climbs L1 -> L2 -> L3 -> server until the data is found, and the
+// reply is cached at every level on its way back down (Section 2.1).
+package hierarchy
+
+import (
+	"fmt"
+	"time"
+
+	"beyondcache/internal/cache"
+	"beyondcache/internal/metrics"
+	"beyondcache/internal/netmodel"
+	"beyondcache/internal/sim"
+	"beyondcache/internal/trace"
+)
+
+// Config parameterizes the baseline simulator.
+type Config struct {
+	// Topology is the 3-level layout; zero value means sim.Default().
+	Topology sim.Topology
+
+	// Model prices each access path.
+	Model netmodel.Model
+
+	// L1Capacity, L2Capacity, L3Capacity bound each cache in bytes;
+	// values <= 0 mean infinite.
+	L1Capacity int64
+	L2Capacity int64
+	L3Capacity int64
+
+	// Warmup discards statistics for requests earlier than this virtual
+	// time (the caches still warm up).
+	Warmup time.Duration
+
+	// UseICP enables Internet Cache Protocol-style sibling queries: on
+	// an L1 miss the proxy polls its same-L2 siblings before climbing
+	// the hierarchy, and fetches sibling hits cache-to-cache. Every
+	// request that misses locally pays the query round trip — the
+	// "multicast queries slow down misses" cost the paper argues
+	// against (Section 3.1.1). The paper's own hierarchy baselines run
+	// without ICP ("we are interested in the best costs for traversing
+	// a hierarchy").
+	UseICP bool
+}
+
+// Simulator replays a trace against the traditional hierarchy.
+type Simulator struct {
+	cfg   Config
+	topo  sim.Topology
+	model netmodel.Model
+
+	l1 []*cache.LRU
+	l2 []*cache.LRU
+	l3 *cache.LRU
+
+	stats *metrics.Response
+	clock sim.Clock
+}
+
+var _ sim.Processor = (*Simulator)(nil)
+
+// New builds the simulator.
+func New(cfg Config) (*Simulator, error) {
+	if cfg.Topology == (sim.Topology{}) {
+		cfg.Topology = sim.Default()
+	}
+	if err := cfg.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("hierarchy: nil cost model")
+	}
+	s := &Simulator{
+		cfg:   cfg,
+		topo:  cfg.Topology,
+		model: cfg.Model,
+		l1:    make([]*cache.LRU, cfg.Topology.NumL1),
+		l2:    make([]*cache.LRU, cfg.Topology.NumL2()),
+		l3:    cache.NewLRU(cfg.L3Capacity),
+		stats: metrics.NewResponse(),
+	}
+	for i := range s.l1 {
+		s.l1[i] = cache.NewLRU(cfg.L1Capacity)
+	}
+	for i := range s.l2 {
+		s.l2[i] = cache.NewLRU(cfg.L2Capacity)
+	}
+	return s, nil
+}
+
+// Process implements sim.Processor. Error and uncachable requests are
+// skipped entirely, as in the paper's evaluation ("we do not include
+// Uncachable or Error requests in our results").
+func (s *Simulator) Process(req trace.Request) {
+	if !req.Cachable() {
+		return
+	}
+	s.clock.Advance(req.Time)
+
+	l1 := s.topo.L1OfClient(req.Client)
+	l2 := s.topo.L2OfL1(l1)
+	obj := cache.Object{ID: req.Object, Size: req.Size, Version: req.Version}
+
+	var (
+		outcome string
+		cost    time.Duration
+		penalty time.Duration
+	)
+	local := s.hit(s.l1[l1], req)
+	if !local && s.cfg.UseICP {
+		// Poll the siblings: one query round trip at intermediate
+		// distance, paid by every request from here on.
+		penalty = s.model.FalsePositive(netmodel.L2)
+		if sibling, ok := s.siblingWith(l1, req); ok {
+			s.l1[sibling].Get(req.Object)
+			s.l1[l1].Put(obj)
+			s.record(req, sim.OutcomeNear, penalty+s.model.ViaL1Hit(netmodel.L2, req.Size))
+			return
+		}
+	}
+	switch {
+	case local:
+		outcome, cost = sim.OutcomeLocal, s.model.HierHit(netmodel.L1, req.Size)
+	case s.hit(s.l2[l2], req):
+		outcome, cost = sim.OutcomeL2, s.model.HierHit(netmodel.L2, req.Size)
+		s.l1[l1].Put(obj)
+	case s.hit(s.l3, req):
+		outcome, cost = sim.OutcomeL3, s.model.HierHit(netmodel.L3, req.Size)
+		s.l2[l2].Put(obj)
+		s.l1[l1].Put(obj)
+	default:
+		outcome, cost = sim.OutcomeMiss, s.model.HierMiss(req.Size)
+		s.l3.Put(obj)
+		s.l2[l2].Put(obj)
+		s.l1[l1].Put(obj)
+	}
+
+	s.record(req, outcome, cost+penalty)
+}
+
+func (s *Simulator) record(req trace.Request, outcome string, cost time.Duration) {
+	if req.Time >= s.cfg.Warmup {
+		s.stats.Add(outcome, cost, req.Size)
+	}
+}
+
+// hit performs a strong-consistency read: stale versions are invalidated
+// and reported as misses.
+func (s *Simulator) hit(c *cache.LRU, req trace.Request) bool {
+	_, ok := c.GetVersion(req.Object, req.Version)
+	return ok
+}
+
+// siblingWith returns a same-L2 sibling of l1 holding a current copy of the
+// requested object, if any.
+func (s *Simulator) siblingWith(l1 int, req trace.Request) (int, bool) {
+	group := s.topo.L2OfL1(l1)
+	for n := group * s.topo.L1PerL2; n < (group+1)*s.topo.L1PerL2; n++ {
+		if n == l1 {
+			continue
+		}
+		if o, ok := s.l1[n].Peek(req.Object); ok && o.Version >= req.Version {
+			return n, true
+		}
+	}
+	return 0, false
+}
+
+// Stats returns the post-warmup response statistics.
+func (s *Simulator) Stats() *metrics.Response { return s.stats }
+
+// HitRatio returns the fraction of recorded requests served at or below the
+// given level (level 1 counts only local hits; level 3 counts everything
+// but server misses), mirroring Figure 3's per-level hit rates.
+func (s *Simulator) HitRatio(level netmodel.Level) float64 {
+	switch level {
+	case netmodel.L1:
+		return s.stats.Frac(sim.OutcomeLocal)
+	case netmodel.L2:
+		return s.stats.FracAny(sim.OutcomeLocal, sim.OutcomeL2, sim.OutcomeNear)
+	default:
+		return s.stats.FracAny(sim.OutcomeLocal, sim.OutcomeL2, sim.OutcomeL3, sim.OutcomeNear)
+	}
+}
+
+// ByteHitRatio is HitRatio weighted by bytes.
+func (s *Simulator) ByteHitRatio(level netmodel.Level) float64 {
+	switch level {
+	case netmodel.L1:
+		return s.stats.ByteFrac(sim.OutcomeLocal)
+	case netmodel.L2:
+		return s.stats.ByteFracAny(sim.OutcomeLocal, sim.OutcomeL2, sim.OutcomeNear)
+	default:
+		return s.stats.ByteFracAny(sim.OutcomeLocal, sim.OutcomeL2, sim.OutcomeL3, sim.OutcomeNear)
+	}
+}
+
+// MeanResponse returns the mean response time over recorded requests.
+func (s *Simulator) MeanResponse() time.Duration { return s.stats.Mean() }

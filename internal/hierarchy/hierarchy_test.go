@@ -1,0 +1,185 @@
+package hierarchy
+
+import (
+	"testing"
+	"time"
+
+	"beyondcache/internal/netmodel"
+	"beyondcache/internal/sim"
+	"beyondcache/internal/trace"
+)
+
+// smallTopo is a 4-L1, 2-per-L2 topology for hand-built scenarios.
+func smallTopo() sim.Topology {
+	return sim.Topology{NumL1: 4, ClientsPerL1: 2, L1PerL2: 2}
+}
+
+func mustSim(t *testing.T, cfg Config) *Simulator {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func req(seq int64, client int, object uint64, size int64) trace.Request {
+	return trace.Request{Seq: seq, Client: client, Object: object, Size: size, Version: 1}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Model: nil}); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := New(Config{Topology: sim.Topology{NumL1: 3, ClientsPerL1: 1, L1PerL2: 2}, Model: netmodel.NewTestbed()}); err == nil {
+		t.Error("invalid topology accepted")
+	}
+}
+
+func TestMissThenHitsDownTheHierarchy(t *testing.T) {
+	m := netmodel.NewRousskovMin()
+	s := mustSim(t, Config{Topology: smallTopo(), Model: m})
+
+	// Client 0 -> L1 0. First access: full miss.
+	s.Process(req(0, 0, 1, 100))
+	if got := s.Stats().Count(sim.OutcomeMiss); got != 1 {
+		t.Fatalf("first access misses = %d, want 1", got)
+	}
+	// Same client again: local L1 hit.
+	s.Process(req(1, 0, 1, 100))
+	if got := s.Stats().Count(sim.OutcomeLocal); got != 1 {
+		t.Fatalf("local hits = %d, want 1", got)
+	}
+	// Client 1 -> L1 1 (same L2 as L1 0): data was replicated into L2 on
+	// the way down, so this is an L2 hit.
+	s.Process(req(2, 1, 1, 100))
+	if got := s.Stats().Count(sim.OutcomeL2); got != 1 {
+		t.Fatalf("L2 hits = %d, want 1 (outcomes: %v)", got, s.Stats().Outcomes())
+	}
+	// Client 2 -> L1 2, different L2 subtree: L3 hit.
+	s.Process(req(3, 2, 1, 100))
+	if got := s.Stats().Count(sim.OutcomeL3); got != 1 {
+		t.Fatalf("L3 hits = %d, want 1", got)
+	}
+	// And now client 2 again: local (replicated down on the L3 hit).
+	s.Process(req(4, 2, 1, 100))
+	if got := s.Stats().Count(sim.OutcomeLocal); got != 2 {
+		t.Fatalf("local hits = %d, want 2", got)
+	}
+}
+
+func TestResponseTimesUseModel(t *testing.T) {
+	m := netmodel.NewRousskovMin()
+	s := mustSim(t, Config{Topology: smallTopo(), Model: m})
+	s.Process(req(0, 0, 1, 100)) // miss
+	s.Process(req(1, 0, 1, 100)) // local hit
+	wantMiss := m.HierMiss(100)
+	wantHit := m.HierHit(netmodel.L1, 100)
+	if got := s.Stats().MeanOf(sim.OutcomeMiss); got != wantMiss {
+		t.Errorf("miss cost = %v, want %v", got, wantMiss)
+	}
+	if got := s.Stats().MeanOf(sim.OutcomeLocal); got != wantHit {
+		t.Errorf("local hit cost = %v, want %v", got, wantHit)
+	}
+}
+
+func TestUncachableAndErrorSkipped(t *testing.T) {
+	s := mustSim(t, Config{Topology: smallTopo(), Model: netmodel.NewTestbed()})
+	r := req(0, 0, 1, 100)
+	r.Uncachable = true
+	s.Process(r)
+	r2 := req(1, 0, 2, 100)
+	r2.Error = true
+	s.Process(r2)
+	if s.Stats().N() != 0 {
+		t.Errorf("recorded %d requests, want 0 (uncachable/error excluded)", s.Stats().N())
+	}
+	// And they must not have warmed the cache.
+	s.Process(req(2, 0, 1, 100))
+	if s.Stats().Count(sim.OutcomeMiss) != 1 {
+		t.Error("uncachable request warmed the cache")
+	}
+}
+
+func TestVersionBumpInvalidates(t *testing.T) {
+	s := mustSim(t, Config{Topology: smallTopo(), Model: netmodel.NewTestbed()})
+	s.Process(req(0, 0, 1, 100))
+	r := req(1, 0, 1, 100)
+	r.Version = 2
+	s.Process(r)
+	if got := s.Stats().Count(sim.OutcomeMiss); got != 2 {
+		t.Errorf("misses = %d, want 2 (stale copy must not hit)", got)
+	}
+}
+
+func TestWarmupExcluded(t *testing.T) {
+	s := mustSim(t, Config{
+		Topology: smallTopo(),
+		Model:    netmodel.NewTestbed(),
+		Warmup:   time.Hour,
+	})
+	early := req(0, 0, 1, 100)
+	early.Time = 30 * time.Minute
+	s.Process(early)
+	if s.Stats().N() != 0 {
+		t.Error("warmup request recorded")
+	}
+	late := req(1, 0, 1, 100)
+	late.Time = 2 * time.Hour
+	s.Process(late)
+	if s.Stats().N() != 1 {
+		t.Error("post-warmup request not recorded")
+	}
+	// The warmup request warmed the cache, so the late one is a hit.
+	if s.Stats().Count(sim.OutcomeLocal) != 1 {
+		t.Error("warmup did not warm the cache")
+	}
+}
+
+func TestSharingRaisesHitRateWithLevel(t *testing.T) {
+	// Replay a DEC-like trace; Figure 3's shape: hit ratio grows from L1
+	// to L2 to L3 because higher levels are shared by more clients.
+	p := trace.DECProfile(trace.ScaleSmall)
+	p.Requests = 60_000
+	p.DistinctURLs = 12_000
+	g := trace.MustGenerator(p)
+	s := mustSim(t, Config{Model: netmodel.NewTestbed(), Warmup: p.Warmup()})
+	if _, err := sim.Run(g, s); err != nil {
+		t.Fatal(err)
+	}
+	h1 := s.HitRatio(netmodel.L1)
+	h2 := s.HitRatio(netmodel.L2)
+	h3 := s.HitRatio(netmodel.L3)
+	if !(h1 < h2 && h2 < h3) {
+		t.Errorf("hit ratios not increasing with sharing: L1=%.3f L2=%.3f L3=%.3f", h1, h2, h3)
+	}
+	if h3 == 0 {
+		t.Error("no hits at all")
+	}
+	b1, b3 := s.ByteHitRatio(netmodel.L1), s.ByteHitRatio(netmodel.L3)
+	if b1 > b3 {
+		t.Errorf("byte hit ratios not increasing: L1=%.3f L3=%.3f", b1, b3)
+	}
+}
+
+func TestCapacityConstrainedHitsFewer(t *testing.T) {
+	p := trace.DECProfile(trace.ScaleSmall)
+	p.Requests = 40_000
+	p.DistinctURLs = 8_000
+	run := func(capBytes int64) float64 {
+		g := trace.MustGenerator(p)
+		s := mustSim(t, Config{
+			Model:      netmodel.NewTestbed(),
+			L1Capacity: capBytes, L2Capacity: capBytes * 4, L3Capacity: capBytes * 16,
+		})
+		if _, err := sim.Run(g, s); err != nil {
+			t.Fatal(err)
+		}
+		return s.HitRatio(netmodel.L3)
+	}
+	constrained := run(1 << 20)
+	unconstrained := run(0)
+	if constrained > unconstrained {
+		t.Errorf("constrained hit ratio %.3f > unconstrained %.3f", constrained, unconstrained)
+	}
+}

@@ -1,0 +1,100 @@
+package hintcache
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestFrontStoreServesFromMemory(t *testing.T) {
+	back := NewMemStore(256, 4)
+	f := NewFrontStore(back, 16)
+	c := New(f)
+
+	if err := c.Insert(42, 7); err != nil {
+		t.Fatal(err)
+	}
+	// The insert's read-modify-write warmed the front slot; this lookup
+	// must hit in memory.
+	before := f.Stats()
+	if m, ok := c.Lookup(42); !ok || m != 7 {
+		t.Fatalf("lookup = (%d, %v)", m, ok)
+	}
+	after := f.Stats()
+	if after.Hits != before.Hits+1 {
+		t.Errorf("front hits %d -> %d, want +1", before.Hits, after.Hits)
+	}
+}
+
+func TestFrontStoreWriteThrough(t *testing.T) {
+	back := NewMemStore(64, 4)
+	f := NewFrontStore(back, 4)
+	c := New(f)
+	for i := uint64(1); i <= 40; i++ {
+		if err := c.Insert(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Read everything through the BACKING store directly: write-through
+	// means nothing was lost in the front cache.
+	direct := New(back)
+	for i := uint64(1); i <= 40; i++ {
+		fm, fok := c.Lookup(i)
+		dm, dok := direct.Lookup(i)
+		if fok != dok || fm != dm {
+			t.Fatalf("key %d: front (%d,%v) != backing (%d,%v)", i, fm, fok, dm, dok)
+		}
+	}
+}
+
+func TestFrontStoreAgreesWithPlainFile(t *testing.T) {
+	dir := t.TempDir()
+	plainBack, err := NewFileStore(filepath.Join(dir, "plain.dat"), 128, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frontBack, err := NewFileStore(filepath.Join(dir, "front.dat"), 128, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := New(plainBack)
+	defer plain.Close()
+	front := New(NewFrontStore(frontBack, 8))
+	defer front.Close()
+
+	for i := uint64(0); i < 300; i++ {
+		key := i % 90
+		switch i % 4 {
+		case 0, 1:
+			plain.Insert(key, i+1)
+			front.Insert(key, i+1)
+		case 2:
+			plain.Lookup(key)
+			front.Lookup(key)
+		case 3:
+			plain.Delete(key, 0)
+			front.Delete(key, 0)
+		}
+	}
+	for k := uint64(0); k < 90; k++ {
+		pm, pok := plain.Lookup(k)
+		fm, fok := front.Lookup(k)
+		if pm != fm || pok != fok {
+			t.Errorf("key %d: plain (%d,%v) != fronted (%d,%v)", k, pm, pok, fm, fok)
+		}
+	}
+}
+
+func TestFrontStoreBoundsAndRatio(t *testing.T) {
+	back := NewMemStore(64, 4)
+	f := NewFrontStore(back, 1000) // clamps to backing set count
+	if len(f.sets) != back.Sets() {
+		t.Errorf("front slots = %d, want clamped to %d", len(f.sets), back.Sets())
+	}
+	f2 := NewFrontStore(back, 0) // floors at 1
+	if len(f2.sets) != 1 {
+		t.Errorf("front slots = %d, want 1", len(f2.sets))
+	}
+	if f2.HitRatio() != 0 {
+		t.Error("empty front cache nonzero hit ratio")
+	}
+}

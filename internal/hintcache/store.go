@@ -1,0 +1,155 @@
+package hintcache
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+)
+
+// MemStore is an in-memory backing array. Records are stored flat (two
+// uint64 words per record) so a table of N entries costs exactly 16 N bytes.
+type MemStore struct {
+	words []uint64
+	sets  int
+	ways  int
+}
+
+var _ Store = (*MemStore)(nil)
+
+// NewMemStore allocates a store with at least the requested entry count,
+// rounded up to a whole number of sets of the given associativity.
+func NewMemStore(entries, ways int) *MemStore {
+	if ways < 1 {
+		ways = 1
+	}
+	if entries < ways {
+		entries = ways
+	}
+	sets := (entries + ways - 1) / ways
+	return &MemStore{
+		words: make([]uint64, sets*ways*2),
+		sets:  sets,
+		ways:  ways,
+	}
+}
+
+// Sets returns the number of sets.
+func (m *MemStore) Sets() int { return m.sets }
+
+// Ways returns the associativity.
+func (m *MemStore) Ways() int { return m.ways }
+
+// ReadSet copies set idx into dst.
+func (m *MemStore) ReadSet(idx int, dst []Record) error {
+	if idx < 0 || idx >= m.sets {
+		return fmt.Errorf("hintcache: set %d out of range [0,%d)", idx, m.sets)
+	}
+	base := idx * m.ways * 2
+	for i := 0; i < m.ways; i++ {
+		dst[i] = Record{
+			URLHash: m.words[base+2*i],
+			Machine: m.words[base+2*i+1],
+		}
+	}
+	return nil
+}
+
+// WriteSet stores src into set idx.
+func (m *MemStore) WriteSet(idx int, src []Record) error {
+	if idx < 0 || idx >= m.sets {
+		return fmt.Errorf("hintcache: set %d out of range [0,%d)", idx, m.sets)
+	}
+	base := idx * m.ways * 2
+	for i := 0; i < m.ways; i++ {
+		m.words[base+2*i] = src[i].URLHash
+		m.words[base+2*i+1] = src[i].Machine
+	}
+	return nil
+}
+
+// Close is a no-op for the memory store.
+func (m *MemStore) Close() error { return nil }
+
+// FileStore backs the hint array with a file, one pread/pwrite per set
+// access. It mirrors the prototype's memory-mapped array for tables larger
+// than RAM; the paper measures 10.8 ms for a lookup that faults from disk
+// versus 4.3 us in memory.
+type FileStore struct {
+	f    *os.File
+	sets int
+	ways int
+	buf  []byte
+}
+
+var _ Store = (*FileStore)(nil)
+
+// NewFileStore creates (truncating) a file-backed store at path with at
+// least the requested entries, rounded up to whole sets.
+func NewFileStore(path string, entries, ways int) (*FileStore, error) {
+	if ways < 1 {
+		ways = 1
+	}
+	if entries < ways {
+		entries = ways
+	}
+	sets := (entries + ways - 1) / ways
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("hintcache: open store: %w", err)
+	}
+	if err := f.Truncate(int64(sets) * int64(ways) * RecordSize); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("hintcache: size store: %w", err)
+	}
+	return &FileStore{
+		f:    f,
+		sets: sets,
+		ways: ways,
+		buf:  make([]byte, ways*RecordSize),
+	}, nil
+}
+
+// Sets returns the number of sets.
+func (s *FileStore) Sets() int { return s.sets }
+
+// Ways returns the associativity.
+func (s *FileStore) Ways() int { return s.ways }
+
+// ReadSet reads set idx from the file.
+func (s *FileStore) ReadSet(idx int, dst []Record) error {
+	if idx < 0 || idx >= s.sets {
+		return fmt.Errorf("hintcache: set %d out of range [0,%d)", idx, s.sets)
+	}
+	off := int64(idx) * int64(s.ways) * RecordSize
+	if _, err := s.f.ReadAt(s.buf, off); err != nil {
+		return fmt.Errorf("hintcache: read set %d: %w", idx, err)
+	}
+	for i := 0; i < s.ways; i++ {
+		b := s.buf[i*RecordSize:]
+		dst[i] = Record{
+			URLHash: binary.LittleEndian.Uint64(b),
+			Machine: binary.LittleEndian.Uint64(b[8:]),
+		}
+	}
+	return nil
+}
+
+// WriteSet writes set idx to the file.
+func (s *FileStore) WriteSet(idx int, src []Record) error {
+	if idx < 0 || idx >= s.sets {
+		return fmt.Errorf("hintcache: set %d out of range [0,%d)", idx, s.sets)
+	}
+	for i := 0; i < s.ways; i++ {
+		b := s.buf[i*RecordSize:]
+		binary.LittleEndian.PutUint64(b, src[i].URLHash)
+		binary.LittleEndian.PutUint64(b[8:], src[i].Machine)
+	}
+	off := int64(idx) * int64(s.ways) * RecordSize
+	if _, err := s.f.WriteAt(s.buf, off); err != nil {
+		return fmt.Errorf("hintcache: write set %d: %w", idx, err)
+	}
+	return nil
+}
+
+// Close closes the backing file.
+func (s *FileStore) Close() error { return s.f.Close() }

@@ -1,0 +1,72 @@
+package hints
+
+import (
+	"testing"
+
+	"beyondcache/internal/netmodel"
+	"beyondcache/internal/sim"
+)
+
+func TestClientHintsSkipL1Hop(t *testing.T) {
+	m := netmodel.NewRousskovMin()
+	s := mustSim(t, Config{Model: m, Mode: ModeClientHints})
+	s.Process(req(0, 0, 1, 100))
+	// Far remote hit goes direct: DirectHit(L3), not ViaL1Hit(L3).
+	s.Process(req(1, 2, 1, 100))
+	if got := s.Stats().MeanOf(sim.OutcomeFar); got != m.DirectHit(netmodel.L3, 100) {
+		t.Errorf("client-hints far hit cost = %v, want DirectHit(L3) = %v",
+			got, m.DirectHit(netmodel.L3, 100))
+	}
+	// Misses go direct to the server.
+	if got := s.Stats().MeanOf(sim.OutcomeMiss); got != m.DirectMiss(100) {
+		t.Errorf("client-hints miss cost = %v, want DirectMiss = %v", got, m.DirectMiss(100))
+	}
+}
+
+func TestClientHintsFalseNegativeSkipsOwnL1(t *testing.T) {
+	// A one-set client table that loses entries: even the client's OWN
+	// L1 copy is unreachable on a false negative (Section 3.3's hazard).
+	m := netmodel.NewRousskovMin()
+	s := mustSim(t, Config{Model: m, Mode: ModeClientHints, HintEntries: 2, HintWays: 2})
+	// Node 0 caches objects 1..10; the 2-entry table forgets most.
+	for i := int64(1); i <= 10; i++ {
+		s.Process(req(i, 0, uint64(i), 100))
+	}
+	before := s.FalseNegatives()
+	missesBefore := s.Stats().Count(sim.OutcomeMiss)
+	// Re-request them all from the same client: despite every object
+	// being in its own L1, most requests go to the server.
+	for i := int64(1); i <= 10; i++ {
+		s.Process(req(100+i, 0, uint64(i), 100))
+	}
+	fns := s.FalseNegatives() - before
+	if fns < 5 {
+		t.Errorf("false negatives = %d, want most of 10 with a 2-entry client table", fns)
+	}
+	extraMisses := s.Stats().Count(sim.OutcomeMiss) - missesBefore
+	if extraMisses != fns {
+		t.Errorf("misses (%d) != false negatives (%d): FN should bypass the local L1", extraMisses, fns)
+	}
+}
+
+func TestClientHintsUnboundedMatchesHintsHitRatio(t *testing.T) {
+	// With unbounded tables the two configurations serve the same
+	// requests from the same caches; only the path costs differ.
+	runMode := func(mode Mode) (*Simulator, float64) {
+		s := mustSim(t, Config{Mode: mode})
+		for i := int64(0); i < 200; i++ {
+			s.Process(req(i, int(i)%8, uint64(i)%40, 100))
+		}
+		return s, s.HitRatio()
+	}
+	proxySim, proxyHit := runMode(ModeHints)
+	clientSim, clientHit := runMode(ModeClientHints)
+	if proxyHit != clientHit {
+		t.Errorf("hit ratios differ: proxy %.3f vs client %.3f", proxyHit, clientHit)
+	}
+	// And the client configuration is at least as fast per request.
+	if clientSim.MeanResponse() > proxySim.MeanResponse() {
+		t.Errorf("client config slower (%v) than proxy config (%v) with unbounded tables",
+			clientSim.MeanResponse(), proxySim.MeanResponse())
+	}
+}

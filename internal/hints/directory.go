@@ -1,0 +1,293 @@
+package hints
+
+import (
+	"time"
+)
+
+// maxStaleRecords bounds how many recent removals are remembered per object.
+// Older stale hints have almost always expired (propagation delay) before
+// they would matter, so the bound only trims pathological tails.
+const maxStaleRecords = 8
+
+// holderRec records a live copy of an object at a leaf cache.
+type holderRec struct {
+	node    int32
+	version int64
+	addedAt time.Duration
+}
+
+// staleRec records a recently removed copy whose hint may still be visible
+// to other nodes (the source of false positives).
+type staleRec struct {
+	node      int32
+	removedAt time.Duration
+}
+
+// objState is the global directory's knowledge about one object, plus the
+// metadata-hierarchy filtering state used for Table 5 accounting.
+type objState struct {
+	holders []holderRec
+	stales  []staleRec
+
+	// ownCount[s] is the number of copies currently inside L2 subtree s.
+	ownCount []int16
+	// knownRemote is a bitmask over L2 subtrees: bit s set means subtree
+	// s has been informed (by the root) of a copy outside itself.
+	knownRemote uint64
+	// rootHolder is the subtree whose copy the root currently advertises,
+	// or -1.
+	rootHolder int16
+}
+
+func newObjState(numL2 int) *objState {
+	return &objState{
+		ownCount:   make([]int16, numL2),
+		rootHolder: -1,
+	}
+}
+
+// directory tracks every copy in the system together with visibility
+// windows, and simulates the hint-update traffic through both a metadata
+// hierarchy (with subtree filtering, Section 3.1.2) and a centralized
+// directory, counting the updates each root receives (Table 5).
+type directory struct {
+	objs  map[uint64]*objState
+	numL2 int
+
+	// Table 5 counters.
+	rootUpdates    int64 // updates reaching the hierarchy root, post-filter
+	centralUpdates int64 // updates reaching a centralized directory
+	leafUpdates    int64 // updates leaving leaf caches (L1 -> parent hops)
+}
+
+func newDirectory(numL2 int) *directory {
+	return &directory{
+		objs:  make(map[uint64]*objState),
+		numL2: numL2,
+	}
+}
+
+func (d *directory) state(object uint64) *objState {
+	st, ok := d.objs[object]
+	if !ok {
+		st = newObjState(d.numL2)
+		d.objs[object] = st
+	}
+	return st
+}
+
+// addCopy records a new copy of object at node (in subtree s2) at time t.
+func (d *directory) addCopy(object uint64, node int32, s2 int, version int64, t time.Duration) {
+	st := d.state(object)
+
+	// Drop any stale record for this node: the copy is back.
+	for i := 0; i < len(st.stales); i++ {
+		if st.stales[i].node == node {
+			st.stales = append(st.stales[:i], st.stales[i+1:]...)
+			i--
+		}
+	}
+	// Replace an existing holder record (version refresh) or append.
+	for i := range st.holders {
+		if st.holders[i].node == node {
+			st.holders[i].version = version
+			st.holders[i].addedAt = t
+			d.leafUpdates++
+			d.centralUpdates++
+			return
+		}
+	}
+	st.holders = append(st.holders, holderRec{node: node, version: version, addedAt: t})
+
+	// Update traffic accounting.
+	d.leafUpdates++
+	d.centralUpdates++
+
+	// Metadata-hierarchy filter: the L2 parent forwards the add to the
+	// root only if it previously knew of no copy at all — neither in its
+	// own subtree nor via a root broadcast.
+	hadOwn := st.ownCount[s2] > 0
+	st.ownCount[s2]++
+	if !hadOwn && st.knownRemote&(1<<uint(s2)) == 0 {
+		d.rootUpdates++
+		st.rootHolder = int16(s2)
+		// The root broadcasts the new location down to every other
+		// subtree.
+		for s := 0; s < d.numL2; s++ {
+			if s != s2 {
+				st.knownRemote |= 1 << uint(s)
+			}
+		}
+	}
+}
+
+// removeCopy records that node's copy is gone (evicted or invalidated).
+func (d *directory) removeCopy(object uint64, node int32, s2 int, t time.Duration) {
+	st, ok := d.objs[object]
+	if !ok {
+		return
+	}
+	found := false
+	for i := range st.holders {
+		if st.holders[i].node == node {
+			st.holders = append(st.holders[:i], st.holders[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return
+	}
+	st.stales = append(st.stales, staleRec{node: node, removedAt: t})
+	if len(st.stales) > maxStaleRecords {
+		st.stales = st.stales[len(st.stales)-maxStaleRecords:]
+	}
+
+	d.leafUpdates++
+	d.centralUpdates++
+
+	if st.ownCount[s2] > 0 {
+		st.ownCount[s2]--
+	}
+	// The removal climbs to the root only when the subtree lost its last
+	// copy and the root was advertising that subtree.
+	if st.ownCount[s2] == 0 && st.rootHolder == int16(s2) {
+		d.rootUpdates++
+		st.rootHolder = -1
+		st.knownRemote = 0
+		// Another subtree with live copies re-advertises to the root,
+		// which re-broadcasts ("use the next best location").
+		for s := 0; s < d.numL2; s++ {
+			if st.ownCount[s] > 0 {
+				d.rootUpdates++
+				st.rootHolder = int16(s)
+				for o := 0; o < d.numL2; o++ {
+					if o != s {
+						st.knownRemote |= 1 << uint(o)
+					}
+				}
+				break
+			}
+		}
+	}
+}
+
+// holdersOlderThan returns the nodes holding a version older than v.
+func (d *directory) holdersOlderThan(object uint64, v int64) []int32 {
+	st, ok := d.objs[object]
+	if !ok {
+		return nil
+	}
+	var out []int32
+	for _, h := range st.holders {
+		if h.version < v {
+			out = append(out, h.node)
+		}
+	}
+	return out
+}
+
+// purgeExpiredStales drops stale records whose hint visibility window has
+// closed.
+func (st *objState) purgeExpiredStales(t, delay time.Duration) {
+	kept := st.stales[:0]
+	for _, s := range st.stales {
+		if s.removedAt+delay > t {
+			kept = append(kept, s)
+		}
+	}
+	st.stales = kept
+}
+
+// lookupResult is what a hint query returns.
+type lookupResult struct {
+	// found is false when no candidate is visible (true miss / false
+	// negative).
+	found bool
+	// genuine is true when the chosen candidate actually holds the data.
+	genuine bool
+	// node is the chosen candidate.
+	node int32
+	// near is true when the candidate shares the requester's L2 subtree.
+	near bool
+}
+
+// lookup finds the nearest visible candidate copy of object for requester
+// (in subtree reqS2) at time t, under a hint-propagation delay. Additions
+// become visible to other nodes delay after they happen; removals likewise,
+// during which window the dangling hint is a false-positive candidate.
+// Genuine candidates win over stale ones within the same distance class
+// because a genuine copy's hint is at least as fresh as the stale record it
+// replaced.
+func (d *directory) lookup(object uint64, requester int32, reqS2 int, l2OfNode func(int32) int,
+	t, delay time.Duration) lookupResult {
+
+	st, ok := d.objs[object]
+	if !ok {
+		return lookupResult{}
+	}
+	st.purgeExpiredStales(t, delay)
+
+	var nearGenuine, farGenuine, nearStale, farStale *int32
+	for i := range st.holders {
+		h := &st.holders[i]
+		if h.node == requester || h.addedAt+delay > t {
+			continue
+		}
+		if l2OfNode(h.node) == reqS2 {
+			if nearGenuine == nil {
+				nearGenuine = &h.node
+			}
+		} else if farGenuine == nil {
+			farGenuine = &h.node
+		}
+	}
+	for i := range st.stales {
+		s := &st.stales[i]
+		if s.node == requester {
+			continue
+		}
+		if l2OfNode(s.node) == reqS2 {
+			if nearStale == nil {
+				nearStale = &s.node
+			}
+		} else if farStale == nil {
+			farStale = &s.node
+		}
+	}
+
+	switch {
+	case nearGenuine != nil:
+		return lookupResult{found: true, genuine: true, node: *nearGenuine, near: true}
+	case nearStale != nil:
+		return lookupResult{found: true, genuine: false, node: *nearStale, near: true}
+	case farGenuine != nil:
+		return lookupResult{found: true, genuine: true, node: *farGenuine, near: false}
+	case farStale != nil:
+		return lookupResult{found: true, genuine: false, node: *farStale, near: false}
+	default:
+		return lookupResult{}
+	}
+}
+
+// anyHolder returns some live holder of the object, or -1.
+func (d *directory) anyHolder(object uint64) int32 {
+	st, ok := d.objs[object]
+	if !ok || len(st.holders) == 0 {
+		return -1
+	}
+	return st.holders[0].node
+}
+
+// holderNodes returns the nodes currently holding the object.
+func (d *directory) holderNodes(object uint64) []int32 {
+	st, ok := d.objs[object]
+	if !ok {
+		return nil
+	}
+	out := make([]int32, len(st.holders))
+	for i, h := range st.holders {
+		out[i] = h.node
+	}
+	return out
+}

@@ -1,0 +1,20 @@
+package hints
+
+import (
+	"testing"
+	"time"
+
+	"beyondcache/internal/hierarchy"
+	"beyondcache/internal/netmodel"
+)
+
+// newHierarchyForTest builds the traditional-hierarchy baseline used by the
+// comparative tests.
+func newHierarchyForTest(t *testing.T, m netmodel.Model, warmup time.Duration) *hierarchy.Simulator {
+	t.Helper()
+	h, err := hierarchy.New(hierarchy.Config{Model: m, Warmup: warmup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}

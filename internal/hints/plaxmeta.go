@@ -1,0 +1,158 @@
+package hints
+
+import (
+	"fmt"
+
+	"beyondcache/internal/hintcache"
+	"beyondcache/internal/plaxton"
+)
+
+// MetaRouter routes hint updates over Plaxton virtual trees instead of the
+// fixed L2/L3 hierarchy, with the same subtree filtering: an update climbs
+// an object's tree only until it reaches a metadata node that already knew
+// of another copy. It measures how the self-configuring hierarchy of
+// Section 3.1.3 spreads metadata load across nodes, where a fixed hierarchy
+// concentrates all top-level traffic on one root.
+type MetaRouter struct {
+	nw *plaxton.Network
+
+	// copies[n] maps object -> number of copies this metadata node has
+	// been told about (from its subtree).
+	copies []map[uint64]int32
+
+	// received[n] counts hint updates that arrived at metadata node n.
+	received []int64
+	// hops counts total metadata hops taken by all updates.
+	hops int64
+	// updates counts add/remove events routed.
+	updates int64
+}
+
+// NewMetaRouter embeds virtual trees over the simulator's leaf nodes.
+// Node IDs derive from synthetic addresses; distance reflects the topology
+// (same L2 subtree near, otherwise far). bits is the tree digit width.
+func NewMetaRouter(s *Simulator, bits uint) (*MetaRouter, error) {
+	topo := s.Topology()
+	nodes := make([]plaxton.Node, topo.NumL1)
+	seen := make(map[uint64]bool, topo.NumL1)
+	for i := range nodes {
+		addr := fmt.Sprintf("l1-%d.cache.example.com:3128", i)
+		id := hashAddr(addr)
+		// Regenerate on the astronomically unlikely collision.
+		for bump := uint64(1); seen[id]; bump++ {
+			id = hashAddr(fmt.Sprintf("%s#%d", addr, bump))
+		}
+		seen[id] = true
+		nodes[i] = plaxton.Node{ID: id, Addr: addr}
+	}
+	dist := func(a, b int) float64 {
+		switch {
+		case a == b:
+			return 0
+		case topo.SameL2(a, b):
+			return 1
+		default:
+			return 3
+		}
+	}
+	nw, err := plaxton.New(nodes, bits, dist)
+	if err != nil {
+		return nil, fmt.Errorf("hints: meta router: %w", err)
+	}
+	m := &MetaRouter{
+		nw:       nw,
+		copies:   make([]map[uint64]int32, topo.NumL1),
+		received: make([]int64, topo.NumL1),
+	}
+	for i := range m.copies {
+		m.copies[i] = make(map[uint64]int32)
+	}
+	return m, nil
+}
+
+// hashAddr derives a node ID from an address (the prototype's MD5-based
+// machine identifier).
+func hashAddr(addr string) uint64 {
+	return hintcache.HashMachine(addr)
+}
+
+// Add routes an inform for object from leaf node up its virtual tree,
+// stopping at the first metadata node that already knew of a copy.
+func (m *MetaRouter) Add(node int, object uint64) {
+	m.updates++
+	path := m.nw.Path(object, node)
+	for i, metaNode := range path {
+		if i == 0 {
+			// The leaf itself: its knowledge comes from its data
+			// cache, not a metadata message.
+			m.copies[metaNode][object]++
+			continue
+		}
+		m.received[metaNode]++
+		m.hops++
+		prev := m.copies[metaNode][object]
+		m.copies[metaNode][object] = prev + 1
+		if prev > 0 {
+			return // the filter: this subtree already knew a copy
+		}
+	}
+}
+
+// Remove routes an invalidate for object from leaf node up its tree,
+// stopping once a metadata node still knows of another copy.
+func (m *MetaRouter) Remove(node int, object uint64) {
+	m.updates++
+	path := m.nw.Path(object, node)
+	for i, metaNode := range path {
+		c := m.copies[metaNode][object]
+		if c <= 0 {
+			return // nothing known here; nothing to retract
+		}
+		if i == 0 {
+			m.copies[metaNode][object] = c - 1
+			continue
+		}
+		m.received[metaNode]++
+		m.hops++
+		m.copies[metaNode][object] = c - 1
+		if c-1 > 0 {
+			return
+		}
+	}
+}
+
+// MetaLoad summarizes the per-node metadata traffic.
+type MetaLoad struct {
+	// Updates is the number of add/remove events routed.
+	Updates int64
+	// TotalReceived is the total metadata messages delivered.
+	TotalReceived int64
+	// MeanHops is the mean metadata hops per update (after filtering).
+	MeanHops float64
+	// MaxShare is the largest fraction of all metadata messages any one
+	// node received (a fixed hierarchy's root approaches the whole
+	// top-level load).
+	MaxShare float64
+	// MaxNode is the node holding MaxShare.
+	MaxNode int
+}
+
+// Load computes the summary.
+func (m *MetaRouter) Load() MetaLoad {
+	l := MetaLoad{Updates: m.updates}
+	var max int64
+	for n, c := range m.received {
+		l.TotalReceived += c
+		if c > max {
+			max = c
+			l.MaxNode = n
+		}
+	}
+	if m.updates > 0 {
+		l.MeanHops = float64(m.hops) / float64(m.updates)
+	}
+	if l.TotalReceived > 0 {
+		l.MaxShare = float64(max) / float64(l.TotalReceived)
+	}
+	return l
+}

@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestResponseAggregation(t *testing.T) {
+	r := NewResponse()
+	r.Add("hit", 100*time.Millisecond, 1000)
+	r.Add("hit", 200*time.Millisecond, 3000)
+	r.Add("miss", 600*time.Millisecond, 4000)
+
+	if r.N() != 3 {
+		t.Errorf("N = %d, want 3", r.N())
+	}
+	if r.Bytes() != 8000 {
+		t.Errorf("Bytes = %d, want 8000", r.Bytes())
+	}
+	if r.Mean() != 300*time.Millisecond {
+		t.Errorf("Mean = %v, want 300ms", r.Mean())
+	}
+	if r.MeanOf("hit") != 150*time.Millisecond {
+		t.Errorf("MeanOf(hit) = %v, want 150ms", r.MeanOf("hit"))
+	}
+	if r.MeanOf("absent") != 0 {
+		t.Errorf("MeanOf(absent) = %v, want 0", r.MeanOf("absent"))
+	}
+	if r.Count("hit") != 2 || r.Count("miss") != 1 {
+		t.Error("counts wrong")
+	}
+	if got := r.Frac("hit"); got != 2.0/3 {
+		t.Errorf("Frac(hit) = %g", got)
+	}
+	if got := r.ByteFrac("miss"); got != 0.5 {
+		t.Errorf("ByteFrac(miss) = %g, want 0.5", got)
+	}
+	if got := r.FracAny("hit", "miss"); got != 1.0 {
+		t.Errorf("FracAny = %g, want 1", got)
+	}
+	if got := r.ByteFracAny("hit", "miss"); got != 1.0 {
+		t.Errorf("ByteFracAny = %g, want 1", got)
+	}
+	if r.SizeOf("hit") != 4000 {
+		t.Errorf("SizeOf(hit) = %d", r.SizeOf("hit"))
+	}
+	if r.Total() != 900*time.Millisecond {
+		t.Errorf("Total = %v", r.Total())
+	}
+	outs := r.Outcomes()
+	if len(outs) != 2 || outs[0] != "hit" || outs[1] != "miss" {
+		t.Errorf("Outcomes = %v", outs)
+	}
+}
+
+func TestResponseEmpty(t *testing.T) {
+	r := NewResponse()
+	if r.Mean() != 0 || r.Frac("x") != 0 || r.ByteFrac("x") != 0 {
+		t.Error("empty aggregator returned nonzero stats")
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	b := NewBandwidth()
+	b.Add("push", 1000)
+	b.Add("push", 500)
+	b.Add("demand", 300)
+	if b.Bytes("push") != 1500 {
+		t.Errorf("push bytes = %d", b.Bytes("push"))
+	}
+	if got := b.Rate("push", 10*time.Second); got != 150 {
+		t.Errorf("rate = %g, want 150 B/s", got)
+	}
+	if b.Rate("push", 0) != 0 {
+		t.Error("zero-span rate should be 0")
+	}
+	if b.Bytes("unknown") != 0 {
+		t.Error("unknown flow nonzero")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Trace", "Mean", "Speedup")
+	tb.AddRow("DEC", "1270ms", "1.99")
+	tb.AddRow("Berkeley", "845ms", "2.79")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "Trace") || !strings.Contains(lines[0], "Speedup") {
+		t.Errorf("header missing: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "-") {
+		t.Errorf("separator missing: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "DEC") || !strings.Contains(lines[3], "Berkeley") {
+		t.Error("rows missing")
+	}
+	// Columns align: "Mean" column starts at the same offset everywhere.
+	idx := strings.Index(lines[0], "Mean")
+	if !strings.HasPrefix(lines[2][idx:], "1270ms") {
+		t.Errorf("column misaligned:\n%s", out)
+	}
+}
+
+func TestTableExtraCellsDropped(t *testing.T) {
+	tb := NewTable("A", "B")
+	tb.AddRow("1", "2", "3")
+	tb.AddRow("only")
+	out := tb.String()
+	if strings.Contains(out, "3") {
+		t.Error("extra cell not dropped")
+	}
+	if !strings.Contains(out, "only") {
+		t.Error("short row missing")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Ms(1270*time.Millisecond) != "1270ms" {
+		t.Errorf("Ms = %q", Ms(1270*time.Millisecond))
+	}
+	if F3(0.12345) != "0.123" {
+		t.Errorf("F3 = %q", F3(0.12345))
+	}
+	if F2(1.999) != "2.00" {
+		t.Errorf("F2 = %q", F2(1.999))
+	}
+}

@@ -1,0 +1,214 @@
+// Package missclass classifies cache misses into the categories of Figure 2:
+// compulsory, capacity, communication, error, and uncachable. The
+// classification is defined with respect to a single cache (possibly shared
+// by all clients) replaying a trace.
+//
+// The definitions follow the figure caption exactly:
+//
+//   - error: the request generates an error reply.
+//   - uncachable: the request requires contacting the server (non-GET, CGI,
+//     cache-control).
+//   - compulsory: the first access to an object by any client of the cache.
+//   - communication: an access to an object that was invalidated from the
+//     cache because it changed.
+//   - capacity: an access to data discarded from the cache to make space.
+package missclass
+
+import (
+	"fmt"
+
+	"beyondcache/internal/cache"
+	"beyondcache/internal/trace"
+)
+
+// Kind identifies the outcome of one request against the classified cache.
+type Kind int
+
+// Outcome kinds. Hit means the cache served the request.
+const (
+	Hit Kind = iota + 1
+	Compulsory
+	Capacity
+	Communication
+	Error
+	Uncachable
+)
+
+// String returns the report label for the kind.
+func (k Kind) String() string {
+	switch k {
+	case Hit:
+		return "hit"
+	case Compulsory:
+		return "compulsory"
+	case Capacity:
+		return "capacity"
+	case Communication:
+		return "communication"
+	case Error:
+		return "error"
+	case Uncachable:
+		return "uncachable"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Counts aggregates request and byte totals per kind.
+type Counts struct {
+	Requests map[Kind]int64
+	Bytes    map[Kind]int64
+}
+
+// newCounts allocates zeroed counters.
+func newCounts() Counts {
+	return Counts{
+		Requests: make(map[Kind]int64, 8),
+		Bytes:    make(map[Kind]int64, 8),
+	}
+}
+
+// TotalRequests sums request counts over all kinds.
+func (c Counts) TotalRequests() int64 {
+	var n int64
+	for _, v := range c.Requests {
+		n += v
+	}
+	return n
+}
+
+// TotalBytes sums byte counts over all kinds.
+func (c Counts) TotalBytes() int64 {
+	var n int64
+	for _, v := range c.Bytes {
+		n += v
+	}
+	return n
+}
+
+// MissRatio returns the fraction of requests that are misses of the given
+// kind. Error and uncachable requests are included in the denominator, as in
+// Figure 2.
+func (c Counts) MissRatio(k Kind) float64 {
+	tot := c.TotalRequests()
+	if tot == 0 {
+		return 0
+	}
+	return float64(c.Requests[k]) / float64(tot)
+}
+
+// ByteMissRatio returns the fraction of bytes missed with the given kind.
+func (c Counts) ByteMissRatio(k Kind) float64 {
+	tot := c.TotalBytes()
+	if tot == 0 {
+		return 0
+	}
+	return float64(c.Bytes[k]) / float64(tot)
+}
+
+// TotalMissRatio sums the per-read miss ratios over all non-hit kinds.
+func (c Counts) TotalMissRatio() float64 {
+	tot := c.TotalRequests()
+	if tot == 0 {
+		return 0
+	}
+	return float64(tot-c.Requests[Hit]) / float64(tot)
+}
+
+// Classifier replays requests against an LRU cache and attributes each miss
+// to its cause.
+type Classifier struct {
+	lru    *cache.LRU
+	counts Counts
+
+	// everSeen maps object -> last version this cache system observed.
+	// Present in the map means the object has been referenced before, so
+	// a miss cannot be compulsory.
+	everSeen map[uint64]int64
+
+	// evictedForSpace marks objects currently absent because the cache
+	// discarded them to make room. Distinguishes capacity from
+	// communication when the object is next referenced.
+	evictedForSpace map[uint64]struct{}
+}
+
+// NewClassifier builds a classifier over a cache with the given byte
+// capacity (<= 0 means infinite, which yields zero capacity misses).
+func NewClassifier(capacity int64) *Classifier {
+	cl := &Classifier{
+		lru:             cache.NewLRU(capacity),
+		everSeen:        make(map[uint64]int64),
+		evictedForSpace: make(map[uint64]struct{}),
+		counts:          newCounts(),
+	}
+	cl.lru.OnEvict(func(o cache.Object) {
+		cl.evictedForSpace[o.ID] = struct{}{}
+	})
+	return cl
+}
+
+// Observe classifies one request, updates the cache state, and returns the
+// outcome kind.
+func (cl *Classifier) Observe(req trace.Request) Kind {
+	k := cl.classify(req)
+	cl.counts.Requests[k]++
+	cl.counts.Bytes[k] += req.Size
+	return k
+}
+
+func (cl *Classifier) classify(req trace.Request) Kind {
+	if req.Error {
+		return Error
+	}
+	if req.Uncachable {
+		return Uncachable
+	}
+
+	prevSeen, seenBefore := cl.everSeen[req.Object]
+	cl.everSeen[req.Object] = req.Version
+
+	if _, ok := cl.lru.GetVersion(req.Object, req.Version); ok {
+		return Hit
+	}
+
+	// Miss: load the object (strong consistency fetched it fresh).
+	_, wasSpace := cl.evictedForSpace[req.Object]
+	delete(cl.evictedForSpace, req.Object)
+	cl.lru.Put(cache.Object{ID: req.Object, Size: req.Size, Version: req.Version})
+
+	if !seenBefore {
+		return Compulsory
+	}
+	if req.Version > prevSeen {
+		// The object changed since the cache system last saw it, so
+		// even a perfectly sized cache would have missed.
+		return Communication
+	}
+	if wasSpace {
+		return Capacity
+	}
+	// Same version, previously seen, not discarded for space: the copy
+	// must have been invalidated by an intervening version bump that was
+	// itself observed as a communication miss, or removed when stale.
+	return Communication
+}
+
+// Counts returns the accumulated totals. The caller must not mutate the
+// maps.
+func (cl *Classifier) Counts() Counts { return cl.counts }
+
+// Reset clears the statistics but keeps cache and history state. Used to
+// discard warmup-period counts while keeping the cache warm.
+func (cl *Classifier) Reset() {
+	cl.counts = newCounts()
+}
+
+// Kinds lists all outcome kinds in report order.
+func Kinds() []Kind {
+	return []Kind{Hit, Compulsory, Capacity, Communication, Error, Uncachable}
+}
+
+// MissKinds lists the miss kinds in Figure 2's legend order.
+func MissKinds() []Kind {
+	return []Kind{Compulsory, Capacity, Communication, Error, Uncachable}
+}

@@ -1,0 +1,180 @@
+package missclass
+
+import (
+	"io"
+	"testing"
+
+	"beyondcache/internal/trace"
+)
+
+func req(seq int64, object uint64, size int64, version int64) trace.Request {
+	return trace.Request{Seq: seq, Object: object, Size: size, Version: version}
+}
+
+func TestFirstAccessIsCompulsory(t *testing.T) {
+	cl := NewClassifier(0)
+	if k := cl.Observe(req(0, 1, 100, 1)); k != Compulsory {
+		t.Errorf("first access = %v, want compulsory", k)
+	}
+	if k := cl.Observe(req(1, 1, 100, 1)); k != Hit {
+		t.Errorf("second access = %v, want hit", k)
+	}
+}
+
+func TestVersionBumpIsCommunication(t *testing.T) {
+	cl := NewClassifier(0)
+	cl.Observe(req(0, 1, 100, 1))
+	if k := cl.Observe(req(1, 1, 100, 2)); k != Communication {
+		t.Errorf("updated object access = %v, want communication", k)
+	}
+	if k := cl.Observe(req(2, 1, 100, 2)); k != Hit {
+		t.Errorf("repeat of new version = %v, want hit", k)
+	}
+}
+
+func TestEvictionThenReaccessIsCapacity(t *testing.T) {
+	cl := NewClassifier(150)
+	cl.Observe(req(0, 1, 100, 1))
+	cl.Observe(req(1, 2, 100, 1)) // evicts 1
+	if k := cl.Observe(req(2, 1, 100, 1)); k != Capacity {
+		t.Errorf("re-access after space eviction = %v, want capacity", k)
+	}
+}
+
+func TestErrorAndUncachable(t *testing.T) {
+	cl := NewClassifier(0)
+	r := req(0, 1, 100, 1)
+	r.Error = true
+	if k := cl.Observe(r); k != Error {
+		t.Errorf("error request = %v", k)
+	}
+	r2 := req(1, 2, 100, 1)
+	r2.Uncachable = true
+	if k := cl.Observe(r2); k != Uncachable {
+		t.Errorf("uncachable request = %v", k)
+	}
+	// Error/uncachable requests must not populate the cache.
+	if k := cl.Observe(req(2, 1, 100, 1)); k != Compulsory {
+		t.Errorf("first real access after error = %v, want compulsory", k)
+	}
+}
+
+func TestInfiniteCacheHasNoCapacityMisses(t *testing.T) {
+	p := trace.DECProfile(trace.ScaleSmall)
+	p.Requests = 30_000
+	p.DistinctURLs = 6_000
+	g := trace.MustGenerator(p)
+	cl := NewClassifier(0)
+	for {
+		r, err := g.Next()
+		if err == io.EOF {
+			break
+		}
+		cl.Observe(r)
+	}
+	if n := cl.Counts().Requests[Capacity]; n != 0 {
+		t.Errorf("infinite cache produced %d capacity misses", n)
+	}
+}
+
+func TestSmallerCacheNeverHitsMore(t *testing.T) {
+	p := trace.DECProfile(trace.ScaleSmall)
+	p.Requests = 30_000
+	p.DistinctURLs = 6_000
+	run := func(capBytes int64) Counts {
+		g := trace.MustGenerator(p)
+		cl := NewClassifier(capBytes)
+		for {
+			r, err := g.Next()
+			if err == io.EOF {
+				break
+			}
+			cl.Observe(r)
+		}
+		return cl.Counts()
+	}
+	small := run(2 << 20)
+	big := run(64 << 20)
+	inf := run(0)
+	if small.Requests[Hit] > big.Requests[Hit] {
+		t.Errorf("2MB cache hits (%d) > 64MB cache hits (%d)", small.Requests[Hit], big.Requests[Hit])
+	}
+	if big.Requests[Hit] > inf.Requests[Hit] {
+		t.Errorf("64MB cache hits (%d) > infinite cache hits (%d)", big.Requests[Hit], inf.Requests[Hit])
+	}
+	// Compulsory misses are a property of the trace, not the capacity.
+	if small.Requests[Compulsory] != inf.Requests[Compulsory] {
+		t.Errorf("compulsory misses differ with capacity: %d vs %d",
+			small.Requests[Compulsory], inf.Requests[Compulsory])
+	}
+}
+
+func TestCountsTotalsAndRatios(t *testing.T) {
+	cl := NewClassifier(0)
+	cl.Observe(req(0, 1, 100, 1)) // compulsory
+	cl.Observe(req(1, 1, 100, 1)) // hit
+	cl.Observe(req(2, 1, 300, 2)) // communication
+	c := cl.Counts()
+	if c.TotalRequests() != 3 {
+		t.Errorf("TotalRequests = %d, want 3", c.TotalRequests())
+	}
+	if c.TotalBytes() != 500 {
+		t.Errorf("TotalBytes = %d, want 500", c.TotalBytes())
+	}
+	if got := c.MissRatio(Compulsory); got != 1.0/3 {
+		t.Errorf("MissRatio(Compulsory) = %g, want 1/3", got)
+	}
+	if got := c.ByteMissRatio(Communication); got != 0.6 {
+		t.Errorf("ByteMissRatio(Communication) = %g, want 0.6", got)
+	}
+	if got := c.TotalMissRatio(); got != 2.0/3 {
+		t.Errorf("TotalMissRatio = %g, want 2/3", got)
+	}
+}
+
+func TestResetClearsStatsKeepsWarmCache(t *testing.T) {
+	cl := NewClassifier(0)
+	cl.Observe(req(0, 1, 100, 1))
+	cl.Reset()
+	if cl.Counts().TotalRequests() != 0 {
+		t.Error("Reset did not clear counts")
+	}
+	// The cache remains warm: this access is a hit, not compulsory.
+	if k := cl.Observe(req(1, 1, 100, 1)); k != Hit {
+		t.Errorf("post-reset access = %v, want hit (warm cache)", k)
+	}
+}
+
+func TestMissRatiosSumToOne(t *testing.T) {
+	p := trace.BerkeleyProfile(trace.ScaleSmall)
+	p.Requests = 20_000
+	p.DistinctURLs = 5_000
+	g := trace.MustGenerator(p)
+	cl := NewClassifier(4 << 20)
+	for {
+		r, err := g.Next()
+		if err == io.EOF {
+			break
+		}
+		cl.Observe(r)
+	}
+	c := cl.Counts()
+	sum := 0.0
+	for _, k := range Kinds() {
+		sum += c.MissRatio(k)
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("per-kind ratios sum to %g, want 1", sum)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range Kinds() {
+		if k.String() == "" || k.String()[0] == 'K' {
+			t.Errorf("kind %d has bad label %q", int(k), k.String())
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Errorf("unknown kind label = %q", Kind(99).String())
+	}
+}

@@ -1,0 +1,100 @@
+package netmodel
+
+import (
+	"fmt"
+	"time"
+)
+
+// Loaded decorates a Model with per-cache-hop queuing delay. The paper's
+// testbed was measured idle and notes that "if the caches were heavily
+// loaded, queuing delays ... might significantly increase the per-hop costs
+// we observe. Busy nodes would probably increase the importance of reducing
+// the number of hops in a cache system" (Section 2.1.1). Loaded makes that
+// effect explicit: every cache a request touches adds an M/M/1-style
+// waiting time, service x rho/(1-rho), so multi-hop paths degrade faster
+// than direct ones as utilization rises.
+type Loaded struct {
+	base Model
+	// rho is the cache utilization in [0, 1).
+	rho float64
+	// service is the mean per-request service time at a cache.
+	service time.Duration
+}
+
+var _ Model = (*Loaded)(nil)
+
+// DefaultServiceTime is the per-request cache service time the decorator
+// assumes: the order of the Squid leaf "client connect" component.
+const DefaultServiceTime = 40 * time.Millisecond
+
+// NewLoaded wraps base with utilization rho (0 <= rho < 1). A zero service
+// time uses DefaultServiceTime.
+func NewLoaded(base Model, rho float64, service time.Duration) (*Loaded, error) {
+	if base == nil {
+		return nil, fmt.Errorf("netmodel: nil base model")
+	}
+	if rho < 0 || rho >= 1 {
+		return nil, fmt.Errorf("netmodel: utilization must be in [0,1), got %g", rho)
+	}
+	if service <= 0 {
+		service = DefaultServiceTime
+	}
+	return &Loaded{base: base, rho: rho, service: service}, nil
+}
+
+// Name implements Model.
+func (l *Loaded) Name() string {
+	return fmt.Sprintf("%s@%.0f%%", l.base.Name(), l.rho*100)
+}
+
+// queueDelay returns the added waiting time for a path touching hops
+// caches.
+func (l *Loaded) queueDelay(hops int) time.Duration {
+	if l.rho == 0 || hops <= 0 {
+		return 0
+	}
+	wait := float64(l.service) * l.rho / (1 - l.rho)
+	return time.Duration(wait * float64(hops))
+}
+
+// HierHit implements Model: a level-k hierarchical hit queues at k caches.
+func (l *Loaded) HierHit(level Level, size int64) time.Duration {
+	return l.base.HierHit(level, size) + l.queueDelay(int(level))
+}
+
+// HierMiss implements Model: misses queue at all three caches.
+func (l *Loaded) HierMiss(size int64) time.Duration {
+	return l.base.HierMiss(size) + l.queueDelay(3)
+}
+
+// DirectHit implements Model: one cache.
+func (l *Loaded) DirectHit(level Level, size int64) time.Duration {
+	return l.base.DirectHit(level, size) + l.queueDelay(1)
+}
+
+// DirectMiss implements Model: the origin server is outside the cache
+// system; no cache queuing.
+func (l *Loaded) DirectMiss(size int64) time.Duration {
+	return l.base.DirectMiss(size)
+}
+
+// ViaL1Hit implements Model: the local proxy plus (for remote hits) the
+// serving cache.
+func (l *Loaded) ViaL1Hit(level Level, size int64) time.Duration {
+	hops := 1
+	if level > L1 {
+		hops = 2
+	}
+	return l.base.ViaL1Hit(level, size) + l.queueDelay(hops)
+}
+
+// ViaL1Miss implements Model: only the local proxy queues.
+func (l *Loaded) ViaL1Miss(size int64) time.Duration {
+	return l.base.ViaL1Miss(size) + l.queueDelay(1)
+}
+
+// FalsePositive implements Model: the wasted probe queues at the wrongly
+// hinted cache.
+func (l *Loaded) FalsePositive(level Level) time.Duration {
+	return l.base.FalsePositive(level) + l.queueDelay(1)
+}

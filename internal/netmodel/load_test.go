@@ -1,0 +1,101 @@
+package netmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNewLoadedValidation(t *testing.T) {
+	if _, err := NewLoaded(nil, 0.5, 0); err == nil {
+		t.Error("nil base accepted")
+	}
+	if _, err := NewLoaded(NewTestbed(), -0.1, 0); err == nil {
+		t.Error("negative rho accepted")
+	}
+	if _, err := NewLoaded(NewTestbed(), 1.0, 0); err == nil {
+		t.Error("rho=1 accepted (infinite queue)")
+	}
+	l, err := NewLoaded(NewTestbed(), 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Name() != "Testbed@50%" {
+		t.Errorf("Name = %q", l.Name())
+	}
+}
+
+func TestZeroLoadIsTransparent(t *testing.T) {
+	base := NewRousskovMin()
+	l, err := NewLoaded(base, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lvl := range []Level{L1, L2, L3} {
+		if l.HierHit(lvl, 8192) != base.HierHit(lvl, 8192) {
+			t.Errorf("rho=0 changed HierHit(L%d)", lvl)
+		}
+		if l.ViaL1Hit(lvl, 8192) != base.ViaL1Hit(lvl, 8192) {
+			t.Errorf("rho=0 changed ViaL1Hit(L%d)", lvl)
+		}
+	}
+	if l.HierMiss(8192) != base.HierMiss(8192) || l.ViaL1Miss(8192) != base.ViaL1Miss(8192) {
+		t.Error("rho=0 changed miss costs")
+	}
+}
+
+func TestQueueDelayScalesWithHops(t *testing.T) {
+	base := NewRousskovMin()
+	l, err := NewLoaded(base, 0.5, 40*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At rho=0.5 the per-hop wait is exactly the service time (40ms).
+	if d := l.HierHit(L1, 0) - base.HierHit(L1, 0); d != 40*time.Millisecond {
+		t.Errorf("1-hop delay = %v, want 40ms", d)
+	}
+	if d := l.HierHit(L3, 0) - base.HierHit(L3, 0); d != 120*time.Millisecond {
+		t.Errorf("3-hop delay = %v, want 120ms", d)
+	}
+	if d := l.HierMiss(0) - base.HierMiss(0); d != 120*time.Millisecond {
+		t.Errorf("miss delay = %v, want 120ms", d)
+	}
+	// The hint architecture's remote hit touches 2 caches, its miss 1.
+	if d := l.ViaL1Hit(L3, 0) - base.ViaL1Hit(L3, 0); d != 80*time.Millisecond {
+		t.Errorf("via-L1 remote delay = %v, want 80ms", d)
+	}
+	if d := l.ViaL1Miss(0) - base.ViaL1Miss(0); d != 40*time.Millisecond {
+		t.Errorf("via-L1 miss delay = %v, want 40ms", d)
+	}
+	// The origin server is outside the cache system.
+	if l.DirectMiss(0) != base.DirectMiss(0) {
+		t.Error("DirectMiss gained cache queuing")
+	}
+}
+
+func TestLoadHurtsHierarchyMore(t *testing.T) {
+	// The Section 2.1.1 note: load amplifies the per-hop cost, so the
+	// (hierarchy miss) / (hint miss) gap must widen with rho.
+	base := NewRousskovMin()
+	gapAt := func(rho float64) float64 {
+		l, err := NewLoaded(base, rho, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(l.HierMiss(8192)) / float64(l.ViaL1Miss(8192))
+	}
+	if g0, g8 := gapAt(0), gapAt(0.8); g8 <= g0 {
+		t.Errorf("miss-path advantage did not grow with load: %.3f -> %.3f", g0, g8)
+	}
+}
+
+func TestHighLoadDelayExplodes(t *testing.T) {
+	l, err := NewLoaded(NewRousskovMin(), 0.95, 40*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rho/(1-rho) = 19: a 3-hop path waits ~2.3 seconds.
+	delay := l.HierMiss(0) - NewRousskovMin().HierMiss(0)
+	if delay < 2*time.Second {
+		t.Errorf("95%% utilization 3-hop delay = %v, want seconds", delay)
+	}
+}

@@ -1,0 +1,304 @@
+// Package netmodel provides the Internet access-time models that
+// parameterize the simulations: a size-dependent model fitted to the paper's
+// WAN testbed measurements (Figure 1, Table 2) and the component-wise
+// min/max models derived from Rousskov's measurements of deployed Squid
+// caches (Table 3).
+//
+// All models answer the same questions: what does it cost to hit at a given
+// level of a traditional data hierarchy, to access a cache at a given
+// network distance directly, to reach a remote cache through the local L1
+// proxy (the hint architecture's data path), and to miss.
+package netmodel
+
+import "time"
+
+// Level classifies network distance in hierarchy terms: Level 1 is the
+// local leaf proxy, Level 2 a regional (intermediate-distance) cache, and
+// Level 3 a distant (root-distance) cache. In the hint architecture, a
+// remote L1 in the same L2 subtree is at distance class 2 and any other
+// remote L1 at distance class 3.
+type Level int
+
+// Distance classes.
+const (
+	L1 Level = 1
+	L2 Level = 2
+	L3 Level = 3
+)
+
+// Model is an access-time model.
+type Model interface {
+	// Name labels the model in reports ("Testbed", "Min", "Max").
+	Name() string
+
+	// HierHit is the cost of a hit at the given level of a traditional
+	// data hierarchy: the request climbs through every cache up to the
+	// hit level, and the data returns (store-and-forward) through each.
+	HierHit(level Level, size int64) time.Duration
+
+	// HierMiss is the cost of a miss through the full hierarchy: climb
+	// all three levels, fetch from the server, and return through each
+	// cache.
+	HierMiss(size int64) time.Duration
+
+	// DirectHit is the cost of contacting a cache at the given distance
+	// class directly, with no intervening caches.
+	DirectHit(level Level, size int64) time.Duration
+
+	// DirectMiss is the cost of contacting the origin server directly.
+	DirectMiss(size int64) time.Duration
+
+	// ViaL1Hit is the hint architecture's hit path: through the local L1
+	// proxy, then one direct cache-to-cache transfer from a cache at the
+	// given distance class. ViaL1Hit(L1, size) is a local L1 hit.
+	ViaL1Hit(level Level, size int64) time.Duration
+
+	// ViaL1Miss is the hint architecture's miss path: the L1 proxy
+	// detects the miss locally (hint lookup) and goes straight to the
+	// server.
+	ViaL1Miss(size int64) time.Duration
+
+	// FalsePositive is the wasted round trip when a hint points at a
+	// cache (at the given distance class) that no longer has the data:
+	// the remote cache replies with a small error and the requester
+	// falls back to the server.
+	FalsePositive(level Level) time.Duration
+}
+
+// link models one network segment plus the software cost of the cache (or
+// server) at its far end.
+type link struct {
+	// rtt is the round-trip network latency of the segment.
+	rtt time.Duration
+	// setup is the software overhead at the far end: accepting the
+	// connection, parsing the request, and scheduling the reply.
+	setup time.Duration
+	// bytesPerSec is the effective transfer bandwidth of the segment.
+	bytesPerSec int64
+}
+
+// cost is the time to complete one request/response of size bytes over the
+// link.
+func (l link) cost(size int64) time.Duration {
+	d := l.rtt + l.setup
+	if l.bytesPerSec > 0 && size > 0 {
+		d += time.Duration(float64(size) / float64(l.bytesPerSec) * float64(time.Second))
+	}
+	return d
+}
+
+// Testbed is the size-dependent model fitted to the measured testbed
+// hierarchy of Section 2.1.1 (client at UC Berkeley, L1 Berkeley, L2 San
+// Diego, L3 Austin, server at Cornell). The fit targets the paper's headline
+// observations for 8 KB objects: a level-3 hierarchical hit costs about 2.5x
+// a direct level-3 access (a 545 ms gap), local L1 hits are 4.75x faster
+// than direct accesses at L2 distance and 6.17x faster than at L3 distance.
+type Testbed struct {
+	// Hierarchy path segments.
+	clientL1 link
+	l1ToL2   link
+	l2ToL3   link
+	l3ToSrv  link
+	// Direct-access segments (bypassing intervening caches).
+	directL2  link
+	directL3  link
+	directSrv link
+	// errorReply is the size of a false-positive error response.
+}
+
+// NewTestbed returns the fitted testbed model.
+func NewTestbed() *Testbed {
+	const KBps = 1024 // bytes per second multiplier
+	return &Testbed{
+		clientL1:  link{rtt: 4 * time.Millisecond, setup: 50 * time.Millisecond, bytesPerSec: 900 * KBps},
+		l1ToL2:    link{rtt: 240 * time.Millisecond, setup: 150 * time.Millisecond, bytesPerSec: 70 * KBps},
+		l2ToL3:    link{rtt: 100 * time.Millisecond, setup: 150 * time.Millisecond, bytesPerSec: 120 * KBps},
+		l3ToSrv:   link{rtt: 180 * time.Millisecond, setup: 100 * time.Millisecond, bytesPerSec: 80 * KBps},
+		directL2:  link{rtt: 120 * time.Millisecond, setup: 60 * time.Millisecond, bytesPerSec: 110 * KBps},
+		directL3:  link{rtt: 160 * time.Millisecond, setup: 60 * time.Millisecond, bytesPerSec: 80 * KBps},
+		directSrv: link{rtt: 230 * time.Millisecond, setup: 60 * time.Millisecond, bytesPerSec: 60 * KBps},
+	}
+}
+
+var _ Model = (*Testbed)(nil)
+
+// Name implements Model.
+func (t *Testbed) Name() string { return "Testbed" }
+
+// HierHit implements Model.
+func (t *Testbed) HierHit(level Level, size int64) time.Duration {
+	d := t.clientL1.cost(size)
+	if level >= L2 {
+		d += t.l1ToL2.cost(size)
+	}
+	if level >= L3 {
+		d += t.l2ToL3.cost(size)
+	}
+	return d
+}
+
+// HierMiss implements Model.
+func (t *Testbed) HierMiss(size int64) time.Duration {
+	return t.HierHit(L3, size) + t.l3ToSrv.cost(size)
+}
+
+// DirectHit implements Model.
+func (t *Testbed) DirectHit(level Level, size int64) time.Duration {
+	switch level {
+	case L1:
+		return t.clientL1.cost(size)
+	case L2:
+		return t.directL2.cost(size)
+	default:
+		return t.directL3.cost(size)
+	}
+}
+
+// DirectMiss implements Model.
+func (t *Testbed) DirectMiss(size int64) time.Duration {
+	return t.directSrv.cost(size)
+}
+
+// ViaL1Hit implements Model.
+func (t *Testbed) ViaL1Hit(level Level, size int64) time.Duration {
+	if level <= L1 {
+		return t.clientL1.cost(size)
+	}
+	return t.clientL1.cost(size) + t.DirectHit(level, size)
+}
+
+// ViaL1Miss implements Model.
+func (t *Testbed) ViaL1Miss(size int64) time.Duration {
+	return t.clientL1.cost(size) + t.directSrv.cost(size)
+}
+
+// FalsePositive implements Model: one wasted round trip carrying a tiny
+// error reply.
+func (t *Testbed) FalsePositive(level Level) time.Duration {
+	switch level {
+	case L1:
+		return t.clientL1.cost(0)
+	case L2:
+		return t.directL2.cost(0)
+	default:
+		return t.directL3.cost(0)
+	}
+}
+
+// levelComponents holds Rousskov's per-cache-class timing components
+// (Table 3): client connect, disk swap-in, and proxy reply.
+type levelComponents struct {
+	connect time.Duration
+	disk    time.Duration
+	reply   time.Duration
+}
+
+// Rousskov is the component model derived from Rousskov's measurements of
+// deployed Squid caches (Table 3). The components are medians over 20-minute
+// windows, so the model is size-independent; Min and Max give the best and
+// worst windows observed during peak hours.
+type Rousskov struct {
+	name   string
+	leaf   levelComponents
+	middle levelComponents
+	root   levelComponents
+	miss   time.Duration // top-level proxy's server connect+receive time
+}
+
+var _ Model = (*Rousskov)(nil)
+
+// NewRousskovMin returns the best-case (minimum) Squid model of Table 3.
+func NewRousskovMin() *Rousskov {
+	return &Rousskov{
+		name:   "Min",
+		leaf:   levelComponents{connect: 16 * time.Millisecond, disk: 72 * time.Millisecond, reply: 75 * time.Millisecond},
+		middle: levelComponents{connect: 50 * time.Millisecond, disk: 60 * time.Millisecond, reply: 70 * time.Millisecond},
+		root:   levelComponents{connect: 100 * time.Millisecond, disk: 100 * time.Millisecond, reply: 120 * time.Millisecond},
+		miss:   550 * time.Millisecond,
+	}
+}
+
+// NewRousskovMax returns the worst-case (maximum) Squid model of Table 3.
+func NewRousskovMax() *Rousskov {
+	return &Rousskov{
+		name:   "Max",
+		leaf:   levelComponents{connect: 62 * time.Millisecond, disk: 135 * time.Millisecond, reply: 155 * time.Millisecond},
+		middle: levelComponents{connect: 550 * time.Millisecond, disk: 950 * time.Millisecond, reply: 1050 * time.Millisecond},
+		root:   levelComponents{connect: 1200 * time.Millisecond, disk: 650 * time.Millisecond, reply: 1000 * time.Millisecond},
+		miss:   3200 * time.Millisecond,
+	}
+}
+
+// Name implements Model.
+func (r *Rousskov) Name() string { return r.name }
+
+func (r *Rousskov) comp(level Level) levelComponents {
+	switch level {
+	case L1:
+		return r.leaf
+	case L2:
+		return r.middle
+	default:
+		return r.root
+	}
+}
+
+// HierHit implements Model: connect+reply at every traversed level plus the
+// disk time of the level that supplies the data (the derivation used for
+// Table 3's "Total Hierarchical" column).
+func (r *Rousskov) HierHit(level Level, _ int64) time.Duration {
+	var d time.Duration
+	for l := L1; l <= level; l++ {
+		c := r.comp(l)
+		d += c.connect + c.reply
+	}
+	return d + r.comp(level).disk
+}
+
+// HierMiss implements Model: connect+reply at all three levels plus the
+// server fetch.
+func (r *Rousskov) HierMiss(_ int64) time.Duration {
+	var d time.Duration
+	for l := L1; l <= L3; l++ {
+		c := r.comp(l)
+		d += c.connect + c.reply
+	}
+	return d + r.miss
+}
+
+// DirectHit implements Model: connect + disk + reply at the target level
+// (Table 3's "Total Client Direct" column).
+func (r *Rousskov) DirectHit(level Level, _ int64) time.Duration {
+	c := r.comp(level)
+	return c.connect + c.disk + c.reply
+}
+
+// DirectMiss implements Model.
+func (r *Rousskov) DirectMiss(_ int64) time.Duration { return r.miss }
+
+// ViaL1Hit implements Model: the leaf's connect+reply plus a direct access
+// to the target (Table 3's "Total via L1" column).
+func (r *Rousskov) ViaL1Hit(level Level, size int64) time.Duration {
+	if level <= L1 {
+		return r.DirectHit(L1, size)
+	}
+	return r.leaf.connect + r.leaf.reply + r.DirectHit(level, size)
+}
+
+// ViaL1Miss implements Model: the leaf's connect+reply plus a direct server
+// fetch.
+func (r *Rousskov) ViaL1Miss(_ int64) time.Duration {
+	return r.leaf.connect + r.leaf.reply + r.miss
+}
+
+// FalsePositive implements Model: the wasted connect round trip at the
+// target class (no disk, no data reply).
+func (r *Rousskov) FalsePositive(level Level) time.Duration {
+	return r.comp(level).connect
+}
+
+// Models returns the three models in the order the paper's bar charts use:
+// Max, Min, Testbed (Figure 8).
+func Models() []Model {
+	return []Model{NewRousskovMax(), NewRousskovMin(), NewTestbed()}
+}

@@ -1,0 +1,251 @@
+package plaxton
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// gridNetwork builds n nodes with random IDs placed on a line, with
+// distance = index gap; deterministic given seed.
+func gridNetwork(t *testing.T, n int, bits uint, seed int64) *Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	nodes := make([]Node, n)
+	used := map[uint64]bool{}
+	for i := range nodes {
+		id := rng.Uint64()
+		for used[id] {
+			id = rng.Uint64()
+		}
+		used[id] = true
+		nodes[i] = Node{ID: id, Addr: "node"}
+	}
+	dist := func(a, b int) float64 { return math.Abs(float64(a - b)) }
+	nw, err := New(nodes, bits, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestNewValidation(t *testing.T) {
+	dist := func(a, b int) float64 { return 1 }
+	if _, err := New(nil, 1, dist); err == nil {
+		t.Error("empty node list accepted")
+	}
+	if _, err := New([]Node{{ID: 1}}, 0, dist); err == nil {
+		t.Error("bits=0 accepted")
+	}
+	if _, err := New([]Node{{ID: 1}}, 17, dist); err == nil {
+		t.Error("bits=17 accepted")
+	}
+	if _, err := New([]Node{{ID: 1}}, 1, nil); err == nil {
+		t.Error("nil distance accepted")
+	}
+	if _, err := New([]Node{{ID: 5}, {ID: 5}}, 1, dist); err == nil {
+		t.Error("duplicate IDs accepted")
+	}
+}
+
+func TestSingleNodeIsAlwaysRoot(t *testing.T) {
+	nw, err := New([]Node{{ID: 123}}, 2, func(a, b int) float64 { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, obj := range []uint64{0, 1, 42, ^uint64(0)} {
+		if r := nw.Root(obj); r != 0 {
+			t.Errorf("Root(%d) = %d, want 0", obj, r)
+		}
+		if p := nw.Path(obj, 0); len(p) != 1 || p[0] != 0 {
+			t.Errorf("Path(%d) = %v, want [0]", obj, p)
+		}
+	}
+}
+
+func TestAllPathsConvergeToSameRoot(t *testing.T) {
+	nw := gridNetwork(t, 32, 2, 1)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		obj := rng.Uint64()
+		root := -1
+		for from := 0; from < nw.Len(); from++ {
+			p := nw.Path(obj, from)
+			end := p[len(p)-1]
+			if root == -1 {
+				root = end
+			} else if end != root {
+				t.Fatalf("object %#x: path from %d ends at %d, others end at %d",
+					obj, from, end, root)
+			}
+		}
+	}
+}
+
+func TestPathStartsAtFromAndHasNoCycles(t *testing.T) {
+	nw := gridNetwork(t, 64, 1, 3)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		obj := rng.Uint64()
+		from := rng.Intn(nw.Len())
+		p := nw.Path(obj, from)
+		if p[0] != from {
+			t.Fatalf("path starts at %d, want %d", p[0], from)
+		}
+		seen := map[int]bool{}
+		for _, n := range p {
+			if seen[n] {
+				t.Fatalf("path %v revisits node %d", p, n)
+			}
+			seen[n] = true
+		}
+		if len(p) > nw.Levels()+1 {
+			t.Fatalf("path length %d exceeds levels+1 (%d)", len(p), nw.Levels()+1)
+		}
+	}
+}
+
+func TestLoadDistributionAcrossRoots(t *testing.T) {
+	// With n nodes, each node should root roughly 1/n of objects
+	// (Section 3.1.3 "Load distribution").
+	nw := gridNetwork(t, 16, 1, 5)
+	rng := rand.New(rand.NewSource(6))
+	const objects = 8000
+	counts := make([]int, nw.Len())
+	for i := 0; i < objects; i++ {
+		counts[nw.Root(rng.Uint64())]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Errorf("node %d roots no objects", i)
+		}
+		// Allow generous slack: randomized IDs make shares uneven but
+		// no node should dominate.
+		if c > objects/3 {
+			t.Errorf("node %d roots %d/%d objects — load not distributed", i, c, objects)
+		}
+	}
+}
+
+func TestLocalityLowLevelsHaveCloserParents(t *testing.T) {
+	// Parents near the leaves should on average be closer than parents
+	// near the root (Section 3.1.3 "Locality").
+	nw := gridNetwork(t, 128, 1, 7)
+	rng := rand.New(rand.NewSource(8))
+	lowSum, lowN := 0.0, 0
+	highSum, highN := 0.0, 0
+	for trial := 0; trial < 500; trial++ {
+		obj := rng.Uint64()
+		i := rng.Intn(nw.Len())
+		if d := nw.ParentDistance(obj, i, 0); d > 0 {
+			lowSum += d
+			lowN++
+		}
+		if d := nw.ParentDistance(obj, i, 4); d > 0 {
+			highSum += d
+			highN++
+		}
+	}
+	if lowN == 0 || highN == 0 {
+		t.Skip("not enough samples at both levels")
+	}
+	low, high := lowSum/float64(lowN), highSum/float64(highN)
+	if low >= high {
+		t.Errorf("mean level-0 parent distance %.2f >= level-4 distance %.2f; locality violated", low, high)
+	}
+}
+
+func TestRemoveNodeReassignsAndDisturbsLittle(t *testing.T) {
+	nw := gridNetwork(t, 64, 2, 9)
+	smaller, err := nw.RemoveNode(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smaller.Len() != 63 {
+		t.Fatalf("Len = %d, want 63", smaller.Len())
+	}
+	// Every object still routes to a unique root.
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 50; trial++ {
+		obj := rng.Uint64()
+		root := smaller.Root(obj)
+		for from := 0; from < smaller.Len(); from += 7 {
+			p := smaller.Path(obj, from)
+			if p[len(p)-1] != root {
+				t.Fatalf("after removal, object %#x roots diverge", obj)
+			}
+		}
+	}
+	// Removing one node should change only a small fraction of entries.
+	changed, total := TableDiff(nw, smaller)
+	if total == 0 {
+		t.Fatal("TableDiff compared nothing")
+	}
+	frac := float64(changed) / float64(total)
+	if frac > 0.25 {
+		t.Errorf("removal changed %.1f%% of table entries; want small disturbance", frac*100)
+	}
+}
+
+func TestAddNodeKeepsInvariants(t *testing.T) {
+	nw := gridNetwork(t, 33, 2, 11)
+	grown, err := nw.AddNode(Node{ID: 0xABCDEF0123456789, Addr: "newcomer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.Len() != 34 {
+		t.Fatalf("Len = %d, want 34", grown.Len())
+	}
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 50; trial++ {
+		obj := rng.Uint64()
+		root := grown.Root(obj)
+		for from := 0; from < grown.Len(); from += 5 {
+			p := grown.Path(obj, from)
+			if p[len(p)-1] != root {
+				t.Fatalf("after add, object %#x roots diverge", obj)
+			}
+		}
+	}
+	if _, err := nw.RemoveNode(-1); err == nil {
+		t.Error("RemoveNode(-1) accepted")
+	}
+	if _, err := nw.RemoveNode(nw.Len()); err == nil {
+		t.Error("RemoveNode(Len()) accepted")
+	}
+}
+
+func TestRootDeterministicQuick(t *testing.T) {
+	nw := gridNetwork(t, 20, 2, 13)
+	f := func(obj uint64, fromRaw uint8) bool {
+		from := int(fromRaw) % nw.Len()
+		p1 := nw.Path(obj, from)
+		p2 := nw.Path(obj, from)
+		if len(p1) != len(p2) {
+			return false
+		}
+		for i := range p1 {
+			if p1[i] != p2[i] {
+				return false
+			}
+		}
+		return p1[len(p1)-1] == nw.Root(obj)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArityAndLevels(t *testing.T) {
+	nw := gridNetwork(t, 8, 3, 14)
+	if nw.Arity() != 8 {
+		t.Errorf("Arity = %d, want 8", nw.Arity())
+	}
+	if nw.Levels() < 1 {
+		t.Errorf("Levels = %d, want >= 1", nw.Levels())
+	}
+	if nw.Node(0).Addr != "node" {
+		t.Errorf("Node(0).Addr = %q", nw.Node(0).Addr)
+	}
+}

@@ -1,0 +1,154 @@
+package push
+
+import (
+	"fmt"
+
+	"beyondcache/internal/hints"
+	"beyondcache/internal/trace"
+)
+
+// Crawler implements the extension the paper leaves as future work
+// (Section 4.1): "one could imagine having the cache hierarchy 'crawl' the
+// Internet in the background, looking for new pages. Clearly such an
+// algorithm could further improve performance by reducing the number of
+// complete misses endured by the system."
+//
+// This crawler exploits spatial locality: when a node suffers a compulsory
+// miss on some object, the crawler prefetches up to Fanout sibling objects
+// from the same server into that node's cache, speculatively. Unlike the
+// paper's push algorithms it fetches data not yet stored anywhere in the
+// cache system — so it is the only mechanism here that can reduce
+// compulsory misses, at the cost of extra load on origin servers.
+type Crawler struct {
+	sim     *hints.Simulator
+	profile trace.Profile
+	fanout  int
+
+	// crawled remembers servers already crawled by a node, so each
+	// (node, server) pair is crawled once.
+	crawled map[crawlKey]struct{}
+
+	prefetched     int64
+	prefetchedByte int64
+	used           int64
+	usedByte       int64
+	pending        map[pushKey]int64
+}
+
+type crawlKey struct {
+	node   int
+	server uint64
+}
+
+var _ hints.Pusher = (*Crawler)(nil)
+
+// objectsPerServer mirrors trace.ObjectURL's grouping of object IDs onto
+// synthetic servers.
+const objectsPerServer = 64
+
+// NewCrawler builds a crawler that prefetches up to fanout same-server
+// siblings per compulsory miss. The profile supplies deterministic object
+// sizes and versions (the crawler fetches real objects, so it needs their
+// real attributes).
+func NewCrawler(profile trace.Profile, fanout int) (*Crawler, error) {
+	if fanout < 1 {
+		return nil, fmt.Errorf("push: crawler fanout must be positive, got %d", fanout)
+	}
+	if err := profile.Validate(); err != nil {
+		return nil, err
+	}
+	return &Crawler{
+		profile: profile,
+		fanout:  fanout,
+		crawled: make(map[crawlKey]struct{}),
+		pending: make(map[pushKey]int64),
+	}, nil
+}
+
+// Bind attaches the crawler to its simulator. Must be called before the
+// simulation runs.
+func (c *Crawler) Bind(s *hints.Simulator) { c.sim = s }
+
+// OnMiss implements hints.Pusher: the crawl trigger.
+func (c *Crawler) OnMiss(node int, req trace.Request) {
+	server := req.Object / objectsPerServer
+	key := crawlKey{node: node, server: server}
+	if _, done := c.crawled[key]; done {
+		return
+	}
+	c.crawled[key] = struct{}{}
+
+	base := server * objectsPerServer
+	prefetched := 0
+	for off := uint64(0); off < objectsPerServer && prefetched < c.fanout; off++ {
+		obj := base + off
+		if obj == req.Object || obj >= uint64(c.profile.DistinctURLs) {
+			continue
+		}
+		sibling := trace.Request{
+			Time:    req.Time,
+			Client:  req.Client,
+			Object:  obj,
+			Size:    c.profile.ObjectSize(obj),
+			Version: c.profile.ObjectVersionAt(obj, req.Time),
+		}
+		if c.sim.InjectCopy(node, sibling, false) {
+			prefetched++
+			c.prefetched++
+			c.prefetchedByte += sibling.Size
+			c.pending[pushKey{node: node, object: obj}] = sibling.Size
+		}
+	}
+}
+
+// OnLocalHit implements hints.Pusher: credits used prefetches.
+func (c *Crawler) OnLocalHit(node int, req trace.Request) {
+	k := pushKey{node: node, object: req.Object}
+	if size, ok := c.pending[k]; ok {
+		delete(c.pending, k)
+		c.used++
+		c.usedByte += size
+	}
+}
+
+// OnEvict implements hints.Pusher: an evicted prefetch is wasted.
+func (c *Crawler) OnEvict(node int, object uint64) {
+	delete(c.pending, pushKey{node: node, object: object})
+}
+
+// OnRemoteHit implements hints.Pusher (no-op: the crawler only acts on
+// compulsory misses).
+func (c *Crawler) OnRemoteHit(int, int, trace.Request, bool) {}
+
+// OnVersionChange implements hints.Pusher: invalidated prefetches die.
+func (c *Crawler) OnVersionChange(prevHolders []int, req trace.Request) {
+	for _, n := range prevHolders {
+		delete(c.pending, pushKey{node: n, object: req.Object})
+	}
+}
+
+// CrawlStats reports the crawler's activity.
+type CrawlStats struct {
+	Prefetched      int64
+	PrefetchedBytes int64
+	Used            int64
+	UsedBytes       int64
+}
+
+// Stats returns the counters.
+func (c *Crawler) Stats() CrawlStats {
+	return CrawlStats{
+		Prefetched:      c.prefetched,
+		PrefetchedBytes: c.prefetchedByte,
+		Used:            c.used,
+		UsedBytes:       c.usedByte,
+	}
+}
+
+// Efficiency is the fraction of prefetched bytes later referenced.
+func (c *Crawler) Efficiency() float64 {
+	if c.prefetchedByte == 0 {
+		return 0
+	}
+	return float64(c.usedByte) / float64(c.prefetchedByte)
+}

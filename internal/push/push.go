@@ -1,0 +1,276 @@
+// Package push implements the push-caching algorithms of Section 4, which
+// move copies of data toward clients that have not yet requested them:
+//
+//   - Update push (Section 4.1.2): when a new version of an object enters
+//     the system, push it to the caches that held the previous version.
+//   - Hierarchical push on miss (Section 4.1.3): when a cache fetches an
+//     object from a cousin whose least common ancestor is at level k, push
+//     a copy into each level-(k-1) subtree under that ancestor. Variants
+//     push-1, push-half, and push-all control how many nodes per subtree
+//     receive a copy.
+//
+// The push-ideal upper bound (all remote hits become local hits, replicas
+// are free) is implemented by the hints simulator's IdealPush flag.
+//
+// The package also accounts for push efficiency (the fraction of pushed
+// bytes later accessed, Figure 11a) and push bandwidth (Figure 11b).
+package push
+
+import (
+	"fmt"
+	"math/rand"
+
+	"beyondcache/internal/hints"
+	"beyondcache/internal/trace"
+)
+
+// Strategy selects a push algorithm.
+type Strategy int
+
+// Strategies.
+const (
+	// UpdatePush pushes fresh versions to holders of the old version.
+	UpdatePush Strategy = iota + 1
+	// Hier1 pushes one copy per eligible subtree.
+	Hier1
+	// HierHalf pushes copies to half the nodes of each eligible subtree.
+	HierHalf
+	// HierAll pushes copies to every node of each eligible subtree.
+	HierAll
+)
+
+// String labels the strategy the way Figure 10 does.
+func (s Strategy) String() string {
+	switch s {
+	case UpdatePush:
+		return "Update Push"
+	case Hier1:
+		return "Push-1"
+	case HierHalf:
+		return "Push-half"
+	case HierAll:
+		return "Push-all"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// pushKey identifies one pushed replica.
+type pushKey struct {
+	node   int
+	object uint64
+}
+
+// Push is a hints.Pusher implementing one strategy. Attach it to a
+// hints.Simulator via hints.Config.Pusher and call Bind before running.
+type Push struct {
+	strategy Strategy
+	sim      *hints.Simulator
+	rng      *rand.Rand
+
+	pending map[pushKey]int64 // pushed, not yet referenced -> size
+
+	// fired records hierarchical-push triggers already acted on: the
+	// paper's rule is "once two subtrees fetch object A, push A" — one
+	// push per (object, version, ancestor level), not one per remote
+	// hit. Without this, eviction-refetch cycles re-push the same object
+	// indefinitely and the bandwidth overhead explodes.
+	fired map[firedKey]struct{}
+
+	pushedBytes int64
+	usedBytes   int64
+	pushedCount int64
+	usedCount   int64
+}
+
+var _ hints.Pusher = (*Push)(nil)
+
+// New builds a pusher with a deterministic random source for the "random
+// node in each subtree" choices.
+func New(strategy Strategy, seed int64) (*Push, error) {
+	switch strategy {
+	case UpdatePush, Hier1, HierHalf, HierAll:
+	default:
+		return nil, fmt.Errorf("push: unknown strategy %d", int(strategy))
+	}
+	return &Push{
+		strategy: strategy,
+		rng:      rand.New(rand.NewSource(seed)),
+		pending:  make(map[pushKey]int64),
+		fired:    make(map[firedKey]struct{}),
+	}, nil
+}
+
+// firedKey identifies one hierarchical-push trigger.
+type firedKey struct {
+	object  uint64
+	version int64
+	near    bool
+}
+
+// Bind attaches the pusher to the simulator whose events it will receive.
+// It must be called exactly once, before the simulation runs.
+func (p *Push) Bind(s *hints.Simulator) { p.sim = s }
+
+// Strategy returns the configured strategy.
+func (p *Push) Strategy() Strategy { return p.strategy }
+
+// OnRemoteHit implements hints.Pusher: the hierarchical push trigger.
+func (p *Push) OnRemoteHit(requester, holder int, req trace.Request, near bool) {
+	switch p.strategy {
+	case Hier1, HierHalf, HierAll:
+	default:
+		return
+	}
+	fk := firedKey{object: req.Object, version: req.Version, near: near}
+	if _, done := p.fired[fk]; done {
+		return
+	}
+	p.fired[fk] = struct{}{}
+	topo := p.sim.Topology()
+	if near {
+		// LCA is the shared L2: the level-1 subtrees are the individual
+		// L1 caches under it. Push-1 and push-all cover every node;
+		// push-half covers a random half.
+		group := topo.L2OfL1(requester)
+		nodes := p.l1sOfL2(group)
+		if p.strategy == HierHalf {
+			nodes = p.sample(nodes, (len(nodes)+1)/2)
+		}
+		for _, n := range nodes {
+			if n != requester && n != holder {
+				p.inject(n, req)
+			}
+		}
+		return
+	}
+	// LCA is the root: eligible subtrees are all L2 groups. Per subtree,
+	// push-1 picks one random node, push-half a random half, push-all
+	// every node.
+	for g := 0; g < topo.NumL2(); g++ {
+		nodes := p.l1sOfL2(g)
+		switch p.strategy {
+		case Hier1:
+			nodes = p.sample(nodes, 1)
+		case HierHalf:
+			nodes = p.sample(nodes, (len(nodes)+1)/2)
+		}
+		for _, n := range nodes {
+			if n != requester && n != holder {
+				p.inject(n, req)
+			}
+		}
+	}
+}
+
+// OnVersionChange implements hints.Pusher: the update-push trigger.
+func (p *Push) OnVersionChange(prevHolders []int, req trace.Request) {
+	// The pushed old copies are now invalid: their pending records are
+	// wasted (the map entry is simply overwritten or left to die).
+	for _, n := range prevHolders {
+		delete(p.pending, pushKey{node: n, object: req.Object})
+	}
+	if p.strategy != UpdatePush {
+		return
+	}
+	for _, n := range prevHolders {
+		// The holder had demonstrated interest (it demand-cached the
+		// previous version), so the refresh keeps demand standing —
+		// but is aged so that objects updated many times without
+		// being read fall out of the cache (Section 4.1.2).
+		if !p.sim.InjectRefresh(n, req) {
+			continue
+		}
+		p.sim.AgeObject(n, req.Object)
+		p.pushedBytes += req.Size
+		p.pushedCount++
+		p.pending[pushKey{node: n, object: req.Object}] = req.Size
+	}
+}
+
+// OnLocalHit implements hints.Pusher: marks a pushed replica as used.
+func (p *Push) OnLocalHit(node int, req trace.Request) {
+	k := pushKey{node: node, object: req.Object}
+	if size, ok := p.pending[k]; ok {
+		delete(p.pending, k)
+		p.usedBytes += size
+		p.usedCount++
+	}
+}
+
+// OnEvict implements hints.Pusher: a pushed replica evicted before use is
+// wasted.
+func (p *Push) OnEvict(node int, object uint64) {
+	delete(p.pending, pushKey{node: node, object: object})
+}
+
+// OnMiss implements hints.Pusher. The paper's push algorithms only
+// replicate data already inside the cache system ("we limit pushing or
+// prefetching to increasing the number of copies of data that are already
+// stored at least once"), so server fetches trigger nothing here; see
+// Crawler for the future-work extension that does act on them.
+func (p *Push) OnMiss(int, trace.Request) {}
+
+// inject pushes one replica and records it for efficiency accounting.
+func (p *Push) inject(node int, req trace.Request) bool {
+	if !p.sim.InjectCopy(node, req, false) {
+		return false
+	}
+	p.pushedBytes += req.Size
+	p.pushedCount++
+	p.pending[pushKey{node: node, object: req.Object}] = req.Size
+	return true
+}
+
+// l1sOfL2 lists the leaf caches under L2 group g.
+func (p *Push) l1sOfL2(g int) []int {
+	topo := p.sim.Topology()
+	out := make([]int, 0, topo.L1PerL2)
+	for n := g * topo.L1PerL2; n < (g+1)*topo.L1PerL2; n++ {
+		out = append(out, n)
+	}
+	return out
+}
+
+// sample returns k random elements of nodes (order unspecified). It mutates
+// a copy, not the input.
+func (p *Push) sample(nodes []int, k int) []int {
+	if k >= len(nodes) {
+		return nodes
+	}
+	cp := append([]int(nil), nodes...)
+	p.rng.Shuffle(len(cp), func(i, j int) { cp[i], cp[j] = cp[j], cp[i] })
+	return cp[:k]
+}
+
+// Stats reports the push accounting used by Figure 11.
+type Stats struct {
+	PushedBytes int64
+	UsedBytes   int64
+	PushedCount int64
+	UsedCount   int64
+}
+
+// Stats returns the accumulated counters.
+func (p *Push) Stats() Stats {
+	return Stats{
+		PushedBytes: p.pushedBytes,
+		UsedBytes:   p.usedBytes,
+		PushedCount: p.pushedCount,
+		UsedCount:   p.usedCount,
+	}
+}
+
+// Efficiency returns the fraction of pushed bytes later accessed
+// (Figure 11a). It returns 0 when nothing was pushed.
+func (p *Push) Efficiency() float64 {
+	if p.pushedBytes == 0 {
+		return 0
+	}
+	return float64(p.usedBytes) / float64(p.pushedBytes)
+}
+
+// Strategies lists the pushing strategies in Figure 10/11 order.
+func Strategies() []Strategy {
+	return []Strategy{UpdatePush, Hier1, HierHalf, HierAll}
+}

@@ -1,0 +1,286 @@
+package push
+
+import (
+	"testing"
+	"time"
+
+	"beyondcache/internal/hints"
+	"beyondcache/internal/netmodel"
+	"beyondcache/internal/sim"
+	"beyondcache/internal/trace"
+)
+
+// topo: 8 L1s, 4 per L2 (two subtrees).
+func topo() sim.Topology {
+	return sim.Topology{NumL1: 8, ClientsPerL1: 2, L1PerL2: 4}
+}
+
+func newSim(t *testing.T, strategy Strategy, capacity int64) (*hints.Simulator, *Push) {
+	t.Helper()
+	p, err := New(strategy, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := hints.New(hints.Config{
+		Topology:   topo(),
+		Model:      netmodel.NewRousskovMin(),
+		L1Capacity: capacity,
+		Pusher:     p,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Bind(s)
+	return s, p
+}
+
+func req(seq int64, client int, object uint64, size int64) trace.Request {
+	return trace.Request{
+		Seq: seq, Time: time.Duration(seq) * time.Second,
+		Client: client, Object: object, Size: size, Version: 1,
+	}
+}
+
+func TestNewRejectsUnknownStrategy(t *testing.T) {
+	if _, err := New(Strategy(0), 1); err == nil {
+		t.Error("strategy 0 accepted")
+	}
+	if _, err := New(Strategy(99), 1); err == nil {
+		t.Error("strategy 99 accepted")
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	want := map[Strategy]string{
+		UpdatePush: "Update Push",
+		Hier1:      "Push-1",
+		HierHalf:   "Push-half",
+		HierAll:    "Push-all",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), w)
+		}
+	}
+	if Strategy(7).String() != "Strategy(7)" {
+		t.Error("unknown strategy label wrong")
+	}
+}
+
+func TestHierPushFarHitReplicatesIntoAllSubtrees(t *testing.T) {
+	s, p := newSim(t, HierAll, 0)
+	// Node 0 (client 0) fetches; node 4 (client 4, other subtree)
+	// far-hits -> push-all should copy into every node of both subtrees.
+	s.Process(req(0, 0, 1, 100))
+	s.Process(req(1, 4, 1, 100))
+	if got := s.Stats().Count(sim.OutcomeFar); got != 1 {
+		t.Fatalf("far hits = %d, want 1", got)
+	}
+	if p.Stats().PushedCount == 0 {
+		t.Fatal("push-all pushed nothing on a far hit")
+	}
+	// Every node should now hold a copy: all later requests are local.
+	for c := 0; c < 8; c++ {
+		s.Process(req(int64(10+c), c, 1, 100))
+	}
+	if got := s.Stats().Count(sim.OutcomeLocal); got != 8 {
+		t.Errorf("local hits after push-all = %d, want 8", got)
+	}
+}
+
+func TestHier1PushesOnePerSubtree(t *testing.T) {
+	s, p := newSim(t, Hier1, 0)
+	s.Process(req(0, 0, 1, 100))
+	s.Process(req(1, 4, 1, 100)) // far hit
+	// Eligible: 2 subtrees x 1 node each, minus requester/holder
+	// collisions: at most 2 pushes.
+	if got := p.Stats().PushedCount; got > 2 || got < 1 {
+		t.Errorf("push-1 pushed %d copies, want 1-2", got)
+	}
+}
+
+func TestHierPushNearHitReplicatesWithinSubtree(t *testing.T) {
+	s, p := newSim(t, HierAll, 0)
+	s.Process(req(0, 0, 1, 100))
+	s.Process(req(1, 1, 1, 100)) // near hit within subtree {0,1,2,3}
+	// Push-all on a near hit fills the rest of the subtree (nodes 2, 3).
+	if got := p.Stats().PushedCount; got != 2 {
+		t.Errorf("pushed %d, want 2 (nodes 2 and 3)", got)
+	}
+	s.Process(req(2, 2, 1, 100))
+	s.Process(req(3, 3, 1, 100))
+	if got := s.Stats().Count(sim.OutcomeLocal); got != 2 {
+		t.Errorf("local hits = %d, want 2 (pushed copies)", got)
+	}
+	// Other subtree must NOT have received copies on a near hit.
+	for n := 4; n < 8; n++ {
+		if s.HasCopy(n, 1, 1) {
+			t.Errorf("near hit pushed into the other subtree (node %d)", n)
+		}
+	}
+}
+
+func TestUpdatePushRefreshesOldHolders(t *testing.T) {
+	s, p := newSim(t, UpdatePush, 0)
+	s.Process(req(0, 0, 1, 100))
+	s.Process(req(1, 1, 1, 100)) // near hit: nodes 0,1 hold v1
+	r := req(2, 4, 1, 100)
+	r.Version = 2
+	s.Process(r) // v2 fetched; update push refreshes nodes 0 and 1
+	if got := p.Stats().PushedCount; got != 2 {
+		t.Fatalf("update push pushed %d copies, want 2", got)
+	}
+	// Nodes 0 and 1 now hit locally on v2.
+	r2 := req(3, 0, 1, 100)
+	r2.Version = 2
+	s.Process(r2)
+	r3 := req(4, 1, 1, 100)
+	r3.Version = 2
+	s.Process(r3)
+	if got := s.Stats().Count(sim.OutcomeLocal); got != 2 {
+		t.Errorf("local hits on pushed updates = %d, want 2", got)
+	}
+	// Both pushes were used: efficiency 1.0.
+	if eff := p.Efficiency(); eff != 1.0 {
+		t.Errorf("efficiency = %.2f, want 1.0", eff)
+	}
+}
+
+func TestUpdatePushDoesNothingOnRemoteHits(t *testing.T) {
+	s, p := newSim(t, UpdatePush, 0)
+	s.Process(req(0, 0, 1, 100))
+	s.Process(req(1, 4, 1, 100)) // far hit: no version change
+	if got := p.Stats().PushedCount; got != 0 {
+		t.Errorf("update push pushed %d on a plain remote hit, want 0", got)
+	}
+}
+
+func TestEfficiencyCountsOnlyUsedBytes(t *testing.T) {
+	s, p := newSim(t, HierAll, 0)
+	s.Process(req(0, 0, 1, 100))
+	s.Process(req(1, 4, 1, 100)) // far hit -> pushes to 6 other nodes
+	pushed := p.Stats().PushedCount
+	if pushed == 0 {
+		t.Fatal("nothing pushed")
+	}
+	// Only node 1 (client 1) references it.
+	s.Process(req(2, 1, 1, 100))
+	st := p.Stats()
+	if st.UsedCount != 1 {
+		t.Errorf("used count = %d, want 1", st.UsedCount)
+	}
+	wantEff := float64(st.UsedBytes) / float64(st.PushedBytes)
+	if got := p.Efficiency(); got != wantEff {
+		t.Errorf("Efficiency = %g, want %g", got, wantEff)
+	}
+	if p.Efficiency() >= 1 {
+		t.Errorf("efficiency = %g, want < 1 when pushes go unused", p.Efficiency())
+	}
+	// A second local hit must not double-count.
+	s.Process(req(3, 1, 1, 100))
+	if p.Stats().UsedCount != 1 {
+		t.Error("repeated local hit double-counted push usage")
+	}
+}
+
+func TestEvictionWastesPush(t *testing.T) {
+	s, p := newSim(t, HierAll, 150)
+	s.Process(req(0, 0, 1, 100))
+	s.Process(req(1, 4, 1, 100)) // pushes object 1 everywhere
+	// Node 1 caches object 2, evicting the pushed object 1 (150B cap).
+	s.Process(req(2, 1, 2, 100))
+	s.Process(req(3, 5, 2, 100))
+	// Node 1 re-requests object 1: the pushed copy is gone; usage must
+	// not be credited.
+	used := p.Stats().UsedCount
+	s.Process(req(4, 1, 1, 100))
+	if p.Stats().UsedCount != used {
+		t.Error("evicted push credited as used")
+	}
+}
+
+func TestEfficiencyZeroWhenNothingPushed(t *testing.T) {
+	_, p := newSim(t, Hier1, 0)
+	if p.Efficiency() != 0 {
+		t.Error("efficiency nonzero with no pushes")
+	}
+}
+
+func TestPushBandwidthAccounted(t *testing.T) {
+	s, p := newSim(t, HierAll, 0)
+	s.Process(req(0, 0, 1, 100))
+	s.Process(req(1, 4, 1, 100))
+	pushBytes := s.Bandwidth().Bytes("push")
+	if pushBytes != p.Stats().PushedBytes {
+		t.Errorf("sim push bytes %d != pusher bytes %d", pushBytes, p.Stats().PushedBytes)
+	}
+	if s.Bandwidth().Bytes("demand") == 0 {
+		t.Error("no demand bytes recorded")
+	}
+}
+
+// TestPushOrderingOnDECTrace verifies the Figure 10 ordering on a real
+// workload: ideal <= push-all <= hints-no-push in mean response time, and
+// hierarchical pushes improve on plain hints.
+func TestPushOrderingOnDECTrace(t *testing.T) {
+	p := trace.DECProfile(trace.ScaleSmall)
+	p.Requests = 50_000
+	p.DistinctURLs = 10_000
+	m := netmodel.NewRousskovMax()
+
+	// Space-constrained per Section 4.2: 5 GB per L1 at full scale.
+	fullCap := int64(5) << 30
+	capBytes := int64(float64(fullCap) * float64(trace.ScaleSmall))
+
+	run := func(strategy Strategy, ideal bool) time.Duration {
+		var pusher *Push
+		cfg := hints.Config{
+			Topology:   sim.Default(),
+			Model:      m,
+			IdealPush:  ideal,
+			L1Capacity: capBytes,
+			Warmup:     p.Warmup(),
+		}
+		if strategy != 0 {
+			var err error
+			pusher, err = New(strategy, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Pusher = pusher
+		}
+		s, err := hints.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pusher != nil {
+			pusher.Bind(s)
+		}
+		if _, err := sim.Run(trace.MustGenerator(p), s); err != nil {
+			t.Fatal(err)
+		}
+		return s.MeanResponse()
+	}
+
+	noPush := run(0, false)
+	pushAll := run(HierAll, false)
+	ideal := run(0, true)
+
+	if !(ideal <= pushAll) {
+		t.Errorf("ideal (%v) should lower-bound push-all (%v)", ideal, pushAll)
+	}
+	if !(pushAll < noPush) {
+		t.Errorf("push-all (%v) should beat no-push hints (%v)", pushAll, noPush)
+	}
+	speedup := float64(noPush) / float64(pushAll)
+	if speedup > 2.0 {
+		t.Errorf("push-all speedup %.2f implausibly high (paper: up to 1.25)", speedup)
+	}
+}
+
+func TestStrategiesOrder(t *testing.T) {
+	ss := Strategies()
+	if len(ss) != 4 || ss[0] != UpdatePush || ss[3] != HierAll {
+		t.Errorf("Strategies() = %v", ss)
+	}
+}

@@ -1,0 +1,279 @@
+// Package replacement implements alternative cache-replacement policies as
+// an ablation of the paper's LRU choice (every cache in the paper's
+// simulations uses LRU). Besides LRU it provides LFU (evict the least
+// frequently used), SIZE (evict the largest object first), and
+// GreedyDual-Size (Cao & Irani 1997, contemporary with the paper), which
+// balances recency, size, and retrieval cost.
+//
+// The policies share one implementation: a byte-capacity cache whose
+// entries carry a priority; eviction removes the minimum-priority entry via
+// a heap. Each policy is a priority rule.
+package replacement
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Policy identifies a replacement rule.
+type Policy int
+
+// Policies.
+const (
+	LRU Policy = iota + 1
+	LFU
+	Size
+	GreedyDualSize
+)
+
+// String labels the policy.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case LFU:
+		return "LFU"
+	case Size:
+		return "SIZE"
+	case GreedyDualSize:
+		return "GreedyDual-Size"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Object is a cached item.
+type Object struct {
+	ID      uint64
+	Size    int64
+	Version int64
+}
+
+// entry is a heap element.
+type entry struct {
+	obj      Object
+	priority float64
+	// tieBreak orders equal priorities FIFO so eviction is
+	// deterministic.
+	tieBreak uint64
+	freq     int64
+	index    int // heap index
+}
+
+// evictHeap is a min-heap over priority.
+type evictHeap []*entry
+
+func (h evictHeap) Len() int { return len(h) }
+func (h evictHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority < h[j].priority
+	}
+	return h[i].tieBreak < h[j].tieBreak
+}
+func (h evictHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *evictHeap) Push(x any) {
+	e := x.(*entry)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *evictHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Cache is a byte-capacity cache with a pluggable replacement policy. Not
+// safe for concurrent use.
+type Cache struct {
+	policy   Policy
+	capacity int64
+	used     int64
+	index    map[uint64]*entry
+	heap     evictHeap
+
+	// clock is the virtual access counter used by LRU recency and tie
+	// breaking.
+	clock uint64
+	// inflation is GreedyDual-Size's L value: the priority floor rises
+	// to the last evicted entry's priority, aging older entries.
+	inflation float64
+
+	evictions int64
+}
+
+// New builds a cache. capacity <= 0 means unbounded.
+func New(policy Policy, capacity int64) (*Cache, error) {
+	switch policy {
+	case LRU, LFU, Size, GreedyDualSize:
+	default:
+		return nil, fmt.Errorf("replacement: unknown policy %d", int(policy))
+	}
+	return &Cache{
+		policy:   policy,
+		capacity: capacity,
+		index:    make(map[uint64]*entry),
+	}, nil
+}
+
+// Policy returns the configured policy.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// Len returns the number of cached objects.
+func (c *Cache) Len() int { return len(c.index) }
+
+// Used returns the bytes in use.
+func (c *Cache) Used() int64 { return c.used }
+
+// Evictions returns the eviction count.
+func (c *Cache) Evictions() int64 { return c.evictions }
+
+// priorityOf computes an entry's priority under the policy. Higher values
+// survive longer.
+func (c *Cache) priorityOf(e *entry) float64 {
+	switch c.policy {
+	case LRU:
+		return float64(c.clock)
+	case LFU:
+		return float64(e.freq)
+	case Size:
+		// Bigger objects evict first: priority is inverse size.
+		return 1.0 / float64(e.obj.Size+1)
+	case GreedyDualSize:
+		// H = L + cost/size with uniform cost: favors small objects,
+		// and the rising floor L ages unreferenced entries out.
+		return c.inflation + 1.0/float64(e.obj.Size+1)
+	default:
+		return 0
+	}
+}
+
+// touch refreshes an entry's priority after an access or insert.
+func (c *Cache) touch(e *entry) {
+	c.clock++
+	e.freq++
+	e.tieBreak = c.clock
+	e.priority = c.priorityOf(e)
+	heap.Fix(&c.heap, e.index)
+}
+
+// Get returns the object, refreshing its standing.
+func (c *Cache) Get(id uint64) (Object, bool) {
+	e, ok := c.index[id]
+	if !ok {
+		return Object{}, false
+	}
+	c.touch(e)
+	return e.obj, true
+}
+
+// GetVersion returns the object only if its version is >= version,
+// invalidating stale copies.
+func (c *Cache) GetVersion(id uint64, version int64) (Object, bool) {
+	e, ok := c.index[id]
+	if !ok {
+		return Object{}, false
+	}
+	if e.obj.Version < version {
+		c.remove(e)
+		return Object{}, false
+	}
+	c.touch(e)
+	return e.obj, true
+}
+
+// Contains reports presence without touching standings.
+func (c *Cache) Contains(id uint64) bool {
+	_, ok := c.index[id]
+	return ok
+}
+
+// Put inserts or refreshes an object, evicting as needed. It reports
+// whether the object is cached afterwards.
+func (c *Cache) Put(obj Object) bool {
+	if obj.Size < 0 {
+		panic(fmt.Sprintf("replacement: negative size %d", obj.Size))
+	}
+	if e, ok := c.index[obj.ID]; ok {
+		c.used += obj.Size - e.obj.Size
+		e.obj = obj
+		c.touch(e)
+		c.evictForSpace(e)
+		return c.Contains(obj.ID)
+	}
+	if c.capacity > 0 && obj.Size > c.capacity {
+		return false
+	}
+	c.clock++
+	e := &entry{obj: obj, tieBreak: c.clock, freq: 1}
+	e.priority = c.priorityOf(e)
+	c.index[obj.ID] = e
+	heap.Push(&c.heap, e)
+	c.used += obj.Size
+	c.evictForSpace(e)
+	return c.Contains(obj.ID)
+}
+
+// evictForSpace evicts minimum-priority entries until used fits capacity.
+// keep is evicted last if nothing else can make room.
+func (c *Cache) evictForSpace(keep *entry) {
+	if c.capacity <= 0 {
+		return
+	}
+	for c.used > c.capacity && len(c.heap) > 0 {
+		victim := c.heap[0]
+		if victim == keep {
+			if len(c.heap) == 1 {
+				c.remove(keep)
+				c.evictions++
+				return
+			}
+			// Evict the next-worst instead; swap-free approach:
+			// temporarily pop keep, evict the new minimum, push
+			// keep back.
+			heap.Pop(&c.heap)
+			next := c.heap[0]
+			c.evictOne(next)
+			heap.Push(&c.heap, keep)
+			continue
+		}
+		c.evictOne(victim)
+	}
+}
+
+// evictOne removes a victim, updating GreedyDual-Size's inflation floor.
+func (c *Cache) evictOne(victim *entry) {
+	if c.policy == GreedyDualSize && victim.priority > c.inflation {
+		c.inflation = victim.priority
+	}
+	c.remove(victim)
+	c.evictions++
+}
+
+// remove deletes an entry entirely.
+func (c *Cache) remove(e *entry) {
+	heap.Remove(&c.heap, e.index)
+	delete(c.index, e.obj.ID)
+	c.used -= e.obj.Size
+}
+
+// Remove deletes an object by ID.
+func (c *Cache) Remove(id uint64) bool {
+	e, ok := c.index[id]
+	if !ok {
+		return false
+	}
+	c.remove(e)
+	return true
+}
+
+// Policies lists all replacement policies in report order.
+func Policies() []Policy {
+	return []Policy{LRU, LFU, Size, GreedyDualSize}
+}

@@ -1,0 +1,225 @@
+package replacement
+
+import (
+	"io"
+	"testing"
+	"testing/quick"
+
+	"beyondcache/internal/trace"
+)
+
+func mustCache(t *testing.T, p Policy, capacity int64) *Cache {
+	t.Helper()
+	c, err := New(p, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Policy(0), 100); err == nil {
+		t.Error("zero policy accepted")
+	}
+	if _, err := New(Policy(9), 100); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	for _, p := range Policies() {
+		if _, err := New(p, 100); err != nil {
+			t.Errorf("%v rejected: %v", p, err)
+		}
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	want := map[Policy]string{
+		LRU: "LRU", LFU: "LFU", Size: "SIZE", GreedyDualSize: "GreedyDual-Size",
+	}
+	for p, w := range want {
+		if p.String() != w {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), w)
+		}
+	}
+}
+
+func TestLRUEvictsOldest(t *testing.T) {
+	c := mustCache(t, LRU, 30)
+	c.Put(Object{ID: 1, Size: 10})
+	c.Put(Object{ID: 2, Size: 10})
+	c.Put(Object{ID: 3, Size: 10})
+	c.Get(1) // refresh 1; 2 is now the LRU victim
+	c.Put(Object{ID: 4, Size: 10})
+	if c.Contains(2) {
+		t.Error("LRU kept the least recently used entry")
+	}
+	for _, id := range []uint64{1, 3, 4} {
+		if !c.Contains(id) {
+			t.Errorf("entry %d wrongly evicted", id)
+		}
+	}
+}
+
+func TestLFUEvictsColdest(t *testing.T) {
+	c := mustCache(t, LFU, 30)
+	c.Put(Object{ID: 1, Size: 10})
+	c.Put(Object{ID: 2, Size: 10})
+	c.Put(Object{ID: 3, Size: 10})
+	// Heat up 1 and 3.
+	c.Get(1)
+	c.Get(1)
+	c.Get(3)
+	c.Put(Object{ID: 4, Size: 10}) // 2 has freq 1: the victim
+	if c.Contains(2) {
+		t.Error("LFU kept the least frequently used entry")
+	}
+	if !c.Contains(1) || !c.Contains(3) {
+		t.Error("hot entries evicted")
+	}
+}
+
+func TestSizeEvictsLargest(t *testing.T) {
+	c := mustCache(t, Size, 100)
+	c.Put(Object{ID: 1, Size: 60})
+	c.Put(Object{ID: 2, Size: 30})
+	c.Put(Object{ID: 3, Size: 30}) // over: evicts the 60-byte object
+	if c.Contains(1) {
+		t.Error("SIZE kept the largest object")
+	}
+	if !c.Contains(2) || !c.Contains(3) {
+		t.Error("small objects evicted")
+	}
+}
+
+func TestGDSAgesUnreferenced(t *testing.T) {
+	c := mustCache(t, GreedyDualSize, 30)
+	c.Put(Object{ID: 1, Size: 10})
+	c.Put(Object{ID: 2, Size: 10})
+	c.Put(Object{ID: 3, Size: 10})
+	// Force evictions to raise the inflation floor; freshly inserted
+	// objects then outrank the untouched survivors.
+	c.Put(Object{ID: 4, Size: 10})
+	c.Put(Object{ID: 5, Size: 10})
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+	if !c.Contains(5) {
+		t.Error("newest entry evicted despite inflation aging")
+	}
+	if c.Evictions() != 2 {
+		t.Errorf("evictions = %d, want 2", c.Evictions())
+	}
+}
+
+func TestVersioningAndRemove(t *testing.T) {
+	c := mustCache(t, LRU, 0)
+	c.Put(Object{ID: 1, Size: 10, Version: 1})
+	if _, ok := c.GetVersion(1, 2); ok {
+		t.Error("stale version served")
+	}
+	if c.Contains(1) {
+		t.Error("stale copy not invalidated")
+	}
+	c.Put(Object{ID: 2, Size: 10, Version: 3})
+	if _, ok := c.GetVersion(2, 3); !ok {
+		t.Error("current version missed")
+	}
+	if !c.Remove(2) || c.Remove(2) {
+		t.Error("Remove semantics wrong")
+	}
+}
+
+func TestOversizedRejected(t *testing.T) {
+	for _, p := range Policies() {
+		c := mustCache(t, p, 10)
+		if c.Put(Object{ID: 1, Size: 11}) {
+			t.Errorf("%v: oversized object accepted", p)
+		}
+	}
+}
+
+func TestRefreshAdjustsBytes(t *testing.T) {
+	c := mustCache(t, LRU, 100)
+	c.Put(Object{ID: 1, Size: 10})
+	c.Put(Object{ID: 1, Size: 50})
+	if c.Used() != 50 || c.Len() != 1 {
+		t.Errorf("used=%d len=%d, want 50/1", c.Used(), c.Len())
+	}
+}
+
+// TestCapacityNeverExceededQuick: under arbitrary operation sequences every
+// policy respects its byte budget and keeps index/heap consistent.
+func TestCapacityNeverExceededQuick(t *testing.T) {
+	for _, p := range Policies() {
+		p := p
+		f := func(ops []uint16) bool {
+			const capBytes = 400
+			c, err := New(p, capBytes)
+			if err != nil {
+				return false
+			}
+			for _, op := range ops {
+				id := uint64(op % 40)
+				size := int64(op%127) + 1
+				switch op % 3 {
+				case 0:
+					c.Put(Object{ID: id, Size: size})
+				case 1:
+					c.Get(id)
+				case 2:
+					c.Remove(id)
+				}
+				if c.Used() > capBytes {
+					return false
+				}
+				if c.Len() != len(c.heap) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+			t.Errorf("%v: %v", p, err)
+		}
+	}
+}
+
+// TestPoliciesOnWorkload replays a trace through each policy and checks the
+// classic result: size-aware policies (GDS, SIZE) beat plain LRU on
+// per-request hit ratio under tight capacity, because evicting one big
+// object saves many small ones.
+func TestPoliciesOnWorkload(t *testing.T) {
+	p := trace.DECProfile(trace.ScaleSmall)
+	p.Requests = 40_000
+	p.DistinctURLs = 8_000
+
+	hitRatio := func(pol Policy) float64 {
+		c := mustCache(t, pol, 8<<20)
+		g := trace.MustGenerator(p)
+		var hits, total int64
+		for {
+			r, err := g.Next()
+			if err == io.EOF {
+				break
+			}
+			if !r.Cachable() {
+				continue
+			}
+			total++
+			if _, ok := c.GetVersion(r.Object, r.Version); ok {
+				hits++
+				continue
+			}
+			c.Put(Object{ID: r.Object, Size: r.Size, Version: r.Version})
+		}
+		return float64(hits) / float64(total)
+	}
+
+	lru := hitRatio(LRU)
+	gds := hitRatio(GreedyDualSize)
+	if lru <= 0.1 {
+		t.Fatalf("LRU hit ratio %.3f degenerate", lru)
+	}
+	if gds <= lru {
+		t.Errorf("GreedyDual-Size (%.3f) did not beat LRU (%.3f) on per-request hits", gds, lru)
+	}
+}

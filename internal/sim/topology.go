@@ -1,0 +1,123 @@
+// Package sim provides the shared pieces of the trace-driven simulations:
+// the three-level cache topology of Section 2.2.3 (256 clients per L1 proxy,
+// eight L1s per L2, one L3 over all), the request-processing loop, and the
+// outcome labels the policy simulators report.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"beyondcache/internal/trace"
+)
+
+// Topology describes the default hierarchy: NumL1 leaf proxies each serving
+// ClientsPerL1 clients, grouped L1PerL2 under each L2, and a single L3 over
+// all L2s. The paper's default is 64 L1s x 256 clients, 8 L1s per L2
+// (Figure 3).
+type Topology struct {
+	NumL1        int
+	ClientsPerL1 int
+	L1PerL2      int
+}
+
+// Default returns the paper's 3-level configuration.
+func Default() Topology {
+	return Topology{NumL1: 64, ClientsPerL1: 256, L1PerL2: 8}
+}
+
+// Validate reports the first configuration error, or nil.
+func (t Topology) Validate() error {
+	switch {
+	case t.NumL1 <= 0:
+		return fmt.Errorf("sim: NumL1 must be positive, got %d", t.NumL1)
+	case t.ClientsPerL1 <= 0:
+		return fmt.Errorf("sim: ClientsPerL1 must be positive, got %d", t.ClientsPerL1)
+	case t.L1PerL2 <= 0:
+		return fmt.Errorf("sim: L1PerL2 must be positive, got %d", t.L1PerL2)
+	case t.NumL1%t.L1PerL2 != 0:
+		return fmt.Errorf("sim: NumL1 (%d) must be a multiple of L1PerL2 (%d)", t.NumL1, t.L1PerL2)
+	}
+	return nil
+}
+
+// NumL2 returns the number of L2 caches.
+func (t Topology) NumL2() int { return t.NumL1 / t.L1PerL2 }
+
+// L1OfClient maps a client ID to its leaf proxy. Clients are spread
+// round-robin so every proxy serves an equal share even when the client
+// population differs from NumL1*ClientsPerL1.
+func (t Topology) L1OfClient(client int) int {
+	if client < 0 {
+		client = -client
+	}
+	return client % t.NumL1
+}
+
+// L2OfL1 maps a leaf proxy to its L2 parent.
+func (t Topology) L2OfL1(l1 int) int { return l1 / t.L1PerL2 }
+
+// SameL2 reports whether two leaf proxies share an L2 parent, i.e. whether a
+// cache-to-cache transfer between them is at "intermediate" rather than
+// "root" network distance.
+func (t Topology) SameL2(a, b int) bool { return t.L2OfL1(a) == t.L2OfL1(b) }
+
+// Processor consumes a trace request stream.
+type Processor interface {
+	// Process handles one request.
+	Process(req trace.Request)
+}
+
+// Run feeds every request from r into p. It returns the number of requests
+// processed.
+func Run(r trace.Reader, p Processor) (int64, error) {
+	var n int64
+	for {
+		req, err := r.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, fmt.Errorf("sim run: %w", err)
+		}
+		p.Process(req)
+		n++
+	}
+}
+
+// Outcome labels shared by the policy simulators.
+const (
+	// OutcomeLocal is a hit in the client's own L1 proxy.
+	OutcomeLocal = "local"
+	// OutcomeL2 is a traditional-hierarchy hit at the L2 cache.
+	OutcomeL2 = "l2"
+	// OutcomeL3 is a traditional-hierarchy hit at the L3 cache.
+	OutcomeL3 = "l3"
+	// OutcomeNear is a hint-architecture hit in a remote L1 within the
+	// same L2 subtree (intermediate network distance).
+	OutcomeNear = "near"
+	// OutcomeFar is a hint-architecture hit in a remote L1 outside the
+	// subtree (root network distance).
+	OutcomeFar = "far"
+	// OutcomeMiss is a fetch from the origin server.
+	OutcomeMiss = "miss"
+	// OutcomeFalsePos is a miss that first wasted a round trip on a
+	// stale hint.
+	OutcomeFalsePos = "falsepos"
+)
+
+// Clock tracks virtual time as requests flow through a simulator.
+type Clock struct {
+	now time.Duration
+}
+
+// Advance moves the clock to t; time never moves backwards.
+func (c *Clock) Advance(t time.Duration) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration { return c.now }

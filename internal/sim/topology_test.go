@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"beyondcache/internal/trace"
+)
+
+func TestDefaultTopology(t *testing.T) {
+	topo := Default()
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumL1 != 64 || topo.ClientsPerL1 != 256 || topo.L1PerL2 != 8 {
+		t.Errorf("default topology %+v does not match the paper's 64x256, 8-per-L2", topo)
+	}
+	if topo.NumL2() != 8 {
+		t.Errorf("NumL2 = %d, want 8", topo.NumL2())
+	}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	bad := []Topology{
+		{NumL1: 0, ClientsPerL1: 1, L1PerL2: 1},
+		{NumL1: 4, ClientsPerL1: 0, L1PerL2: 2},
+		{NumL1: 4, ClientsPerL1: 1, L1PerL2: 0},
+		{NumL1: 10, ClientsPerL1: 1, L1PerL2: 4}, // not divisible
+	}
+	for i, topo := range bad {
+		if err := topo.Validate(); err == nil {
+			t.Errorf("case %d: invalid topology %+v accepted", i, topo)
+		}
+	}
+}
+
+func TestClientMappingBalanced(t *testing.T) {
+	topo := Default()
+	counts := make([]int, topo.NumL1)
+	for c := 0; c < 16_660; c++ {
+		l1 := topo.L1OfClient(c)
+		if l1 < 0 || l1 >= topo.NumL1 {
+			t.Fatalf("client %d mapped to invalid L1 %d", c, l1)
+		}
+		counts[l1]++
+	}
+	min, max := counts[0], counts[0]
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max-min > 1 {
+		t.Errorf("round-robin imbalance: min %d, max %d", min, max)
+	}
+}
+
+func TestL2Grouping(t *testing.T) {
+	topo := Default()
+	for l1 := 0; l1 < topo.NumL1; l1++ {
+		l2 := topo.L2OfL1(l1)
+		if l2 != l1/8 {
+			t.Errorf("L2OfL1(%d) = %d, want %d", l1, l2, l1/8)
+		}
+	}
+	if !topo.SameL2(0, 7) {
+		t.Error("nodes 0 and 7 should share an L2")
+	}
+	if topo.SameL2(7, 8) {
+		t.Error("nodes 7 and 8 should not share an L2")
+	}
+}
+
+func TestNegativeClientHandled(t *testing.T) {
+	topo := Default()
+	if l1 := topo.L1OfClient(-5); l1 < 0 || l1 >= topo.NumL1 {
+		t.Errorf("negative client mapped out of range: %d", l1)
+	}
+}
+
+type countingProcessor struct{ n int }
+
+func (c *countingProcessor) Process(trace.Request) { c.n++ }
+
+func TestRunDrainsReader(t *testing.T) {
+	reqs := []trace.Request{{Seq: 0}, {Seq: 1}, {Seq: 2}}
+	p := &countingProcessor{}
+	n, err := Run(trace.NewSliceReader(reqs), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || p.n != 3 {
+		t.Errorf("Run processed (%d, %d), want 3", n, p.n)
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	var c Clock
+	c.Advance(5 * time.Second)
+	c.Advance(2 * time.Second) // must not go backwards
+	if c.Now() != 5*time.Second {
+		t.Errorf("Now = %v, want 5s", c.Now())
+	}
+	c.Advance(7 * time.Second)
+	if c.Now() != 7*time.Second {
+		t.Errorf("Now = %v, want 7s", c.Now())
+	}
+}
+
+func TestClientMappingInRangeQuick(t *testing.T) {
+	topo := Default()
+	f := func(client int32) bool {
+		l1 := topo.L1OfClient(int(client))
+		return l1 >= 0 && l1 < topo.NumL1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"math"
+	"time"
+)
+
+// Per-object attributes (size, mutability, update period, cachability) are
+// pure functions of (profile seed, object ID) computed through a splitmix64
+// hash. This keeps the generator O(1) in memory regardless of how many
+// distinct objects the workload touches and guarantees that two readers over
+// the same profile agree on every attribute.
+
+// splitmix64 is the finalizer of the SplitMix64 PRNG: a fast, well-mixed
+// 64-bit hash used to derive per-object attribute streams.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashFloat maps a 64-bit hash to a uniform float64 in [0, 1).
+func hashFloat(h uint64) float64 {
+	return float64(h>>11) / (1 << 53)
+}
+
+// hashNormal derives a standard normal deviate from two hash lanes via the
+// Box-Muller transform.
+func hashNormal(h1, h2 uint64) float64 {
+	u1 := hashFloat(h1)
+	u2 := hashFloat(h2)
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// objectAttrs captures the deterministic per-object properties.
+type objectAttrs struct {
+	size         int64
+	mutable      bool
+	updatePeriod time.Duration // valid only when mutable
+	uncachable   bool
+}
+
+// attrsFor computes the attributes of an object under a profile.
+func (p Profile) attrsFor(object uint64) objectAttrs {
+	base := splitmix64(uint64(p.Seed)*0x9e3779b97f4a7c15 + object + 1)
+	h1 := splitmix64(base + 1)
+	h2 := splitmix64(base + 2)
+	h3 := splitmix64(base + 3)
+	h4 := splitmix64(base + 4)
+	h5 := splitmix64(base + 5)
+
+	var a objectAttrs
+
+	// Sizes are lognormal: median MedianSize, shape SizeSigma, clamped to
+	// [MinSize, MaxSize]. With the default median 4 KB and sigma 1.3 the
+	// mean lands near the ~10 KB average object size reported for web
+	// caches (Arlitt & Williamson, cited in the paper).
+	mu := math.Log(float64(p.MedianSize))
+	sz := math.Exp(mu + p.SizeSigma*hashNormal(h1, h2))
+	if sz < float64(p.MinSize) {
+		sz = float64(p.MinSize)
+	}
+	if sz > float64(p.MaxSize) {
+		sz = float64(p.MaxSize)
+	}
+	a.size = int64(sz)
+
+	// A fixed fraction of objects is mutable; each mutable object updates
+	// with a log-uniform period between MinUpdatePeriod and
+	// MaxUpdatePeriod. Deterministic versioning (version = elapsed/period)
+	// means any two observers agree on the version at a given time.
+	a.mutable = hashFloat(h3) < p.MutableFrac
+	if a.mutable {
+		lo := math.Log(float64(p.MinUpdatePeriod))
+		hi := math.Log(float64(p.MaxUpdatePeriod))
+		a.updatePeriod = time.Duration(math.Exp(lo + (hi-lo)*hashFloat(h4)))
+	}
+
+	// Uncachability is a property of the object (CGI endpoints, dynamic
+	// pages), not of the individual request.
+	a.uncachable = hashFloat(h5) < p.UncachableFrac
+	return a
+}
+
+// versionAt returns the object's version at virtual time t.
+func (a objectAttrs) versionAt(t time.Duration) int64 {
+	if !a.mutable || a.updatePeriod <= 0 {
+		return 1
+	}
+	return 1 + int64(t/a.updatePeriod)
+}
+
+// ObjectSize returns the deterministic size of an object under the profile.
+func (p Profile) ObjectSize(object uint64) int64 {
+	return p.attrsFor(object).size
+}
+
+// ObjectVersionAt returns the deterministic version of an object at time t.
+func (p Profile) ObjectVersionAt(object uint64, t time.Duration) int64 {
+	return p.attrsFor(object).versionAt(t)
+}

@@ -1,0 +1,233 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+)
+
+// Generator produces a synthetic trace for a Profile. It implements Reader.
+// Generators are deterministic: two generators built from equal profiles
+// yield identical request streams. A Generator is not safe for concurrent
+// use.
+type Generator struct {
+	p    Profile
+	rng  *rand.Rand
+	zipf *Zipf
+	span time.Duration
+	seq  int64
+
+	// Dynamic client-ID session state (Prodigy).
+	sessionClient    int
+	sessionRemaining int
+
+	// history holds each client's recent objects (a bounded ring) for
+	// the revisit-locality process.
+	history map[int]*clientHistory
+}
+
+// clientHistory is a bounded ring of a client's recent objects.
+type clientHistory struct {
+	ring []uint64
+	next int
+	full bool
+}
+
+func (h *clientHistory) add(obj uint64) {
+	if len(h.ring) == 0 {
+		return
+	}
+	h.ring[h.next] = obj
+	h.next++
+	if h.next == len(h.ring) {
+		h.next = 0
+		h.full = true
+	}
+}
+
+func (h *clientHistory) len() int {
+	if h.full {
+		return len(h.ring)
+	}
+	return h.next
+}
+
+// pick returns the i-th most recent object (0 = most recent). i must be in
+// [0, len()).
+func (h *clientHistory) pick(i int) uint64 {
+	idx := h.next - 1 - i
+	for idx < 0 {
+		idx += len(h.ring)
+	}
+	return h.ring[idx]
+}
+
+// meanSessionLength is the mean number of requests a dial-up client issues
+// under one dynamically bound ID before reconnecting under a new one.
+const meanSessionLength = 24
+
+// NewGenerator validates the profile and builds its generator. The Zipf CDF
+// costs 8 bytes per distinct URL; everything else is O(1).
+func NewGenerator(p Profile) (*Generator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Generator{
+		p:       p,
+		rng:     rand.New(rand.NewSource(p.Seed)),
+		zipf:    NewZipf(p.DistinctURLs, p.ZipfAlpha),
+		span:    p.Span(),
+		history: make(map[int]*clientHistory),
+	}, nil
+}
+
+// MustGenerator is NewGenerator for profiles known statically valid; it
+// panics on error. Intended for tests and the experiment harness.
+func MustGenerator(p Profile) *Generator {
+	g, err := NewGenerator(p)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Profile returns the profile the generator was built from.
+func (g *Generator) Profile() Profile { return g.p }
+
+// Next returns the next request, or io.EOF once Profile.Requests have been
+// produced.
+func (g *Generator) Next() (Request, error) {
+	if g.seq >= g.p.Requests {
+		return Request{}, io.EOF
+	}
+	seq := g.seq
+	g.seq++
+
+	// Requests are evenly spaced across the trace span. The simulators
+	// only need plausible inter-arrival times (for hint-staleness windows
+	// and update-rate accounting), not diurnal structure.
+	t := time.Duration(float64(g.span) * float64(seq) / float64(g.p.Requests))
+
+	client := g.nextClient()
+	object := g.nextObject(client)
+	attrs := g.p.attrsFor(object)
+
+	req := Request{
+		Seq:        seq,
+		Time:       t,
+		Client:     client,
+		Object:     object,
+		Size:       attrs.size,
+		Version:    attrs.versionAt(t),
+		Uncachable: attrs.uncachable,
+		Error:      g.rng.Float64() < g.p.ErrorFrac,
+	}
+	return req, nil
+}
+
+// nextObject draws the object for a request: with probability LocalityFrac
+// a revisit of one of the client's recent objects (biased toward the most
+// recent), otherwise a fresh draw from the global popularity distribution.
+// Either way the object enters the client's history.
+func (g *Generator) nextObject(client int) uint64 {
+	h := g.history[client]
+	if h == nil {
+		size := g.p.HistorySize
+		if size == 0 {
+			size = 64
+		}
+		h = &clientHistory{ring: make([]uint64, size)}
+		g.history[client] = h
+	}
+
+	var object uint64
+	if n := h.len(); n > 0 && g.rng.Float64() < g.p.LocalityFrac {
+		// Recency-biased pick: halve the window a few times so the
+		// most recent objects dominate, as in LRU-stack reference
+		// models.
+		window := n
+		for window > 1 && g.rng.Float64() < 0.5 {
+			window = (window + 1) / 2
+		}
+		object = h.pick(g.rng.Intn(window))
+	} else {
+		object = uint64(g.zipf.Sample(g.rng))
+	}
+	h.add(object)
+	return object
+}
+
+// nextClient draws the client ID for the next request. With stable IDs every
+// request draws independently; with dynamic IDs, runs of requests share a
+// session-bound ID.
+func (g *Generator) nextClient() int {
+	if !g.p.DynamicClientIDs {
+		return g.rng.Intn(g.p.Clients)
+	}
+	if g.sessionRemaining == 0 {
+		g.sessionClient = g.rng.Intn(g.p.Clients)
+		// Geometric session length with the configured mean.
+		g.sessionRemaining = 1
+		for g.rng.Float64() > 1.0/meanSessionLength {
+			g.sessionRemaining++
+		}
+	}
+	g.sessionRemaining--
+	return g.sessionClient
+}
+
+// Characteristics summarizes a trace the way Table 4 does, plus the derived
+// quantities the analysis in Section 2.2 relies on.
+type Characteristics struct {
+	Name            string
+	Requests        int64
+	DistinctObjects int
+	DistinctClients int
+	Days            float64
+	TotalBytes      int64
+	MeanSize        int64
+	FirstAccessFrac float64 // compulsory-miss floor
+	UncachableFrac  float64
+	ErrorFrac       float64
+}
+
+// Measure drains a reader and computes its characteristics. name and days
+// label the result.
+func Measure(name string, days float64, r Reader) (Characteristics, error) {
+	c := Characteristics{Name: name, Days: days}
+	seenObjects := make(map[uint64]struct{})
+	seenClients := make(map[int]struct{})
+	var firstAccesses, uncachable, errors int64
+	for {
+		req, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return c, fmt.Errorf("measure %s: %w", name, err)
+		}
+		c.Requests++
+		c.TotalBytes += req.Size
+		if _, ok := seenObjects[req.Object]; !ok {
+			seenObjects[req.Object] = struct{}{}
+			firstAccesses++
+		}
+		seenClients[req.Client] = struct{}{}
+		if req.Uncachable {
+			uncachable++
+		}
+		if req.Error {
+			errors++
+		}
+	}
+	c.DistinctObjects = len(seenObjects)
+	c.DistinctClients = len(seenClients)
+	if c.Requests > 0 {
+		c.MeanSize = c.TotalBytes / c.Requests
+		c.FirstAccessFrac = float64(firstAccesses) / float64(c.Requests)
+		c.UncachableFrac = float64(uncachable) / float64(c.Requests)
+		c.ErrorFrac = float64(errors) / float64(c.Requests)
+	}
+	return c, nil
+}

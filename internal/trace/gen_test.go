@@ -1,0 +1,323 @@
+package trace
+
+import (
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// smallProfile returns a quick-to-generate DEC-like profile for tests.
+func smallProfile() Profile {
+	p := DECProfile(ScaleSmall)
+	p.Requests = 20_000
+	p.DistinctURLs = 4_000
+	return p
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	p := smallProfile()
+	a, err := ReadAll(MustGenerator(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadAll(MustGenerator(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGeneratorSeedChangesTrace(t *testing.T) {
+	p1 := smallProfile()
+	p2 := smallProfile()
+	p2.Seed++
+	a, _ := ReadAll(MustGenerator(p1))
+	b, _ := ReadAll(MustGenerator(p2))
+	same := 0
+	for i := range a {
+		if a[i].Object == b[i].Object {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical object streams")
+	}
+}
+
+func TestGeneratorRequestCount(t *testing.T) {
+	p := smallProfile()
+	g := MustGenerator(p)
+	var n int64
+	for {
+		_, err := g.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != p.Requests {
+		t.Errorf("generated %d requests, want %d", n, p.Requests)
+	}
+	// EOF must be sticky.
+	if _, err := g.Next(); err != io.EOF {
+		t.Errorf("after exhaustion got err=%v, want io.EOF", err)
+	}
+}
+
+func TestGeneratorTimesMonotonicWithinSpan(t *testing.T) {
+	p := smallProfile()
+	g := MustGenerator(p)
+	var prev time.Duration = -1
+	span := p.Span()
+	for {
+		req, err := g.Next()
+		if err == io.EOF {
+			break
+		}
+		if req.Time < prev {
+			t.Fatalf("time went backwards at seq %d: %v < %v", req.Seq, req.Time, prev)
+		}
+		if req.Time < 0 || req.Time >= span {
+			t.Fatalf("time %v outside [0, %v)", req.Time, span)
+		}
+		prev = req.Time
+	}
+}
+
+func TestGeneratorFieldRanges(t *testing.T) {
+	p := smallProfile()
+	g := MustGenerator(p)
+	for {
+		req, err := g.Next()
+		if err == io.EOF {
+			break
+		}
+		if req.Client < 0 || req.Client >= p.Clients {
+			t.Fatalf("client %d out of range", req.Client)
+		}
+		if req.Object >= uint64(p.DistinctURLs) {
+			t.Fatalf("object %d out of range", req.Object)
+		}
+		if req.Size < p.MinSize || req.Size > p.MaxSize {
+			t.Fatalf("size %d outside [%d, %d]", req.Size, p.MinSize, p.MaxSize)
+		}
+		if req.Version < 1 {
+			t.Fatalf("version %d < 1", req.Version)
+		}
+	}
+}
+
+func TestGeneratorAttributesStablePerObject(t *testing.T) {
+	p := smallProfile()
+	reqs, _ := ReadAll(MustGenerator(p))
+	size := make(map[uint64]int64)
+	uncach := make(map[uint64]bool)
+	for _, r := range reqs {
+		if s, ok := size[r.Object]; ok && s != r.Size {
+			t.Fatalf("object %d size changed %d -> %d", r.Object, s, r.Size)
+		}
+		size[r.Object] = r.Size
+		if u, ok := uncach[r.Object]; ok && u != r.Uncachable {
+			t.Fatalf("object %d uncachable flag changed", r.Object)
+		}
+		uncach[r.Object] = r.Uncachable
+	}
+}
+
+func TestGeneratorVersionsMonotonicPerObject(t *testing.T) {
+	p := smallProfile()
+	reqs, _ := ReadAll(MustGenerator(p))
+	last := make(map[uint64]int64)
+	for _, r := range reqs {
+		if v, ok := last[r.Object]; ok && r.Version < v {
+			t.Fatalf("object %d version went backwards %d -> %d", r.Object, v, r.Version)
+		}
+		last[r.Object] = r.Version
+	}
+}
+
+func TestMeasureMatchesProfile(t *testing.T) {
+	p := smallProfile()
+	c, err := Measure(p.Name, p.Days, MustGenerator(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Requests != p.Requests {
+		t.Errorf("Requests = %d, want %d", c.Requests, p.Requests)
+	}
+	// First-access fraction should be near DistinctObjects/Requests.
+	want := float64(c.DistinctObjects) / float64(c.Requests)
+	if c.FirstAccessFrac != want {
+		t.Errorf("FirstAccessFrac = %g, want %g", c.FirstAccessFrac, want)
+	}
+	// The uncachable fraction of requests should be within a factor of 2.5
+	// of the object-level fraction (popular objects bias it).
+	if c.UncachableFrac > 2.5*p.UncachableFrac+0.02 {
+		t.Errorf("UncachableFrac = %g, far above object-level %g", c.UncachableFrac, p.UncachableFrac)
+	}
+	// Mean size should land within a factor of a few of the ~10 KB target.
+	if c.MeanSize < 3<<10 || c.MeanSize > 64<<10 {
+		t.Errorf("MeanSize = %d, want a few KB to a few tens of KB", c.MeanSize)
+	}
+}
+
+func TestDynamicClientIDsProduceSessions(t *testing.T) {
+	p := ProdigyProfile(ScaleSmall)
+	p.Requests = 10_000
+	p.DistinctURLs = 2_000
+	reqs, _ := ReadAll(MustGenerator(p))
+	// Sessions mean consecutive requests frequently share a client.
+	sameAsPrev := 0
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].Client == reqs[i-1].Client {
+			sameAsPrev++
+		}
+	}
+	frac := float64(sameAsPrev) / float64(len(reqs)-1)
+	if frac < 0.5 {
+		t.Errorf("consecutive same-client fraction = %.3f, want >= 0.5 with sessions", frac)
+	}
+
+	// A stable-ID workload should not show that clustering.
+	p2 := smallProfile()
+	reqs2, _ := ReadAll(MustGenerator(p2))
+	sameAsPrev = 0
+	for i := 1; i < len(reqs2); i++ {
+		if reqs2[i].Client == reqs2[i-1].Client {
+			sameAsPrev++
+		}
+	}
+	frac2 := float64(sameAsPrev) / float64(len(reqs2)-1)
+	if frac2 > 0.05 {
+		t.Errorf("stable IDs: consecutive same-client fraction = %.3f, want near 0", frac2)
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	good := smallProfile()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+	mutate := []func(*Profile){
+		func(p *Profile) { p.Requests = 0 },
+		func(p *Profile) { p.DistinctURLs = 0 },
+		func(p *Profile) { p.Clients = -1 },
+		func(p *Profile) { p.Days = 0 },
+		func(p *Profile) { p.WarmupDays = p.Days },
+		func(p *Profile) { p.ZipfAlpha = -1 },
+		func(p *Profile) { p.MedianSize = 0 },
+		func(p *Profile) { p.MaxSize = p.MinSize - 1 },
+		func(p *Profile) { p.SizeSigma = -0.1 },
+		func(p *Profile) { p.MutableFrac = 1.5 },
+		func(p *Profile) { p.MutableFrac = 0.5; p.MinUpdatePeriod = 0 },
+		func(p *Profile) { p.UncachableFrac = -0.2 },
+		func(p *Profile) { p.ErrorFrac = 2 },
+	}
+	for i, m := range mutate {
+		p := smallProfile()
+		m(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d: invalid profile accepted", i)
+		}
+	}
+}
+
+func TestPublishedProfilesValid(t *testing.T) {
+	for _, s := range []Scale{ScaleSmall, ScaleLaptop, ScaleFull} {
+		for _, p := range Profiles(s) {
+			if err := p.Validate(); err != nil {
+				t.Errorf("%s @%g: %v", p.Name, s, err)
+			}
+		}
+	}
+}
+
+func TestProfilesTable4Shape(t *testing.T) {
+	ps := Profiles(ScaleFull)
+	if len(ps) != 3 {
+		t.Fatalf("want 3 profiles, got %d", len(ps))
+	}
+	dec, brk, pr := ps[0], ps[1], ps[2]
+	if dec.Clients != 16_660 || brk.Clients != 8_372 || pr.Clients != 35_354 {
+		t.Errorf("client counts do not match Table 4: %d %d %d", dec.Clients, brk.Clients, pr.Clients)
+	}
+	if dec.Requests != 22_100_000 || brk.Requests != 8_800_000 || pr.Requests != 4_200_000 {
+		t.Errorf("request counts do not match Table 4 at full scale")
+	}
+	if !pr.DynamicClientIDs || dec.DynamicClientIDs || brk.DynamicClientIDs {
+		t.Errorf("only Prodigy should have dynamic client IDs")
+	}
+	// DEC's measured first-access fraction should be near the 19% the
+	// paper reports (distinct/requests = 4.15M/22.1M). Measure on a
+	// small-scale generation; the ratio is approximately scale-free.
+	small := DECProfile(ScaleSmall)
+	c, err := Measure(small.Name, small.Days, MustGenerator(small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.FirstAccessFrac < 0.15 || c.FirstAccessFrac > 0.25 {
+		t.Errorf("DEC first-access fraction = %.3f, want around 0.19", c.FirstAccessFrac)
+	}
+}
+
+func TestLocalityProducesRevisits(t *testing.T) {
+	// Few clients so each issues enough requests for history to matter.
+	withLoc := smallProfile()
+	withLoc.Clients = 200
+	withLoc.LocalityFrac = 0.5
+	noLoc := smallProfile()
+	noLoc.Clients = 200
+	noLoc.LocalityFrac = 0
+
+	revisitFrac := func(p Profile) float64 {
+		reqs, _ := ReadAll(MustGenerator(p))
+		seen := make(map[[2]uint64]bool)
+		revisits := 0
+		for _, r := range reqs {
+			key := [2]uint64{uint64(r.Client), r.Object}
+			if seen[key] {
+				revisits++
+			}
+			seen[key] = true
+		}
+		return float64(revisits) / float64(len(reqs))
+	}
+	with, without := revisitFrac(withLoc), revisitFrac(noLoc)
+	if with <= without {
+		t.Errorf("locality did not raise per-client revisits: %.3f vs %.3f", with, without)
+	}
+	if with < 0.3 {
+		t.Errorf("revisit fraction %.3f too low for LocalityFrac=0.5", with)
+	}
+}
+
+func TestObjectAttrsQuick(t *testing.T) {
+	p := smallProfile()
+	f := func(obj uint64) bool {
+		a := p.attrsFor(obj)
+		if a.size < p.MinSize || a.size > p.MaxSize {
+			return false
+		}
+		if a.mutable && a.updatePeriod <= 0 {
+			return false
+		}
+		// Version must be non-decreasing in time.
+		v1 := a.versionAt(time.Hour)
+		v2 := a.versionAt(48 * time.Hour)
+		return v2 >= v1 && v1 >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

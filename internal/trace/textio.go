@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The text trace format is one request per line:
+//
+//	seq timeNanos client object size version flags
+//
+// where flags is a combination of "u" (uncachable) and "e" (error), or "-"
+// when neither applies. The format round-trips exactly and is what
+// cmd/tracegen emits.
+
+// WriteText writes all requests from r to w in the text format. It returns
+// the number of requests written.
+func WriteText(w io.Writer, r Reader) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	for {
+		req, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return n, fmt.Errorf("write trace: %w", err)
+		}
+		if _, err := fmt.Fprintf(bw, "%d %d %d %d %d %d %s\n",
+			req.Seq, int64(req.Time), req.Client, req.Object,
+			req.Size, req.Version, flagString(req)); err != nil {
+			return n, fmt.Errorf("write trace: %w", err)
+		}
+		n++
+	}
+	if err := bw.Flush(); err != nil {
+		return n, fmt.Errorf("write trace: %w", err)
+	}
+	return n, nil
+}
+
+func flagString(r Request) string {
+	switch {
+	case r.Uncachable && r.Error:
+		return "ue"
+	case r.Uncachable:
+		return "u"
+	case r.Error:
+		return "e"
+	default:
+		return "-"
+	}
+}
+
+// TextReader parses the text trace format. It implements Reader.
+type TextReader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewTextReader wraps an io.Reader producing text-format trace lines.
+func NewTextReader(r io.Reader) *TextReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	return &TextReader{sc: sc}
+}
+
+// Next parses the next line. It returns io.EOF at end of input.
+func (t *TextReader) Next() (Request, error) {
+	for t.sc.Scan() {
+		t.line++
+		line := strings.TrimSpace(t.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		req, err := parseLine(line)
+		if err != nil {
+			return Request{}, fmt.Errorf("trace line %d: %w", t.line, err)
+		}
+		return req, nil
+	}
+	if err := t.sc.Err(); err != nil {
+		return Request{}, fmt.Errorf("trace line %d: %w", t.line, err)
+	}
+	return Request{}, io.EOF
+}
+
+func parseLine(line string) (Request, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 7 {
+		return Request{}, fmt.Errorf("want 7 fields, got %d", len(fields))
+	}
+	var (
+		req Request
+		err error
+	)
+	if req.Seq, err = strconv.ParseInt(fields[0], 10, 64); err != nil {
+		return Request{}, fmt.Errorf("seq: %w", err)
+	}
+	ns, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Request{}, fmt.Errorf("time: %w", err)
+	}
+	req.Time = time.Duration(ns)
+	if req.Client, err = strconv.Atoi(fields[2]); err != nil {
+		return Request{}, fmt.Errorf("client: %w", err)
+	}
+	if req.Object, err = strconv.ParseUint(fields[3], 10, 64); err != nil {
+		return Request{}, fmt.Errorf("object: %w", err)
+	}
+	if req.Size, err = strconv.ParseInt(fields[4], 10, 64); err != nil {
+		return Request{}, fmt.Errorf("size: %w", err)
+	}
+	if req.Version, err = strconv.ParseInt(fields[5], 10, 64); err != nil {
+		return Request{}, fmt.Errorf("version: %w", err)
+	}
+	switch fields[6] {
+	case "-":
+	case "u":
+		req.Uncachable = true
+	case "e":
+		req.Error = true
+	case "ue", "eu":
+		req.Uncachable = true
+		req.Error = true
+	default:
+		return Request{}, fmt.Errorf("unknown flags %q", fields[6])
+	}
+	return req, nil
+}

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf samples ranks in [0, n) with probability proportional to
+// 1/(rank+1)^alpha. Unlike math/rand's Zipf it supports alpha <= 1, which is
+// the regime measured for web-object popularity (alpha around 0.7-0.9).
+//
+// The sampler precomputes the cumulative mass function once (O(n) space) and
+// samples by binary search (O(log n) per draw). It is not safe for concurrent
+// use with a shared *rand.Rand.
+type Zipf struct {
+	cdf   []float64
+	alpha float64
+}
+
+// NewZipf builds a sampler over n ranks with skew alpha. It panics if n <= 0
+// or alpha < 0; both indicate programmer error when wiring a workload.
+func NewZipf(n int, alpha float64) *Zipf {
+	if n <= 0 {
+		panic(fmt.Sprintf("trace: NewZipf n must be positive, got %d", n))
+	}
+	if alpha < 0 {
+		panic(fmt.Sprintf("trace: NewZipf alpha must be non-negative, got %g", alpha))
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += math.Pow(float64(i+1), -alpha)
+		cdf[i] = sum
+	}
+	// Normalize so the final entry is exactly 1: makes Sample's upper
+	// bound airtight against float rounding.
+	inv := 1 / sum
+	for i := range cdf {
+		cdf[i] *= inv
+	}
+	cdf[n-1] = 1
+	return &Zipf{cdf: cdf, alpha: alpha}
+}
+
+// N returns the number of ranks the sampler draws from.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Alpha returns the configured skew.
+func (z *Zipf) Alpha() float64 { return z.alpha }
+
+// Sample draws one rank using rng.
+func (z *Zipf) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Mass returns the probability of a given rank. It panics if rank is out of
+// range.
+func (z *Zipf) Mass(rank int) float64 {
+	if rank == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[rank] - z.cdf[rank-1]
+}

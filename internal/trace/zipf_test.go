@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfSampleInRange(t *testing.T) {
+	z := NewZipf(100, 0.8)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10_000; i++ {
+		r := z.Sample(rng)
+		if r < 0 || r >= 100 {
+			t.Fatalf("sample %d out of range [0,100)", r)
+		}
+	}
+}
+
+func TestZipfSkewOrdersRanks(t *testing.T) {
+	z := NewZipf(1000, 0.8)
+	rng := rand.New(rand.NewSource(2))
+	counts := make([]int, 1000)
+	for i := 0; i < 200_000; i++ {
+		counts[z.Sample(rng)]++
+	}
+	if counts[0] <= counts[10] {
+		t.Errorf("rank 0 (%d draws) should beat rank 10 (%d draws)", counts[0], counts[10])
+	}
+	if counts[0] <= counts[500] {
+		t.Errorf("rank 0 (%d draws) should beat rank 500 (%d draws)", counts[0], counts[500])
+	}
+	// With alpha=0.8 over 1000 ranks, rank 0 carries about 6.4% of the
+	// mass (1/H_{1000,0.8}); verify the empirical share is in the right
+	// ballpark.
+	share := float64(counts[0]) / 200_000
+	if share < 0.045 || share > 0.085 {
+		t.Errorf("rank-0 share = %.4f, want around 0.064", share)
+	}
+}
+
+func TestZipfMassSumsToOne(t *testing.T) {
+	for _, alpha := range []float64{0, 0.5, 0.8, 1.0, 1.5} {
+		z := NewZipf(257, alpha)
+		sum := 0.0
+		for i := 0; i < z.N(); i++ {
+			sum += z.Mass(i)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("alpha=%g: total mass = %.12f, want 1", alpha, sum)
+		}
+	}
+}
+
+func TestZipfAlphaZeroIsUniform(t *testing.T) {
+	z := NewZipf(10, 0)
+	for i := 0; i < 10; i++ {
+		if math.Abs(z.Mass(i)-0.1) > 1e-9 {
+			t.Errorf("mass(%d) = %g, want 0.1", i, z.Mass(i))
+		}
+	}
+}
+
+func TestZipfPanicsOnBadArgs(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		n     int
+		alpha float64
+	}{
+		{"zero n", 0, 1},
+		{"negative n", -5, 1},
+		{"negative alpha", 10, -0.1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(%d, %g) did not panic", tc.n, tc.alpha)
+				}
+			}()
+			NewZipf(tc.n, tc.alpha)
+		})
+	}
+}
+
+func TestZipfSampleAlwaysInRangeQuick(t *testing.T) {
+	f := func(seed int64, nRaw uint16, alphaRaw uint8) bool {
+		n := int(nRaw%5000) + 1
+		alpha := float64(alphaRaw) / 64.0 // 0..~4
+		z := NewZipf(n, alpha)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 50; i++ {
+			if r := z.Sample(rng); r < 0 || r >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
