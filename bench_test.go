@@ -15,9 +15,17 @@ package beyondcache_test
 import (
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	neturl "net/url"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"beyondcache/internal/cache"
+	"beyondcache/internal/cluster"
 	"beyondcache/internal/core"
 	"beyondcache/internal/experiments"
 	"beyondcache/internal/hintcache"
@@ -352,6 +360,159 @@ func runPushAll(b *testing.B, p trace.Profile, capBytes int64, plainLRU bool) co
 		b.Fatal(err)
 	}
 	return rep
+}
+
+// --- Concurrency: lock striping and singleflight ----------------------------
+
+// BenchmarkShardedCacheParallel measures concurrent throughput of the
+// lock-striped object cache against the same structure collapsed to a single
+// shard (one lock). Run with -cpu to see the scaling curve.
+func BenchmarkShardedCacheParallel(b *testing.B) {
+	const (
+		objects = 4096
+		objSize = 512
+	)
+	body := make([]byte, objSize)
+	for _, shards := range []int{1, 0} {
+		name := "shards=1"
+		if shards == 0 {
+			name = "shards=default"
+		}
+		b.Run(name, func(b *testing.B) {
+			s := cache.NewSharded(shards, int64(objects*objSize*2))
+			for i := 0; i < objects; i++ {
+				s.Put(cache.Object{ID: uint64(i) + 1, Size: objSize, Version: 1}, body)
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(1))
+				for pb.Next() {
+					id := uint64(rng.Intn(objects)) + 1
+					if rng.Intn(10) == 0 {
+						s.Put(cache.Object{ID: id, Size: objSize, Version: 1}, body)
+					} else {
+						s.Get(id)
+					}
+				}
+			})
+		})
+	}
+}
+
+// nullResponseWriter is an allocation-free http.ResponseWriter: the
+// benchmarks reuse one per goroutine so that measured time is the node's
+// fetch path, not recorder allocation and GC sweep.
+type nullResponseWriter struct {
+	h    http.Header
+	code int
+}
+
+func (w *nullResponseWriter) Header() http.Header         { return w.h }
+func (w *nullResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *nullResponseWriter) WriteHeader(code int)        { w.code = code }
+
+// benchNodeFetch drives a node's /fetch handler in-process (no sockets).
+// wrap lets the baseline reintroduce a single global mutex around every
+// request — the lock-convoy design the refactor removed. Two workloads:
+//
+//	hits:     prewarmed working set, every request a local hit. Measures the
+//	          CPU cost of the probe path; needs real cores to show striping.
+//	coldmiss: every request a distinct cold object against an origin with
+//	          500us latency. Measures the paper's "do not slow down misses"
+//	          property: misses must overlap, not queue behind one lock, so
+//	          the convoy shows even on a single-CPU host.
+func benchNodeFetch(b *testing.B, mode string, cfg cluster.NodeConfig, wrap func(http.Handler) http.Handler) {
+	b.Helper()
+	origin := cluster.NewOrigin(1024)
+	osrv := httptest.NewServer(origin.Handler())
+	defer osrv.Close()
+	cfg.OriginURL = osrv.URL
+	cfg.UpdateInterval = time.Hour
+	cfg.Seed = 1
+	n, err := cluster.NewNode(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n.Bind("http://bench.node.invalid:80")
+	defer n.Close()
+
+	h := n.Handler()
+	if wrap != nil {
+		h = wrap(h)
+	}
+	const objects = 512
+	paths := make([]string, objects)
+	for i := range paths {
+		paths[i] = "/fetch?url=" + neturl.QueryEscape(fmt.Sprintf("http://example.com/bench/%d", i))
+	}
+	if mode == "hits" {
+		for _, p := range paths { // prewarm: every timed request is a local hit
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, p, nil))
+			if rec.Code != http.StatusOK {
+				b.Fatalf("prewarm status %d", rec.Code)
+			}
+		}
+	} else {
+		origin.SetLatency(500 * time.Microsecond)
+	}
+	var seq atomic.Int64 // distinct cold URL per op across all goroutines
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Per-goroutine pre-built requests and a reusable writer keep the
+		// hit loop allocation-free; the handler never mutates the request.
+		reqs := make([]*http.Request, objects)
+		for i := range reqs {
+			reqs[i] = httptest.NewRequest(http.MethodGet, paths[i], nil)
+		}
+		w := &nullResponseWriter{h: make(http.Header)}
+		rng := rand.New(rand.NewSource(1))
+		for pb.Next() {
+			req := reqs[rng.Intn(objects)]
+			if mode == "coldmiss" {
+				req = httptest.NewRequest(http.MethodGet, "/fetch?url="+neturl.QueryEscape(
+					fmt.Sprintf("http://example.com/cold/%d", seq.Add(1))), nil)
+			}
+			w.code = 0
+			h.ServeHTTP(w, req)
+			if w.code != 0 && w.code != http.StatusOK {
+				b.Errorf("status %d", w.code)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkNodeFetchParallel compares three lockings of the node fetch path
+// under the two workloads benchNodeFetch describes:
+//
+//	global-mutex: every request serialized behind one mutex — the single-lock
+//	              baseline, where one lock guards cache, hints, and stats;
+//	one-shard:    the new code with striping disabled (one cache shard, one
+//	              hint stripe), isolating the win from atomics + singleflight;
+//	sharded:      the new code at its defaults.
+func BenchmarkNodeFetchParallel(b *testing.B) {
+	for _, mode := range []string{"hits", "coldmiss"} {
+		b.Run(mode, func(b *testing.B) {
+			b.Run("global-mutex", func(b *testing.B) {
+				var mu sync.Mutex
+				benchNodeFetch(b, mode, cluster.NodeConfig{Name: "bench"},
+					func(h http.Handler) http.Handler {
+						return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+							mu.Lock()
+							defer mu.Unlock()
+							h.ServeHTTP(w, r)
+						})
+					})
+			})
+			b.Run("one-shard", func(b *testing.B) {
+				benchNodeFetch(b, mode, cluster.NodeConfig{Name: "bench", CacheShards: 1, HintStripes: 1}, nil)
+			})
+			b.Run("sharded", func(b *testing.B) {
+				benchNodeFetch(b, mode, cluster.NodeConfig{Name: "bench"}, nil)
+			})
+		})
+	}
 }
 
 // BenchmarkAblationDirectoryVsHints reports the speedup of local hint

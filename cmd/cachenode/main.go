@@ -57,7 +57,9 @@ func run(args []string, out io.Writer, wait func()) error {
 		updateTo    = fs.String("update-targets", "", "comma-separated metadata relay URLs (default: broadcast to peers)")
 		name        = fs.String("name", "", "node name for stats (default: listen address)")
 		cacheBytes  = fs.Int64("cache-bytes", 64<<20, "object cache capacity in bytes")
+		cacheShards = fs.Int("cache-shards", 0, "object cache shard count, rounded up to a power of two (0: sized from GOMAXPROCS)")
 		hintEntries = fs.Int("hint-entries", 65536, "hint table entries (16 bytes each)")
+		hintStripes = fs.Int("hint-stripes", 0, "hint table lock stripes, rounded up to a power of two (0: sized from GOMAXPROCS)")
 		interval    = fs.Duration("update-interval", time.Second, "mean hint batch interval")
 		objectSize  = fs.Int64("object-size", 8<<10, "origin default object size")
 	)
@@ -81,7 +83,9 @@ func run(args []string, out io.Writer, wait func()) error {
 	n, err := cluster.NewNode(cluster.NodeConfig{
 		Name:           *name,
 		CacheBytes:     *cacheBytes,
+		CacheShards:    *cacheShards,
 		HintEntries:    *hintEntries,
+		HintStripes:    *hintStripes,
 		OriginURL:      *originURL,
 		UpdateInterval: *interval,
 	})

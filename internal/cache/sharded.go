@@ -1,0 +1,239 @@
+package cache
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Sharded is a lock-striped concurrent object cache: N independent LRU
+// shards, each guarded by its own mutex and holding an equal slice of the
+// total byte budget. Object IDs are hashed to shards, so concurrent requests
+// for unrelated objects proceed without contention — the concurrency layer
+// the networked prototype needs while the single-threaded LRU stays as-is
+// for the simulators.
+//
+// Unlike LRU, Sharded also stores each object's body alongside its metadata
+// so that a lookup returns both under one shard lock (the networked node
+// must never serve an object's metadata with another version's bytes). A
+// nil body is allowed for callers that only track metadata.
+//
+// Because the byte budget is partitioned, an object larger than one shard's
+// slice (capacity/shards) is not cacheable even if the whole cache could
+// hold it; with realistic shard counts and web-object sizes this is the
+// standard sharded-cache trade-off.
+type Sharded struct {
+	shards []cacheShard
+	mask   uint64
+}
+
+// cacheShard pads each shard to its own cache lines so that shard locks do
+// not false-share.
+type cacheShard struct {
+	mu     sync.Mutex
+	lru    *LRU
+	bodies map[uint64][]byte
+	_      [24]byte
+}
+
+// NewSharded builds a sharded cache with the given shard count (rounded up
+// to a power of two; <= 0 picks a default sized to GOMAXPROCS) over a total
+// byte capacity (<= 0 means unbounded, like NewLRU).
+func NewSharded(shards int, capacity int64) *Sharded {
+	if shards <= 0 {
+		shards = 2 * runtime.GOMAXPROCS(0)
+		if shards < 8 {
+			shards = 8
+		}
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	perShard := capacity
+	if capacity > 0 {
+		perShard = capacity / int64(n)
+		if perShard < 1 {
+			perShard = 1
+		}
+	}
+	s := &Sharded{
+		shards: make([]cacheShard, n),
+		mask:   uint64(n - 1),
+	}
+	for i := range s.shards {
+		s.shards[i].lru = NewLRU(perShard)
+		s.shards[i].bodies = make(map[uint64][]byte)
+	}
+	return s
+}
+
+// shardFor mixes the ID before reducing so that dense IDs spread evenly.
+func (s *Sharded) shardFor(id uint64) *cacheShard {
+	h := id * 0x9e3779b97f4a7c15
+	return &s.shards[(h>>32)&s.mask]
+}
+
+// Shards returns the shard count.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// OnEvict registers fn to run whenever an object leaves the cache due to
+// capacity pressure or explicit removal. The callback runs with the
+// object's shard lock held, so it must not call back into the cache (see
+// the locking hierarchy in DESIGN.md). OnEvict must be called before the
+// cache is shared across goroutines.
+func (s *Sharded) OnEvict(fn func(Object)) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.lru.OnEvict(func(o Object) {
+			delete(sh.bodies, o.ID)
+			if fn != nil {
+				fn(o)
+			}
+		})
+	}
+}
+
+// Get returns the object and its body, promoting it to most-recently-used.
+func (s *Sharded) Get(id uint64) (Object, []byte, bool) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	obj, ok := sh.lru.Get(id)
+	if !ok {
+		return Object{}, nil, false
+	}
+	return obj, sh.bodies[id], true
+}
+
+// Peek returns the object without touching recency.
+func (s *Sharded) Peek(id uint64) (Object, bool) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.lru.Peek(id)
+}
+
+// Contains reports whether the object is cached, without touching recency.
+func (s *Sharded) Contains(id uint64) bool {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.lru.Contains(id)
+}
+
+// Put inserts or refreshes an object and its body, evicting within the
+// object's shard as needed. It reports whether the object is cached
+// afterwards.
+func (s *Sharded) Put(obj Object, body []byte) bool {
+	sh := s.shardFor(obj.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.putLocked(obj, body)
+}
+
+// PutNewer is Put except that it refuses to replace a cached copy with an
+// older version: if the cached version is already >= obj.Version, the cache
+// is left untouched. Concurrent fills racing with invalidations use this so
+// a slow fetch of an old version can never clobber a fresher copy — the
+// "no stale version is ever served" guarantee of the stress tests. It
+// reports whether a copy at version >= obj.Version is cached afterwards.
+func (s *Sharded) PutNewer(obj Object, body []byte) bool {
+	sh := s.shardFor(obj.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if cur, ok := sh.lru.Peek(obj.ID); ok && cur.Version >= obj.Version {
+		return true
+	}
+	return sh.putLocked(obj, body)
+}
+
+func (sh *cacheShard) putLocked(obj Object, body []byte) bool {
+	if !sh.lru.Put(obj) {
+		return false
+	}
+	if body != nil {
+		sh.bodies[obj.ID] = body
+	}
+	return true
+}
+
+// Remove deletes an object, firing the eviction callback. It reports whether
+// the object was present.
+func (s *Sharded) Remove(id uint64) bool {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.lru.Remove(id)
+}
+
+// Len returns the total number of cached objects across shards.
+func (s *Sharded) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Used returns the bytes charged against capacity across shards.
+func (s *Sharded) Used() int64 {
+	var used int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		used += sh.lru.Used()
+		sh.mu.Unlock()
+	}
+	return used
+}
+
+// Capacity returns the total configured byte capacity (<= 0 means
+// unbounded).
+func (s *Sharded) Capacity() int64 {
+	var total int64
+	for i := range s.shards {
+		c := s.shards[i].lru.Capacity()
+		if c <= 0 {
+			return 0
+		}
+		total += c
+	}
+	return total
+}
+
+// Objects returns a snapshot of cached objects. Shards are visited in
+// order, each under its own lock; the snapshot is consistent per shard but
+// not across shards (fine for digest rebuilds, which tolerate staleness by
+// design).
+func (s *Sharded) Objects() []Object {
+	var out []Object
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		out = append(out, sh.lru.Objects()...)
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// ShardedStats aggregates per-shard counters.
+type ShardedStats struct {
+	Inserts   int64
+	Evictions int64
+}
+
+// Stats sums the per-shard counters.
+func (s *Sharded) Stats() ShardedStats {
+	var st ShardedStats
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		st.Inserts += sh.lru.Inserts()
+		st.Evictions += sh.lru.Evictions()
+		sh.mu.Unlock()
+	}
+	return st
+}

@@ -1,0 +1,146 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestShardedRoundsToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {5, 8}, {16, 16}, {17, 32},
+	} {
+		if got := NewSharded(tc.in, 0).Shards(); got != tc.want {
+			t.Errorf("NewSharded(%d).Shards() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	if got := NewSharded(0, 0).Shards(); got < 8 {
+		t.Errorf("default shard count = %d, want >= 8", got)
+	}
+}
+
+func TestShardedPutGetRemove(t *testing.T) {
+	s := NewSharded(4, 0)
+	body := []byte("hello")
+	if !s.Put(Object{ID: 1, Size: 5, Version: 1}, body) {
+		t.Fatal("Put rejected")
+	}
+	obj, got, ok := s.Get(1)
+	if !ok || obj.Version != 1 || string(got) != "hello" {
+		t.Fatalf("Get = %+v %q %v", obj, got, ok)
+	}
+	if !s.Contains(1) || s.Len() != 1 || s.Used() != 5 {
+		t.Errorf("Contains/Len/Used = %v/%d/%d", s.Contains(1), s.Len(), s.Used())
+	}
+	if !s.Remove(1) {
+		t.Fatal("Remove missed")
+	}
+	if _, _, ok := s.Get(1); ok {
+		t.Error("object survives Remove")
+	}
+	if s.Remove(1) {
+		t.Error("second Remove reported success")
+	}
+}
+
+func TestShardedPutNewerRefusesDowngrade(t *testing.T) {
+	s := NewSharded(4, 0)
+	s.Put(Object{ID: 7, Size: 2, Version: 3}, []byte("v3"))
+	if !s.PutNewer(Object{ID: 7, Size: 2, Version: 1}, []byte("v1")) {
+		t.Fatal("PutNewer returned false despite a newer cached copy")
+	}
+	obj, body, _ := s.Get(7)
+	if obj.Version != 3 || string(body) != "v3" {
+		t.Errorf("downgrade clobbered newer copy: %+v %q", obj, body)
+	}
+	if !s.PutNewer(Object{ID: 7, Size: 2, Version: 5}, []byte("v5")) {
+		t.Fatal("PutNewer rejected upgrade")
+	}
+	obj, body, _ = s.Get(7)
+	if obj.Version != 5 || string(body) != "v5" {
+		t.Errorf("upgrade not applied: %+v %q", obj, body)
+	}
+}
+
+func TestShardedEvictionDropsBodyAndFiresCallback(t *testing.T) {
+	// One shard so capacity pressure is deterministic.
+	s := NewSharded(1, 10)
+	var evicted []uint64
+	s.OnEvict(func(o Object) { evicted = append(evicted, o.ID) })
+	s.Put(Object{ID: 1, Size: 6, Version: 1}, []byte("aaaaaa"))
+	s.Put(Object{ID: 2, Size: 6, Version: 1}, []byte("bbbbbb"))
+	if len(evicted) != 1 || evicted[0] != 1 {
+		t.Fatalf("evicted = %v, want [1]", evicted)
+	}
+	if _, _, ok := s.Get(1); ok {
+		t.Error("evicted object still served")
+	}
+	st := s.Stats()
+	if st.Inserts != 2 || st.Evictions != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestShardedCapacitySplitsAcrossShards(t *testing.T) {
+	s := NewSharded(4, 4096)
+	if got := s.Capacity(); got != 4096 {
+		t.Errorf("Capacity = %d, want 4096", got)
+	}
+	if got := NewSharded(4, 0).Capacity(); got != 0 {
+		t.Errorf("unbounded Capacity = %d, want 0", got)
+	}
+}
+
+func TestShardedObjectsSnapshot(t *testing.T) {
+	s := NewSharded(8, 0)
+	for i := uint64(1); i <= 20; i++ {
+		s.Put(Object{ID: i, Size: 1, Version: 1}, nil)
+	}
+	objs := s.Objects()
+	if len(objs) != 20 {
+		t.Fatalf("snapshot has %d objects, want 20", len(objs))
+	}
+	seen := map[uint64]bool{}
+	for _, o := range objs {
+		seen[o.ID] = true
+	}
+	for i := uint64(1); i <= 20; i++ {
+		if !seen[i] {
+			t.Errorf("object %d missing from snapshot", i)
+		}
+	}
+}
+
+// TestShardedConcurrentMixedOps is the -race workout: readers, writers, and
+// removers hammering overlapping IDs.
+func TestShardedConcurrentMixedOps(t *testing.T) {
+	s := NewSharded(8, 1<<20)
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := uint64(i % 64)
+				switch (w + i) % 3 {
+				case 0:
+					s.Put(Object{ID: id, Size: 100, Version: int64(i)}, []byte(fmt.Sprintf("b%d", i)))
+				case 1:
+					if obj, body, ok := s.Get(id); ok && body == nil && obj.Size != 0 {
+						t.Errorf("object %d served without body", id)
+					}
+				case 2:
+					s.Remove(id)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Counters and byte accounting stay coherent.
+	if s.Used() < 0 {
+		t.Errorf("negative Used: %d", s.Used())
+	}
+	if s.Len() > 64 {
+		t.Errorf("Len = %d, want <= 64", s.Len())
+	}
+}

@@ -13,16 +13,23 @@ import (
 // digests (the Summary Cache / Squid Cache Digests scheme). A node's own
 // digest is rebuilt from its true cache contents on demand, so a freshly
 // pulled digest is accurate; it then goes stale until the next exchange.
+//
+// Locking: the node's own digest is mutated (reset + rebuilt) and marshaled
+// under digestMu in write mode; pulled peer digests are immutable once
+// decoded, so probes only need digestMu in read mode to fetch the pointer.
 
-// rebuildDigestLocked regenerates the node's digest from its cache
-// contents. Callers must hold n.mu.
-func (n *Node) rebuildDigestLocked() *digest.Filter {
+// digestBytes rebuilds the node's digest from a snapshot of its cache
+// contents and returns the wire encoding.
+func (n *Node) digestBytes() ([]byte, error) {
+	objs := n.data.Objects()
+	n.digestMu.Lock()
+	defer n.digestMu.Unlock()
 	f := n.ownDigest
 	f.Reset()
-	for _, o := range n.data.Objects() {
+	for _, o := range objs {
 		f.Add(o.ID)
 	}
-	return f
+	return f.MarshalBinary()
 }
 
 // handleDigest serves GET /digest: the node's current contents summary.
@@ -31,9 +38,7 @@ func (n *Node) handleDigest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "digests disabled", http.StatusNotFound)
 		return
 	}
-	n.mu.Lock()
-	data, err := n.rebuildDigestLocked().MarshalBinary()
-	n.mu.Unlock()
+	data, err := n.digestBytes()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -45,56 +50,65 @@ func (n *Node) handleDigest(w http.ResponseWriter, r *http.Request) {
 // PullDigests fetches every peer's digest now. The batcher calls it
 // periodically in digest mode; tests call it directly.
 func (n *Node) PullDigests() {
-	n.mu.Lock()
 	type peer struct {
 		id  uint64
 		url string
 	}
+	n.peerMu.RLock()
 	peers := make([]peer, 0, len(n.peers))
 	for id, u := range n.peers {
 		peers = append(peers, peer{id: id, url: u})
 	}
-	n.mu.Unlock()
+	n.peerMu.RUnlock()
 
 	for _, p := range peers {
 		resp, err := n.client.Get(p.url + "/digest")
 		if err != nil {
-			n.mu.Lock()
-			n.stats.SendErrors++
-			n.mu.Unlock()
+			n.stats.sendErrors.Add(1)
 			continue
 		}
 		data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
 		resp.Body.Close()
 		if err != nil || resp.StatusCode != http.StatusOK {
-			n.mu.Lock()
-			n.stats.SendErrors++
-			n.mu.Unlock()
+			n.stats.sendErrors.Add(1)
 			continue
 		}
 		f, err := digest.Decode(data)
 		if err != nil {
-			n.mu.Lock()
-			n.stats.SendErrors++
-			n.mu.Unlock()
+			n.stats.sendErrors.Add(1)
 			continue
 		}
-		n.mu.Lock()
+		n.digestMu.Lock()
 		n.peerDigests[p.id] = f
-		n.stats.DigestsPulled++
-		n.mu.Unlock()
+		n.digestMu.Unlock()
+		n.stats.digestsPulled.Add(1)
 	}
 }
 
-// digestPeerLocked returns the first peer whose digest claims the object.
-// Callers must hold n.mu.
-func (n *Node) digestPeerLocked(urlHash uint64) string {
-	for _, id := range n.peerOrder {
+// digestPeer returns the base URL of the first peer whose digest claims the
+// object, or "" if none does. Peer digests are immutable after decode, so
+// the probe itself runs outside any lock.
+func (n *Node) digestPeer(urlHash uint64) string {
+	n.peerMu.RLock()
+	order := make([]uint64, len(n.peerOrder))
+	copy(order, n.peerOrder)
+	n.peerMu.RUnlock()
+
+	var found uint64
+	n.digestMu.RLock()
+	for _, id := range order {
 		if f, ok := n.peerDigests[id]; ok && f.MayContain(urlHash) {
-			return n.peers[id]
+			found = id
+			break
 		}
 	}
-	return ""
+	n.digestMu.RUnlock()
+	if found == 0 {
+		return ""
+	}
+	n.peerMu.RLock()
+	defer n.peerMu.RUnlock()
+	return n.peers[found]
 }
 
 // validateDigestConfig applies digest-mode defaults.

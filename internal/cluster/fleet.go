@@ -114,7 +114,8 @@ func (f *Fleet) FlushAll() {
 
 // FetchResult describes how a /fetch was served.
 type FetchResult struct {
-	// How is LOCAL, REMOTE, MISS, or "MISS,STALE-HINT".
+	// How is LOCAL, "LOCAL,COALESCED", REMOTE, MISS, or
+	// "MISS,STALE-HINT".
 	How string
 	// Version is the object version served.
 	Version int64
@@ -124,8 +125,13 @@ type FetchResult struct {
 	Elapsed time.Duration
 }
 
-// Local reports whether the fetch was a local cache hit.
-func (r FetchResult) Local() bool { return r.How == "LOCAL" }
+// Local reports whether the fetch was a local cache hit (including hits on
+// another request's in-flight fill).
+func (r FetchResult) Local() bool { return strings.HasPrefix(r.How, "LOCAL") }
+
+// Coalesced reports whether the fetch shared another request's in-flight
+// fill instead of fetching itself (the singleflight path).
+func (r FetchResult) Coalesced() bool { return strings.HasSuffix(r.How, "COALESCED") }
 
 // Remote reports whether the fetch was served by a cache-to-cache transfer.
 func (r FetchResult) Remote() bool { return r.How == "REMOTE" }

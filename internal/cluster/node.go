@@ -12,6 +12,7 @@ import (
 	neturl "net/url"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"beyondcache/internal/cache"
@@ -25,7 +26,8 @@ const (
 	headerVersion = "X-Object-Version"
 	// headerCache reports how a /fetch was served: LOCAL, REMOTE, or
 	// MISS (origin fetch), optionally suffixed with ",STALE-HINT" when a
-	// false positive was paid first.
+	// false positive was paid first, or "LOCAL,COALESCED" when the
+	// request shared another request's in-flight fill.
 	headerCache = "X-Cache"
 )
 
@@ -35,9 +37,17 @@ type NodeConfig struct {
 	Name string
 	// CacheBytes bounds the object cache (<= 0 means 64 MB).
 	CacheBytes int64
+	// CacheShards is the lock-stripe count of the object cache (rounded
+	// up to a power of two; <= 0 picks a default sized to GOMAXPROCS).
+	// One shard serializes all object accesses behind a single mutex —
+	// the pre-sharding behavior, kept for benchmarks.
+	CacheShards int
 	// HintEntries and HintWays shape the hint table (defaults 65536 x 4).
 	HintEntries int
 	HintWays    int
+	// HintStripes is the lock-stripe count of the hint table (rounded up
+	// to a power of two; <= 0 picks a default sized to GOMAXPROCS).
+	HintStripes int
 	// OriginURL is the origin server's base URL.
 	OriginURL string
 	// UpdateInterval is the mean delay between hint-update batches. The
@@ -60,10 +70,15 @@ type NodeConfig struct {
 
 // Stats counts node activity.
 type Stats struct {
-	LocalHits       int64 `json:"localHits"`
-	RemoteHits      int64 `json:"remoteHits"`
-	Misses          int64 `json:"misses"`
-	FalsePositives  int64 `json:"falsePositives"`
+	LocalHits      int64 `json:"localHits"`
+	RemoteHits     int64 `json:"remoteHits"`
+	Misses         int64 `json:"misses"`
+	FalsePositives int64 `json:"falsePositives"`
+	// CoalescedHits is the subset of LocalHits that were served by
+	// sharing another request's in-flight fill (the singleflight path)
+	// instead of probing the cache themselves. LocalHits + RemoteHits +
+	// Misses still accounts for every successful /fetch.
+	CoalescedHits   int64 `json:"coalescedHits"`
 	PeerServes      int64 `json:"peerServes"`
 	PeerRejects     int64 `json:"peerRejects"`
 	UpdatesSent     int64 `json:"updatesSent"`
@@ -73,25 +88,82 @@ type Stats struct {
 	DigestsPulled   int64 `json:"digestsPulled"`
 }
 
-// Node is one proxy cache in the prototype.
+// counters is the node's live (concurrently updated) form of Stats.
+type counters struct {
+	localHits       atomic.Int64
+	remoteHits      atomic.Int64
+	misses          atomic.Int64
+	falsePositives  atomic.Int64
+	coalescedHits   atomic.Int64
+	peerServes      atomic.Int64
+	peerRejects     atomic.Int64
+	updatesSent     atomic.Int64
+	updatesReceived atomic.Int64
+	batchesSent     atomic.Int64
+	sendErrors      atomic.Int64
+	digestsPulled   atomic.Int64
+}
+
+// snapshot copies the counters into an externally visible Stats.
+func (c *counters) snapshot() Stats {
+	return Stats{
+		LocalHits:       c.localHits.Load(),
+		RemoteHits:      c.remoteHits.Load(),
+		Misses:          c.misses.Load(),
+		FalsePositives:  c.falsePositives.Load(),
+		CoalescedHits:   c.coalescedHits.Load(),
+		PeerServes:      c.peerServes.Load(),
+		PeerRejects:     c.peerRejects.Load(),
+		UpdatesSent:     c.updatesSent.Load(),
+		UpdatesReceived: c.updatesReceived.Load(),
+		BatchesSent:     c.batchesSent.Load(),
+		SendErrors:      c.sendErrors.Load(),
+		DigestsPulled:   c.digestsPulled.Load(),
+	}
+}
+
+// Node is one proxy cache in the prototype. There is no node-wide lock:
+// object state lives in a lock-striped cache, hint state in a lock-striped
+// table, and everything else behind small purpose-scoped mutexes, so
+// concurrent /fetch streams for unrelated objects never serialize and one
+// slow origin fetch cannot stall an unrelated hit (the paper's "do not slow
+// down misses" applied to the implementation itself). See DESIGN.md for the
+// locking hierarchy.
 type Node struct {
 	cfg NodeConfig
 
-	mu     sync.Mutex
-	data   *cache.LRU
-	bodies map[uint64][]byte
-	hints  *hintcache.Cache
+	// data is the sharded object cache: metadata and bodies under
+	// per-shard locks.
+	data *cache.Sharded
+	// hints is the striped concurrent hint table.
+	hints *hintcache.Striped
+	// flights collapses duplicate in-flight fills per URL.
+	flights flightGroup
+
+	// pendMu guards the queue of hint updates awaiting the next batch.
+	pendMu  sync.Mutex
+	pending []hintcache.Update
+
+	// peerMu guards the peer table and update-target list.
+	peerMu sync.RWMutex
 	peers  map[uint64]string // machine ID -> base URL
 	// peerOrder fixes a deterministic scan order for digest lookups.
-	peerOrder   []uint64
+	peerOrder []uint64
+	updates   []string // update targets; empty means all peers
+
+	// digestMu guards the digest state (own and pulled).
+	digestMu    sync.RWMutex
 	peerDigests map[uint64]*digest.Filter
 	ownDigest   *digest.Filter
-	updates     []string // update targets; empty means all peers
-	pending     []hintcache.Update
-	stats       Stats
-	rng         *rand.Rand
+
+	stats counters
+
+	// rngMu guards the jitter source used by the batch loop.
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	machineID uint64
+	extURL    string // set by Bind; empty when Start owns the listener
 	lis       net.Listener
 	srv       *http.Server
 	client    *http.Client
@@ -102,7 +174,8 @@ type Node struct {
 	closeOnce sync.Once
 }
 
-// NewNode builds a node; call Start to begin serving.
+// NewNode builds a node; call Start (or Handler plus Bind) to begin
+// serving.
 func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.OriginURL == "" {
 		return nil, fmt.Errorf("cluster: node %q: OriginURL required", cfg.Name)
@@ -124,9 +197,8 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	}
 	n := &Node{
 		cfg:       cfg,
-		data:      cache.NewLRU(cfg.CacheBytes),
-		bodies:    make(map[uint64][]byte),
-		hints:     hintcache.NewMem(cfg.HintEntries, cfg.HintWays),
+		data:      cache.NewSharded(cfg.CacheShards, cfg.CacheBytes),
+		hints:     hintcache.NewStriped(cfg.HintEntries, cfg.HintWays, cfg.HintStripes),
 		peers:     make(map[uint64]string),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		client:    &http.Client{Timeout: 10 * time.Second},
@@ -143,17 +215,34 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		n.peerDigests = make(map[uint64]*digest.Filter)
 	}
 	// Capacity evictions advertise non-presence (the prototype's
-	// invalidate command). The callback runs under n.mu because all
-	// cache mutations happen there.
+	// invalidate command). The callback runs with the evicted object's
+	// shard lock held and takes only pendMu — the shard-lock -> pending-
+	// queue edge of the locking hierarchy (DESIGN.md).
 	n.data.OnEvict(func(o cache.Object) {
-		delete(n.bodies, o.ID)
+		n.pendMu.Lock()
 		n.pending = append(n.pending, hintcache.Update{
 			Action:  hintcache.ActionInvalidate,
 			URLHash: o.ID,
 			Machine: n.machineID,
 		})
+		n.pendMu.Unlock()
 	})
 	return n, nil
+}
+
+// Handler returns the node's HTTP handler. Most callers use Start, which
+// serves the handler from the node's own listener; tests that want to serve
+// the node from an httptest.Server mount this handler there and call Bind
+// with the server's URL.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fetch", n.handleFetch)
+	mux.HandleFunc("/object", n.handleObject)
+	mux.HandleFunc("/updates", n.handleUpdates)
+	mux.HandleFunc("/purge", n.handlePurge)
+	mux.HandleFunc("/stats", n.handleStats)
+	mux.HandleFunc("/digest", n.handleDigest)
+	return mux
 }
 
 // Start listens on addr ("127.0.0.1:0" for ephemeral) and starts the update
@@ -166,15 +255,8 @@ func (n *Node) Start(addr string) error {
 	n.lis = lis
 	n.machineID = hintcache.HashMachine(lis.Addr().String())
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("/fetch", n.handleFetch)
-	mux.HandleFunc("/object", n.handleObject)
-	mux.HandleFunc("/updates", n.handleUpdates)
-	mux.HandleFunc("/purge", n.handlePurge)
-	mux.HandleFunc("/stats", n.handleStats)
-	mux.HandleFunc("/digest", n.handleDigest)
 	n.srv = &http.Server{
-		Handler:           mux,
+		Handler:           n.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		IdleTimeout:       30 * time.Second,
 	}
@@ -186,6 +268,16 @@ func (n *Node) Start(addr string) error {
 	return nil
 }
 
+// Bind registers the node's externally served base URL and starts the
+// update batcher. Use it instead of Start when the caller owns the HTTP
+// server (an httptest.Server wrapping Handler, typically). Call Close as
+// usual; it stops the batcher and leaves the caller's server alone.
+func (n *Node) Bind(baseURL string) {
+	n.extURL = baseURL
+	n.machineID = hintcache.HashMachine(hostPortOf(baseURL))
+	go n.batchLoop()
+}
+
 // Addr returns the node's listening address.
 func (n *Node) Addr() string {
 	if n.lis == nil {
@@ -195,7 +287,12 @@ func (n *Node) Addr() string {
 }
 
 // URL returns the node's base URL.
-func (n *Node) URL() string { return "http://" + n.Addr() }
+func (n *Node) URL() string {
+	if n.extURL != "" {
+		return n.extURL
+	}
+	return "http://" + n.Addr()
+}
 
 // MachineID returns the node's 8-byte machine identifier.
 func (n *Node) MachineID() uint64 { return n.machineID }
@@ -206,8 +303,8 @@ func (n *Node) MachineID() uint64 { return n.machineID }
 func (n *Node) AddPeer(baseURL string) {
 	hostport := hostPortOf(baseURL)
 	id := hintcache.HashMachine(hostport)
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.peerMu.Lock()
+	defer n.peerMu.Unlock()
 	if _, known := n.peers[id]; !known {
 		n.peerOrder = append(n.peerOrder, id)
 	}
@@ -219,8 +316,8 @@ func (n *Node) AddPeer(baseURL string) {
 // resolution (AddPeer) is unaffected: transfers remain direct cache-to-
 // cache regardless of how metadata travels (the paper's core separation).
 func (n *Node) AddUpdateTarget(baseURL string) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.peerMu.Lock()
+	defer n.peerMu.Unlock()
 	n.updates = append(n.updates, baseURL)
 }
 
@@ -234,7 +331,7 @@ func hostPortOf(baseURL string) string {
 }
 
 // Close stops the batcher (flushing once) and shuts the server down. Close
-// is idempotent.
+// is idempotent. It must only be called after Start or Bind.
 func (n *Node) Close() error {
 	var err error
 	n.closeOnce.Do(func() {
@@ -260,15 +357,11 @@ func (n *Node) Close() error {
 
 // Stats returns a snapshot of the node's counters.
 func (n *Node) Stats() Stats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
+	return n.stats.snapshot()
 }
 
 // HintStats returns the hint table's counters.
 func (n *Node) HintStats() hintcache.Stats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	return n.hints.Stats()
 }
 
@@ -289,9 +382,9 @@ func (n *Node) batchLoop() {
 }
 
 func (n *Node) jitteredInterval() time.Duration {
-	n.mu.Lock()
+	n.rngMu.Lock()
 	f := 0.5 + n.rng.Float64()
-	n.mu.Unlock()
+	n.rngMu.Unlock()
 	return time.Duration(float64(n.cfg.UpdateInterval) * f)
 }
 
@@ -307,9 +400,12 @@ func (n *Node) exchange() {
 // Flush sends all pending hint updates to every peer immediately. It is
 // also called by the batcher; tests call it directly to avoid sleeping.
 func (n *Node) Flush() {
-	n.mu.Lock()
+	n.pendMu.Lock()
 	batch := n.pending
 	n.pending = nil
+	n.pendMu.Unlock()
+
+	n.peerMu.RLock()
 	var targets []string
 	if len(n.updates) > 0 {
 		targets = append(targets, n.updates...)
@@ -318,7 +414,7 @@ func (n *Node) Flush() {
 			targets = append(targets, u)
 		}
 	}
-	n.mu.Unlock()
+	n.peerMu.RUnlock()
 	if len(batch) == 0 || len(targets) == 0 {
 		return
 	}
@@ -332,39 +428,42 @@ func (n *Node) Flush() {
 		req.Header.Set("X-Relay-From", n.URL())
 		resp, err := n.client.Do(req)
 		if err != nil {
-			n.mu.Lock()
-			n.stats.SendErrors++
-			n.mu.Unlock()
+			n.stats.sendErrors.Add(1)
 			continue
 		}
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
-		n.mu.Lock()
-		n.stats.BatchesSent++
-		n.stats.UpdatesSent += int64(len(batch))
-		n.mu.Unlock()
+		n.stats.batchesSent.Add(1)
+		n.stats.updatesSent.Add(int64(len(batch)))
 	}
 }
 
 // queueInform records a local copy and schedules its advertisement.
-// Callers must hold n.mu.
-func (n *Node) queueInformLocked(urlHash uint64) {
+func (n *Node) queueInform(urlHash uint64) {
+	n.pendMu.Lock()
 	n.pending = append(n.pending, hintcache.Update{
 		Action:  hintcache.ActionInform,
 		URLHash: urlHash,
 		Machine: n.machineID,
 	})
+	n.pendMu.Unlock()
 }
 
-// storeLocked caches a fetched object. Callers must hold n.mu.
-func (n *Node) storeLocked(urlHash uint64, version int64, body []byte) {
-	if n.data.Put(cache.Object{ID: urlHash, Size: int64(len(body)), Version: version}) {
-		n.bodies[urlHash] = body
-		n.queueInformLocked(urlHash)
+// store caches a fetched object. PutNewer refuses version downgrades, so a
+// fill that raced with an invalidation and a fresher refill can never
+// clobber the newer copy.
+func (n *Node) store(urlHash uint64, version int64, body []byte) {
+	if n.data.PutNewer(cache.Object{ID: urlHash, Size: int64(len(body)), Version: version}, body) {
+		n.queueInform(urlHash)
 	}
 }
 
 // handleFetch is the client-facing entry point: GET /fetch?url=U.
+//
+// The hot path takes exactly one shard lock (the local-hit probe); misses
+// go through the singleflight group, so any number of concurrent requests
+// for one uncached object cost a single peer/origin fetch while requests
+// for other objects proceed untouched.
 func (n *Node) handleFetch(w http.ResponseWriter, r *http.Request) {
 	url := r.URL.Query().Get("url")
 	if url == "" {
@@ -374,62 +473,80 @@ func (n *Node) handleFetch(w http.ResponseWriter, r *http.Request) {
 	h := hintcache.HashURL(url)
 
 	// Local cache.
-	n.mu.Lock()
-	if obj, ok := n.data.Get(h); ok {
-		body := n.bodies[h]
-		n.stats.LocalHits++
-		n.mu.Unlock()
+	if obj, body, ok := n.data.Get(h); ok {
+		n.stats.localHits.Add(1)
 		serveObject(w, "LOCAL", obj.Version, body)
 		return
 	}
+
+	out, shared := n.flights.do(url, func() fetchOutcome { return n.fill(h, url) })
+	if out.err != nil {
+		http.Error(w, fmt.Sprintf("origin fetch: %v", out.err), http.StatusBadGateway)
+		return
+	}
+	how := out.how
+	if shared {
+		// Served by the leader's fill without any fetch of our own: a
+		// local hit on the in-flight result.
+		n.stats.localHits.Add(1)
+		n.stats.coalescedHits.Add(1)
+		how = "LOCAL,COALESCED"
+	}
+	serveObject(w, how, out.version, out.body)
+}
+
+// fill resolves a cache miss as the singleflight leader: peer transfer if a
+// hint or digest points somewhere, origin otherwise. Leader-side stats are
+// counted here so waiters sharing the outcome do not double-count them.
+func (n *Node) fill(h uint64, url string) fetchOutcome {
+	// Re-check the cache: the object may have been filled between the
+	// caller's miss and winning flight leadership.
+	if obj, body, ok := n.data.Get(h); ok {
+		n.stats.localHits.Add(1)
+		return fetchOutcome{how: "LOCAL", version: obj.Version, body: body}
+	}
+
 	// Local metadata lookup (the find-nearest command). Misses are
 	// detected locally: no hint or digest match means go straight to the
 	// origin.
 	var peerURL string
 	if n.cfg.UseDigests {
-		peerURL = n.digestPeerLocked(h)
+		peerURL = n.digestPeer(h)
 	} else if machine, ok := n.hints.Lookup(h); ok && machine != n.machineID {
+		n.peerMu.RLock()
 		peerURL = n.peers[machine]
+		n.peerMu.RUnlock()
 	}
-	n.mu.Unlock()
 
 	stale := false
 	if peerURL != "" {
 		version, body, err := n.fetchPeer(peerURL, url)
 		if err == nil {
-			n.mu.Lock()
-			n.storeLocked(h, version, body)
-			n.stats.RemoteHits++
-			n.mu.Unlock()
-			serveObject(w, "REMOTE", version, body)
-			return
+			n.store(h, version, body)
+			n.stats.remoteHits.Add(1)
+			return fetchOutcome{how: "REMOTE", version: version, body: body}
 		}
 		// Stale hint or digest false positive: pay the wasted probe,
 		// drop the exact hint (digests cannot delete), fall through to
 		// the origin (never search further, Section 3.1.1).
 		stale = true
-		n.mu.Lock()
-		n.stats.FalsePositives++
+		n.stats.falsePositives.Add(1)
 		if !n.cfg.UseDigests {
 			n.hints.Delete(h, 0)
 		}
-		n.mu.Unlock()
 	}
 
 	version, body, err := n.fetchOrigin(url)
 	if err != nil {
-		http.Error(w, fmt.Sprintf("origin fetch: %v", err), http.StatusBadGateway)
-		return
+		return fetchOutcome{err: err}
 	}
-	n.mu.Lock()
-	n.storeLocked(h, version, body)
-	n.stats.Misses++
-	n.mu.Unlock()
+	n.store(h, version, body)
+	n.stats.misses.Add(1)
 	how := "MISS"
 	if stale {
 		how = "MISS,STALE-HINT"
 	}
-	serveObject(w, how, version, body)
+	return fetchOutcome{how: how, version: version, body: body}
 }
 
 // handleObject is the cache-to-cache path: GET /object?url=U serves only
@@ -441,20 +558,13 @@ func (n *Node) handleObject(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h := hintcache.HashURL(url)
-	n.mu.Lock()
-	obj, ok := n.data.Get(h)
-	var body []byte
-	if ok {
-		body = n.bodies[h]
-		n.stats.PeerServes++
-	} else {
-		n.stats.PeerRejects++
-	}
-	n.mu.Unlock()
+	obj, body, ok := n.data.Get(h)
 	if !ok {
+		n.stats.peerRejects.Add(1)
 		http.Error(w, "not cached", http.StatusNotFound)
 		return
 	}
+	n.stats.peerServes.Add(1)
 	serveObject(w, "PEER", obj.Version, body)
 }
 
@@ -474,15 +584,13 @@ func (n *Node) handleUpdates(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	n.mu.Lock()
 	for _, u := range updates {
 		if u.Machine == n.machineID {
 			continue // our own copies are tracked by the data cache
 		}
 		_ = n.hints.Apply(u)
 	}
-	n.stats.UpdatesReceived += int64(len(updates))
-	n.mu.Unlock()
+	n.stats.updatesReceived.Add(int64(len(updates)))
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -499,10 +607,7 @@ func (n *Node) handlePurge(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h := hintcache.HashURL(url)
-	n.mu.Lock()
-	removed := n.data.Remove(h) // fires the eviction callback
-	n.mu.Unlock()
-	if !removed {
+	if !n.data.Remove(h) { // fires the eviction callback
 		http.Error(w, "not cached", http.StatusNotFound)
 		return
 	}

@@ -50,6 +50,16 @@ func NewOrigin(defaultSize int64) *Origin {
 	}
 }
 
+// Handler returns the origin's HTTP handler, for callers that serve the
+// origin from their own server (an httptest.Server, typically) instead of
+// Start's listener.
+func (o *Origin) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/obj", o.handleObj)
+	mux.HandleFunc("/bump", o.handleBump)
+	return mux
+}
+
 // Start listens on addr ("127.0.0.1:0" for an ephemeral port) and serves
 // until Close.
 func (o *Origin) Start(addr string) error {
@@ -58,11 +68,8 @@ func (o *Origin) Start(addr string) error {
 		return fmt.Errorf("origin listen: %w", err)
 	}
 	o.lis = lis
-	mux := http.NewServeMux()
-	mux.HandleFunc("/obj", o.handleObj)
-	mux.HandleFunc("/bump", o.handleBump)
 	o.srv = &http.Server{
-		Handler:           mux,
+		Handler:           o.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		IdleTimeout:       30 * time.Second,
 	}

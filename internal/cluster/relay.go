@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"beyondcache/internal/hintcache"
@@ -21,14 +22,17 @@ import (
 // the tree fans updates out (Figure 4a's metadata path).
 //
 // Relays forward a batch to every subscriber except the one it arrived
-// from, which is loop-free on a tree.
+// from, which is loop-free on a tree. Forwards to the subscribers of one
+// batch go out concurrently, so one slow subscriber does not delay the
+// rest of the tree (the metadata path inherits "do not slow down misses").
 type Relay struct {
 	name string
 
-	mu          sync.Mutex
+	mu          sync.RWMutex
 	subscribers []string // base URLs
-	received    int64
-	forwarded   int64
+
+	received  atomic.Int64
+	forwarded atomic.Int64
 
 	lis       net.Listener
 	srv       *http.Server
@@ -87,19 +91,11 @@ func (r *Relay) Subscribe(baseURL string) {
 }
 
 // Received returns the number of updates this relay has received.
-func (r *Relay) Received() int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.received
-}
+func (r *Relay) Received() int64 { return r.received.Load() }
 
 // Forwarded returns the number of update deliveries this relay has made
 // (updates x subscribers reached).
-func (r *Relay) Forwarded() int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.forwarded
-}
+func (r *Relay) Forwarded() int64 { return r.forwarded.Load() }
 
 // Close shuts the relay down. Idempotent.
 func (r *Relay) Close() error {
@@ -122,7 +118,9 @@ func (r *Relay) Close() error {
 
 // handleUpdates validates and forwards a batch. The sender identifies
 // itself with the X-Relay-From header carrying its base URL so the relay
-// can avoid echoing the batch back.
+// can avoid echoing the batch back. The reply is sent once every forward
+// has been attempted, so a sender that waits for the 204 knows the batch
+// has fanned out.
 func (r *Relay) handleUpdates(w http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
@@ -139,33 +137,37 @@ func (r *Relay) handleUpdates(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	from := req.Header.Get("X-Relay-From")
+	r.received.Add(int64(len(updates)))
 
-	r.mu.Lock()
-	r.received += int64(len(updates))
+	r.mu.RLock()
 	targets := make([]string, 0, len(r.subscribers))
 	for _, s := range r.subscribers {
 		if s != from {
 			targets = append(targets, s)
 		}
 	}
-	r.mu.Unlock()
+	r.mu.RUnlock()
 
+	var wg sync.WaitGroup
 	for _, t := range targets {
-		hreq, err := http.NewRequest(http.MethodPost, t+"/updates", bytes.NewReader(msg))
-		if err != nil {
-			continue
-		}
-		hreq.Header.Set("Content-Type", "application/octet-stream")
-		hreq.Header.Set("X-Relay-From", r.URL())
-		resp, err := r.client.Do(hreq)
-		if err != nil {
-			continue
-		}
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		r.mu.Lock()
-		r.forwarded += int64(len(updates))
-		r.mu.Unlock()
+		wg.Add(1)
+		go func(t string) {
+			defer wg.Done()
+			hreq, err := http.NewRequest(http.MethodPost, t+"/updates", bytes.NewReader(msg))
+			if err != nil {
+				return
+			}
+			hreq.Header.Set("Content-Type", "application/octet-stream")
+			hreq.Header.Set("X-Relay-From", r.URL())
+			resp, err := r.client.Do(hreq)
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			r.forwarded.Add(int64(len(updates)))
+		}(t)
 	}
+	wg.Wait()
 	w.WriteHeader(http.StatusNoContent)
 }

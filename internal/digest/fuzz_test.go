@@ -1,0 +1,95 @@
+package digest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDigestMarshalRoundTrip checks the two wire-format properties the
+// prototype relies on when pulling digests from untrusted peers:
+//
+//  1. Unmarshal never panics on arbitrary bytes (it may only error), and
+//     any message it accepts re-marshals to the identical bytes.
+//  2. A filter built from arbitrary insertions survives a
+//     Marshal -> Unmarshal round trip bit-for-bit.
+func FuzzDigestMarshalRoundTrip(f *testing.F) {
+	// Valid marshaled filters, truncations, and garbage as seeds.
+	valid, _ := mustFilter(f, 256, 4)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, headerSize))
+	short := make([]byte, headerSize)
+	binary.LittleEndian.PutUint64(short[0:8], 64)
+	binary.LittleEndian.PutUint32(short[8:12], 3)
+	f.Add(short)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Property 1: Decode must never panic; accepted input must
+		// re-encode to the same bytes.
+		fl, err := Decode(data)
+		if err == nil {
+			out, err := fl.MarshalBinary()
+			if err != nil {
+				t.Fatalf("re-marshal of accepted message failed: %v", err)
+			}
+			if !bytes.Equal(out, data) {
+				t.Fatalf("re-marshal differs: in %d bytes, out %d bytes", len(data), len(out))
+			}
+		}
+
+		// Property 2: a filter fed with IDs derived from the fuzz input
+		// round-trips exactly, and membership answers survive.
+		src, err := NewForCapacity(64, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := make([]uint64, 0, len(data)/2+1)
+		for i := 0; i+1 < len(data); i += 2 {
+			id := uint64(data[i])<<8 | uint64(data[i+1])
+			src.Add(id)
+			ids = append(ids, id)
+		}
+		wire, err := src.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("decode of our own encoding failed: %v", err)
+		}
+		if got.Bits() != src.Bits() || got.K() != src.K() {
+			t.Fatalf("shape changed: %d/%d bits, %d/%d hashes",
+				got.Bits(), src.Bits(), got.K(), src.K())
+		}
+		rewire, err := got.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wire, rewire) {
+			t.Fatal("Marshal(Unmarshal(Marshal(d))) != Marshal(d)")
+		}
+		for _, id := range ids {
+			if !got.MayContain(id) {
+				t.Fatalf("decoded filter lost id %d (false negative)", id)
+			}
+		}
+	})
+}
+
+// mustFilter marshals a small filter with a few entries for seeding.
+func mustFilter(f *testing.F, m uint64, k int) ([]byte, *Filter) {
+	f.Helper()
+	fl, err := New(m, k)
+	if err != nil {
+		f.Fatal(err)
+	}
+	fl.Add(1)
+	fl.Add(1 << 40)
+	data, err := fl.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data, fl
+}

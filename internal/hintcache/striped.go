@@ -1,0 +1,213 @@
+package hintcache
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Striped is a concurrency-safe k-way set-associative hint table: the entry
+// array is partitioned into stripes, each guarded by its own sync.RWMutex,
+// so hint probes on the fetch hot path never contend with hint-update
+// batches landing on other stripes. Within a stripe the semantics match
+// Cache exactly — slot 0 of a set is MRU, replacement evicts the last slot,
+// informs insert, invalidates delete only on a machine match.
+//
+// Probes take a stripe in read mode and upgrade to write mode only when an
+// MRU promotion is needed (a repeat probe of the hottest record stays
+// read-only), so concurrent lookups of hot hints scale with GOMAXPROCS.
+type Striped struct {
+	stripes []hintStripe
+	mask    uint64 // len(stripes)-1; stripe count is a power of two
+	ways    int
+	sets    int // sets per stripe
+
+	lookups  atomic.Int64
+	hits     atomic.Int64
+	inserts  atomic.Int64
+	evicts   atomic.Int64
+	deletes  atomic.Int64
+	conflict atomic.Int64
+}
+
+// hintStripe is one independently locked slice of the table.
+type hintStripe struct {
+	mu   sync.RWMutex
+	recs []Record // sets*ways, flat; set i occupies recs[i*ways : (i+1)*ways]
+	_    [24]byte
+}
+
+// NewStriped builds a striped hint table with at least the requested total
+// entry count and associativity, spread over the given stripe count
+// (rounded up to a power of two; <= 0 picks a default sized to GOMAXPROCS).
+// Capacity is rounded up to a whole number of sets per stripe.
+func NewStriped(entries, ways, stripes int) *Striped {
+	if ways < 1 {
+		ways = 1
+	}
+	if stripes <= 0 {
+		stripes = 4 * runtime.GOMAXPROCS(0)
+		if stripes < 16 {
+			stripes = 16
+		}
+	}
+	n := 1
+	for n < stripes {
+		n <<= 1
+	}
+	if entries < n*ways {
+		entries = n * ways
+	}
+	perStripe := (entries + n - 1) / n
+	sets := (perStripe + ways - 1) / ways
+	s := &Striped{
+		stripes: make([]hintStripe, n),
+		mask:    uint64(n - 1),
+		ways:    ways,
+		sets:    sets,
+	}
+	for i := range s.stripes {
+		s.stripes[i].recs = make([]Record, sets*ways)
+	}
+	return s
+}
+
+// Entries returns the total slot count.
+func (s *Striped) Entries() int { return len(s.stripes) * s.sets * s.ways }
+
+// SizeBytes returns the table size in bytes (entries x 16).
+func (s *Striped) SizeBytes() int64 { return int64(s.Entries()) * RecordSize }
+
+// locate maps a URL hash to its stripe and the base index of its set. The
+// stripe comes from the high mixed bits and the set from the low ones, so
+// the two reductions stay decorrelated.
+func (s *Striped) locate(urlHash uint64) (*hintStripe, int) {
+	h := urlHash * 0x9e3779b97f4a7c15
+	st := &s.stripes[(h>>48)&s.mask]
+	return st, int(h%uint64(s.sets)) * s.ways
+}
+
+// Lookup returns the machine holding the nearest known copy of the object.
+func (s *Striped) Lookup(urlHash uint64) (machine uint64, ok bool) {
+	urlHash = normalizeHash(urlHash)
+	s.lookups.Add(1)
+	st, base := s.locate(urlHash)
+
+	st.mu.RLock()
+	set := st.recs[base : base+s.ways]
+	pos := -1
+	for i, r := range set {
+		if r.URLHash == urlHash {
+			machine, pos = r.Machine, i
+			break
+		}
+	}
+	st.mu.RUnlock()
+	if pos < 0 {
+		return 0, false
+	}
+	s.hits.Add(1)
+	if pos > 0 {
+		// Promote to MRU under the write lock. The record may have moved
+		// or vanished since the read-mode probe; promote only what is
+		// still there. Either way the probed machine is returned — hints
+		// are advisory, and a just-deleted hint merely costs the caller
+		// the usual false-positive fallback.
+		st.mu.Lock()
+		set = st.recs[base : base+s.ways]
+		for i, r := range set {
+			if r.URLHash == urlHash {
+				copy(set[1:i+1], set[:i])
+				set[0] = r
+				break
+			}
+		}
+		st.mu.Unlock()
+	}
+	return machine, true
+}
+
+// Insert records that machine holds a copy of the object, replacing any
+// previous hint for the same object and evicting the set's LRU slot if the
+// set is full.
+func (s *Striped) Insert(urlHash, machine uint64) error {
+	urlHash = normalizeHash(urlHash)
+	st, base := s.locate(urlHash)
+	s.inserts.Add(1)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	set := st.recs[base : base+s.ways]
+	pos := -1
+	for i, r := range set {
+		if r.URLHash == urlHash {
+			pos = i
+			break
+		}
+	}
+	if pos == -1 {
+		pos = s.ways - 1
+		for i, r := range set {
+			if r.URLHash == invalidHash {
+				pos = i
+				break
+			}
+		}
+		if set[pos].URLHash != invalidHash {
+			s.evicts.Add(1)
+			s.conflict.Add(1)
+		}
+	}
+	copy(set[1:pos+1], set[:pos])
+	set[0] = Record{URLHash: urlHash, Machine: machine}
+	return nil
+}
+
+// Delete removes the hint for an object if the recorded machine matches (or
+// machine == 0, which removes unconditionally). It reports whether a record
+// was removed. A mismatched machine leaves the record in place because a
+// fresher hint must not be destroyed by a stale invalidation.
+func (s *Striped) Delete(urlHash, machine uint64) bool {
+	urlHash = normalizeHash(urlHash)
+	st, base := s.locate(urlHash)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	set := st.recs[base : base+s.ways]
+	for i, r := range set {
+		if r.URLHash == urlHash {
+			if machine != 0 && r.Machine != machine {
+				return false
+			}
+			copy(set[i:], set[i+1:])
+			set[s.ways-1] = Record{}
+			s.deletes.Add(1)
+			return true
+		}
+	}
+	return false
+}
+
+// Apply folds an update into the table: informs insert, invalidates delete
+// (only when the machine matches).
+func (s *Striped) Apply(u Update) error {
+	switch u.Action {
+	case ActionInform:
+		return s.Insert(u.URLHash, u.Machine)
+	case ActionInvalidate:
+		s.Delete(u.URLHash, u.Machine)
+		return nil
+	default:
+		return applyUnknown(u)
+	}
+}
+
+// Stats returns the accumulated counters.
+func (s *Striped) Stats() Stats {
+	return Stats{
+		Lookups:   s.lookups.Load(),
+		Hits:      s.hits.Load(),
+		Inserts:   s.inserts.Load(),
+		Evictions: s.evicts.Load(),
+		Deletes:   s.deletes.Load(),
+		Conflicts: s.conflict.Load(),
+	}
+}

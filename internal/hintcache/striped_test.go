@@ -1,0 +1,152 @@
+package hintcache
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestStripedInsertLookup(t *testing.T) {
+	s := NewStriped(1024, 4, 8)
+	if err := s.Insert(42, 7); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := s.Lookup(42)
+	if !ok || m != 7 {
+		t.Fatalf("Lookup = %d %v, want 7 true", m, ok)
+	}
+	if _, ok := s.Lookup(43); ok {
+		t.Error("phantom hit")
+	}
+	// Re-insert replaces the machine.
+	if err := s.Insert(42, 9); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := s.Lookup(42); m != 9 {
+		t.Errorf("after replace, Lookup = %d, want 9", m)
+	}
+}
+
+func TestStripedZeroHashNormalized(t *testing.T) {
+	s := NewStriped(64, 4, 1)
+	if err := s.Insert(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := s.Lookup(0); !ok || m != 5 {
+		t.Errorf("zero-hash lookup = %d %v, want 5 true", m, ok)
+	}
+}
+
+func TestStripedDeleteMachineSemantics(t *testing.T) {
+	s := NewStriped(1024, 4, 8)
+	s.Insert(1, 10)
+	// Mismatched machine must not destroy the fresher hint.
+	if s.Delete(1, 99) {
+		t.Error("mismatched delete succeeded")
+	}
+	if _, ok := s.Lookup(1); !ok {
+		t.Fatal("hint destroyed by mismatched delete")
+	}
+	// Matching machine removes.
+	if !s.Delete(1, 10) {
+		t.Error("matching delete failed")
+	}
+	if _, ok := s.Lookup(1); ok {
+		t.Error("hint survives matching delete")
+	}
+	// machine == 0 removes unconditionally.
+	s.Insert(2, 10)
+	if !s.Delete(2, 0) {
+		t.Error("unconditional delete failed")
+	}
+}
+
+func TestStripedSetEvictsLRU(t *testing.T) {
+	// One stripe, one set of 2 ways: the third insert evicts the LRU.
+	s := NewStriped(2, 2, 1)
+	if s.Entries() != 2 {
+		t.Fatalf("Entries = %d, want 2", s.Entries())
+	}
+	// All hashes land in the single set.
+	s.Insert(101, 1)
+	s.Insert(102, 2)
+	s.Lookup(101) // promote 101 to MRU; 102 becomes LRU
+	s.Insert(103, 3)
+	if _, ok := s.Lookup(102); ok {
+		t.Error("LRU record survived eviction")
+	}
+	if _, ok := s.Lookup(101); !ok {
+		t.Error("MRU record evicted")
+	}
+	st := s.Stats()
+	if st.Evictions != 1 || st.Conflicts != 1 {
+		t.Errorf("stats = %+v, want 1 eviction/conflict", st)
+	}
+}
+
+func TestStripedApply(t *testing.T) {
+	s := NewStriped(1024, 4, 8)
+	if err := s.Apply(Update{Action: ActionInform, URLHash: 5, Machine: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := s.Lookup(5); !ok || m != 3 {
+		t.Fatalf("after inform, Lookup = %d %v", m, ok)
+	}
+	if err := s.Apply(Update{Action: ActionInvalidate, URLHash: 5, Machine: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Lookup(5); ok {
+		t.Error("hint survives invalidate")
+	}
+	if err := s.Apply(Update{Action: Action(99), URLHash: 5, Machine: 3}); err == nil {
+		t.Error("unknown action accepted")
+	}
+}
+
+func TestStripedSizing(t *testing.T) {
+	s := NewStriped(65536, 4, 16)
+	if s.Entries() < 65536 {
+		t.Errorf("Entries = %d, want >= 65536", s.Entries())
+	}
+	if s.SizeBytes() != int64(s.Entries())*RecordSize {
+		t.Errorf("SizeBytes = %d", s.SizeBytes())
+	}
+	// Default stripe count kicks in for stripes <= 0.
+	if NewStriped(1024, 4, 0).Entries() < 1024 {
+		t.Error("default-stripe table undersized")
+	}
+}
+
+// TestStripedConcurrentProbesAndUpdates is the -race workout the tentpole
+// demands: lookups racing inserts and deletes over overlapping keys.
+func TestStripedConcurrentProbesAndUpdates(t *testing.T) {
+	s := NewStriped(4096, 4, 16)
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h := uint64(i%128 + 1)
+				switch (w + i) % 4 {
+				case 0:
+					if err := s.Insert(h, uint64(w)+1); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1, 2:
+					if m, ok := s.Lookup(h); ok && m == 0 {
+						t.Error("hit with zero machine")
+						return
+					}
+				case 3:
+					s.Delete(h, 0)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Lookups != 16 * 500 {
+		t.Errorf("lookups = %d, want %d", st.Lookups, 16*500)
+	}
+}

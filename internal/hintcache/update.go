@@ -90,6 +90,12 @@ func (c *Cache) Apply(u Update) error {
 		c.Delete(u.URLHash, u.Machine)
 		return nil
 	default:
-		return fmt.Errorf("hintcache: apply unknown action %d", u.Action)
+		return applyUnknown(u)
 	}
+}
+
+// applyUnknown is the shared error for updates carrying an action neither
+// table implementation understands.
+func applyUnknown(u Update) error {
+	return fmt.Errorf("hintcache: apply unknown action %d", u.Action)
 }
