@@ -24,9 +24,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux; served only behind -debug-addr
 	"os"
 	"os/signal"
 	"strings"
@@ -62,9 +66,19 @@ func run(args []string, out io.Writer, wait func()) error {
 		hintStripes = fs.Int("hint-stripes", 0, "hint table lock stripes, rounded up to a power of two (0: sized from GOMAXPROCS)")
 		interval    = fs.Duration("update-interval", time.Second, "mean hint batch interval")
 		objectSize  = fs.Int64("object-size", 8<<10, "origin default object size")
+		traceSample = fs.Float64("trace-sample", 0, "fraction of fetches recorded in /debug/traces (0: node default of 1/64, >=1: all, <0: none)")
+		debugAddr   = fs.String("debug-addr", "", "optional address for a net/http/pprof debug listener (off when empty)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *debugAddr != "" {
+		stopDebug, err := serveDebug(*debugAddr, out)
+		if err != nil {
+			return err
+		}
+		defer stopDebug()
 	}
 
 	if *originMode {
@@ -88,6 +102,7 @@ func run(args []string, out io.Writer, wait func()) error {
 		HintStripes:    *hintStripes,
 		OriginURL:      *originURL,
 		UpdateInterval: *interval,
+		TraceSample:    *traceSample,
 	})
 	if err != nil {
 		return err
@@ -111,4 +126,29 @@ func run(args []string, out io.Writer, wait func()) error {
 		n.URL(), *originURL, npeers)
 	wait()
 	return n.Close()
+}
+
+// serveDebug binds net/http/pprof (via DefaultServeMux) on addr. Opt-in
+// only: profiling endpoints stay off the node's public listener so exposing
+// /fetch never exposes heap dumps.
+func serveDebug(addr string, out io.Writer) (stop func(), err error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debug listen: %w", err)
+	}
+	srv := &http.Server{Handler: http.DefaultServeMux, ReadHeaderTimeout: 5 * time.Second}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(lis)
+	}()
+	fmt.Fprintf(out, "debug (pprof) serving on http://%s/debug/pprof/\n", lis.Addr())
+	return func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		if srv.Shutdown(ctx) != nil {
+			_ = srv.Close()
+		}
+		<-done
+	}, nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"net/http"
 	"regexp"
 	"strings"
@@ -12,8 +13,18 @@ import (
 )
 
 // startDaemon runs the command with a controllable wait, returning the base
-// URL it printed and a stopper.
+// URL it printed (the last "serving on" line, the main listener) and a
+// stopper. With -debug-addr the debug listener's URL comes first; use
+// startDaemonAll to see both.
 func startDaemon(t *testing.T, args []string) (url string, stop func()) {
+	t.Helper()
+	urls, stop := startDaemonAll(t, args)
+	return urls[len(urls)-1], stop
+}
+
+// startDaemonAll is startDaemon returning every printed listener URL in
+// print order.
+func startDaemonAll(t *testing.T, args []string) (urls []string, stop func()) {
 	t.Helper()
 	var out bytes.Buffer
 	release := make(chan struct{})
@@ -32,11 +43,13 @@ func startDaemon(t *testing.T, args []string) (url string, stop func()) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("daemon did not start")
 	}
-	m := regexp.MustCompile(`serving on (http://\S+)`).FindStringSubmatch(out.String())
-	if m == nil {
+	for _, m := range regexp.MustCompile(`serving on (http://\S+)`).FindAllStringSubmatch(out.String(), -1) {
+		urls = append(urls, m[1])
+	}
+	if len(urls) == 0 {
 		t.Fatalf("no URL in output %q", out.String())
 	}
-	return m[1], func() {
+	return urls, func() {
 		close(release)
 		if err := <-done; err != nil {
 			t.Errorf("daemon shutdown: %v", err)
@@ -64,6 +77,47 @@ func TestOriginAndNodeEndToEnd(t *testing.T) {
 	}
 	if !res.Local() {
 		t.Fatalf("second fetch = %+v, want LOCAL", res)
+	}
+}
+
+// TestDebugAndMetricsEndpoints boots a node with -debug-addr and checks the
+// two observability surfaces: pprof on the private debug listener, and the
+// Prometheus exposition on the public one.
+func TestDebugAndMetricsEndpoints(t *testing.T) {
+	originURL, stopOrigin := startDaemon(t, []string{"-origin"})
+	defer stopOrigin()
+	urls, stopNode := startDaemonAll(t, []string{
+		"-origin-url", originURL, "-debug-addr", "127.0.0.1:0", "-trace-sample", "1"})
+	defer stopNode()
+	if len(urls) != 2 {
+		t.Fatalf("want debug + node URLs, got %v", urls)
+	}
+	debugURL, nodeURL := urls[0], urls[1]
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	if _, err := cluster.FetchFrom(client, nodeURL, "http://example.com/dbg"); err != nil {
+		t.Fatal(err)
+	}
+	for url, wantBody := range map[string]string{
+		debugURL:                  "Types of profiles available", // pprof index (already /debug/pprof/)
+		nodeURL + "/metrics":      "beyondcache_fetch_total",
+		nodeURL + "/debug/traces": `"hops"`,
+	} {
+		resp, err := client.Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", url, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), wantBody) {
+			t.Errorf("GET %s: body lacks %q", url, wantBody)
+		}
 	}
 }
 

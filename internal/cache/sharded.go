@@ -237,3 +237,31 @@ func (s *Sharded) Stats() ShardedStats {
 	}
 	return st
 }
+
+// ShardStats describes one shard's live state and counters, for per-shard
+// gauges (a skewed eviction distribution across shards is how hash-stripe
+// imbalance shows up in production).
+type ShardStats struct {
+	Entries   int
+	Used      int64
+	Inserts   int64
+	Evictions int64
+}
+
+// PerShard snapshots every shard, in shard order. Each shard is consistent
+// under its own lock; the slice is not a cross-shard atomic snapshot.
+func (s *Sharded) PerShard() []ShardStats {
+	out := make([]ShardStats, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		out[i] = ShardStats{
+			Entries:   sh.lru.Len(),
+			Used:      sh.lru.Used(),
+			Inserts:   sh.lru.Inserts(),
+			Evictions: sh.lru.Evictions(),
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}

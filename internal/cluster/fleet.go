@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"beyondcache/internal/obs"
 )
 
 // Fleet is a running set of cache nodes plus their origin server, fully
@@ -123,6 +125,20 @@ type FetchResult struct {
 	Bytes int64
 	// Elapsed is the client-observed fetch duration.
 	Elapsed time.Duration
+	// RequestID is the X-Request-Id the node assigned (or echoed).
+	RequestID string
+	// Hops is the parsed X-Trace hop chain, upstream hops first; its
+	// terminal hop's outcome equals How.
+	Hops []obs.Hop
+}
+
+// Terminal returns the chain's terminal hop (the serving node's own
+// segment), or a zero Hop when the chain is empty.
+func (r FetchResult) Terminal() obs.Hop {
+	if len(r.Hops) == 0 {
+		return obs.Hop{}
+	}
+	return r.Hops[len(r.Hops)-1]
 }
 
 // Local reports whether the fetch was a local cache hit (including hits on
@@ -181,9 +197,11 @@ func FetchFrom(client *http.Client, nodeURL, url string) (FetchResult, error) {
 	}
 	version, _ := strconv.ParseInt(resp.Header.Get(headerVersion), 10, 64)
 	return FetchResult{
-		How:     resp.Header.Get(headerCache),
-		Version: version,
-		Bytes:   int64(len(body)),
-		Elapsed: time.Since(start),
+		How:       resp.Header.Get(headerCache),
+		Version:   version,
+		Bytes:     int64(len(body)),
+		Elapsed:   time.Since(start),
+		RequestID: resp.Header.Get(headerRequestID),
+		Hops:      obs.ParseHops(resp.Header.Get(headerTrace)),
 	}, nil
 }

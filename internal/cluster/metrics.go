@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+
+	"beyondcache/internal/obs"
+)
+
+// Prometheus text-format /metrics endpoints for the three server kinds of
+// the prototype (Node, Origin, Relay). The exposition is hand-rolled on top
+// of internal/obs — no client library, matching the repository's
+// zero-dependency stance. Metric names are frozen by the golden list in
+// testdata/metric_names.golden; renaming one is an interface change and
+// must update that file deliberately.
+
+// contentTypeExpo is the Prometheus text exposition content type.
+const contentTypeExpo = "text/plain; version=0.0.4; charset=utf-8"
+
+// expoGET guards a metrics-style endpoint: only GET is allowed.
+func expoGET(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return false
+	}
+	return true
+}
+
+// writeExpo serves a built exposition.
+func writeExpo(w http.ResponseWriter, e *obs.Expo) {
+	w.Header().Set("Content-Type", contentTypeExpo)
+	io.WriteString(w, e.String())
+}
+
+// Metrics builds the node's full exposition: request counters by outcome,
+// hint-protocol counters, hint-table counters, latency histograms per
+// outcome class, and cache/hint-table occupancy gauges (including
+// per-shard eviction series).
+func (n *Node) Metrics() *obs.Expo {
+	e := obs.NewExpo()
+	st := n.stats.snapshot()
+	e.Counter("beyondcache_fetch_total",
+		"Successful /fetch requests by terminal outcome class.",
+		st.LocalHits, obs.L("outcome", "local"))
+	e.Counter("beyondcache_fetch_total", "", st.RemoteHits, obs.L("outcome", "remote"))
+	e.Counter("beyondcache_fetch_total", "", st.Misses, obs.L("outcome", "miss"))
+	e.Counter("beyondcache_fetch_coalesced_total",
+		"Subset of local hits served by sharing another request's in-flight fill.",
+		st.CoalescedHits)
+	e.Counter("beyondcache_fetch_false_positives_total",
+		"Stale hints and digest false positives: peer probes paid before the origin.",
+		st.FalsePositives)
+	e.Counter("beyondcache_peer_serves_total",
+		"Objects served to peers over /object.", st.PeerServes)
+	e.Counter("beyondcache_peer_rejects_total",
+		"Peer /object probes rejected because the object was not cached.", st.PeerRejects)
+	e.Counter("beyondcache_hint_updates_sent_total",
+		"Hint updates sent (updates x targets reached).", st.UpdatesSent)
+	e.Counter("beyondcache_hint_updates_received_total",
+		"Hint updates received over /updates.", st.UpdatesReceived)
+	e.Counter("beyondcache_hint_batches_sent_total",
+		"Hint-update batch POSTs completed.", st.BatchesSent)
+	e.Counter("beyondcache_hint_send_errors_total",
+		"Hint-update batch POSTs that failed.", st.SendErrors)
+	e.Counter("beyondcache_digest_pulls_total",
+		"Peer digest pulls completed (digest mode).", st.DigestsPulled)
+
+	hs := n.hints.Stats()
+	e.Counter("beyondcache_hint_lookups_total", "Hint-table probes.", hs.Lookups)
+	e.Counter("beyondcache_hint_hits_total", "Hint-table probes that found a record.", hs.Hits)
+	e.Counter("beyondcache_hint_inserts_total", "Hint-table inserts.", hs.Inserts)
+	e.Counter("beyondcache_hint_evictions_total", "Hint records evicted by set pressure.", hs.Evictions)
+	e.Counter("beyondcache_hint_deletes_total", "Hint records deleted by invalidations.", hs.Deletes)
+	e.Counter("beyondcache_hint_conflicts_total", "Hint inserts that displaced a live record.", hs.Conflicts)
+
+	e.Histogram("beyondcache_fetch_duration_seconds",
+		"Client-facing /fetch latency by terminal outcome class.",
+		n.hist.local.Snapshot(), obs.L("outcome", "LOCAL"))
+	e.Histogram("beyondcache_fetch_duration_seconds", "",
+		n.hist.coalesced.Snapshot(), obs.L("outcome", "LOCAL,COALESCED"))
+	e.Histogram("beyondcache_fetch_duration_seconds", "",
+		n.hist.remote.Snapshot(), obs.L("outcome", "REMOTE"))
+	e.Histogram("beyondcache_fetch_duration_seconds", "",
+		n.hist.miss.Snapshot(), obs.L("outcome", "MISS"))
+	e.Histogram("beyondcache_false_positive_probe_seconds",
+		"Wasted peer-probe time paid before falling through to the origin.",
+		n.hist.falsePositive.Snapshot())
+	e.Histogram("beyondcache_hint_flush_seconds",
+		"Duration of one hint-batch flush round across all targets.",
+		n.hist.flush.Snapshot())
+	e.Histogram("beyondcache_peer_serve_seconds",
+		"Time to serve a cached object to a peer over /object.",
+		n.hist.peerServe.Snapshot())
+
+	e.Gauge("beyondcache_cache_bytes_used",
+		"Bytes charged against the object cache's capacity.", float64(n.data.Used()))
+	e.Gauge("beyondcache_cache_bytes_capacity",
+		"Configured object-cache capacity in bytes.", float64(n.data.Capacity()))
+	e.Gauge("beyondcache_cache_entries",
+		"Objects resident in the cache.", float64(n.data.Len()))
+	e.Gauge("beyondcache_cache_shards",
+		"Lock-stripe count of the object cache.", float64(n.data.Shards()))
+	for i, sh := range n.data.PerShard() {
+		shard := obs.L("shard", strconv.Itoa(i))
+		e.Counter("beyondcache_cache_shard_evictions_total",
+			"Capacity evictions per cache shard.", sh.Evictions, shard)
+	}
+	cs := n.data.Stats()
+	e.Counter("beyondcache_cache_inserts_total",
+		"Object-cache inserts across shards.", cs.Inserts)
+	e.Counter("beyondcache_cache_evictions_total",
+		"Object-cache capacity evictions across shards.", cs.Evictions)
+
+	e.Gauge("beyondcache_hint_table_entries",
+		"Hint-table slot count.", float64(n.hints.Entries()))
+	e.Gauge("beyondcache_hint_table_occupied",
+		"Hint-table slots holding a live record.", float64(n.hints.Occupied()))
+	e.Gauge("beyondcache_hint_table_bytes",
+		"Hint-table size in bytes (16 per slot).", float64(n.hints.SizeBytes()))
+
+	e.Counter("beyondcache_traces_sampled_total",
+		"Requests whose full trace was recorded in the /debug/traces ring.",
+		n.traces.Sampled())
+	e.Gauge("beyondcache_node_info",
+		"Constant 1; the name label identifies the node.", 1, obs.L("name", n.label()))
+	return e
+}
+
+// handleMetrics serves GET /metrics in Prometheus text format.
+func (n *Node) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !expoGET(w, r) {
+		return
+	}
+	writeExpo(w, n.Metrics())
+}
+
+// handleTraces serves GET /debug/traces: the sampled-trace ring as JSON,
+// oldest first, plus the effective sample rate so a reader knows how much
+// traffic the ring represents.
+func (n *Node) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if !expoGET(w, r) {
+		return
+	}
+	payload := struct {
+		Node       string      `json:"node"`
+		SampleRate float64     `json:"sampleRate"`
+		Sampled    int64       `json:"sampled"`
+		Traces     []obs.Trace `json:"traces"`
+	}{
+		Node:       n.label(),
+		SampleRate: n.sampler.Rate(),
+		Sampled:    n.traces.Sampled(),
+		Traces:     n.traces.Snapshot(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(payload); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Metrics builds the origin's exposition.
+func (o *Origin) Metrics() *obs.Expo {
+	e := obs.NewExpo()
+	o.mu.Lock()
+	fetches := o.fetches
+	bumped := len(o.versions)
+	o.mu.Unlock()
+	e.Counter("beyondcache_origin_fetches_total",
+		"Object requests the origin has served.", fetches)
+	e.Gauge("beyondcache_origin_bumped_objects",
+		"URLs whose version has been bumped at least once.", float64(bumped))
+	e.Histogram("beyondcache_origin_serve_seconds",
+		"Origin /obj service time, including the configured artificial latency.",
+		o.serveHist.Snapshot())
+	return e
+}
+
+func (o *Origin) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !expoGET(w, r) {
+		return
+	}
+	writeExpo(w, o.Metrics())
+}
+
+// Metrics builds the relay's exposition.
+func (r *Relay) Metrics() *obs.Expo {
+	e := obs.NewExpo()
+	r.mu.RLock()
+	subs := len(r.subscribers)
+	r.mu.RUnlock()
+	e.Counter("beyondcache_relay_updates_received_total",
+		"Hint updates received for forwarding.", r.received.Load())
+	e.Counter("beyondcache_relay_updates_forwarded_total",
+		"Hint-update deliveries made (updates x subscribers reached).", r.forwarded.Load())
+	e.Gauge("beyondcache_relay_subscribers",
+		"Registered forwarding targets.", float64(subs))
+	e.Histogram("beyondcache_relay_forward_seconds",
+		"Time to fan one batch out to all subscribers.", r.forwardHist.Snapshot())
+	return e
+}
+
+func (r *Relay) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	if !expoGET(w, req) {
+		return
+	}
+	writeExpo(w, r.Metrics())
+}

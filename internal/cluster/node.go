@@ -11,6 +11,7 @@ import (
 	"net/http"
 	neturl "net/url"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"beyondcache/internal/cache"
 	"beyondcache/internal/digest"
 	"beyondcache/internal/hintcache"
+	"beyondcache/internal/obs"
 )
 
 // Protocol headers.
@@ -29,6 +31,18 @@ const (
 	// false positive was paid first, or "LOCAL,COALESCED" when the
 	// request shared another request's in-flight fill.
 	headerCache = "X-Cache"
+	// headerRequestID identifies one client request; generated on entry
+	// if the client did not send one, echoed on the response either way.
+	headerRequestID = "X-Request-Id"
+	// headerTrace carries the hop-annotated trace chain on /fetch
+	// responses: "|"-separated obs.Hop segments, upstream hops first,
+	// the serving node's terminal hop (whose outcome equals X-Cache)
+	// last. See internal/obs and DESIGN.md §7.
+	headerTrace = "X-Trace"
+	// headerTraceHop is how an upstream server (a peer's /object, the
+	// origin's /obj) hands its own self-timed hop segment to the
+	// fetching node, which splices it into the chain.
+	headerTraceHop = "X-Trace-Hop"
 )
 
 // NodeConfig parameterizes a cache node.
@@ -66,6 +80,15 @@ type NodeConfig struct {
 	UseDigests         bool
 	DigestCapacity     int
 	DigestBitsPerEntry float64
+
+	// TraceSample is the fraction of /fetch requests whose full trace is
+	// recorded in the /debug/traces ring: 0 picks the default (1/64),
+	// anything >= 1 records every request, negative disables ring
+	// capture. The X-Trace response header is unconditional — sampling
+	// only gates the in-memory ring.
+	TraceSample float64
+	// TraceRing bounds the /debug/traces ring (<= 0 means 256 traces).
+	TraceRing int
 }
 
 // Stats counts node activity.
@@ -102,6 +125,46 @@ type counters struct {
 	batchesSent     atomic.Int64
 	sendErrors      atomic.Int64
 	digestsPulled   atomic.Int64
+}
+
+// nodeHists are the node's latency histograms: client-facing fetch time per
+// outcome class, plus the internal latencies the paper's design principles
+// are stated in terms of — the wasted false-positive peer probe, the
+// hint-batch flush round, and the peer-serve (/object) path.
+type nodeHists struct {
+	local         *obs.Histogram // X-Cache LOCAL
+	coalesced     *obs.Histogram // X-Cache "LOCAL,COALESCED"
+	remote        *obs.Histogram // X-Cache REMOTE
+	miss          *obs.Histogram // X-Cache MISS and "MISS,STALE-HINT"
+	falsePositive *obs.Histogram // failed peer probe paid before origin
+	flush         *obs.Histogram // one Flush round (all targets)
+	peerServe     *obs.Histogram // serving /object to a peer
+}
+
+func newNodeHists() nodeHists {
+	return nodeHists{
+		local:         obs.NewHistogram(nil),
+		coalesced:     obs.NewHistogram(nil),
+		remote:        obs.NewHistogram(nil),
+		miss:          obs.NewHistogram(nil),
+		falsePositive: obs.NewHistogram(nil),
+		flush:         obs.NewHistogram(nil),
+		peerServe:     obs.NewHistogram(nil),
+	}
+}
+
+// observeFetch files one client-facing fetch under its outcome class.
+func (h *nodeHists) observeFetch(how string, d time.Duration) {
+	switch how {
+	case "LOCAL":
+		h.local.Observe(d)
+	case "LOCAL,COALESCED":
+		h.coalesced.Observe(d)
+	case "REMOTE":
+		h.remote.Observe(d)
+	default: // MISS and MISS,STALE-HINT
+		h.miss.Observe(d)
+	}
 }
 
 // snapshot copies the counters into an externally visible Stats.
@@ -157,12 +220,22 @@ type Node struct {
 	ownDigest   *digest.Filter
 
 	stats counters
+	hist  nodeHists
+
+	// traces is the bounded ring behind /debug/traces; sampler decides
+	// which requests land in it. reqSeq numbers generated request IDs.
+	traces  *obs.TraceRing
+	sampler *obs.Sampler
+	reqSeq  atomic.Int64
 
 	// rngMu guards the jitter source used by the batch loop.
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
 	machineID uint64
+	// nodeLabel names the node in hop segments and request IDs: the
+	// configured Name, or the listen address once Start/Bind fixes it.
+	nodeLabel string
 	extURL    string // set by Bind; empty when Start owns the listener
 	lis       net.Listener
 	srv       *http.Server
@@ -195,11 +268,21 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if err := validateDigestConfig(&cfg); err != nil {
 		return nil, err
 	}
+	sample := cfg.TraceSample
+	if sample == 0 {
+		// Default: every 64th request. Cheap enough for the hit path
+		// (ring adds take a mutex) while keeping /debug/traces fresh.
+		sample = 1.0 / 64
+	}
 	n := &Node{
 		cfg:       cfg,
 		data:      cache.NewSharded(cfg.CacheShards, cfg.CacheBytes),
 		hints:     hintcache.NewStriped(cfg.HintEntries, cfg.HintWays, cfg.HintStripes),
+		hist:      newNodeHists(),
+		traces:    obs.NewTraceRing(cfg.TraceRing),
+		sampler:   obs.NewSampler(sample),
 		peers:     make(map[uint64]string),
+		nodeLabel: cfg.Name,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		client:    &http.Client{Timeout: 10 * time.Second},
 		stopBatch: make(chan struct{}),
@@ -241,6 +324,8 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("/updates", n.handleUpdates)
 	mux.HandleFunc("/purge", n.handlePurge)
 	mux.HandleFunc("/stats", n.handleStats)
+	mux.HandleFunc("/metrics", n.handleMetrics)
+	mux.HandleFunc("/debug/traces", n.handleTraces)
 	mux.HandleFunc("/digest", n.handleDigest)
 	return mux
 }
@@ -254,6 +339,9 @@ func (n *Node) Start(addr string) error {
 	}
 	n.lis = lis
 	n.machineID = hintcache.HashMachine(lis.Addr().String())
+	if n.nodeLabel == "" {
+		n.nodeLabel = lis.Addr().String()
+	}
 
 	n.srv = &http.Server{
 		Handler:           n.Handler(),
@@ -275,7 +363,28 @@ func (n *Node) Start(addr string) error {
 func (n *Node) Bind(baseURL string) {
 	n.extURL = baseURL
 	n.machineID = hintcache.HashMachine(hostPortOf(baseURL))
+	if n.nodeLabel == "" {
+		n.nodeLabel = hostPortOf(baseURL)
+	}
 	go n.batchLoop()
+}
+
+// label names the node in hop segments and request IDs.
+func (n *Node) label() string {
+	if n.nodeLabel != "" {
+		return n.nodeLabel
+	}
+	return "node"
+}
+
+// newRequestID mints a node-unique request identifier. The scratch array
+// keeps the append chain off the heap; only the final string allocates.
+func (n *Node) newRequestID() string {
+	var buf [48]byte
+	b := append(buf[:0], n.label()...)
+	b = append(b, '-')
+	b = strconv.AppendInt(b, n.reqSeq.Add(1), 16)
+	return string(b)
 }
 
 // Addr returns the node's listening address.
@@ -399,7 +508,10 @@ func (n *Node) exchange() {
 
 // Flush sends all pending hint updates to every peer immediately. It is
 // also called by the batcher; tests call it directly to avoid sleeping.
+// Rounds that actually send something are timed into the flush histogram
+// (empty rounds would swamp it with no-ops).
 func (n *Node) Flush() {
+	start := time.Now()
 	n.pendMu.Lock()
 	batch := n.pending
 	n.pending = nil
@@ -436,6 +548,7 @@ func (n *Node) Flush() {
 		n.stats.batchesSent.Add(1)
 		n.stats.updatesSent.Add(int64(len(batch)))
 	}
+	n.hist.flush.Observe(time.Since(start))
 }
 
 // queueInform records a local copy and schedules its advertisement.
@@ -458,6 +571,25 @@ func (n *Node) store(urlHash uint64, version int64, body []byte) {
 	}
 }
 
+// queryURL extracts the "url" query parameter. Equivalent to
+// r.URL.Query().Get("url") without materializing the full url.Values map —
+// every object-path request (/fetch, /object, /purge) pays this parse.
+func queryURL(r *http.Request) string {
+	q := r.URL.RawQuery
+	for q != "" {
+		var pair string
+		pair, q, _ = strings.Cut(q, "&")
+		if v, ok := strings.CutPrefix(pair, "url="); ok {
+			u, err := neturl.QueryUnescape(v)
+			if err != nil {
+				return ""
+			}
+			return u
+		}
+	}
+	return ""
+}
+
 // handleFetch is the client-facing entry point: GET /fetch?url=U.
 //
 // The hot path takes exactly one shard lock (the local-hit probe); misses
@@ -465,17 +597,24 @@ func (n *Node) store(urlHash uint64, version int64, body []byte) {
 // for one uncached object cost a single peer/origin fetch while requests
 // for other objects proceed untouched.
 func (n *Node) handleFetch(w http.ResponseWriter, r *http.Request) {
-	url := r.URL.Query().Get("url")
+	url := queryURL(r)
 	if url == "" {
 		http.Error(w, "missing url parameter", http.StatusBadRequest)
 		return
+	}
+	start := time.Now()
+	var reqID string
+	if v := r.Header[headerRequestID]; len(v) > 0 && v[0] != "" {
+		reqID = v[0]
+	} else {
+		reqID = n.newRequestID()
 	}
 	h := hintcache.HashURL(url)
 
 	// Local cache.
 	if obj, body, ok := n.data.Get(h); ok {
 		n.stats.localHits.Add(1)
-		serveObject(w, "LOCAL", obj.Version, body)
+		n.finishFetch(w, reqID, url, start, "LOCAL", obj.Version, body, nil)
 		return
 	}
 
@@ -492,7 +631,33 @@ func (n *Node) handleFetch(w http.ResponseWriter, r *http.Request) {
 		n.stats.coalescedHits.Add(1)
 		how = "LOCAL,COALESCED"
 	}
-	serveObject(w, how, out.version, out.body)
+	n.finishFetch(w, reqID, url, start, how, out.version, out.body, out.hops)
+}
+
+// finishFetch completes a successful /fetch: it observes the outcome
+// histogram, appends the node's terminal hop to the upstream chain (waiters
+// sharing a fill each get their own copy — out.hops is shared across every
+// coalesced request), serves the object with the trace headers, and records
+// the trace in the ring if sampled. The terminal hop's outcome is the
+// X-Cache value, so the two headers can never disagree.
+func (n *Node) finishFetch(w http.ResponseWriter, reqID, url string, start time.Time, how string, version int64, body []byte, upstream []obs.Hop) {
+	elapsed := time.Since(start)
+	n.hist.observeFetch(how, elapsed)
+	term := obs.Hop{Node: n.label(), Outcome: how, Elapsed: elapsed}
+	// The header keys are pre-canonicalized constants: direct map
+	// assignment skips Set's canonicalization scan on the hot path.
+	hdr := w.Header()
+	hdr[headerRequestID] = []string{reqID}
+	hdr[headerTrace] = []string{obs.FormatChain(upstream, term)}
+	serveObject(w, how, version, body)
+	if n.sampler.Sample() {
+		// The combined hop slice is built only for sampled requests; the
+		// unsampled majority never allocates it.
+		hops := make([]obs.Hop, 0, len(upstream)+1)
+		hops = append(hops, upstream...)
+		hops = append(hops, term)
+		n.traces.Add(obs.Trace{ID: reqID, URL: url, Outcome: how, Start: start, Total: elapsed, Hops: hops})
+	}
 }
 
 // fill resolves a cache miss as the singleflight leader: peer transfer if a
@@ -519,16 +684,21 @@ func (n *Node) fill(h uint64, url string) fetchOutcome {
 	}
 
 	stale := false
+	var hops []obs.Hop
 	if peerURL != "" {
-		version, body, err := n.fetchPeer(peerURL, url)
+		probeStart := time.Now()
+		version, body, peerHops, err := n.fetchPeer(peerURL, url)
 		if err == nil {
 			n.store(h, version, body)
 			n.stats.remoteHits.Add(1)
-			return fetchOutcome{how: "REMOTE", version: version, body: body}
+			return fetchOutcome{how: "REMOTE", version: version, body: body, hops: peerHops}
 		}
 		// Stale hint or digest false positive: pay the wasted probe,
 		// drop the exact hint (digests cannot delete), fall through to
 		// the origin (never search further, Section 3.1.1).
+		probe := time.Since(probeStart)
+		n.hist.falsePositive.Observe(probe)
+		hops = append(hops, obs.Hop{Node: hostPortOf(peerURL), Outcome: "PEER-REJECT", Elapsed: probe})
 		stale = true
 		n.stats.falsePositives.Add(1)
 		if !n.cfg.UseDigests {
@@ -536,35 +706,43 @@ func (n *Node) fill(h uint64, url string) fetchOutcome {
 		}
 	}
 
-	version, body, err := n.fetchOrigin(url)
+	version, body, originHops, err := n.fetchOrigin(url)
 	if err != nil {
 		return fetchOutcome{err: err}
 	}
+	hops = append(hops, originHops...)
 	n.store(h, version, body)
 	n.stats.misses.Add(1)
 	how := "MISS"
 	if stale {
 		how = "MISS,STALE-HINT"
 	}
-	return fetchOutcome{how: how, version: version, body: body}
+	return fetchOutcome{how: how, version: version, body: body, hops: hops}
 }
 
 // handleObject is the cache-to-cache path: GET /object?url=U serves only
 // locally cached data.
 func (n *Node) handleObject(w http.ResponseWriter, r *http.Request) {
-	url := r.URL.Query().Get("url")
+	url := queryURL(r)
 	if url == "" {
 		http.Error(w, "missing url parameter", http.StatusBadRequest)
 		return
 	}
+	start := time.Now()
 	h := hintcache.HashURL(url)
 	obj, body, ok := n.data.Get(h)
 	if !ok {
 		n.stats.peerRejects.Add(1)
+		w.Header().Set(headerTraceHop,
+			obs.Hop{Node: n.label(), Outcome: "PEER-REJECT", Elapsed: time.Since(start)}.Segment())
 		http.Error(w, "not cached", http.StatusNotFound)
 		return
 	}
 	n.stats.peerServes.Add(1)
+	elapsed := time.Since(start)
+	n.hist.peerServe.Observe(elapsed)
+	w.Header().Set(headerTraceHop,
+		obs.Hop{Node: n.label(), Outcome: "PEER-SERVE", Elapsed: elapsed}.Segment())
 	serveObject(w, "PEER", obj.Version, body)
 }
 
@@ -601,7 +779,7 @@ func (n *Node) handlePurge(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
-	url := r.URL.Query().Get("url")
+	url := queryURL(r)
 	if url == "" {
 		http.Error(w, "missing url parameter", http.StatusBadRequest)
 		return
@@ -616,6 +794,10 @@ func (n *Node) handlePurge(w http.ResponseWriter, r *http.Request) {
 
 // handleStats serves GET /stats as JSON.
 func (n *Node) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
 	payload := struct {
 		Name string `json:"name"`
 		Stats
@@ -626,32 +808,56 @@ func (n *Node) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// fetchPeer performs a cache-to-cache transfer.
-func (n *Node) fetchPeer(peerURL, url string) (int64, []byte, error) {
+// fetchPeer performs a cache-to-cache transfer. On success it returns the
+// hop chain for the transfer: the peer's self-timed serve segment (from its
+// X-Trace-Hop header) followed by this node's round-trip measurement — the
+// difference between the two is time on the wire.
+func (n *Node) fetchPeer(peerURL, url string) (int64, []byte, []obs.Hop, error) {
+	start := time.Now()
 	resp, err := n.client.Get(peerURL + "/object?url=" + neturl.QueryEscape(url))
 	if err != nil {
-		return 0, nil, fmt.Errorf("peer fetch: %w", err)
+		return 0, nil, nil, fmt.Errorf("peer fetch: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
-		return 0, nil, fmt.Errorf("peer fetch: status %d", resp.StatusCode)
+		return 0, nil, nil, fmt.Errorf("peer fetch: status %d", resp.StatusCode)
 	}
-	return readObject(resp)
+	version, body, err := readObject(resp)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	var hops []obs.Hop
+	if h, ok := obs.ParseSegment(resp.Header.Get(headerTraceHop)); ok {
+		hops = append(hops, h)
+	}
+	hops = append(hops, obs.Hop{Node: hostPortOf(peerURL), Outcome: "PEER", Elapsed: time.Since(start)})
+	return version, body, hops, nil
 }
 
-// fetchOrigin fetches from the origin server.
-func (n *Node) fetchOrigin(url string) (int64, []byte, error) {
+// fetchOrigin fetches from the origin server, returning the origin's
+// self-timed serve segment (when present) plus the measured round trip.
+func (n *Node) fetchOrigin(url string) (int64, []byte, []obs.Hop, error) {
+	start := time.Now()
 	resp, err := n.client.Get(n.cfg.OriginURL + "/obj?url=" + neturl.QueryEscape(url))
 	if err != nil {
-		return 0, nil, fmt.Errorf("origin fetch: %w", err)
+		return 0, nil, nil, fmt.Errorf("origin fetch: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
-		return 0, nil, fmt.Errorf("origin fetch: status %d", resp.StatusCode)
+		return 0, nil, nil, fmt.Errorf("origin fetch: status %d", resp.StatusCode)
 	}
-	return readObject(resp)
+	version, body, err := readObject(resp)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	var hops []obs.Hop
+	if h, ok := obs.ParseSegment(resp.Header.Get(headerTraceHop)); ok {
+		hops = append(hops, h)
+	}
+	hops = append(hops, obs.Hop{Node: "origin", Outcome: "ORIGIN", Elapsed: time.Since(start)})
+	return version, body, hops, nil
 }
 
 func readObject(resp *http.Response) (int64, []byte, error) {
@@ -667,9 +873,11 @@ func readObject(resp *http.Response) (int64, []byte, error) {
 }
 
 func serveObject(w http.ResponseWriter, how string, version int64, body []byte) {
-	w.Header().Set(headerCache, how)
-	w.Header().Set(headerVersion, strconv.FormatInt(version, 10))
-	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	// Direct map assignment with canonical keys (see finishFetch).
+	hdr := w.Header()
+	hdr[headerCache] = []string{how}
+	hdr[headerVersion] = []string{strconv.FormatInt(version, 10)}
+	hdr["Content-Length"] = []string{strconv.Itoa(len(body))}
 	w.WriteHeader(http.StatusOK)
 	w.Write(body)
 }

@@ -1,0 +1,423 @@
+package cluster
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	neturl "net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"beyondcache/internal/obs"
+)
+
+// updateGolden rewrites testdata golden files instead of comparing.
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
+
+// obsFleet is a testFleet whose nodes trace every request (TraceSample 1),
+// so /debug/traces assertions are deterministic.
+func newObsFleet(t *testing.T, n int) *testFleet {
+	t.Helper()
+	f := &testFleet{
+		origin: NewOrigin(1024),
+		client: &http.Client{Timeout: 10 * time.Second},
+	}
+	f.originS = httptest.NewServer(f.origin.Handler())
+	t.Cleanup(f.originS.Close)
+	for i := 0; i < n; i++ {
+		node, err := NewNode(NodeConfig{
+			Name:           fmt.Sprintf("obs-%d", i),
+			OriginURL:      f.originS.URL,
+			UpdateInterval: time.Hour,
+			Seed:           int64(i) + 1,
+			TraceSample:    1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(node.Handler())
+		node.Bind(srv.URL)
+		f.nodes = append(f.nodes, node)
+		f.servers = append(f.servers, srv)
+		t.Cleanup(func() {
+			if err := node.Close(); err != nil {
+				t.Errorf("node close: %v", err)
+			}
+			srv.Close()
+		})
+	}
+	for _, a := range f.nodes {
+		for _, b := range f.nodes {
+			if a != b {
+				a.AddPeer(b.URL())
+			}
+		}
+	}
+	return f
+}
+
+// tracedFetch fetches and returns the response headers alongside the body.
+func tracedFetch(t *testing.T, f *testFleet, node int, url string) (how string, hops []obs.Hop, reqID string) {
+	t.Helper()
+	resp, err := f.client.Get(f.nodes[node].URL() + "/fetch?url=" + neturl.QueryEscape(url))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if _, err := io.ReadAll(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fetch status %d", resp.StatusCode)
+	}
+	how = resp.Header.Get(headerCache)
+	reqID = resp.Header.Get(headerRequestID)
+	hops = obs.ParseHops(resp.Header.Get(headerTrace))
+	if reqID == "" {
+		t.Error("response missing X-Request-Id")
+	}
+	if len(hops) == 0 {
+		t.Fatalf("response missing X-Trace (X-Cache %s)", how)
+	}
+	// The acceptance invariant: the trace's terminal hop agrees with
+	// X-Cache, and names the serving node.
+	term := hops[len(hops)-1]
+	if term.Outcome != how {
+		t.Errorf("terminal hop outcome %q != X-Cache %q (chain %v)", term.Outcome, how, hops)
+	}
+	if want := f.nodes[node].label(); term.Node != want {
+		t.Errorf("terminal hop node %q, want %q", term.Node, want)
+	}
+	return how, hops, reqID
+}
+
+// scrape parses one node-ish /metrics endpoint.
+func scrape(t *testing.T, client *http.Client, base string) *obs.Exposition {
+	t.Helper()
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != contentTypeExpo {
+		t.Errorf("/metrics Content-Type %q, want %q", ct, contentTypeExpo)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := obs.ParseExposition(string(body))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, body)
+	}
+	return p
+}
+
+// histConsistent checks every histogram family's invariants: cumulative
+// buckets are monotone, the +Inf bucket equals _count, and _sum is present.
+func histConsistent(t *testing.T, p *obs.Exposition) {
+	t.Helper()
+	for _, f := range p.Families {
+		if f.Type != "histogram" {
+			continue
+		}
+		// Group bucket series by their non-le label set.
+		type agg struct {
+			inf, count float64
+			hasSum     bool
+			last       float64
+			ordered    bool
+		}
+		groups := map[string]*agg{}
+		keyOf := func(labels map[string]string) string {
+			var parts []string
+			for k, v := range labels {
+				if k != "le" {
+					parts = append(parts, k+"="+v)
+				}
+			}
+			sort.Strings(parts)
+			return strings.Join(parts, ",")
+		}
+		for _, s := range f.Series {
+			g := groups[keyOf(s.Labels)]
+			if g == nil {
+				g = &agg{ordered: true}
+				groups[keyOf(s.Labels)] = g
+			}
+			switch {
+			case strings.HasSuffix(s.Name, "_bucket"):
+				if s.Value < g.last {
+					g.ordered = false
+				}
+				g.last = s.Value
+				if s.Labels["le"] == "+Inf" {
+					g.inf = s.Value
+				}
+			case strings.HasSuffix(s.Name, "_count"):
+				g.count = s.Value
+			case strings.HasSuffix(s.Name, "_sum"):
+				g.hasSum = true
+			}
+		}
+		for key, g := range groups {
+			if !g.ordered {
+				t.Errorf("%s{%s}: cumulative buckets not monotone", f.Name, key)
+			}
+			if g.inf != g.count {
+				t.Errorf("%s{%s}: +Inf bucket %v != _count %v", f.Name, key, g.inf, g.count)
+			}
+			if !g.hasSum {
+				t.Errorf("%s{%s}: no _sum series", f.Name, key)
+			}
+		}
+	}
+}
+
+// TestFleetObservabilityEndToEnd drives a 3-node fleet through every
+// outcome class, then checks the trace headers, /metrics exposition, and
+// /debug/traces ring against each other.
+func TestFleetObservabilityEndToEnd(t *testing.T) {
+	f := newObsFleet(t, 3)
+	f.origin.SetLatency(5 * time.Millisecond)
+
+	// MISS then LOCAL on node 0.
+	if how, hops, _ := tracedFetch(t, f, 0, "http://example.com/a"); true {
+		if how != "MISS" {
+			t.Errorf("first fetch X-Cache %q, want MISS", how)
+		}
+		// A miss chain includes the origin's self-reported hop and the
+		// node's measured ORIGIN round trip before the terminal hop.
+		var outcomes []string
+		for _, h := range hops {
+			outcomes = append(outcomes, h.Outcome)
+		}
+		chain := strings.Join(outcomes, " ")
+		if !strings.Contains(chain, "ORIGIN-SERVE") || !strings.Contains(chain, "ORIGIN") {
+			t.Errorf("miss chain lacks origin hops: %v", hops)
+		}
+	}
+	if how, hops, _ := tracedFetch(t, f, 0, "http://example.com/a"); how != "LOCAL" {
+		t.Errorf("second fetch X-Cache %q, want LOCAL", how)
+	} else if len(hops) != 1 {
+		t.Errorf("local hit should have exactly the terminal hop: %v", hops)
+	}
+
+	// REMOTE on node 1 after hints propagate.
+	f.flushAll()
+	if how, hops, _ := tracedFetch(t, f, 1, "http://example.com/a"); how != "REMOTE" {
+		t.Errorf("peer fetch X-Cache %q, want REMOTE", how)
+	} else {
+		var chain []string
+		for _, h := range hops {
+			chain = append(chain, h.Outcome)
+		}
+		joined := strings.Join(chain, " ")
+		if !strings.Contains(joined, "PEER-SERVE") || !strings.Contains(joined, "PEER") {
+			t.Errorf("remote chain lacks peer hops: %v", hops)
+		}
+	}
+
+	// Coalescing: hammer one cold URL concurrently; the origin's 5ms
+	// latency holds the singleflight window open.
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	outcomes := map[string]int{}
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := f.client.Get(f.nodes[2].URL() + "/fetch?url=" + neturl.QueryEscape("http://example.com/cold"))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			how := resp.Header.Get(headerCache)
+			hops := obs.ParseHops(resp.Header.Get(headerTrace))
+			resp.Body.Close()
+			mu.Lock()
+			outcomes[how]++
+			mu.Unlock()
+			if len(hops) == 0 || hops[len(hops)-1].Outcome != how {
+				t.Errorf("coalesced fetch: terminal hop %v disagrees with X-Cache %q", hops, how)
+			}
+		}()
+	}
+	wg.Wait()
+	if outcomes["MISS"] != 1 {
+		t.Errorf("want exactly one true MISS for the cold URL, got %v", outcomes)
+	}
+
+	// First scrape of every server.
+	first := make([]*obs.Exposition, len(f.nodes))
+	for i := range f.nodes {
+		first[i] = scrape(t, f.client, f.nodes[i].URL())
+		histConsistent(t, first[i])
+		if got := len(first[i].FamilyNames()); got < 15 {
+			t.Errorf("node %d exposes %d families, want >= 15", i, got)
+		}
+	}
+
+	// Node 0 served one MISS and one LOCAL; node 2 served the cold URL.
+	if v, ok := first[0].Value("beyondcache_fetch_total", obs.L("outcome", "local")); !ok || v != 1 {
+		t.Errorf("node 0 local fetches = %v, %v; want 1", v, ok)
+	}
+	if v, ok := first[0].Value("beyondcache_fetch_total", obs.L("outcome", "miss")); !ok || v != 1 {
+		t.Errorf("node 0 miss fetches = %v, %v; want 1", v, ok)
+	}
+	if v, ok := first[1].Value("beyondcache_fetch_total", obs.L("outcome", "remote")); !ok || v != 1 {
+		t.Errorf("node 1 remote fetches = %v, %v; want 1", v, ok)
+	}
+	coal, _ := first[2].Value("beyondcache_fetch_coalesced_total")
+	if want := float64(outcomes["LOCAL,COALESCED"]); coal != want {
+		t.Errorf("node 2 coalesced counter %v, want %v", coal, want)
+	}
+
+	// Fetch-duration histogram counts must equal the fetch counters.
+	for i, p := range first {
+		st := f.nodes[i].stats.snapshot()
+		var total float64
+		for _, s := range p.Family("beyondcache_fetch_duration_seconds").Series {
+			if strings.HasSuffix(s.Name, "_count") {
+				total += s.Value
+			}
+		}
+		if want := float64(st.LocalHits + st.RemoteHits + st.Misses); total != want {
+			t.Errorf("node %d histogram count %v != outcome counters %v", i, total, want)
+		}
+	}
+
+	// More traffic, then a second scrape: counters must be monotone.
+	for i := 0; i < 4; i++ {
+		tracedFetch(t, f, 0, "http://example.com/a")
+	}
+	second := scrape(t, f.client, f.nodes[0].URL())
+	histConsistent(t, second)
+	for _, fam := range first[0].Families {
+		if fam.Type != "counter" {
+			continue
+		}
+		for _, s := range fam.Series {
+			var labels []obs.Label
+			for k, v := range s.Labels {
+				labels = append(labels, obs.L(k, v))
+			}
+			after, ok := second.Value(s.Name, labels...)
+			if !ok {
+				t.Errorf("counter %s vanished between scrapes", s.Name)
+				continue
+			}
+			if after < s.Value {
+				t.Errorf("counter %s went backwards: %v -> %v", s.Name, s.Value, after)
+			}
+		}
+	}
+	if v, ok := second.Value("beyondcache_fetch_total", obs.L("outcome", "local")); !ok || v != 5 {
+		t.Errorf("node 0 local after re-fetches = %v, want 5", v)
+	}
+
+	// The origin and a relay expose their own expositions.
+	originExpo := scrape(t, f.client, f.originS.URL)
+	histConsistent(t, originExpo)
+	if v, ok := originExpo.Value("beyondcache_origin_fetches_total"); !ok || v < 2 {
+		t.Errorf("origin fetches = %v, %v; want >= 2", v, ok)
+	}
+
+	relay := NewRelay("relay-test")
+	relayS := httptest.NewServer(relay.Handler())
+	defer relayS.Close()
+	relayExpo := scrape(t, f.client, relayS.URL)
+	histConsistent(t, relayExpo)
+	if _, ok := relayExpo.Value("beyondcache_relay_updates_received_total"); !ok {
+		t.Error("relay exposition missing updates counter")
+	}
+
+	// /debug/traces: sampling is 1-in-1, so every request is in the ring.
+	resp, err := f.client.Get(f.nodes[0].URL() + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var payload struct {
+		Node       string      `json:"node"`
+		SampleRate float64     `json:"sampleRate"`
+		Sampled    int64       `json:"sampled"`
+		Traces     []obs.Trace `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatalf("/debug/traces is not JSON: %v", err)
+	}
+	if payload.Node != "obs-0" || payload.SampleRate != 1 {
+		t.Errorf("trace payload header wrong: %+v", payload)
+	}
+	if payload.Sampled != 6 || len(payload.Traces) != 6 {
+		t.Errorf("node 0 served 6 fetches; ring has sampled=%d len=%d", payload.Sampled, len(payload.Traces))
+	}
+	for _, tr := range payload.Traces {
+		if tr.ID == "" || tr.URL == "" || len(tr.Hops) == 0 {
+			t.Errorf("incomplete trace: %+v", tr)
+			continue
+		}
+		if term := tr.Hops[len(tr.Hops)-1]; term.Outcome != tr.Outcome {
+			t.Errorf("trace outcome %q != terminal hop %q", tr.Outcome, term.Outcome)
+		}
+	}
+}
+
+// TestMetricNamesGolden freezes the metric families every server kind
+// exposes. If this fails you renamed or removed a metric: that is an
+// interface change — update testdata/metric_names.golden in the same commit,
+// deliberately. Run with -update to regenerate.
+func TestMetricNamesGolden(t *testing.T) {
+	f := newObsFleet(t, 1)
+	tracedFetch(t, f, 0, "http://example.com/g") // populate per-outcome series
+	relay := NewRelay("golden")
+
+	names := map[string]bool{}
+	for _, e := range []*obs.Expo{f.nodes[0].Metrics(), f.origin.Metrics(), relay.Metrics()} {
+		for _, name := range e.FamilyNames() {
+			names[name] = true
+		}
+	}
+	var got []string
+	for name := range names {
+		got = append(got, name)
+	}
+	sort.Strings(got)
+
+	golden := filepath.Join("testdata", "metric_names.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(strings.Join(got, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	want := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(got) != len(want) {
+		t.Fatalf("metric family drift: %d families, golden has %d\ngot:  %v\nwant: %v",
+			len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("metric family drift at %d: got %q, golden %q", i, got[i], want[i])
+		}
+	}
+}

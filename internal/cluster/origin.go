@@ -16,6 +16,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"beyondcache/internal/obs"
 )
 
 // Origin is a synthetic origin server: it serves a deterministic body for
@@ -32,9 +34,11 @@ type Origin struct {
 	// latency is an artificial service delay per object request,
 	// standing in for WAN round trips to far-away servers.
 	latency time.Duration
-	srv     *http.Server
-	lis     net.Listener
-	done    chan struct{}
+	// serveHist times /obj service, artificial latency included.
+	serveHist *obs.Histogram
+	srv       *http.Server
+	lis       net.Listener
+	done      chan struct{}
 }
 
 // NewOrigin creates an origin whose objects default to defaultSize bytes.
@@ -46,6 +50,7 @@ func NewOrigin(defaultSize int64) *Origin {
 		versions:    make(map[string]int64),
 		sizes:       make(map[string]int64),
 		defaultSize: defaultSize,
+		serveHist:   obs.NewHistogram(nil),
 		done:        make(chan struct{}),
 	}
 }
@@ -57,6 +62,7 @@ func (o *Origin) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/obj", o.handleObj)
 	mux.HandleFunc("/bump", o.handleBump)
+	mux.HandleFunc("/metrics", o.handleMetrics)
 	return mux
 }
 
@@ -152,11 +158,12 @@ func (o *Origin) lookup(url string) (int64, int64) {
 
 // handleObj serves GET /obj?url=U.
 func (o *Origin) handleObj(w http.ResponseWriter, r *http.Request) {
-	url := r.URL.Query().Get("url")
+	url := queryURL(r)
 	if url == "" {
 		http.Error(w, "missing url parameter", http.StatusBadRequest)
 		return
 	}
+	start := time.Now()
 	version, size := o.lookup(url)
 	o.mu.Lock()
 	delay := o.latency
@@ -164,6 +171,10 @@ func (o *Origin) handleObj(w http.ResponseWriter, r *http.Request) {
 	if delay > 0 {
 		time.Sleep(delay)
 	}
+	elapsed := time.Since(start)
+	o.serveHist.Observe(elapsed)
+	w.Header().Set(headerTraceHop,
+		obs.Hop{Node: "origin", Outcome: "ORIGIN-SERVE", Elapsed: elapsed}.Segment())
 	w.Header().Set(headerVersion, strconv.FormatInt(version, 10))
 	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
 	w.WriteHeader(http.StatusOK)
@@ -176,7 +187,7 @@ func (o *Origin) handleBump(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
-	url := r.URL.Query().Get("url")
+	url := queryURL(r)
 	if url == "" {
 		http.Error(w, "missing url parameter", http.StatusBadRequest)
 		return

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"beyondcache/internal/hintcache"
+	"beyondcache/internal/obs"
 )
 
 // Relay is a metadata-only node of the hint distribution hierarchy: it
@@ -33,6 +34,8 @@ type Relay struct {
 
 	received  atomic.Int64
 	forwarded atomic.Int64
+	// forwardHist times one batch's full fan-out.
+	forwardHist *obs.Histogram
 
 	lis       net.Listener
 	srv       *http.Server
@@ -44,9 +47,10 @@ type Relay struct {
 // NewRelay builds a relay; call Start to begin serving.
 func NewRelay(name string) *Relay {
 	return &Relay{
-		name:    name,
-		client:  &http.Client{Timeout: 10 * time.Second},
-		srvDone: make(chan struct{}),
+		name:        name,
+		forwardHist: obs.NewHistogram(nil),
+		client:      &http.Client{Timeout: 10 * time.Second},
+		srvDone:     make(chan struct{}),
 	}
 }
 
@@ -57,10 +61,8 @@ func (r *Relay) Start(addr string) error {
 		return fmt.Errorf("cluster: relay %q listen: %w", r.name, err)
 	}
 	r.lis = lis
-	mux := http.NewServeMux()
-	mux.HandleFunc("/updates", r.handleUpdates)
 	r.srv = &http.Server{
-		Handler:           mux,
+		Handler:           r.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		IdleTimeout:       30 * time.Second,
 	}
@@ -69,6 +71,15 @@ func (r *Relay) Start(addr string) error {
 		_ = r.srv.Serve(lis)
 	}()
 	return nil
+}
+
+// Handler returns the relay's HTTP mux (what Start serves), so tests and
+// embedders can mount it on their own server.
+func (r *Relay) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/updates", r.handleUpdates)
+	mux.HandleFunc("/metrics", r.handleMetrics)
+	return mux
 }
 
 // Addr returns the listening address.
@@ -148,6 +159,7 @@ func (r *Relay) handleUpdates(w http.ResponseWriter, req *http.Request) {
 	}
 	r.mu.RUnlock()
 
+	start := time.Now()
 	var wg sync.WaitGroup
 	for _, t := range targets {
 		wg.Add(1)
@@ -169,5 +181,6 @@ func (r *Relay) handleUpdates(w http.ResponseWriter, req *http.Request) {
 		}(t)
 	}
 	wg.Wait()
+	r.forwardHist.Observe(time.Since(start))
 	w.WriteHeader(http.StatusNoContent)
 }

@@ -1,6 +1,10 @@
 package cluster
 
-import "sync"
+import (
+	"sync"
+
+	"beyondcache/internal/obs"
+)
 
 // flightGroup collapses duplicate in-flight fills for the same object: the
 // first caller (the leader) runs the fetch, everyone else arriving before
@@ -26,11 +30,15 @@ type flight struct {
 
 // fetchOutcome is what a fill produces: how it was served (REMOTE, MISS,
 // "MISS,STALE-HINT", or LOCAL when the leader found the object already
-// cached), the object version and body, or an error.
+// cached), the object version and body, or an error. hops are the upstream
+// trace segments the fill accumulated (peer probes, origin round trips);
+// they are shared read-only by every request coalesced onto the fill, so
+// consumers must copy before appending.
 type fetchOutcome struct {
 	how     string
 	version int64
 	body    []byte
+	hops    []obs.Hop
 	err     error
 }
 

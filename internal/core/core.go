@@ -206,6 +206,14 @@ type Report struct {
 	Requests int64
 	// MeanResponse is the mean response time over recorded requests.
 	MeanResponse time.Duration
+	// P50Response, P95Response, and P99Response are response-time
+	// quantiles estimated from the same fixed-bucket histogram type the
+	// live prototype exposes on /metrics (bucket interpolation, so a few
+	// percent of bucket-width error). The paper reports means; the
+	// percentiles show the tail its tables hide.
+	P50Response time.Duration
+	P95Response time.Duration
+	P99Response time.Duration
 	// HitRatio is the fraction served from any cache in the system.
 	HitRatio float64
 	// LocalHitRatio is the fraction served from the client's own L1.
@@ -273,6 +281,9 @@ func (s *System) Report() Report {
 	if stats != nil {
 		rep.Requests = stats.N()
 		rep.MeanResponse = stats.Mean()
+		rep.P50Response = stats.Quantile(0.50)
+		rep.P95Response = stats.Quantile(0.95)
+		rep.P99Response = stats.Quantile(0.99)
 		rep.OutcomeFracs = make(map[string]float64)
 		for _, o := range stats.Outcomes() {
 			rep.OutcomeFracs[o] = stats.Frac(o)

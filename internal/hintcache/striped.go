@@ -200,6 +200,24 @@ func (s *Striped) Apply(u Update) error {
 	}
 }
 
+// Occupied counts live records across the table — an occupancy gauge for
+// /metrics. Each stripe is scanned under its read lock; the total is not a
+// cross-stripe atomic snapshot (fine for monitoring).
+func (s *Striped) Occupied() int {
+	total := 0
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		for _, r := range st.recs {
+			if r.URLHash != invalidHash {
+				total++
+			}
+		}
+		st.mu.RUnlock()
+	}
+	return total
+}
+
 // Stats returns the accumulated counters.
 func (s *Striped) Stats() Stats {
 	return Stats{

@@ -146,7 +146,7 @@ func TestStripedConcurrentProbesAndUpdates(t *testing.T) {
 	}
 	wg.Wait()
 	st := s.Stats()
-	if st.Lookups != 16 * 500 {
+	if st.Lookups != 16*500 {
 		t.Errorf("lookups = %d, want %d", st.Lookups, 16*500)
 	}
 }

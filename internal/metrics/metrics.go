@@ -9,7 +9,17 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"beyondcache/internal/obs"
 )
+
+// responseBounds covers simulated response times — sub-millisecond local
+// hits through multi-minute worst cases — in 23 power-of-two buckets
+// (100µs ... ~420s). The same obs.Histogram type instruments the live
+// prototype, so simulated and measured percentiles are directly comparable.
+func responseBounds() []time.Duration {
+	return obs.ExpBounds(100*time.Microsecond, 2, 23)
+}
 
 // Response aggregates per-request outcomes.
 type Response struct {
@@ -19,6 +29,8 @@ type Response struct {
 	counts map[string]int64
 	times  map[string]time.Duration
 	sizes  map[string]int64
+	hist   *obs.Histogram
+	hists  map[string]*obs.Histogram
 }
 
 // NewResponse returns an empty aggregator.
@@ -27,6 +39,8 @@ func NewResponse() *Response {
 		counts: make(map[string]int64, 8),
 		times:  make(map[string]time.Duration, 8),
 		sizes:  make(map[string]int64, 8),
+		hist:   obs.NewHistogram(responseBounds()),
+		hists:  make(map[string]*obs.Histogram, 8),
 	}
 }
 
@@ -39,6 +53,29 @@ func (r *Response) Add(outcome string, d time.Duration, size int64) {
 	r.counts[outcome]++
 	r.times[outcome] += d
 	r.sizes[outcome] += size
+	r.hist.Observe(d)
+	h, ok := r.hists[outcome]
+	if !ok {
+		h = obs.NewHistogram(responseBounds())
+		r.hists[outcome] = h
+	}
+	h.Observe(d)
+}
+
+// Quantile estimates the q-quantile of the response-time distribution by
+// bucket interpolation (see obs.Histogram.Quantile).
+func (r *Response) Quantile(q float64) time.Duration {
+	return r.hist.Quantile(q)
+}
+
+// QuantileOf estimates the q-quantile of one outcome class, or 0 when the
+// outcome was never recorded.
+func (r *Response) QuantileOf(outcome string, q float64) time.Duration {
+	h, ok := r.hists[outcome]
+	if !ok {
+		return 0
+	}
+	return h.Quantile(q)
 }
 
 // N returns the number of recorded requests.
@@ -152,10 +189,12 @@ func NewTable(header ...string) *Table {
 	return &Table{header: header}
 }
 
-// AddRow appends a row; cells beyond the header width are dropped.
+// AddRow appends a row. A row wider than the header used to be silently
+// truncated, dropping data from rendered tables; now the header grows
+// unnamed columns to fit the widest row.
 func (t *Table) AddRow(cells ...string) {
-	if len(cells) > len(t.header) {
-		cells = cells[:len(t.header)]
+	for len(t.header) < len(cells) {
+		t.header = append(t.header, "")
 	}
 	t.rows = append(t.rows, cells)
 }

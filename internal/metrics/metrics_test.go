@@ -105,16 +105,30 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
-func TestTableExtraCellsDropped(t *testing.T) {
+// Regression: AddRow used to silently drop cells beyond the header width;
+// now the header grows unnamed columns so no data is lost.
+func TestTableExtraCellsWidenHeader(t *testing.T) {
 	tb := NewTable("A", "B")
 	tb.AddRow("1", "2", "3")
 	tb.AddRow("only")
 	out := tb.String()
-	if strings.Contains(out, "3") {
-		t.Error("extra cell not dropped")
+	if !strings.Contains(out, "3") {
+		t.Errorf("extra cell dropped:\n%s", out)
 	}
 	if !strings.Contains(out, "only") {
 		t.Error("short row missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want header+separator+2 rows:\n%s", len(lines), out)
+	}
+	// The widened third column gets a separator segment too.
+	if got := strings.Count(lines[1], "-"); got < 3 {
+		t.Errorf("separator not widened: %q", lines[1])
+	}
+	// Later rows align against the widened width.
+	if !strings.HasPrefix(lines[2][strings.Index(lines[0], "B"):], "2") {
+		t.Errorf("column misaligned:\n%s", out)
 	}
 }
 

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the read side of the exposition format: a minimal parser for
+// the subset Expo emits. The integration tests and the golden metric-name
+// check scrape /metrics and run it through ParseExposition instead of
+// trusting the writer to agree with itself.
+
+// Series is one parsed metric sample.
+type Series struct {
+	// Name is the sample name as written (including _bucket/_sum/_count
+	// suffixes for histogram samples).
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsedFamily is one metric family of a parsed exposition.
+type ParsedFamily struct {
+	Name   string
+	Help   string
+	Type   string
+	Series []Series
+}
+
+// Exposition is a parsed /metrics payload.
+type Exposition struct {
+	// Families preserves document order.
+	Families []*ParsedFamily
+	byName   map[string]*ParsedFamily
+}
+
+// Family returns the named family, or nil.
+func (e *Exposition) Family(name string) *ParsedFamily {
+	return e.byName[name]
+}
+
+// FamilyNames returns all family names, sorted.
+func (e *Exposition) FamilyNames() []string {
+	names := make([]string, 0, len(e.Families))
+	for _, f := range e.Families {
+		names = append(names, f.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Value returns the value of the first series in the named family matching
+// all the given labels (an empty label set matches the first series), and
+// whether one was found.
+func (e *Exposition) Value(name string, labels ...Label) (float64, bool) {
+	f := e.byName[name]
+	if f == nil {
+		return 0, false
+	}
+series:
+	for _, s := range f.Series {
+		for _, l := range labels {
+			if s.Labels[l.Name] != l.Value {
+				continue series
+			}
+		}
+		return s.Value, true
+	}
+	return 0, false
+}
+
+// familyOf strips histogram sample suffixes to recover the family name.
+func familyOf(sample string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(sample, suffix) {
+			return strings.TrimSuffix(sample, suffix)
+		}
+	}
+	return sample
+}
+
+// ParseExposition parses Prometheus text format (the subset Expo writes:
+// HELP/TYPE comments and simple samples, no timestamps). It enforces the
+// structural rules the tests rely on: TYPE before samples, no family split
+// across the document, histogram sample names matching their family.
+func ParseExposition(text string) (*Exposition, error) {
+	e := &Exposition{byName: make(map[string]*ParsedFamily)}
+	var cur *ParsedFamily
+	for lineNo, line := range strings.Split(text, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			if e.byName[name] != nil {
+				return nil, fmt.Errorf("line %d: family %q declared twice", lineNo+1, name)
+			}
+			f := &ParsedFamily{Name: name, Help: help}
+			e.Families = append(e.Families, f)
+			e.byName[name] = f
+			cur = f
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				return nil, fmt.Errorf("line %d: malformed TYPE line", lineNo+1)
+			}
+			f := e.byName[name]
+			if f == nil {
+				return nil, fmt.Errorf("line %d: TYPE for undeclared family %q", lineNo+1, name)
+			}
+			f.Type = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal and ignored
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		fam := familyOf(s.Name)
+		f := e.byName[fam]
+		if f == nil {
+			// A counter/gauge sample whose name happens to end in a
+			// histogram suffix parses under its own name.
+			f = e.byName[s.Name]
+		}
+		if f == nil {
+			return nil, fmt.Errorf("line %d: sample %q outside any declared family", lineNo+1, s.Name)
+		}
+		if f.Type == "" {
+			return nil, fmt.Errorf("line %d: sample %q before its TYPE line", lineNo+1, s.Name)
+		}
+		if cur != nil && f != cur {
+			return nil, fmt.Errorf("line %d: family %q split across the document", lineNo+1, f.Name)
+		}
+		f.Series = append(f.Series, s)
+	}
+	return e, nil
+}
+
+// parseSample parses `name{l1="v1",l2="v2"} value`.
+func parseSample(line string) (Series, error) {
+	s := Series{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		s.Name = rest[:i]
+		rest = rest[i+1:]
+		for {
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+				return s, fmt.Errorf("malformed labels in %q", line)
+			}
+			name := rest[:eq]
+			rest = rest[eq+2:]
+			var val strings.Builder
+			i := 0
+			for ; i < len(rest); i++ {
+				if rest[i] == '\\' && i+1 < len(rest) {
+					i++
+					switch rest[i] {
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						val.WriteByte(rest[i])
+					}
+					continue
+				}
+				if rest[i] == '"' {
+					break
+				}
+				val.WriteByte(rest[i])
+			}
+			if i == len(rest) {
+				return s, fmt.Errorf("unterminated label value in %q", line)
+			}
+			s.Labels[name] = val.String()
+			rest = rest[i+1:]
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+				continue
+			}
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			return s, fmt.Errorf("malformed label separator in %q", line)
+		}
+	} else if i := strings.IndexByte(rest, ' '); i >= 0 {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	} else {
+		return s, fmt.Errorf("no value in %q", line)
+	}
+	rest = strings.TrimSpace(rest)
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", rest, err)
+	}
+	s.Value = v
+	return s, nil
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Label is one name="value" pair on a metric series.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for building a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Expo accumulates metric series and renders them in the Prometheus text
+// exposition format (version 0.0.4): one # HELP and # TYPE line per family
+// followed by its series, families in the order first added, series in the
+// order added. Interleaved adds to different families are fine — series are
+// grouped under their family at render time, as the format requires.
+//
+// Expo is a per-scrape builder, not a registry: handlers construct one,
+// pour the current counter snapshots in, and write it out.
+type Expo struct {
+	order    []string
+	families map[string]*family
+}
+
+type family struct {
+	help   string
+	typ    string
+	series []string
+}
+
+// NewExpo returns an empty builder.
+func NewExpo() *Expo {
+	return &Expo{families: make(map[string]*family)}
+}
+
+func (e *Expo) family(name, help, typ string) *family {
+	f, ok := e.families[name]
+	if !ok {
+		f = &family{help: help, typ: typ}
+		e.families[name] = f
+		e.order = append(e.order, name)
+	}
+	return f
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// series formats name{labels} value.
+func series(name string, labels []Label, value string) string {
+	if len(labels) == 0 {
+		return name + " " + value
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Name)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	sb.WriteByte(' ')
+	sb.WriteString(value)
+	return sb.String()
+}
+
+// Counter adds one counter series to the family.
+func (e *Expo) Counter(name, help string, v int64, labels ...Label) {
+	f := e.family(name, help, "counter")
+	f.series = append(f.series, series(name, labels, strconv.FormatInt(v, 10)))
+}
+
+// Gauge adds one gauge series to the family.
+func (e *Expo) Gauge(name, help string, v float64, labels ...Label) {
+	f := e.family(name, help, "gauge")
+	f.series = append(f.series, series(name, labels, formatFloat(v)))
+}
+
+// Histogram adds one histogram (cumulative _bucket series with le labels,
+// then _sum and _count) to the family. Durations are exposed in seconds,
+// the Prometheus base unit.
+func (e *Expo) Histogram(name, help string, snap HistogramSnapshot, labels ...Label) {
+	f := e.family(name, help, "histogram")
+	var cum int64
+	for i, bound := range snap.Bounds {
+		cum += snap.Counts[i]
+		le := append(append([]Label(nil), labels...), L("le", formatFloat(seconds(bound))))
+		f.series = append(f.series, series(name+"_bucket", le, strconv.FormatInt(cum, 10)))
+	}
+	cum += snap.Counts[len(snap.Bounds)]
+	le := append(append([]Label(nil), labels...), L("le", "+Inf"))
+	f.series = append(f.series, series(name+"_bucket", le, strconv.FormatInt(cum, 10)))
+	f.series = append(f.series, series(name+"_sum", labels, formatFloat(seconds(snap.Sum))))
+	f.series = append(f.series, series(name+"_count", labels, strconv.FormatInt(cum, 10)))
+}
+
+func seconds(d time.Duration) float64 { return d.Seconds() }
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// String renders the accumulated exposition.
+func (e *Expo) String() string {
+	var sb strings.Builder
+	for _, name := range e.order {
+		f := e.families[name]
+		fmt.Fprintf(&sb, "# HELP %s %s\n", name, f.help)
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", name, f.typ)
+		for _, s := range f.series {
+			sb.WriteString(s)
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// FamilyNames returns the family names added so far, sorted.
+func (e *Expo) FamilyNames() []string {
+	out := append([]string(nil), e.order...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"encoding/json"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Request tracing: every /fetch response carries an X-Request-Id and an
+// X-Trace header whose value is a chain of hop segments. A segment is
+//
+//	<node>;<outcome>;<elapsed-µs>us
+//
+// and segments are joined with "|" (outcomes themselves contain commas,
+// e.g. "LOCAL,COALESCED", so comma cannot be the separator). The chain is
+// ordered cause-before-effect: upstream hops (origin, peer) first, the
+// serving node's terminal segment last, so the terminal hop's outcome
+// always equals the response's X-Cache value. Intermediate servers hand
+// their own segment to the caller in an X-Trace-Hop response header.
+
+// Hop is one annotated step of a request's path through the fleet.
+type Hop struct {
+	// Node labels who did the work ("node-1", "origin", a host:port).
+	Node string `json:"node"`
+	// Outcome is what happened there: LOCAL, REMOTE, MISS, PEER,
+	// PEER-SERVE, PEER-REJECT, ORIGIN, "LOCAL,COALESCED", ...
+	Outcome string `json:"outcome"`
+	// Elapsed is the hop's duration as measured by whoever reported it.
+	Elapsed time.Duration `json:"elapsedUs"`
+}
+
+// MarshalJSON reports elapsed in whole microseconds, matching the header
+// format.
+func (h Hop) MarshalJSON() ([]byte, error) {
+	var b []byte
+	b = append(b, `{"node":`...)
+	b = strconv.AppendQuote(b, h.Node)
+	b = append(b, `,"outcome":`...)
+	b = strconv.AppendQuote(b, h.Outcome)
+	b = append(b, `,"elapsedUs":`...)
+	b = strconv.AppendInt(b, h.Elapsed.Microseconds(), 10)
+	b = append(b, '}')
+	return b, nil
+}
+
+// appendSegment appends the hop's header segment to b.
+func (h Hop) appendSegment(b []byte) []byte {
+	b = append(b, h.Node...)
+	b = append(b, ';')
+	b = append(b, h.Outcome...)
+	b = append(b, ';')
+	b = strconv.AppendInt(b, h.Elapsed.Microseconds(), 10)
+	b = append(b, "us"...)
+	return b
+}
+
+// Segment renders the hop as one X-Trace segment.
+func (h Hop) Segment() string { return string(h.appendSegment(nil)) }
+
+// FormatHops renders a hop chain as an X-Trace header value.
+func FormatHops(hops []Hop) string {
+	b := make([]byte, 0, 48*len(hops))
+	for i, h := range hops {
+		if i > 0 {
+			b = append(b, '|')
+		}
+		b = h.appendSegment(b)
+	}
+	return string(b)
+}
+
+// FormatChain renders upstream hops plus a terminal hop as one X-Trace
+// value without materializing the combined slice — the /fetch hot path
+// calls this per request, so it builds through a stack scratch buffer and
+// allocates only the final string.
+func FormatChain(upstream []Hop, term Hop) string {
+	var sb strings.Builder
+	sb.Grow(48 * (len(upstream) + 1))
+	var scratch [96]byte
+	for _, h := range upstream {
+		sb.Write(h.appendSegment(scratch[:0]))
+		sb.WriteByte('|')
+	}
+	sb.Write(term.appendSegment(scratch[:0]))
+	return sb.String()
+}
+
+// ParseSegment parses one hop segment; ok is false on malformed input.
+func ParseSegment(s string) (Hop, bool) {
+	node, rest, ok := strings.Cut(s, ";")
+	if !ok {
+		return Hop{}, false
+	}
+	outcome, dur, ok := strings.Cut(rest, ";")
+	if !ok || node == "" || outcome == "" {
+		return Hop{}, false
+	}
+	us, err := strconv.ParseInt(strings.TrimSuffix(dur, "us"), 10, 64)
+	if err != nil || us < 0 {
+		return Hop{}, false
+	}
+	return Hop{Node: node, Outcome: outcome, Elapsed: time.Duration(us) * time.Microsecond}, true
+}
+
+// ParseHops parses an X-Trace header value. Malformed segments are dropped.
+func ParseHops(v string) []Hop {
+	if v == "" {
+		return nil
+	}
+	parts := strings.Split(v, "|")
+	hops := make([]Hop, 0, len(parts))
+	for _, p := range parts {
+		if h, ok := ParseSegment(p); ok {
+			hops = append(hops, h)
+		}
+	}
+	return hops
+}
+
+// Trace is one sampled request's full record.
+type Trace struct {
+	ID      string        `json:"id"`
+	URL     string        `json:"url"`
+	Outcome string        `json:"outcome"`
+	Start   time.Time     `json:"start"`
+	Total   time.Duration `json:"totalUs"`
+	Hops    []Hop         `json:"hops"`
+}
+
+// MarshalJSON reports the total in whole microseconds, matching the hops
+// (time.Duration's default marshaling would emit nanoseconds under a
+// field name that promises µs).
+func (t Trace) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		ID      string    `json:"id"`
+		URL     string    `json:"url"`
+		Outcome string    `json:"outcome"`
+		Start   time.Time `json:"start"`
+		TotalUs int64     `json:"totalUs"`
+		Hops    []Hop     `json:"hops"`
+	}{t.ID, t.URL, t.Outcome, t.Start, t.Total.Microseconds(), t.Hops})
+}
+
+// TraceRing is a bounded ring buffer of recent traces. Add overwrites the
+// oldest entry once full; Snapshot returns oldest-first. A single mutex
+// guards the ring — sampling keeps it off the per-request hot path.
+type TraceRing struct {
+	mu      sync.Mutex
+	buf     []Trace
+	next    int
+	full    bool
+	sampled atomic.Int64
+}
+
+// NewTraceRing builds a ring holding up to n traces (n <= 0 means 256).
+func NewTraceRing(n int) *TraceRing {
+	if n <= 0 {
+		n = 256
+	}
+	return &TraceRing{buf: make([]Trace, n)}
+}
+
+// Add records one trace.
+func (r *TraceRing) Add(t Trace) {
+	r.sampled.Add(1)
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Sampled returns how many traces have been recorded (including ones the
+// ring has since overwritten).
+func (r *TraceRing) Sampled() int64 { return r.sampled.Load() }
+
+// Snapshot copies the ring's contents, oldest first.
+func (r *TraceRing) Snapshot() []Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Trace(nil), r.buf[:r.next]...)
+	}
+	out := make([]Trace, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// Sampler decides deterministically which requests get a full trace
+// recorded: a rate of r keeps roughly every 1/r-th request (exactly every
+// k-th, k = round(1/r)), spreading samples evenly instead of in random
+// bursts and costing one atomic add per request.
+type Sampler struct {
+	every int64 // 0 means never
+	ctr   atomic.Int64
+}
+
+// NewSampler builds a sampler for the given rate: rate >= 1 samples every
+// request, rate <= 0 samples none, anything between samples every
+// round(1/rate)-th request.
+func NewSampler(rate float64) *Sampler {
+	s := &Sampler{}
+	switch {
+	case rate >= 1:
+		s.every = 1
+	case rate <= 0:
+		s.every = 0
+	default:
+		s.every = int64(1/rate + 0.5)
+		if s.every < 1 {
+			s.every = 1
+		}
+	}
+	return s
+}
+
+// Rate returns the effective sample rate.
+func (s *Sampler) Rate() float64 {
+	if s.every == 0 {
+		return 0
+	}
+	return 1 / float64(s.every)
+}
+
+// Sample reports whether this request should be recorded.
+func (s *Sampler) Sample() bool {
+	if s.every == 0 {
+		return false
+	}
+	if s.every == 1 {
+		return true
+	}
+	return s.ctr.Add(1)%s.every == 1
+}

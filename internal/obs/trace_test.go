@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHopSegmentRoundTrip(t *testing.T) {
+	hops := []Hop{
+		{Node: "edge-1", Outcome: "PEER-SERVE", Elapsed: 42 * time.Microsecond},
+		{Node: "edge-0", Outcome: "LOCAL,COALESCED", Elapsed: 1500 * time.Nanosecond},
+	}
+	s := FormatHops(hops)
+	// Outcomes contain commas, so the chain separator must not be a comma.
+	if strings.Count(s, "|") != 1 {
+		t.Fatalf("chain %q should have exactly one separator", s)
+	}
+	got := ParseHops(s)
+	if len(got) != 2 {
+		t.Fatalf("got %d hops", len(got))
+	}
+	if got[0] != hops[0] {
+		t.Errorf("hop 0 = %+v, want %+v", got[0], hops[0])
+	}
+	// Sub-microsecond elapsed truncates to whole microseconds.
+	if got[1].Elapsed != 1*time.Microsecond {
+		t.Errorf("hop 1 elapsed = %v, want 1µs", got[1].Elapsed)
+	}
+	if got[1].Outcome != "LOCAL,COALESCED" {
+		t.Errorf("hop 1 outcome = %q", got[1].Outcome)
+	}
+}
+
+func TestParseHopsDropsMalformed(t *testing.T) {
+	for _, bad := range []string{"nodeonly", "a;b", "a;b;notaduration", ";LOCAL;1us", "a;;1us", "a;b;-3us"} {
+		if _, ok := ParseSegment(bad); ok {
+			t.Errorf("ParseSegment(%q) accepted malformed input", bad)
+		}
+	}
+	if hops := ParseHops(""); hops != nil {
+		t.Errorf("empty chain should be nil; got %v", hops)
+	}
+	// Malformed segments are dropped, good ones kept.
+	hops := ParseHops("a;LOCAL;1us|garbage|b;MISS;2us")
+	if len(hops) != 2 || hops[0].Node != "a" || hops[1].Node != "b" {
+		t.Errorf("mixed chain parsed as %v", hops)
+	}
+}
+
+func TestHopJSONElapsedMicros(t *testing.T) {
+	b, err := json.Marshal(Hop{Node: "n", Outcome: "LOCAL", Elapsed: 2500 * time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"node":"n","outcome":"LOCAL","elapsedUs":2}`; string(b) != want {
+		t.Errorf("JSON = %s, want %s", b, want)
+	}
+}
+
+func TestTraceJSONTotalMicros(t *testing.T) {
+	b, err := json.Marshal(Trace{ID: "r1", Total: 2500 * time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"totalUs":2`) {
+		t.Errorf("totalUs not in microseconds: %s", b)
+	}
+}
+
+func TestTraceRingBoundedOldestFirst(t *testing.T) {
+	r := NewTraceRing(3)
+	for i := 0; i < 5; i++ {
+		r.Add(Trace{ID: string(rune('a' + i))})
+	}
+	got := r.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	for i, want := range []string{"c", "d", "e"} {
+		if got[i].ID != want {
+			t.Errorf("trace %d = %q, want %q", i, got[i].ID, want)
+		}
+	}
+	if r.Sampled() != 5 {
+		t.Errorf("Sampled = %d, want 5", r.Sampled())
+	}
+}
+
+func TestTraceRingConcurrent(t *testing.T) {
+	r := NewTraceRing(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Add(Trace{ID: "x"})
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Sampled() != 4000 {
+		t.Errorf("Sampled = %d, want 4000", r.Sampled())
+	}
+	if len(r.Snapshot()) != 16 {
+		t.Errorf("ring not full: %d", len(r.Snapshot()))
+	}
+}
+
+func TestSamplerRates(t *testing.T) {
+	t.Run("all", func(t *testing.T) {
+		s := NewSampler(1)
+		for i := 0; i < 10; i++ {
+			if !s.Sample() {
+				t.Fatal("rate 1 must sample everything")
+			}
+		}
+	})
+	t.Run("disabled", func(t *testing.T) {
+		s := NewSampler(-1)
+		for i := 0; i < 10; i++ {
+			if s.Sample() {
+				t.Fatal("negative rate must sample nothing")
+			}
+		}
+	})
+	t.Run("one in k", func(t *testing.T) {
+		s := NewSampler(0.25)
+		hits := 0
+		for i := 0; i < 400; i++ {
+			if s.Sample() {
+				hits++
+			}
+		}
+		if hits != 100 {
+			t.Errorf("1-in-4 sampler hit %d of 400", hits)
+		}
+	})
+	t.Run("rate reported", func(t *testing.T) {
+		if got := NewSampler(0.25).Rate(); got != 0.25 {
+			t.Errorf("Rate = %v", got)
+		}
+	})
+}
