@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"beyondcache/internal/cluster"
+	"beyondcache/internal/resilience"
 )
 
 func main() {
@@ -68,6 +69,16 @@ func run(args []string, out io.Writer, wait func()) error {
 		objectSize  = fs.Int64("object-size", 8<<10, "origin default object size")
 		traceSample = fs.Float64("trace-sample", 0, "fraction of fetches recorded in /debug/traces (0: node default of 1/64, >=1: all, <0: none)")
 		debugAddr   = fs.String("debug-addr", "", "optional address for a net/http/pprof debug listener (off when empty)")
+
+		inject       = fs.String("inject", "", `outbound fault spec, e.g. "127.0.0.1:8002:latency=200ms,errrate=0.1;*:droprate=0.01" (see internal/faults)`)
+		injectIn     = fs.String("inject-inbound", "", "inbound fault spec: this node misbehaving as seen by its clients (rules match the node's own address)")
+		faultSeed    = fs.Int64("fault-seed", 0, "seed for injected-fault randomness")
+		hedgeBudget  = fs.Duration("hedge-budget", 0, "how long a hinted peer may stay silent before the origin is raced (0: 50ms default, negative: disable hedging)")
+		peerTimeout  = fs.Duration("peer-timeout", 0, "deadline for one cache-to-cache probe (0: 2s default)")
+		originTO     = fs.Duration("origin-timeout", 0, "deadline for one origin fetch (0: 10s default)")
+		brkWindow    = fs.Int("breaker-window", 0, "per-peer breaker outcome window (0: 10)")
+		brkThreshold = fs.Float64("breaker-threshold", 0, "windowed failure rate that opens a peer's breaker (0: 0.5; >1 disables breaking)")
+		brkCooldown  = fs.Duration("breaker-cooldown", 0, "how long an open breaker refuses before half-open probes (0: 5s)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,9 +114,23 @@ func run(args []string, out io.Writer, wait func()) error {
 		OriginURL:      *originURL,
 		UpdateInterval: *interval,
 		TraceSample:    *traceSample,
+		PeerTimeout:    *peerTimeout,
+		OriginTimeout:  *originTO,
+		HedgeBudget:    *hedgeBudget,
+		Breaker: resilience.BreakerConfig{
+			Window:           *brkWindow,
+			FailureThreshold: *brkThreshold,
+			Cooldown:         *brkCooldown,
+		},
+		FaultSpec:        *inject,
+		FaultSeed:        *faultSeed,
+		InboundFaultSpec: *injectIn,
 	})
 	if err != nil {
 		return err
+	}
+	if *inject != "" || *injectIn != "" {
+		fmt.Fprintf(out, "chaos enabled (outbound %q, inbound %q, seed %d)\n", *inject, *injectIn, *faultSeed)
 	}
 	if err := n.Start(*listen); err != nil {
 		return err

@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	"beyondcache/internal/cluster"
@@ -24,6 +25,11 @@ func run() error {
 		Nodes:          4,
 		ObjectSize:     8 << 10,
 		UpdateInterval: 50 * time.Millisecond,
+		// A hinted peer gets 20ms to answer before the origin is raced;
+		// the placeholder fault rule (matching nothing) arms each node's
+		// injector so the chaos act below can break links live.
+		HedgeBudget: 20 * time.Millisecond,
+		FaultSpec:   "0.0.0.0:1:latency=0ms",
 	})
 	if err != nil {
 		return err
@@ -92,6 +98,30 @@ func run() error {
 	}
 	fmt.Printf("node 2  %-45s %-16s %v (all copies purged; hint was stale)\n",
 		urls[0], res.How, res.Elapsed.Round(time.Millisecond))
+
+	// Chaos act: cache a fresh URL at node 0 only, let its hint spread,
+	// then blackhole the wire from node 3 to node 0 and fetch it there.
+	// The hedge abandons the silent peer after its 20ms budget and the
+	// origin answers — the miss path stays near direct-origin latency
+	// even with the hinted peer dead.
+	const chaosURL = "http://www.research.att.com/~bala/papers/"
+	if _, err := fleet.Fetch(0, chaosURL); err != nil {
+		return err
+	}
+	time.Sleep(300 * time.Millisecond)
+	node0 := strings.TrimPrefix(fleet.Nodes[0].URL(), "http://")
+	if err := fleet.Nodes[3].FaultInjector().SetSpec(node0 + ":blackhole"); err != nil {
+		return err
+	}
+	res, err = fleet.Fetch(3, chaosURL)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("node 3  %-45s %-16s %v (hinted peer blackholed; origin raced)\n",
+		chaosURL, res.How, res.Elapsed.Round(time.Millisecond))
+	if err := fleet.Nodes[3].FaultInjector().SetSpec(""); err != nil {
+		return err
+	}
 
 	fmt.Println("\nper-node stats:")
 	for i, n := range fleet.Nodes {

@@ -1,0 +1,491 @@
+package cluster
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	neturl "net/url"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"beyondcache/internal/faults"
+	"beyondcache/internal/resilience"
+)
+
+// Chaos integration tests: the fault-injection layer (internal/faults)
+// driving the resilience machinery (internal/resilience) through the real
+// node handlers. Every test here runs with injected faults somewhere on the
+// wire and asserts the client-visible contract the paper's principles
+// demand: a stale or dead hint must never make a request slower than going
+// straight to the origin, and must never fail a request the origin could
+// have served.
+
+// benchResilienceOut, when set, makes TestRecordResilienceBench measure the
+// blackholed-peer miss path and write the comparison JSON there:
+//
+//	go test ./internal/cluster -run TestRecordResilienceBench \
+//	    -bench-resilience-out ../../BENCH_resilience.json
+var benchResilienceOut = flag.String("bench-resilience-out", "", "write the resilience bench JSON to this path")
+
+// chaosFleet is a testFleet whose nodes are built by the caller's config
+// hook, so chaos tests can set fault specs, hedge budgets, and breaker
+// shapes per test.
+func newChaosFleet(t *testing.T, n int, tweak func(i int, cfg *NodeConfig)) *testFleet {
+	t.Helper()
+	f := &testFleet{
+		origin: NewOrigin(256),
+		client: &http.Client{Timeout: 10 * time.Second},
+	}
+	f.originS = httptest.NewServer(f.origin.Handler())
+	t.Cleanup(f.originS.Close)
+	for i := 0; i < n; i++ {
+		cfg := NodeConfig{
+			Name:           fmt.Sprintf("chaos-%d", i),
+			OriginURL:      f.originS.URL,
+			UpdateInterval: time.Hour,
+			Seed:           int64(i) + 1,
+		}
+		if tweak != nil {
+			tweak(i, &cfg)
+		}
+		node, err := NewNode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(node.Handler())
+		node.Bind(srv.URL)
+		f.nodes = append(f.nodes, node)
+		f.servers = append(f.servers, srv)
+		t.Cleanup(func() {
+			if err := node.Close(); err != nil {
+				t.Errorf("node close: %v", err)
+			}
+			srv.Close()
+		})
+	}
+	for _, a := range f.nodes {
+		for _, b := range f.nodes {
+			if a != b {
+				a.AddPeer(b.URL())
+			}
+		}
+	}
+	return f
+}
+
+// prime caches urls at node i and flushes, so every other node holds hints
+// pointing there.
+func (f *testFleet) prime(t *testing.T, node int, urls []string) {
+	t.Helper()
+	for _, u := range urls {
+		if _, _, _, err := f.fetch(node, u); err != nil {
+			t.Fatalf("prime %s: %v", u, err)
+		}
+	}
+	f.flushAll()
+}
+
+// noBreaker disables breaking (threshold > 1 can never be reached), so a
+// test exercises the hedge path on every request.
+var noBreaker = resilience.BreakerConfig{FailureThreshold: 2}
+
+func urlsN(prefix string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://chaos.example/%s-%d", prefix, i)
+	}
+	return out
+}
+
+func p99(durations []time.Duration) time.Duration {
+	sorted := append([]time.Duration(nil), durations...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[len(sorted)*99/100]
+}
+
+// TestChaosHedgedMissLatencyBudget is the subsystem's acceptance test: with
+// one hinted peer blackholed, the hedged miss path's p99 must stay within
+// 2x the direct-origin p99 (the paper's "do not slow down misses" held
+// under a dead peer). The breaker is disabled so every request truly pays
+// the hedge, not a breaker skip.
+func TestChaosHedgedMissLatencyBudget(t *testing.T) {
+	const originLatency = 30 * time.Millisecond
+	const budget = 15 * time.Millisecond
+	const samples = 30
+
+	var peerHost string
+	f := newChaosFleet(t, 2, func(i int, cfg *NodeConfig) {
+		cfg.Breaker = noBreaker
+		cfg.HedgeBudget = budget
+		if i == 0 {
+			// The spec targets node 1's host:port, rewritten below once
+			// the servers exist; start with a placeholder injector.
+			inj, err := faults.New("", 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Faults = inj
+		}
+	})
+	f.origin.SetLatency(originLatency)
+
+	hinted := urlsN("hedged", samples)
+	f.prime(t, 1, hinted)
+	peerHost = hostPortOf(f.nodes[1].URL())
+	if err := f.nodes[0].FaultInjector().SetSpec(peerHost + ":blackhole"); err != nil {
+		t.Fatal(err)
+	}
+	// Heal before teardown so the close-time flush isn't blackholed.
+	t.Cleanup(func() { _ = f.nodes[0].FaultInjector().SetSpec("") })
+
+	// Direct-origin baseline: URLs nothing holds a hint for.
+	var direct []time.Duration
+	for _, u := range urlsN("direct", samples) {
+		start := time.Now()
+		how, _, _, err := f.fetch(0, u)
+		if err != nil {
+			t.Fatalf("direct fetch: %v", err)
+		}
+		if how != "MISS" {
+			t.Fatalf("direct fetch served %q, want MISS", how)
+		}
+		direct = append(direct, time.Since(start))
+	}
+
+	// Hedged path: every URL's hint points at the blackholed peer.
+	var hedged []time.Duration
+	for _, u := range hinted {
+		start := time.Now()
+		how, _, _, err := f.fetch(0, u)
+		if err != nil {
+			t.Fatalf("hedged fetch: %v", err)
+		}
+		if how != "MISS,HEDGE" {
+			t.Fatalf("hedged fetch served %q, want MISS,HEDGE", how)
+		}
+		hedged = append(hedged, time.Since(start))
+	}
+
+	directP99, hedgedP99 := p99(direct), p99(hedged)
+	t.Logf("direct p99 %v, hedged p99 %v (budget %v)", directP99, hedgedP99, budget)
+	if hedgedP99 > 2*directP99 {
+		t.Errorf("hedged miss p99 %v exceeds 2x direct-origin p99 %v: a dead peer is slowing down misses", hedgedP99, directP99)
+	}
+
+	st := f.nodes[0].Stats()
+	if st.HedgesStarted < samples || st.HedgeOriginWins < samples {
+		t.Errorf("stats = %+v, want >= %d hedges started and origin wins", st, samples)
+	}
+}
+
+// TestChaosBreakerOpensAndSkips drives a blackholed peer until its breaker
+// opens, asserts later requests skip the peer without paying the hedge
+// budget (BREAKER-SKIP hop, plain MISS), then heals the fault and checks
+// the half-open probe closes the breaker again.
+func TestChaosBreakerOpensAndSkips(t *testing.T) {
+	const cooldown = 200 * time.Millisecond
+	f := newChaosFleet(t, 2, func(i int, cfg *NodeConfig) {
+		cfg.HedgeBudget = 10 * time.Millisecond
+		cfg.Breaker = resilience.BreakerConfig{
+			Window:           4,
+			FailureThreshold: 0.5,
+			MinSamples:       2,
+			Cooldown:         cooldown,
+		}
+		if i == 0 {
+			inj, err := faults.New("", 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Faults = inj
+		}
+	})
+
+	hinted := urlsN("breaker", 8)
+	f.prime(t, 1, hinted)
+	peerURL := f.nodes[1].URL()
+	if err := f.nodes[0].FaultInjector().SetSpec(hostPortOf(peerURL) + ":blackhole"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = f.nodes[0].FaultInjector().SetSpec("") })
+
+	// Two hedged losses open the breaker (window 4, min 2, threshold .5).
+	for _, u := range hinted[:2] {
+		how, _, _, err := f.fetch(0, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if how != "MISS,HEDGE" {
+			t.Fatalf("pre-trip fetch served %q, want MISS,HEDGE", how)
+		}
+	}
+	if st := f.nodes[0].Breakers()[peerURL]; st.State != resilience.Open {
+		t.Fatalf("breaker state after losses = %v, want open", st.State)
+	}
+
+	// While open: the hinted peer is skipped outright — no hedge wait,
+	// a BREAKER-SKIP hop in the trace, plain MISS to the client.
+	res, err := FetchFrom(f.client, f.nodes[0].URL(), hinted[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.How != "MISS" {
+		t.Errorf("breaker-open fetch served %q, want MISS", res.How)
+	}
+	found := false
+	for _, h := range res.Hops {
+		if h.Outcome == "BREAKER-SKIP" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no BREAKER-SKIP hop in trace %v", res.Hops)
+	}
+	if st := f.nodes[0].Stats(); st.BreakerSkips == 0 {
+		t.Errorf("stats = %+v, want breaker skips > 0", st)
+	}
+
+	// Heal the network and wait out the cooldown: the next hinted fetch
+	// is the half-open probe, succeeds as a cache-to-cache transfer, and
+	// closes the breaker.
+	if err := f.nodes[0].FaultInjector().SetSpec(""); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(cooldown + 50*time.Millisecond)
+	how, _, _, err := f.fetch(0, hinted[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if how != "REMOTE" {
+		t.Errorf("post-heal fetch served %q, want REMOTE", how)
+	}
+	if st := f.nodes[0].Breakers()[peerURL]; st.State != resilience.Closed {
+		t.Errorf("breaker state after successful probe = %v, want closed", st.State)
+	}
+}
+
+// TestChaosFlappingPeerNeverFailsClient flaps the path to the hinted peer
+// down and up while a client fetches through the front node: every request
+// must succeed regardless of which phase it lands in — peer failures
+// surface only as outcome taxonomy (REMOTE vs MISS variants), never as
+// client errors.
+func TestChaosFlappingPeerNeverFailsClient(t *testing.T) {
+	f := newChaosFleet(t, 2, func(i int, cfg *NodeConfig) {
+		cfg.Breaker = noBreaker
+		cfg.HedgeBudget = 10 * time.Millisecond
+		if i == 0 {
+			inj, err := faults.New("", 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Faults = inj
+		}
+	})
+
+	hinted := urlsN("flap", 30)
+	f.prime(t, 1, hinted)
+	if err := f.nodes[0].FaultInjector().SetSpec(hostPortOf(f.nodes[1].URL()) + ":flap=20ms/20ms"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = f.nodes[0].FaultInjector().SetSpec("") })
+
+	outcomes := map[string]int{}
+	for _, u := range hinted {
+		how, _, _, err := f.fetch(0, u)
+		if err != nil {
+			t.Fatalf("fetch during flapping: %v", err)
+		}
+		outcomes[how]++
+		time.Sleep(3 * time.Millisecond) // walk across flap phases
+	}
+	t.Logf("outcomes under flapping: %v", outcomes)
+	for how := range outcomes {
+		if how != "REMOTE" && !strings.HasPrefix(how, "MISS") {
+			t.Errorf("unexpected outcome %q under flapping", how)
+		}
+	}
+}
+
+// TestPeerDeathHintDemotion kills a peer outright (its server is gone, not
+// just faulted) and checks the stale hint is paid once and then demoted:
+// the first fetch falls through to the origin as MISS,STALE-HINT, and after
+// a purge the refetch is a clean MISS — the dead peer's hint no longer
+// exists to mislead anyone.
+func TestPeerDeathHintDemotion(t *testing.T) {
+	f := newChaosFleet(t, 2, nil)
+	const url = "http://chaos.example/dead-peer"
+	f.prime(t, 1, []string{url})
+
+	// Kill node 1 for real: refused connections, not injected faults.
+	if err := f.nodes[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	f.servers[1].Close()
+
+	how, _, _, err := f.fetch(0, url)
+	if err != nil {
+		t.Fatalf("fetch with dead hinted peer: %v", err)
+	}
+	if how != "MISS,STALE-HINT" {
+		t.Errorf("first fetch served %q, want MISS,STALE-HINT", how)
+	}
+	if st := f.nodes[0].Stats(); st.FalsePositives != 1 {
+		t.Errorf("stats = %+v, want exactly one false positive", st)
+	}
+
+	// Drop the now-cached copy; the refetch must go straight to the
+	// origin — the hint was demoted, not retried.
+	if err := f.purge(0, url); err != nil {
+		t.Fatal(err)
+	}
+	how, _, _, err = f.fetch(0, url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if how != "MISS" {
+		t.Errorf("post-demotion fetch served %q, want MISS (hint should be gone)", how)
+	}
+}
+
+// TestEndpointMethodGuards locks read-only endpoints to GET and mutation
+// endpoints to POST: the wrong verb gets 405, never a handler side effect.
+func TestEndpointMethodGuards(t *testing.T) {
+	f := newChaosFleet(t, 1, nil)
+	base := f.nodes[0].URL()
+	q := "?url=" + neturl.QueryEscape("http://chaos.example/guard")
+
+	getOnly := []string{"/metrics", "/debug/traces", "/stats", "/fetch" + q, "/object" + q, "/digest"}
+	for _, path := range getOnly {
+		resp, err := f.client.Post(base+path, "", nil)
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s = %d, want 405", path, resp.StatusCode)
+		}
+	}
+
+	for _, path := range []string{"/updates", "/purge" + q} {
+		req, err := http.NewRequest(http.MethodGet, base+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := f.client.Do(req)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET %s = %d, want 405", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestRecordResilienceBench measures the blackholed-peer miss path three
+// ways — direct origin (no hint), hedging disabled (sequential peer
+// timeout then origin), and hedging on — and writes the p50/p99 comparison
+// to -bench-resilience-out. Skipped unless the flag is set; the committed
+// BENCH_resilience.json is its output.
+func TestRecordResilienceBench(t *testing.T) {
+	if *benchResilienceOut == "" {
+		t.Skip("set -bench-resilience-out to record the resilience bench")
+	}
+	const (
+		originLatency = 30 * time.Millisecond
+		peerTimeout   = 250 * time.Millisecond
+		budget        = 20 * time.Millisecond
+		samples       = 40
+	)
+
+	measure := func(hedge time.Duration, prefix string) (miss []time.Duration) {
+		f := newChaosFleet(t, 2, func(i int, cfg *NodeConfig) {
+			cfg.Breaker = noBreaker
+			cfg.HedgeBudget = hedge
+			cfg.PeerTimeout = peerTimeout
+			if i == 0 {
+				inj, err := faults.New("", 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Faults = inj
+			}
+		})
+		f.origin.SetLatency(originLatency)
+		hinted := urlsN(prefix, samples)
+		f.prime(t, 1, hinted)
+		if err := f.nodes[0].FaultInjector().SetSpec(hostPortOf(f.nodes[1].URL()) + ":blackhole"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = f.nodes[0].FaultInjector().SetSpec("") })
+		for _, u := range hinted {
+			start := time.Now()
+			if _, _, _, err := f.fetch(0, u); err != nil {
+				t.Fatal(err)
+			}
+			miss = append(miss, time.Since(start))
+		}
+		return miss
+	}
+
+	direct := func() (miss []time.Duration) {
+		f := newChaosFleet(t, 1, nil)
+		f.origin.SetLatency(originLatency)
+		for _, u := range urlsN("bench-direct", samples) {
+			start := time.Now()
+			if _, _, _, err := f.fetch(0, u); err != nil {
+				t.Fatal(err)
+			}
+			miss = append(miss, time.Since(start))
+		}
+		return miss
+	}()
+
+	seq := measure(-1, "bench-seq")          // hedge off: peer timeout, then origin
+	hedged := measure(budget, "bench-hedge") // hedge on
+
+	type row struct {
+		P50Ms float64 `json:"p50_ms"`
+		P99Ms float64 `json:"p99_ms"`
+	}
+	mk := func(d []time.Duration) row {
+		sorted := append([]time.Duration(nil), d...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		return row{
+			P50Ms: float64(sorted[len(sorted)/2].Microseconds()) / 1000,
+			P99Ms: float64(p99(d).Microseconds()) / 1000,
+		}
+	}
+	out := struct {
+		Description     string  `json:"description"`
+		Samples         int     `json:"samples"`
+		OriginLatencyMs float64 `json:"origin_latency_ms"`
+		PeerTimeoutMs   float64 `json:"peer_timeout_ms"`
+		HedgeBudgetMs   float64 `json:"hedge_budget_ms"`
+		DirectOrigin    row     `json:"direct_origin"`
+		HedgeOff        row     `json:"blackholed_peer_hedge_off"`
+		HedgeOn         row     `json:"blackholed_peer_hedge_on"`
+	}{
+		Description:     "Miss-path latency with the hinted peer blackholed: direct origin vs sequential (hedge off) vs hedged race.",
+		Samples:         samples,
+		OriginLatencyMs: float64(originLatency.Milliseconds()),
+		PeerTimeoutMs:   float64(peerTimeout.Milliseconds()),
+		HedgeBudgetMs:   float64(budget.Milliseconds()),
+		DirectOrigin:    mk(direct),
+		HedgeOff:        mk(seq),
+		HedgeOn:         mk(hedged),
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*benchResilienceOut, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %s", *benchResilienceOut, data)
+}

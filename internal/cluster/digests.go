@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -34,6 +35,10 @@ func (n *Node) digestBytes() ([]byte, error) {
 
 // handleDigest serves GET /digest: the node's current contents summary.
 func (n *Node) handleDigest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
 	if !n.cfg.UseDigests {
 		http.Error(w, "digests disabled", http.StatusNotFound)
 		return
@@ -62,18 +67,33 @@ func (n *Node) PullDigests() {
 	n.peerMu.RUnlock()
 
 	for _, p := range peers {
-		resp, err := n.client.Get(p.url + "/digest")
-		if err != nil {
-			n.stats.sendErrors.Add(1)
-			continue
-		}
-		data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
-		resp.Body.Close()
-		if err != nil || resp.StatusCode != http.StatusOK {
-			n.stats.sendErrors.Add(1)
-			continue
-		}
-		f, err := digest.Decode(data)
+		// Digest pulls are idempotent reads, so a failed pull retries
+		// under jittered backoff before the peer's digest is left stale
+		// until the next exchange.
+		var f *digest.Filter
+		retries, err := n.backoff.Retry(context.Background(), 3, func() error {
+			ctx, cancel := context.WithTimeout(context.Background(), metadataTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.url+"/digest", nil)
+			if err != nil {
+				return err
+			}
+			resp, err := n.client.Do(req)
+			if err != nil {
+				return err
+			}
+			data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+			resp.Body.Close()
+			if err != nil {
+				return err
+			}
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("digest pull: status %d", resp.StatusCode)
+			}
+			f, err = digest.Decode(data)
+			return err
+		})
+		n.stats.retries.Add(int64(retries))
 		if err != nil {
 			n.stats.sendErrors.Add(1)
 			continue

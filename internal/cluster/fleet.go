@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"beyondcache/internal/obs"
+	"beyondcache/internal/resilience"
 )
 
 // Fleet is a running set of cache nodes plus their origin server, fully
@@ -37,6 +38,37 @@ type FleetConfig struct {
 	ObjectSize int64
 	// UseDigests switches every node to Bloom-filter digest exchange.
 	UseDigests bool
+
+	// PeerTimeout, OriginTimeout, HedgeBudget, and Breaker pass through
+	// to every node's NodeConfig (see there for semantics and defaults).
+	PeerTimeout   time.Duration
+	OriginTimeout time.Duration
+	HedgeBudget   time.Duration
+	Breaker       resilience.BreakerConfig
+	// FaultSpec applies the same outbound fault spec to every node;
+	// FaultSeed seeds node i with FaultSeed+i so injected randomness is
+	// deterministic but not lock-stepped across the fleet.
+	FaultSpec string
+	FaultSeed int64
+}
+
+// nodeConfig builds node i's NodeConfig from the fleet-wide settings.
+func (cfg FleetConfig) nodeConfig(i int, originURL string) NodeConfig {
+	return NodeConfig{
+		Name:           fmt.Sprintf("node-%d", i),
+		CacheBytes:     cfg.CacheBytes,
+		HintEntries:    cfg.HintEntries,
+		OriginURL:      originURL,
+		UpdateInterval: cfg.UpdateInterval,
+		Seed:           int64(i) + 1,
+		UseDigests:     cfg.UseDigests,
+		PeerTimeout:    cfg.PeerTimeout,
+		OriginTimeout:  cfg.OriginTimeout,
+		HedgeBudget:    cfg.HedgeBudget,
+		Breaker:        cfg.Breaker,
+		FaultSpec:      cfg.FaultSpec,
+		FaultSeed:      cfg.FaultSeed + int64(i),
+	}
 }
 
 // StartFleet boots an origin and n meshed nodes on loopback ephemeral
@@ -47,21 +79,13 @@ func StartFleet(cfg FleetConfig) (*Fleet, error) {
 	}
 	f := &Fleet{
 		Origin: NewOrigin(cfg.ObjectSize),
-		client: &http.Client{Timeout: 10 * time.Second},
+		client: newClient(nil, nil),
 	}
 	if err := f.Origin.Start("127.0.0.1:0"); err != nil {
 		return nil, err
 	}
 	for i := 0; i < cfg.Nodes; i++ {
-		n, err := NewNode(NodeConfig{
-			Name:           fmt.Sprintf("node-%d", i),
-			CacheBytes:     cfg.CacheBytes,
-			HintEntries:    cfg.HintEntries,
-			OriginURL:      f.Origin.URL(),
-			UpdateInterval: cfg.UpdateInterval,
-			Seed:           int64(i) + 1,
-			UseDigests:     cfg.UseDigests,
-		})
+		n, err := NewNode(cfg.nodeConfig(i, f.Origin.URL()))
 		if err != nil {
 			f.Close()
 			return nil, err
@@ -116,8 +140,8 @@ func (f *Fleet) FlushAll() {
 
 // FetchResult describes how a /fetch was served.
 type FetchResult struct {
-	// How is LOCAL, "LOCAL,COALESCED", REMOTE, MISS, or
-	// "MISS,STALE-HINT".
+	// How is LOCAL, "LOCAL,COALESCED", REMOTE, MISS, "MISS,STALE-HINT",
+	// or "MISS,HEDGE".
 	How string
 	// Version is the object version served.
 	Version int64

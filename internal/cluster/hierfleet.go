@@ -2,8 +2,6 @@ package cluster
 
 import (
 	"fmt"
-	"net/http"
-	"time"
 )
 
 // StartHierFleet boots a fleet whose hint updates travel through a
@@ -23,7 +21,7 @@ func StartHierFleet(cfg FleetConfig, groups int) (*Fleet, error) {
 	}
 	f := &Fleet{
 		Origin: NewOrigin(cfg.ObjectSize),
-		client: &http.Client{Timeout: 10 * time.Second},
+		client: newClient(nil, nil),
 	}
 	if err := f.Origin.Start("127.0.0.1:0"); err != nil {
 		return nil, err
@@ -51,14 +49,7 @@ func StartHierFleet(cfg FleetConfig, groups int) (*Fleet, error) {
 
 	perGroup := cfg.Nodes / groups
 	for i := 0; i < cfg.Nodes; i++ {
-		n, err := NewNode(NodeConfig{
-			Name:           fmt.Sprintf("node-%d", i),
-			CacheBytes:     cfg.CacheBytes,
-			HintEntries:    cfg.HintEntries,
-			OriginURL:      f.Origin.URL(),
-			UpdateInterval: cfg.UpdateInterval,
-			Seed:           int64(i) + 1,
-		})
+		n, err := NewNode(cfg.nodeConfig(i, f.Origin.URL()))
 		if err != nil {
 			f.Close()
 			return nil, err

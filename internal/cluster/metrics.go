@@ -4,9 +4,12 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 
+	"beyondcache/internal/faults"
 	"beyondcache/internal/obs"
+	"beyondcache/internal/resilience"
 )
 
 // Prometheus text-format /metrics endpoints for the three server kinds of
@@ -66,6 +69,62 @@ func (n *Node) Metrics() *obs.Expo {
 		"Hint-update batch POSTs that failed.", st.SendErrors)
 	e.Counter("beyondcache_digest_pulls_total",
 		"Peer digest pulls completed (digest mode).", st.DigestsPulled)
+
+	// Resilience: breaker activity, hedged races, and metadata retries.
+	e.Counter("beyondcache_breaker_skips_total",
+		"Peer probes skipped outright because the peer's breaker was open.",
+		st.BreakerSkips)
+	e.Counter("beyondcache_hedges_started_total",
+		"Races where the origin fetch launched while the hinted peer was still silent.",
+		st.HedgesStarted)
+	e.Counter("beyondcache_hedges_total",
+		"Resolved hedged races by winner.",
+		st.HedgeOriginWins, obs.L("winner", "origin"))
+	e.Counter("beyondcache_hedges_total", "", st.HedgePeerWins, obs.L("winner", "peer"))
+	e.Counter("beyondcache_retries_total",
+		"Metadata-path re-attempts (hint-batch POSTs, digest pulls) spent after a failure.",
+		st.Retries)
+
+	// Per-peer breaker families. Breakers are created eagerly in AddPeer,
+	// so every peer reports from the first scrape. The aggregate open
+	// gauge is emitted even with no peers so the family always exists.
+	breakers := n.breakers.Snapshot()
+	peerNames := make([]string, 0, len(breakers))
+	for peer := range breakers {
+		peerNames = append(peerNames, peer)
+	}
+	sort.Strings(peerNames)
+	open := 0
+	for _, peer := range peerNames {
+		bs := breakers[peer]
+		if bs.State != resilience.Closed {
+			open++
+		}
+		label := obs.L("peer", hostPortOf(peer))
+		e.Gauge("beyondcache_breaker_state",
+			"Per-peer breaker position: 0 closed, 1 open, 2 half-open.",
+			float64(bs.State), label)
+		e.Counter("beyondcache_breaker_transitions_total",
+			"Per-peer breaker state changes.", bs.Transitions, label)
+		e.Counter("beyondcache_breaker_refusals_total",
+			"Per-peer requests refused while the breaker was open or probing.", bs.Refusals, label)
+	}
+	e.Gauge("beyondcache_breakers_open",
+		"Peers whose breaker is currently not closed.", float64(open))
+
+	// Injected-fault counters, one series per fault kind; all zero (but
+	// present) when the node runs without a fault spec.
+	var fc faults.Counts
+	if n.inj != nil {
+		fc = n.inj.Counts()
+	}
+	e.Counter("beyondcache_faults_injected_total",
+		"Faults injected into outbound requests by the chaos layer, by kind.",
+		fc.Latency, obs.L("kind", "latency"))
+	e.Counter("beyondcache_faults_injected_total", "", fc.Errors, obs.L("kind", "error"))
+	e.Counter("beyondcache_faults_injected_total", "", fc.Drops, obs.L("kind", "drop"))
+	e.Counter("beyondcache_faults_injected_total", "", fc.Hangs, obs.L("kind", "hang"))
+	e.Counter("beyondcache_faults_injected_total", "", fc.Flaps, obs.L("kind", "flap"))
 
 	hs := n.hints.Stats()
 	e.Counter("beyondcache_hint_lookups_total", "Hint-table probes.", hs.Lookups)
@@ -194,6 +253,8 @@ func (r *Relay) Metrics() *obs.Expo {
 		"Hint updates received for forwarding.", r.received.Load())
 	e.Counter("beyondcache_relay_updates_forwarded_total",
 		"Hint-update deliveries made (updates x subscribers reached).", r.forwarded.Load())
+	e.Counter("beyondcache_relay_retries_total",
+		"Forward re-attempts spent after a failed delivery.", r.retries.Load())
 	e.Gauge("beyondcache_relay_subscribers",
 		"Registered forwarding targets.", float64(subs))
 	e.Histogram("beyondcache_relay_forward_seconds",

@@ -18,8 +18,10 @@ import (
 
 	"beyondcache/internal/cache"
 	"beyondcache/internal/digest"
+	"beyondcache/internal/faults"
 	"beyondcache/internal/hintcache"
 	"beyondcache/internal/obs"
+	"beyondcache/internal/resilience"
 )
 
 // Protocol headers.
@@ -28,8 +30,9 @@ const (
 	headerVersion = "X-Object-Version"
 	// headerCache reports how a /fetch was served: LOCAL, REMOTE, or
 	// MISS (origin fetch), optionally suffixed with ",STALE-HINT" when a
-	// false positive was paid first, or "LOCAL,COALESCED" when the
-	// request shared another request's in-flight fill.
+	// false positive was paid first, ",HEDGE" when the origin outran a
+	// silent hinted peer, or "LOCAL,COALESCED" when the request shared
+	// another request's in-flight fill.
 	headerCache = "X-Cache"
 	// headerRequestID identifies one client request; generated on entry
 	// if the client did not send one, echoed on the response either way.
@@ -81,6 +84,39 @@ type NodeConfig struct {
 	DigestCapacity     int
 	DigestBitsPerEntry float64
 
+	// PeerTimeout bounds one cache-to-cache probe (<= 0 means 2s). A
+	// hinted peer that cannot produce the object inside this deadline
+	// is treated as failed — a hint must never cost more than this.
+	PeerTimeout time.Duration
+	// OriginTimeout bounds one origin fetch (<= 0 means 10s).
+	OriginTimeout time.Duration
+	// HedgeBudget is how long a hinted peer may stay silent before the
+	// origin fetch is started in parallel and the two race (the hedged
+	// miss path; the paper: cache-to-cache transfer must beat origin or
+	// be abandoned). 0 means the 50ms default; negative disables
+	// hedging, restoring the sequential peer-then-origin path.
+	HedgeBudget time.Duration
+	// Breaker parameterizes the per-peer circuit breakers (zero value
+	// picks the resilience defaults: 10-outcome window, 0.5 failure
+	// threshold, 3 min samples, 5s cooldown).
+	Breaker resilience.BreakerConfig
+
+	// FaultSpec is a fault-DSL spec (internal/faults) applied to every
+	// outbound request; FaultSeed seeds its randomness. Faults, when
+	// non-nil, supplies a prebuilt injector instead (tests pin its
+	// clock). Empty/nil means no injected faults.
+	FaultSpec string
+	FaultSeed int64
+	Faults    *faults.Injector
+	// InboundFaultSpec injects faults on the serving side instead: this
+	// node misbehaving as seen by its clients and peers (rules match the
+	// node's own label). InboundFaults supplies a prebuilt injector.
+	InboundFaultSpec string
+	InboundFaults    *faults.Injector
+	// Transport overrides the shared tuned transport underneath the
+	// fault layer (tests).
+	Transport http.RoundTripper
+
 	// TraceSample is the fraction of /fetch requests whose full trace is
 	// recorded in the /debug/traces ring: 0 picks the default (1/64),
 	// anything >= 1 records every request, negative disables ring
@@ -109,6 +145,19 @@ type Stats struct {
 	BatchesSent     int64 `json:"batchesSent"`
 	SendErrors      int64 `json:"sendErrors"`
 	DigestsPulled   int64 `json:"digestsPulled"`
+	// BreakerSkips counts peer probes skipped outright because the
+	// peer's circuit breaker was open — requests that went straight to
+	// the origin without waiting out a timeout on a known-bad peer.
+	BreakerSkips int64 `json:"breakerSkips"`
+	// HedgesStarted counts races where the origin fetch was launched
+	// while the hinted peer was still silent past the hedge budget;
+	// HedgeOriginWins/HedgePeerWins split them by who answered first.
+	HedgesStarted   int64 `json:"hedgesStarted"`
+	HedgeOriginWins int64 `json:"hedgeOriginWins"`
+	HedgePeerWins   int64 `json:"hedgePeerWins"`
+	// Retries counts metadata-path re-attempts (hint-batch POSTs and
+	// digest pulls) spent after a failure.
+	Retries int64 `json:"retries"`
 }
 
 // counters is the node's live (concurrently updated) form of Stats.
@@ -125,6 +174,11 @@ type counters struct {
 	batchesSent     atomic.Int64
 	sendErrors      atomic.Int64
 	digestsPulled   atomic.Int64
+	breakerSkips    atomic.Int64
+	hedgesStarted   atomic.Int64
+	hedgeOriginWins atomic.Int64
+	hedgePeerWins   atomic.Int64
+	retries         atomic.Int64
 }
 
 // nodeHists are the node's latency histograms: client-facing fetch time per
@@ -162,7 +216,7 @@ func (h *nodeHists) observeFetch(how string, d time.Duration) {
 		h.coalesced.Observe(d)
 	case "REMOTE":
 		h.remote.Observe(d)
-	default: // MISS and MISS,STALE-HINT
+	default: // MISS, MISS,STALE-HINT, MISS,HEDGE
 		h.miss.Observe(d)
 	}
 }
@@ -182,6 +236,11 @@ func (c *counters) snapshot() Stats {
 		BatchesSent:     c.batchesSent.Load(),
 		SendErrors:      c.sendErrors.Load(),
 		DigestsPulled:   c.digestsPulled.Load(),
+		BreakerSkips:    c.breakerSkips.Load(),
+		HedgesStarted:   c.hedgesStarted.Load(),
+		HedgeOriginWins: c.hedgeOriginWins.Load(),
+		HedgePeerWins:   c.hedgePeerWins.Load(),
+		Retries:         c.retries.Load(),
 	}
 }
 
@@ -232,6 +291,18 @@ type Node struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
+	// breakers holds one circuit breaker per peer (keyed by base URL),
+	// created eagerly in AddPeer; backoff paces metadata-path retries;
+	// inj is the outbound fault injector (nil without chaos). The
+	// resolved per-hop budgets live beside them.
+	breakers      *resilience.BreakerSet
+	backoff       *resilience.Backoff
+	inj           *faults.Injector
+	inboundInj    *faults.Injector
+	peerTimeout   time.Duration
+	originTimeout time.Duration
+	hedgeBudget   time.Duration
+
 	machineID uint64
 	// nodeLabel names the node in hop segments and request IDs: the
 	// configured Name, or the listen address once Start/Bind fixes it.
@@ -274,20 +345,53 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		// (ring adds take a mutex) while keeping /debug/traces fresh.
 		sample = 1.0 / 64
 	}
+	inj := cfg.Faults
+	if inj == nil && cfg.FaultSpec != "" {
+		var err error
+		if inj, err = faults.New(cfg.FaultSpec, cfg.FaultSeed); err != nil {
+			return nil, fmt.Errorf("cluster: node %q: %w", cfg.Name, err)
+		}
+	}
+	inboundInj := cfg.InboundFaults
+	if inboundInj == nil && cfg.InboundFaultSpec != "" {
+		var err error
+		if inboundInj, err = faults.New(cfg.InboundFaultSpec, cfg.FaultSeed+1); err != nil {
+			return nil, fmt.Errorf("cluster: node %q: %w", cfg.Name, err)
+		}
+	}
+	peerTimeout := cfg.PeerTimeout
+	if peerTimeout <= 0 {
+		peerTimeout = 2 * time.Second
+	}
+	originTimeout := cfg.OriginTimeout
+	if originTimeout <= 0 {
+		originTimeout = 10 * time.Second
+	}
+	hedgeBudget := cfg.HedgeBudget
+	if hedgeBudget == 0 {
+		hedgeBudget = 50 * time.Millisecond
+	}
 	n := &Node{
-		cfg:       cfg,
-		data:      cache.NewSharded(cfg.CacheShards, cfg.CacheBytes),
-		hints:     hintcache.NewStriped(cfg.HintEntries, cfg.HintWays, cfg.HintStripes),
-		hist:      newNodeHists(),
-		traces:    obs.NewTraceRing(cfg.TraceRing),
-		sampler:   obs.NewSampler(sample),
-		peers:     make(map[uint64]string),
-		nodeLabel: cfg.Name,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		client:    &http.Client{Timeout: 10 * time.Second},
-		stopBatch: make(chan struct{}),
-		batchDone: make(chan struct{}),
-		srvDone:   make(chan struct{}),
+		cfg:           cfg,
+		data:          cache.NewSharded(cfg.CacheShards, cfg.CacheBytes),
+		hints:         hintcache.NewStriped(cfg.HintEntries, cfg.HintWays, cfg.HintStripes),
+		hist:          newNodeHists(),
+		traces:        obs.NewTraceRing(cfg.TraceRing),
+		sampler:       obs.NewSampler(sample),
+		peers:         make(map[uint64]string),
+		nodeLabel:     cfg.Name,
+		rng:           rand.New(rand.NewSource(cfg.Seed)),
+		breakers:      resilience.NewBreakerSet(cfg.Breaker),
+		backoff:       resilience.NewBackoff(25*time.Millisecond, 200*time.Millisecond, 2, cfg.Seed+1),
+		inj:           inj,
+		inboundInj:    inboundInj,
+		peerTimeout:   peerTimeout,
+		originTimeout: originTimeout,
+		hedgeBudget:   hedgeBudget,
+		client:        newClient(cfg.Transport, inj),
+		stopBatch:     make(chan struct{}),
+		batchDone:     make(chan struct{}),
+		srvDone:       make(chan struct{}),
 	}
 	if cfg.UseDigests {
 		own, err := digest.NewForCapacity(cfg.DigestCapacity, cfg.DigestBitsPerEntry)
@@ -327,7 +431,15 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("/metrics", n.handleMetrics)
 	mux.HandleFunc("/debug/traces", n.handleTraces)
 	mux.HandleFunc("/digest", n.handleDigest)
-	return mux
+	if n.inboundInj == nil {
+		return mux
+	}
+	// Server-side chaos: the middleware matches rules against the node's
+	// label, resolved per request because Start/Bind fix it after Handler
+	// may already have been called.
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		faults.Middleware(n.inboundInj, n.label(), mux).ServeHTTP(w, r)
+	})
 }
 
 // Start listens on addr ("127.0.0.1:0" for ephemeral) and starts the update
@@ -418,6 +530,9 @@ func (n *Node) AddPeer(baseURL string) {
 		n.peerOrder = append(n.peerOrder, id)
 	}
 	n.peers[id] = baseURL
+	// Eagerly create the peer's breaker so /metrics exposes its state
+	// from the first scrape, not the first failure.
+	n.breakers.Get(baseURL)
 }
 
 // AddUpdateTarget directs hint-update batches to baseURL (a metadata relay
@@ -473,6 +588,17 @@ func (n *Node) Stats() Stats {
 func (n *Node) HintStats() hintcache.Stats {
 	return n.hints.Stats()
 }
+
+// Breakers snapshots every per-peer circuit breaker, keyed by peer base
+// URL.
+func (n *Node) Breakers() map[string]resilience.BreakerStats {
+	return n.breakers.Snapshot()
+}
+
+// FaultInjector returns the node's outbound fault injector, or nil when
+// the node runs without chaos. Tests and demos use it to break and heal
+// targets mid-run (Injector.SetSpec).
+func (n *Node) FaultInjector() *faults.Injector { return n.inj }
 
 // batchLoop periodically flushes pending hint updates to all peers, with a
 // randomized period to avoid synchronization.
@@ -532,19 +658,31 @@ func (n *Node) Flush() {
 	}
 	body := hintcache.EncodeUpdates(batch)
 	for _, t := range targets {
-		req, err := http.NewRequest(http.MethodPost, t+"/updates", bytes.NewReader(body))
-		if err != nil {
-			continue
-		}
-		req.Header.Set("Content-Type", "application/octet-stream")
-		req.Header.Set("X-Relay-From", n.URL())
-		resp, err := n.client.Do(req)
+		// Hint batches are idempotent (the table applies them by
+		// record), so a failed POST retries under jittered exponential
+		// backoff before being abandoned.
+		retries, err := n.backoff.Retry(context.Background(), 3, func() error {
+			ctx, cancel := context.WithTimeout(context.Background(), metadataTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, t+"/updates", bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			req.Header.Set("Content-Type", "application/octet-stream")
+			req.Header.Set("X-Relay-From", n.URL())
+			resp, err := n.client.Do(req)
+			if err != nil {
+				return err
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return nil
+		})
+		n.stats.retries.Add(int64(retries))
 		if err != nil {
 			n.stats.sendErrors.Add(1)
 			continue
 		}
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
 		n.stats.batchesSent.Add(1)
 		n.stats.updatesSent.Add(int64(len(batch)))
 	}
@@ -597,6 +735,10 @@ func queryURL(r *http.Request) string {
 // for one uncached object cost a single peer/origin fetch while requests
 // for other objects proceed untouched.
 func (n *Node) handleFetch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
 	url := queryURL(r)
 	if url == "" {
 		http.Error(w, "missing url parameter", http.StatusBadRequest)
@@ -661,8 +803,9 @@ func (n *Node) finishFetch(w http.ResponseWriter, reqID, url string, start time.
 }
 
 // fill resolves a cache miss as the singleflight leader: peer transfer if a
-// hint or digest points somewhere, origin otherwise. Leader-side stats are
-// counted here so waiters sharing the outcome do not double-count them.
+// hint or digest points somewhere (raced against the origin under the hedge
+// budget), origin otherwise. Leader-side stats are counted here so waiters
+// sharing the outcome do not double-count them.
 func (n *Node) fill(h uint64, url string) fetchOutcome {
 	// Re-check the cache: the object may have been filled between the
 	// caller's miss and winning flight leadership.
@@ -683,46 +826,125 @@ func (n *Node) fill(h uint64, url string) fetchOutcome {
 		n.peerMu.RUnlock()
 	}
 
-	stale := false
 	var hops []obs.Hop
 	if peerURL != "" {
-		probeStart := time.Now()
-		version, body, peerHops, err := n.fetchPeer(peerURL, url)
-		if err == nil {
-			n.store(h, version, body)
-			n.stats.remoteHits.Add(1)
-			return fetchOutcome{how: "REMOTE", version: version, body: body, hops: peerHops}
+		br := n.breakers.Get(peerURL)
+		if br.Allow() {
+			return n.fillRaced(h, url, peerURL, br)
 		}
-		// Stale hint or digest false positive: pay the wasted probe,
-		// drop the exact hint (digests cannot delete), fall through to
-		// the origin (never search further, Section 3.1.1).
-		probe := time.Since(probeStart)
-		n.hist.falsePositive.Observe(probe)
-		hops = append(hops, obs.Hop{Node: hostPortOf(peerURL), Outcome: "PEER-REJECT", Elapsed: probe})
-		stale = true
-		n.stats.falsePositives.Add(1)
-		if !n.cfg.UseDigests {
-			n.hints.Delete(h, 0)
-		}
+		// The peer's breaker is open: a known-bad peer must not cost
+		// this request anything. Straight to the origin, hint kept —
+		// the half-open probe will revalidate the peer later.
+		n.stats.breakerSkips.Add(1)
+		hops = append(hops, obs.Hop{Node: hostPortOf(peerURL), Outcome: "BREAKER-SKIP"})
 	}
 
-	version, body, originHops, err := n.fetchOrigin(url)
+	ctx, cancel := context.WithTimeout(context.Background(), n.originTimeout)
+	defer cancel()
+	got, err := n.fetchOrigin(ctx, url)
 	if err != nil {
 		return fetchOutcome{err: err}
 	}
-	hops = append(hops, originHops...)
-	n.store(h, version, body)
+	hops = append(hops, got.hops...)
+	n.store(h, got.version, got.body)
 	n.stats.misses.Add(1)
-	how := "MISS"
-	if stale {
-		how = "MISS,STALE-HINT"
+	return fetchOutcome{how: "MISS", version: got.version, body: got.body, hops: hops}
+}
+
+// fillRaced resolves a miss whose hint points at peerURL. The peer probe
+// runs under its own deadline; if it stays silent past the hedge budget
+// the origin fetch starts in parallel and the first success wins (a
+// negative budget keeps the pre-resilience sequential path). Either way a
+// failed or abandoned peer demotes the hint and feeds the breaker, so a
+// dead peer's hints stop costing anything — the paper's principles 1–2
+// enforced under faults: a stale hint must never make a request slower
+// than going straight to the origin.
+func (n *Node) fillRaced(h uint64, url, peerURL string, br *resilience.Breaker) fetchOutcome {
+	peerHost := hostPortOf(peerURL)
+	probeStart := time.Now()
+	// The probe's elapsed time is written by the primary goroutine and
+	// read by this one only after the race reports the primary done
+	// (atomic to cover the abandoned-primary case).
+	var probeNS atomic.Int64
+	primary := func(ctx context.Context) (fetched, error) {
+		pctx, cancel := context.WithTimeout(ctx, n.peerTimeout)
+		defer cancel()
+		got, err := n.fetchPeer(pctx, peerURL, url)
+		probeNS.Store(int64(time.Since(probeStart)))
+		return got, err
 	}
-	return fetchOutcome{how: how, version: version, body: body, hops: hops}
+	fallback := func(ctx context.Context) (fetched, error) {
+		octx, cancel := context.WithTimeout(ctx, n.originTimeout)
+		defer cancel()
+		return n.fetchOrigin(octx, url)
+	}
+	r := resilience.Race(context.Background(), n.hedgeBudget, primary, fallback)
+	if r.Hedged {
+		n.stats.hedgesStarted.Add(1)
+	}
+	switch r.Winner {
+	case resilience.PrimaryWon:
+		br.Record(true)
+		if r.Hedged {
+			n.stats.hedgePeerWins.Add(1)
+		}
+		n.store(h, r.Value.version, r.Value.body)
+		n.stats.remoteHits.Add(1)
+		return fetchOutcome{how: "REMOTE", version: r.Value.version, body: r.Value.body, hops: r.Value.hops}
+
+	case resilience.FallbackWon:
+		// The peer never answered inside the budget and the origin beat
+		// it: abandon the transfer, demote the hint, mark the peer
+		// unhealthy so later requests skip it.
+		br.Record(false)
+		n.stats.hedgeOriginWins.Add(1)
+		n.demoteHint(h)
+		probe := time.Since(probeStart)
+		n.hist.falsePositive.Observe(probe)
+		hops := append([]obs.Hop{{Node: peerHost, Outcome: "PEER-ABANDON", Elapsed: probe}}, r.Value.hops...)
+		n.store(h, r.Value.version, r.Value.body)
+		n.stats.misses.Add(1)
+		return fetchOutcome{how: "MISS,HEDGE", version: r.Value.version, body: r.Value.body, hops: hops}
+
+	case resilience.FallbackAfterPrimary:
+		// Stale hint or digest false positive: the peer definitively
+		// rejected (or errored) and the origin served. Pay the wasted
+		// probe, drop the exact hint (digests cannot delete), never
+		// search further (Section 3.1.1).
+		br.Record(false)
+		if r.Hedged {
+			n.stats.hedgeOriginWins.Add(1)
+		}
+		n.demoteHint(h)
+		probe := time.Duration(probeNS.Load())
+		n.hist.falsePositive.Observe(probe)
+		n.stats.falsePositives.Add(1)
+		hops := append([]obs.Hop{{Node: peerHost, Outcome: "PEER-REJECT", Elapsed: probe}}, r.Value.hops...)
+		n.store(h, r.Value.version, r.Value.body)
+		n.stats.misses.Add(1)
+		return fetchOutcome{how: "MISS,STALE-HINT", version: r.Value.version, body: r.Value.body, hops: hops}
+
+	default: // BothFailed
+		br.Record(false)
+		return fetchOutcome{err: fmt.Errorf("peer: %v; origin: %w", r.PrimaryErr, r.Err)}
+	}
+}
+
+// demoteHint drops the exact hint for h (digest mode has nothing to
+// delete — the stale bit ages out at the next digest pull).
+func (n *Node) demoteHint(h uint64) {
+	if !n.cfg.UseDigests {
+		n.hints.Delete(h, 0)
+	}
 }
 
 // handleObject is the cache-to-cache path: GET /object?url=U serves only
 // locally cached data.
 func (n *Node) handleObject(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
 	url := queryURL(r)
 	if url == "" {
 		http.Error(w, "missing url parameter", http.StatusBadRequest)
@@ -808,20 +1030,28 @@ func (n *Node) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// fetchPeer performs a cache-to-cache transfer. On success it returns the
-// hop chain for the transfer: the peer's self-timed serve segment (from its
-// X-Trace-Hop header) followed by this node's round-trip measurement — the
-// difference between the two is time on the wire.
-func (n *Node) fetchPeer(peerURL, url string) (int64, []byte, []obs.Hop, error) {
-	start := time.Now()
-	resp, err := n.client.Get(peerURL + "/object?url=" + neturl.QueryEscape(url))
+// fetched is one successful upstream fetch (peer or origin).
+type fetched struct {
+	version int64
+	body    []byte
+	hops    []obs.Hop
+}
+
+// fetchGet performs one upstream GET under ctx and decodes the object plus
+// the upstream's self-timed hop segment.
+func (n *Node) fetchGet(ctx context.Context, reqURL string) (int64, []byte, []obs.Hop, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, reqURL, nil)
 	if err != nil {
-		return 0, nil, nil, fmt.Errorf("peer fetch: %w", err)
+		return 0, nil, nil, err
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
-		return 0, nil, nil, fmt.Errorf("peer fetch: status %d", resp.StatusCode)
+		return 0, nil, nil, fmt.Errorf("status %d", resp.StatusCode)
 	}
 	version, body, err := readObject(resp)
 	if err != nil {
@@ -831,33 +1061,34 @@ func (n *Node) fetchPeer(peerURL, url string) (int64, []byte, []obs.Hop, error) 
 	if h, ok := obs.ParseSegment(resp.Header.Get(headerTraceHop)); ok {
 		hops = append(hops, h)
 	}
-	hops = append(hops, obs.Hop{Node: hostPortOf(peerURL), Outcome: "PEER", Elapsed: time.Since(start)})
 	return version, body, hops, nil
+}
+
+// fetchPeer performs a cache-to-cache transfer. On success it returns the
+// hop chain for the transfer: the peer's self-timed serve segment (from its
+// X-Trace-Hop header) followed by this node's round-trip measurement — the
+// difference between the two is time on the wire. ctx carries the per-hop
+// peer deadline (and, on the hedged path, the race's abandon signal).
+func (n *Node) fetchPeer(ctx context.Context, peerURL, url string) (fetched, error) {
+	start := time.Now()
+	version, body, hops, err := n.fetchGet(ctx, peerURL+"/object?url="+neturl.QueryEscape(url))
+	if err != nil {
+		return fetched{}, fmt.Errorf("peer fetch: %w", err)
+	}
+	hops = append(hops, obs.Hop{Node: hostPortOf(peerURL), Outcome: "PEER", Elapsed: time.Since(start)})
+	return fetched{version: version, body: body, hops: hops}, nil
 }
 
 // fetchOrigin fetches from the origin server, returning the origin's
 // self-timed serve segment (when present) plus the measured round trip.
-func (n *Node) fetchOrigin(url string) (int64, []byte, []obs.Hop, error) {
+func (n *Node) fetchOrigin(ctx context.Context, url string) (fetched, error) {
 	start := time.Now()
-	resp, err := n.client.Get(n.cfg.OriginURL + "/obj?url=" + neturl.QueryEscape(url))
+	version, body, hops, err := n.fetchGet(ctx, n.cfg.OriginURL+"/obj?url="+neturl.QueryEscape(url))
 	if err != nil {
-		return 0, nil, nil, fmt.Errorf("origin fetch: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		io.Copy(io.Discard, resp.Body)
-		return 0, nil, nil, fmt.Errorf("origin fetch: status %d", resp.StatusCode)
-	}
-	version, body, err := readObject(resp)
-	if err != nil {
-		return 0, nil, nil, err
-	}
-	var hops []obs.Hop
-	if h, ok := obs.ParseSegment(resp.Header.Get(headerTraceHop)); ok {
-		hops = append(hops, h)
+		return fetched{}, fmt.Errorf("origin fetch: %w", err)
 	}
 	hops = append(hops, obs.Hop{Node: "origin", Outcome: "ORIGIN", Elapsed: time.Since(start)})
-	return version, body, hops, nil
+	return fetched{version: version, body: body, hops: hops}, nil
 }
 
 func readObject(resp *http.Response) (int64, []byte, error) {

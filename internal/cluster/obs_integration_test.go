@@ -381,7 +381,9 @@ func TestFleetObservabilityEndToEnd(t *testing.T) {
 // interface change — update testdata/metric_names.golden in the same commit,
 // deliberately. Run with -update to regenerate.
 func TestMetricNamesGolden(t *testing.T) {
-	f := newObsFleet(t, 1)
+	// Two nodes, so the per-peer breaker families (created eagerly in
+	// AddPeer) appear in the exposition and stay frozen.
+	f := newObsFleet(t, 2)
 	tracedFetch(t, f, 0, "http://example.com/g") // populate per-outcome series
 	relay := NewRelay("golden")
 

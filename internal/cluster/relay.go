@@ -13,6 +13,7 @@ import (
 
 	"beyondcache/internal/hintcache"
 	"beyondcache/internal/obs"
+	"beyondcache/internal/resilience"
 )
 
 // Relay is a metadata-only node of the hint distribution hierarchy: it
@@ -34,22 +35,32 @@ type Relay struct {
 
 	received  atomic.Int64
 	forwarded atomic.Int64
+	// retries counts forward re-attempts spent after a failure.
+	retries atomic.Int64
 	// forwardHist times one batch's full fan-out.
 	forwardHist *obs.Histogram
 
 	lis       net.Listener
 	srv       *http.Server
 	client    *http.Client
+	backoff   *resilience.Backoff
 	srvDone   chan struct{}
 	closeOnce sync.Once
 }
+
+// relayForwardTimeout bounds one forward attempt to one subscriber. Batches
+// are small and subscribers are near; a forward that cannot complete in
+// this window is retried, then abandoned (the tree re-converges on the next
+// batch).
+const relayForwardTimeout = 2 * time.Second
 
 // NewRelay builds a relay; call Start to begin serving.
 func NewRelay(name string) *Relay {
 	return &Relay{
 		name:        name,
 		forwardHist: obs.NewHistogram(nil),
-		client:      &http.Client{Timeout: 10 * time.Second},
+		client:      newClient(nil, nil),
+		backoff:     resilience.NewBackoff(25*time.Millisecond, 200*time.Millisecond, 2, int64(len(name))),
 		srvDone:     make(chan struct{}),
 	}
 }
@@ -165,18 +176,30 @@ func (r *Relay) handleUpdates(w http.ResponseWriter, req *http.Request) {
 		wg.Add(1)
 		go func(t string) {
 			defer wg.Done()
-			hreq, err := http.NewRequest(http.MethodPost, t+"/updates", bytes.NewReader(msg))
+			// Forwards are idempotent (hint batches apply by record), so
+			// each runs under a tight deadline with jittered backoff
+			// retries before the subscriber is given up on.
+			retries, err := r.backoff.Retry(req.Context(), 2, func() error {
+				ctx, cancel := context.WithTimeout(req.Context(), relayForwardTimeout)
+				defer cancel()
+				hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, t+"/updates", bytes.NewReader(msg))
+				if err != nil {
+					return err
+				}
+				hreq.Header.Set("Content-Type", "application/octet-stream")
+				hreq.Header.Set("X-Relay-From", r.URL())
+				resp, err := r.client.Do(hreq)
+				if err != nil {
+					return err
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				return nil
+			})
+			r.retries.Add(int64(retries))
 			if err != nil {
 				return
 			}
-			hreq.Header.Set("Content-Type", "application/octet-stream")
-			hreq.Header.Set("X-Relay-From", r.URL())
-			resp, err := r.client.Do(hreq)
-			if err != nil {
-				return
-			}
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
 			r.forwarded.Add(int64(len(updates)))
 		}(t)
 	}

@@ -1,0 +1,136 @@
+package faults
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// InjectedError is the connection-level failure the injector produces for
+// drops, partitions, flap-down windows, and expired hangs. Callers can
+// errors.As on it to tell injected faults from real ones.
+type InjectedError struct {
+	Target string
+	Kind   string // "drop", "timeout"
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faults: injected %s for %s", e.Kind, e.Target)
+}
+
+// Timeout reports whether the fault models a timeout, mirroring net.Error
+// so generic retry logic treats injected hangs like real deadline misses.
+func (e *InjectedError) Timeout() bool { return e.Kind == "timeout" }
+
+// Transport is a fault-injecting http.RoundTripper: every outbound
+// request is first judged by the injector (keyed on the request's
+// host:port), then forwarded to the inner transport if it survives.
+type Transport struct {
+	inner http.RoundTripper
+	inj   *Injector
+}
+
+// NewTransport wraps inner (nil means http.DefaultTransport) with inj.
+// A nil injector passes everything through untouched.
+func NewTransport(inner http.RoundTripper, inj *Injector) *Transport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &Transport{inner: inner, inj: inj}
+}
+
+// RoundTrip applies the injector's decision: delay, then hang/drop/
+// synthetic status, then the real round trip. Delays and hangs respect
+// the request context, so per-hop deadlines still bound a faulted call.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.inj == nil {
+		return t.inner.RoundTrip(req)
+	}
+	target := req.URL.Host
+	d := t.inj.Decide(target)
+	if d.Delay > 0 {
+		if err := sleepCtx(req.Context(), d.Delay); err != nil {
+			return nil, err
+		}
+	}
+	if d.Hang > 0 {
+		if err := sleepCtx(req.Context(), d.Hang); err != nil {
+			return nil, err
+		}
+		return nil, &InjectedError{Target: target, Kind: "timeout"}
+	}
+	if d.Drop {
+		return nil, &InjectedError{Target: target, Kind: "drop"}
+	}
+	if d.Code > 0 {
+		return syntheticResponse(req, d.Code), nil
+	}
+	return t.inner.RoundTrip(req)
+}
+
+// syntheticResponse builds the injected 5xx reply without touching the
+// network. X-Injected marks it so traces and tests can tell it apart.
+func syntheticResponse(req *http.Request, code int) *http.Response {
+	body := fmt.Sprintf("injected %d for %s\n", code, req.URL.Host)
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", code, http.StatusText(code)),
+		StatusCode:    code,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"X-Injected": []string{"true"}},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// Middleware is the server-side twin of Transport: inbound requests to a
+// node running under chaos are judged against the node's own label (its
+// name or host:port), so a spec like "peerB:latency=50ms" can make peerB
+// serve slowly instead of (or as well as) making calls *to* peerB slow.
+// Drops and expired hangs abort the connection mid-response, which the
+// client sees as an EOF — the closest handler-level stand-in for a reset.
+func Middleware(inj *Injector, self string, next http.Handler) http.Handler {
+	if inj == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := inj.Decide(self)
+		if d.Delay > 0 {
+			if sleepCtx(r.Context(), d.Delay) != nil {
+				return
+			}
+		}
+		if d.Hang > 0 {
+			if sleepCtx(r.Context(), d.Hang) != nil {
+				return
+			}
+			panic(http.ErrAbortHandler)
+		}
+		if d.Drop {
+			panic(http.ErrAbortHandler)
+		}
+		if d.Code > 0 {
+			http.Error(w, fmt.Sprintf("injected %d", d.Code), d.Code)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// sleepCtx sleeps for d or until ctx is done, returning the context error
+// in the latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,83 @@
+package resilience
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff computes exponential retry delays with jitter: attempt i waits
+// roughly Base * Factor^i, capped at Max, scaled by a uniform factor in
+// [0.5, 1.0) drawn from a seeded source (deterministic under a fixed seed
+// and call order; the half-range keeps delays meaningful while decorrelating
+// synchronized retriers — the same argument the hint batcher's jittered
+// interval makes, citing Floyd & Jacobson).
+type Backoff struct {
+	base   time.Duration
+	max    time.Duration
+	factor float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewBackoff builds a backoff; base <= 0 means 25ms, max <= 0 means 1s,
+// factor <= 1 means 2.
+func NewBackoff(base, max time.Duration, factor float64, seed int64) *Backoff {
+	if base <= 0 {
+		base = 25 * time.Millisecond
+	}
+	if max <= 0 {
+		max = time.Second
+	}
+	if factor <= 1 {
+		factor = 2
+	}
+	return &Backoff{base: base, max: max, factor: factor, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Delay returns the jittered delay before retry attempt i (0-based: the
+// delay between the first failure and the second try).
+func (b *Backoff) Delay(attempt int) time.Duration {
+	d := float64(b.base)
+	for i := 0; i < attempt; i++ {
+		d *= b.factor
+		if d >= float64(b.max) {
+			d = float64(b.max)
+			break
+		}
+	}
+	b.mu.Lock()
+	f := 0.5 + 0.5*b.rng.Float64()
+	b.mu.Unlock()
+	return time.Duration(d * f)
+}
+
+// Retry runs fn up to attempts times, sleeping the jittered backoff
+// between tries. It returns how many retries were spent (0 when the first
+// try succeeded) and the last error (nil on success). The context cancels
+// both the sleeps and further attempts; fn itself is responsible for
+// honoring ctx if it blocks.
+func (b *Backoff) Retry(ctx context.Context, attempts int, fn func() error) (retries int, err error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	for i := 0; i < attempts; i++ {
+		if err = fn(); err == nil {
+			return i, nil
+		}
+		if i == attempts-1 {
+			break
+		}
+		t := time.NewTimer(b.Delay(i))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return i, err
+		}
+		t.Stop()
+	}
+	return attempts - 1, err
+}

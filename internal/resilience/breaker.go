@@ -1,0 +1,276 @@
+// Package resilience is the prototype's failure-handling toolkit: per-peer
+// circuit breakers, exponential backoff with jitter for retryable metadata
+// operations, and a hedged race for the data path. It exists to enforce the
+// paper's design principles under faults — a stale hint pointing at a dead
+// or slow peer must never make a request slower than going straight to the
+// origin (principles 1–2: minimize hops, do not slow down misses).
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+const (
+	// Closed: requests flow; outcomes feed the failure window.
+	Closed BreakerState = iota
+	// Open: requests are refused outright until the cooldown elapses.
+	Open
+	// HalfOpen: a bounded number of probes may test the target; one
+	// success closes the breaker, one failure reopens it.
+	HalfOpen
+)
+
+// String renders the state for logs and metric labels.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig parameterizes a Breaker. The zero value picks defaults.
+type BreakerConfig struct {
+	// Window is how many recent outcomes feed the failure rate
+	// (<= 0 means 10).
+	Window int
+	// FailureThreshold opens the breaker when the windowed failure
+	// rate reaches it (<= 0 means 0.5; > 1 never opens — tests use
+	// that to disable breaking without a separate code path).
+	FailureThreshold float64
+	// MinSamples is the fewest outcomes before the rate is trusted
+	// (<= 0 means 3).
+	MinSamples int
+	// Cooldown is how long an open breaker refuses before allowing
+	// half-open probes (<= 0 means 5s).
+	Cooldown time.Duration
+	// HalfOpenProbes bounds concurrent half-open probes (<= 0 means 1).
+	HalfOpenProbes int
+
+	// now overrides the clock (tests).
+	now func() time.Time
+}
+
+func (c *BreakerConfig) defaults() {
+	if c.Window <= 0 {
+		c.Window = 10
+	}
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 0.5
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+}
+
+// BreakerStats is a snapshot of one breaker.
+type BreakerStats struct {
+	State       BreakerState `json:"state"`
+	Failures    int64        `json:"failures"`
+	Successes   int64        `json:"successes"`
+	Transitions int64        `json:"transitions"`
+	Refusals    int64        `json:"refusals"`
+}
+
+// Breaker is a closed/open/half-open circuit breaker over a sliding
+// window of recent outcomes. Allow asks permission before an operation;
+// Record reports how it went. All methods are safe for concurrent use.
+type Breaker struct {
+	mu  sync.Mutex
+	cfg BreakerConfig
+
+	// window is a ring of recent outcomes (true = failure).
+	window []bool
+	head   int
+	filled int
+
+	state    BreakerState
+	openedAt time.Time
+	probes   int // in-flight half-open probes
+
+	failures    int64
+	successes   int64
+	transitions int64
+	refusals    int64
+}
+
+// NewBreaker builds a breaker in the closed state.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg.defaults()
+	return &Breaker{cfg: cfg, window: make([]bool, cfg.Window)}
+}
+
+// Allow reports whether an operation may proceed now. An open breaker
+// whose cooldown has elapsed moves to half-open and admits a bounded
+// number of probes; refusals are counted.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.cfg.now().Sub(b.openedAt) < b.cfg.Cooldown {
+			b.refusals++
+			return false
+		}
+		b.setState(HalfOpen)
+		b.probes = 1
+		return true
+	default: // HalfOpen
+		if b.probes < b.cfg.HalfOpenProbes {
+			b.probes++
+			return true
+		}
+		b.refusals++
+		return false
+	}
+}
+
+// Record reports an operation's outcome. In the closed state failures
+// accumulate in the window and open the breaker once the failure rate
+// reaches the threshold (with enough samples); in half-open, one success
+// closes the breaker and one failure reopens it for a fresh cooldown.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.successes++
+	} else {
+		b.failures++
+	}
+	switch b.state {
+	case HalfOpen:
+		if b.probes > 0 {
+			b.probes--
+		}
+		if ok {
+			b.setState(Closed)
+			b.resetWindow()
+		} else {
+			b.setState(Open)
+			b.openedAt = b.cfg.now()
+		}
+	case Open:
+		// A straggler from before the trip; the window restarts when
+		// the breaker closes, so ignore it.
+	default: // Closed
+		b.push(!ok)
+		if b.filled >= b.cfg.MinSamples && b.rate() >= b.cfg.FailureThreshold {
+			b.setState(Open)
+			b.openedAt = b.cfg.now()
+		}
+	}
+}
+
+// State returns the breaker's current position without mutating it.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Stats snapshots the breaker's counters.
+func (b *Breaker) Stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{
+		State:       b.state,
+		Failures:    b.failures,
+		Successes:   b.successes,
+		Transitions: b.transitions,
+		Refusals:    b.refusals,
+	}
+}
+
+func (b *Breaker) setState(s BreakerState) {
+	if b.state != s {
+		b.state = s
+		b.transitions++
+	}
+}
+
+func (b *Breaker) push(failure bool) {
+	b.window[b.head] = failure
+	b.head = (b.head + 1) % len(b.window)
+	if b.filled < len(b.window) {
+		b.filled++
+	}
+}
+
+func (b *Breaker) rate() float64 {
+	if b.filled == 0 {
+		return 0
+	}
+	n := 0
+	for i := 0; i < b.filled; i++ {
+		if b.window[i] {
+			n++
+		}
+	}
+	return float64(n) / float64(b.filled)
+}
+
+func (b *Breaker) resetWindow() {
+	b.head, b.filled = 0, 0
+}
+
+// BreakerSet is a keyed collection of breakers sharing one config — one
+// breaker per peer, created on first use (or eagerly via Get).
+type BreakerSet struct {
+	mu  sync.Mutex
+	cfg BreakerConfig
+	m   map[string]*Breaker
+}
+
+// NewBreakerSet builds an empty set whose breakers use cfg.
+func NewBreakerSet(cfg BreakerConfig) *BreakerSet {
+	cfg.defaults()
+	return &BreakerSet{cfg: cfg, m: make(map[string]*Breaker)}
+}
+
+// Get returns the breaker for key, creating it (closed) if needed.
+func (s *BreakerSet) Get(key string) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[key]
+	if !ok {
+		b = NewBreaker(s.cfg)
+		s.m[key] = b
+	}
+	return b
+}
+
+// Snapshot returns per-key breaker stats.
+func (s *BreakerSet) Snapshot() map[string]BreakerStats {
+	s.mu.Lock()
+	keys := make([]*Breaker, 0, len(s.m))
+	names := make([]string, 0, len(s.m))
+	for k, b := range s.m {
+		names = append(names, k)
+		keys = append(keys, b)
+	}
+	s.mu.Unlock()
+	out := make(map[string]BreakerStats, len(names))
+	for i, k := range names {
+		out[k] = keys[i].Stats()
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package resilience
+
+import (
+	"context"
+	"time"
+)
+
+// Winner says how a Race resolved.
+type Winner int
+
+const (
+	// PrimaryWon: the primary succeeded (the hedge, if it started, was
+	// canceled).
+	PrimaryWon Winner = iota
+	// FallbackWon: the hedge fired and the fallback succeeded while the
+	// primary was still in flight — the primary was abandoned (the
+	// paper: a cache-to-cache transfer must beat the origin or be
+	// abandoned).
+	FallbackWon
+	// FallbackAfterPrimary: the primary failed outright and the
+	// fallback succeeded — the classic stale-hint fall-through.
+	FallbackAfterPrimary
+	// BothFailed: no path produced a result.
+	BothFailed
+)
+
+// RaceResult is the outcome of a hedged race.
+type RaceResult[T any] struct {
+	Value  T
+	Winner Winner
+	// Hedged reports whether the fallback was launched by the budget
+	// timer while the primary was still in flight (as opposed to
+	// sequentially after a primary error).
+	Hedged bool
+	// PrimaryErr is the primary's error when it completed with one.
+	PrimaryErr error
+	// Err is the terminal error, set only when Winner is BothFailed.
+	Err error
+}
+
+// Race runs primary and, if it has not succeeded within budget, races the
+// fallback against it, returning the first success (the loser's context
+// is canceled). A primary failure before the budget fires starts the
+// fallback immediately. A negative budget disables hedging entirely: the
+// fallback runs only after the primary fails, sequentially — the
+// pre-resilience behavior, kept for comparison benchmarks.
+//
+// The node's hedged miss path is this function with primary = hinted-peer
+// fetch and fallback = origin fetch.
+func Race[T any](ctx context.Context, budget time.Duration, primary, fallback func(context.Context) (T, error)) RaceResult[T] {
+	if budget < 0 {
+		v, err := primary(ctx)
+		if err == nil {
+			return RaceResult[T]{Value: v, Winner: PrimaryWon}
+		}
+		fv, ferr := fallback(ctx)
+		if ferr == nil {
+			return RaceResult[T]{Value: fv, Winner: FallbackAfterPrimary, PrimaryErr: err}
+		}
+		return RaceResult[T]{Winner: BothFailed, PrimaryErr: err, Err: ferr}
+	}
+
+	type res struct {
+		v   T
+		err error
+	}
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+	fctx, fcancel := context.WithCancel(ctx)
+	defer fcancel()
+
+	pch := make(chan res, 1)
+	go func() {
+		v, err := primary(pctx)
+		pch <- res{v, err}
+	}()
+
+	timer := time.NewTimer(budget)
+	defer timer.Stop()
+
+	var (
+		fch          chan res
+		hedged       bool
+		primaryErr   error
+		primaryDone  bool
+		fallbackErr  error
+		fallbackDead bool
+	)
+	startFallback := func() {
+		fch = make(chan res, 1)
+		go func() {
+			v, err := fallback(fctx)
+			fch <- res{v, err}
+		}()
+	}
+
+	for {
+		select {
+		case r := <-pch:
+			primaryDone = true
+			pch = nil
+			if r.err == nil {
+				fcancel() // abandon the hedge, if any
+				return RaceResult[T]{Value: r.v, Winner: PrimaryWon, Hedged: hedged}
+			}
+			primaryErr = r.err
+			if fallbackDead {
+				return RaceResult[T]{Winner: BothFailed, Hedged: hedged, PrimaryErr: primaryErr, Err: fallbackErr}
+			}
+			if fch == nil {
+				startFallback() // sequential fall-through
+			}
+		case <-timer.C:
+			if !primaryDone && fch == nil {
+				hedged = true
+				startFallback()
+			}
+		case r := <-fch:
+			if r.err == nil {
+				pcancel() // abandon the primary, if still running
+				w := FallbackWon
+				if primaryDone {
+					w = FallbackAfterPrimary
+				}
+				return RaceResult[T]{Value: r.v, Winner: w, Hedged: hedged, PrimaryErr: primaryErr}
+			}
+			if primaryDone {
+				return RaceResult[T]{Winner: BothFailed, Hedged: hedged, PrimaryErr: primaryErr, Err: r.err}
+			}
+			// The fallback died first; the primary is still in flight
+			// and is now the only hope.
+			fallbackErr, fallbackDead = r.err, true
+			fch = nil
+		}
+	}
+}

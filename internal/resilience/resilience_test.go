@@ -1,0 +1,277 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable clock for breaker cooldown tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testBreaker(cfg BreakerConfig, clk *fakeClock) *Breaker {
+	cfg.now = clk.now
+	return NewBreaker(cfg)
+}
+
+func TestBreakerOpensOnFailureRate(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := testBreaker(BreakerConfig{Window: 4, FailureThreshold: 0.5, MinSamples: 2, Cooldown: time.Second}, clk)
+
+	if b.State() != Closed || !b.Allow() {
+		t.Fatal("new breaker not closed/allowing")
+	}
+	b.Record(true)
+	b.Record(false)
+	// 1 failure in 2 samples = 0.5 >= threshold: open.
+	if b.State() != Open {
+		t.Fatalf("state after threshold = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Error("open breaker allowed a request before cooldown")
+	}
+	st := b.Stats()
+	if st.Refusals != 1 || st.Transitions != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := testBreaker(BreakerConfig{Window: 4, MinSamples: 2, Cooldown: time.Second, HalfOpenProbes: 1}, clk)
+	b.Record(false)
+	b.Record(false)
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+
+	clk.advance(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but probe refused")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	// Only one probe at a time.
+	if b.Allow() {
+		t.Error("second concurrent half-open probe allowed")
+	}
+	// Probe succeeds: closed, with a fresh window (one failure must not
+	// re-open it).
+	b.Record(true)
+	if b.State() != Closed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	b.Record(false)
+	if b.State() != Closed {
+		t.Error("single failure after recovery re-opened the breaker (window not reset)")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := testBreaker(BreakerConfig{MinSamples: 2, Cooldown: time.Second}, clk)
+	b.Record(false)
+	b.Record(false)
+	clk.advance(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	b.Record(false)
+	if b.State() != Open {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	// The cooldown restarts from the failed probe.
+	clk.advance(500 * time.Millisecond)
+	if b.Allow() {
+		t.Error("reopened breaker allowed before the fresh cooldown elapsed")
+	}
+}
+
+func TestBreakerThresholdAboveOneNeverOpens(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := testBreaker(BreakerConfig{FailureThreshold: 2}, clk)
+	for i := 0; i < 50; i++ {
+		b.Record(false)
+	}
+	if b.State() != Closed || !b.Allow() {
+		t.Errorf("breaker with threshold > 1 opened: %v", b.State())
+	}
+}
+
+func TestBreakerSet(t *testing.T) {
+	s := NewBreakerSet(BreakerConfig{MinSamples: 1, FailureThreshold: 0.5})
+	a := s.Get("peerA")
+	if s.Get("peerA") != a {
+		t.Error("Get returned a different breaker for the same key")
+	}
+	a.Record(false)
+	snap := s.Snapshot()
+	if snap["peerA"].State != Open {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}
+
+func TestBackoffGrowthCapAndJitter(t *testing.T) {
+	b := NewBackoff(100*time.Millisecond, 400*time.Millisecond, 2, 7)
+	for attempt, full := range []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		400 * time.Millisecond, // capped
+		400 * time.Millisecond,
+	} {
+		d := b.Delay(attempt)
+		if d < full/2 || d > full {
+			t.Errorf("attempt %d: delay %v outside [%v, %v]", attempt, d, full/2, full)
+		}
+	}
+}
+
+func TestBackoffDeterministicUnderSeed(t *testing.T) {
+	seq := func(seed int64) []time.Duration {
+		b := NewBackoff(10*time.Millisecond, time.Second, 2, seed)
+		out := make([]time.Duration, 8)
+		for i := range out {
+			out[i] = b.Delay(i)
+		}
+		return out
+	}
+	a, b := seq(3), seq(3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRetryCountsAndStops(t *testing.T) {
+	b := NewBackoff(time.Millisecond, 2*time.Millisecond, 2, 1)
+	calls := 0
+	retries, err := b.Retry(context.Background(), 3, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("flaky")
+		}
+		return nil
+	})
+	if err != nil || retries != 2 || calls != 3 {
+		t.Errorf("retries=%d calls=%d err=%v", retries, calls, err)
+	}
+
+	calls = 0
+	fail := errors.New("always")
+	retries, err = b.Retry(context.Background(), 3, func() error { calls++; return fail })
+	if !errors.Is(err, fail) || retries != 2 || calls != 3 {
+		t.Errorf("exhausted: retries=%d calls=%d err=%v", retries, calls, err)
+	}
+
+	// Context cancellation stops the retry loop during the sleep.
+	slow := NewBackoff(time.Hour, time.Hour, 2, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := slow.Retry(ctx, 5, func() error { return fail })
+		if !errors.Is(err, fail) {
+			t.Errorf("canceled retry err = %v", err)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Retry did not honor context cancellation")
+	}
+}
+
+func TestRacePrimaryWins(t *testing.T) {
+	r := Race(context.Background(), 50*time.Millisecond,
+		func(ctx context.Context) (string, error) { return "peer", nil },
+		func(ctx context.Context) (string, error) { t.Error("fallback ran"); return "", nil })
+	if r.Winner != PrimaryWon || r.Value != "peer" || r.Hedged {
+		t.Errorf("result = %+v", r)
+	}
+}
+
+func TestRaceHedgeFiresAndFallbackWins(t *testing.T) {
+	primaryCanceled := make(chan struct{})
+	r := Race(context.Background(), 10*time.Millisecond,
+		func(ctx context.Context) (string, error) {
+			<-ctx.Done() // a blackholed peer: never answers
+			close(primaryCanceled)
+			return "", ctx.Err()
+		},
+		func(ctx context.Context) (string, error) { return "origin", nil })
+	if r.Winner != FallbackWon || r.Value != "origin" || !r.Hedged {
+		t.Errorf("result = %+v", r)
+	}
+	select {
+	case <-primaryCanceled:
+	case <-time.After(2 * time.Second):
+		t.Error("losing primary was not canceled")
+	}
+}
+
+func TestRaceSequentialFallbackOnPrimaryError(t *testing.T) {
+	boom := errors.New("peer refused")
+	r := Race(context.Background(), time.Hour,
+		func(ctx context.Context) (string, error) { return "", boom },
+		func(ctx context.Context) (string, error) { return "origin", nil })
+	if r.Winner != FallbackAfterPrimary || r.Value != "origin" || r.Hedged || !errors.Is(r.PrimaryErr, boom) {
+		t.Errorf("result = %+v", r)
+	}
+}
+
+func TestRaceBothFail(t *testing.T) {
+	p, f := errors.New("p"), errors.New("f")
+	r := Race(context.Background(), time.Millisecond,
+		func(ctx context.Context) (string, error) {
+			time.Sleep(20 * time.Millisecond)
+			return "", p
+		},
+		func(ctx context.Context) (string, error) { return "", f })
+	if r.Winner != BothFailed || !errors.Is(r.PrimaryErr, p) || !errors.Is(r.Err, f) {
+		t.Errorf("result = %+v", r)
+	}
+}
+
+func TestRaceNegativeBudgetIsSequential(t *testing.T) {
+	var fallbackStarted time.Time
+	primaryDone := make(chan time.Time, 1)
+	boom := errors.New("down")
+	r := Race(context.Background(), -1,
+		func(ctx context.Context) (string, error) {
+			time.Sleep(20 * time.Millisecond)
+			primaryDone <- time.Now()
+			return "", boom
+		},
+		func(ctx context.Context) (string, error) {
+			fallbackStarted = time.Now()
+			return "origin", nil
+		})
+	if r.Winner != FallbackAfterPrimary || r.Value != "origin" || r.Hedged {
+		t.Errorf("result = %+v", r)
+	}
+	if fallbackStarted.Before(<-primaryDone) {
+		t.Error("negative budget still hedged: fallback started before primary finished")
+	}
+}
