@@ -27,7 +27,12 @@ func determinismOpts() experiments.Options {
 // renderOnce runs one experiment and returns its rendered report.
 func renderOnce(t *testing.T, id string) string {
 	t.Helper()
-	res, err := experiments.Run(id, determinismOpts())
+	return renderWith(t, id, determinismOpts())
+}
+
+func renderWith(t *testing.T, id string, o experiments.Options) string {
+	t.Helper()
+	res, err := experiments.Run(id, o)
 	if err != nil {
 		t.Fatalf("%s: %v", id, err)
 	}
@@ -71,4 +76,20 @@ func TestExperimentsDeterministicParallel(t *testing.T) {
 		}
 	}
 	wg.Wait()
+}
+
+// TestExperimentsParallelCellsByteIdentical pins the -parallel contract:
+// running an experiment's cells on one worker or many must render the same
+// bytes, because results merge in enumeration order.
+func TestExperimentsParallelCellsByteIdentical(t *testing.T) {
+	ids := append([]string{"fig8", "fig4", "load", "allpolicies"}, determinismIDs...)
+	for _, id := range ids {
+		serial := determinismOpts()
+		serial.Parallel = 1
+		wide := determinismOpts()
+		wide.Parallel = 8
+		if a, b := renderWith(t, id, serial), renderWith(t, id, wide); a != b {
+			t.Errorf("%s: -parallel 1 and -parallel 8 outputs differ:\n--- serial\n%s\n--- parallel\n%s", id, a, b)
+		}
+	}
 }

@@ -34,9 +34,32 @@ func TestRunRejectsBadArgs(t *testing.T) {
 }
 
 func TestRunParallel(t *testing.T) {
-	// Two cheap analytic experiments concurrently.
-	if err := run([]string{"-exp", "table3", "-parallel"}); err != nil {
-		t.Fatalf("-parallel failed: %v", err)
+	if err := run([]string{"-exp", "table3", "-parallel", "2"}); err != nil {
+		t.Fatalf("-parallel 2 failed: %v", err)
+	}
+	if err := run([]string{"-exp", "table3", "-parallel", "0"}); err == nil {
+		t.Error("parallel 0 accepted")
+	}
+	if err := run([]string{"-exp", "table3", "-parallel", "-3"}); err == nil {
+		t.Error("negative parallel accepted")
+	}
+}
+
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := dir + "/cpu.pprof"
+	mem := dir + "/mem.pprof"
+	if err := run([]string{"-exp", "table3", "-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatalf("profiling run failed: %v", err)
+	}
+	for _, f := range []string{cpu, mem} {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", f)
+		}
 	}
 }
 

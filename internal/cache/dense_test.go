@@ -1,0 +1,127 @@
+package cache
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestDenseMatchesMapIndex drives a map-indexed and a dense-indexed LRU
+// through the same randomized operation sequence and requires identical
+// observable behavior at every step: the index structure must be purely an
+// implementation detail.
+func TestDenseMatchesMapIndex(t *testing.T) {
+	const (
+		capacity = 64 << 10
+		idSpace  = 512
+		ops      = 20000
+	)
+	m := NewLRU(capacity)
+	d := NewDenseLRU(capacity)
+	var mEv, dEv []uint64
+	m.OnEvict(func(o Object) { mEv = append(mEv, o.ID) })
+	d.OnEvict(func(o Object) { dEv = append(dEv, o.ID) })
+
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < ops; i++ {
+		id := uint64(rng.Intn(idSpace))
+		obj := Object{ID: id, Size: int64(rng.Intn(4096) + 1), Version: int64(rng.Intn(3))}
+		switch rng.Intn(8) {
+		case 0, 1, 2:
+			if got, want := d.Put(obj), m.Put(obj); got != want {
+				t.Fatalf("op %d: Put(%d) = %v, map says %v", i, id, want, got)
+			}
+		case 3:
+			if got, want := d.PutSpeculative(obj), m.PutSpeculative(obj); got != want {
+				t.Fatalf("op %d: PutSpeculative(%d) mismatch", i, id)
+			}
+		case 4:
+			go1, ok1 := m.Get(id)
+			go2, ok2 := d.Get(id)
+			if ok1 != ok2 || go1 != go2 {
+				t.Fatalf("op %d: Get(%d) = %v,%v vs %v,%v", i, id, go2, ok2, go1, ok1)
+			}
+		case 5:
+			v := int64(rng.Intn(3))
+			go1, ok1 := m.GetVersion(id, v)
+			go2, ok2 := d.GetVersion(id, v)
+			if ok1 != ok2 || go1 != go2 {
+				t.Fatalf("op %d: GetVersion(%d,%d) mismatch", i, id, v)
+			}
+		case 6:
+			if got, want := d.Remove(id), m.Remove(id); got != want {
+				t.Fatalf("op %d: Remove(%d) = %v, map says %v", i, id, got, want)
+			}
+		case 7:
+			m.Age(id)
+			d.Age(id)
+		}
+		if m.Used() != d.Used() || m.Len() != d.Len() {
+			t.Fatalf("op %d: used/len diverged: map %d/%d dense %d/%d",
+				i, m.Used(), m.Len(), d.Used(), d.Len())
+		}
+	}
+	if !reflect.DeepEqual(m.Objects(), d.Objects()) {
+		t.Fatal("final Objects() snapshots differ")
+	}
+	if !reflect.DeepEqual(mEv, dEv) {
+		t.Fatalf("eviction sequences differ: map %d events, dense %d", len(mEv), len(dEv))
+	}
+	if m.Evictions() != d.Evictions() || m.Inserts() != d.Inserts() {
+		t.Fatalf("counters differ: evictions %d/%d inserts %d/%d",
+			m.Evictions(), d.Evictions(), m.Inserts(), d.Inserts())
+	}
+}
+
+// TestDenseIDBoundaries exercises correctness at the flat table's growth
+// boundaries and across the overflow threshold: IDs at or above
+// maxDenseSlots must spill to the overflow map rather than allocate the
+// whole ID space below them.
+func TestDenseIDBoundaries(t *testing.T) {
+	c := NewDenseLRU(0)
+	ids := []uint64{0, 1023, 1024, 1025, 10240,
+		maxDenseSlots - 1, maxDenseSlots, maxDenseSlots + 1, 1 << 30}
+	for _, id := range ids {
+		if !c.Put(Object{ID: id, Size: 1}) {
+			t.Fatalf("Put(%d) failed", id)
+		}
+	}
+	for _, id := range ids {
+		if _, ok := c.Peek(id); !ok {
+			t.Fatalf("Peek(%d) missed", id)
+		}
+	}
+	if c.Len() != len(ids) {
+		t.Fatalf("Len = %d, want %d", c.Len(), len(ids))
+	}
+	for _, id := range ids {
+		if !c.Remove(id) {
+			t.Fatalf("Remove(%d) failed", id)
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after removing all", c.Len())
+	}
+}
+
+// TestEntryRecycling asserts removed entries are reused rather than
+// reallocated (the slab-backed freelist that caps simulation allocation
+// rate): a removed entry goes to the head of the freelist and the next
+// insert pops it.
+func TestEntryRecycling(t *testing.T) {
+	c := NewDenseLRU(0)
+	c.Put(Object{ID: 1, Size: 10})
+	c.Remove(1)
+	if c.free == nil {
+		t.Fatal("removed entry not on freelist")
+	}
+	recycled := c.free
+	rest := recycled.next
+	c.Put(Object{ID: 2, Size: 20})
+	if c.lookup(2) != recycled {
+		t.Fatal("insert did not reuse the recycled entry")
+	}
+	if c.free != rest {
+		t.Fatal("freelist head should advance past the reused entry")
+	}
+}

@@ -11,6 +11,8 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"time"
 
 	"beyondcache/internal/hierarchy"
@@ -303,6 +305,24 @@ func (s *System) Hints() *hints.Simulator { return s.hint }
 // Hierarchy exposes the underlying hierarchy simulator (nil for hint
 // policies).
 func (s *System) Hierarchy() *hierarchy.Simulator { return s.hier }
+
+// FormatOutcomes renders OutcomeFracs as "label=frac" pairs with the labels
+// sorted, so report text is stable regardless of map iteration order.
+func (r Report) FormatOutcomes() string {
+	labels := make([]string, 0, len(r.OutcomeFracs))
+	for o := range r.OutcomeFracs {
+		labels = append(labels, o)
+	}
+	sort.Strings(labels)
+	var sb strings.Builder
+	for i, o := range labels {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%s=%.3f", o, r.OutcomeFracs[o])
+	}
+	return sb.String()
+}
 
 // Speedup returns a.MeanResponse / b.MeanResponse: how many times faster b
 // is than a.

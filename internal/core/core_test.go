@@ -164,3 +164,18 @@ func TestAccessors(t *testing.T) {
 		t.Errorf("manual process recorded %d requests", rep.Requests)
 	}
 }
+
+func TestFormatOutcomesStable(t *testing.T) {
+	rep := Report{OutcomeFracs: map[string]float64{
+		"miss": 0.25, "local": 0.5, "remote": 0.125, "falsepos": 0.125,
+	}}
+	want := "falsepos=0.125 local=0.500 miss=0.250 remote=0.125"
+	for i := 0; i < 20; i++ {
+		if got := rep.FormatOutcomes(); got != want {
+			t.Fatalf("FormatOutcomes() = %q, want %q", got, want)
+		}
+	}
+	if got := (Report{}).FormatOutcomes(); got != "" {
+		t.Errorf("empty report FormatOutcomes() = %q, want empty", got)
+	}
+}

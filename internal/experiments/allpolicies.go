@@ -53,36 +53,42 @@ var allPolicyVariants = []struct {
 // AllPolicies runs the grand comparison.
 func AllPolicies(o Options) (*AllPoliciesResult, error) {
 	p := trace.DECProfile(o.Scale)
+	models := netmodel.Models()
 	r := &AllPoliciesResult{Scale: o.Scale}
-	for _, m := range netmodel.Models() {
-		for _, v := range allPolicyVariants {
-			sys, err := core.NewSystem(core.Config{
-				Policy:       v.policy,
-				PushStrategy: v.strategy,
-				Model:        m,
-				Warmup:       p.Warmup(),
-				Seed:         1,
-			})
-			if err != nil {
-				return nil, err
-			}
-			g, err := trace.NewGenerator(p)
-			if err != nil {
-				return nil, err
-			}
-			rep, err := sys.Run(g)
-			if err != nil {
-				return nil, err
-			}
-			r.Cells = append(r.Cells, AllPoliciesCell{
-				Policy: v.label,
-				Model:  m.Name(),
-				Mean:   rep.MeanResponse,
-				P50:    rep.P50Response,
-				P95:    rep.P95Response,
-				P99:    rep.P99Response,
-			})
+	r.Cells = make([]AllPoliciesCell, len(models)*len(allPolicyVariants))
+	err := runCells(o, len(r.Cells), func(i int) error {
+		m := models[i/len(allPolicyVariants)]
+		v := allPolicyVariants[i%len(allPolicyVariants)]
+		sys, err := core.NewSystem(core.Config{
+			Policy:       v.policy,
+			PushStrategy: v.strategy,
+			Model:        m,
+			Warmup:       p.Warmup(),
+			Seed:         1,
+		})
+		if err != nil {
+			return err
 		}
+		g, err := traceFor(p)
+		if err != nil {
+			return err
+		}
+		rep, err := sys.Run(g)
+		if err != nil {
+			return err
+		}
+		r.Cells[i] = AllPoliciesCell{
+			Policy: v.label,
+			Model:  m.Name(),
+			Mean:   rep.MeanResponse,
+			P50:    rep.P50Response,
+			P95:    rep.P95Response,
+			P99:    rep.P99Response,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	for _, v := range allPolicyVariants {
 		r.Order = append(r.Order, v.label)

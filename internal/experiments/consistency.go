@@ -54,14 +54,16 @@ func Consistency(o Options) (*ConsistencyResult, error) {
 		{Kind: consistency.Poll},
 		{Kind: consistency.Lease, LeaseDuration: leaseTerm},
 	}
-	for _, cfg := range cfgs {
+	r.Rows = make([]ConsistencyRow, len(cfgs))
+	err := runCells(o, len(cfgs), func(i int) error {
+		cfg := cfgs[i]
 		s, err := consistency.New(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		g, err := trace.NewGenerator(p)
+		g, err := traceFor(p)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for {
 			req, err := g.Next()
@@ -69,19 +71,23 @@ func Consistency(o Options) (*ConsistencyResult, error) {
 				break
 			}
 			if err != nil {
-				return nil, err
+				return err
 			}
 			s.Process(req)
 		}
 		st := s.Stats()
-		r.Rows = append(r.Rows, ConsistencyRow{
+		r.Rows[i] = ConsistencyRow{
 			Protocol:      cfg.Kind.String(),
 			TrueHit:       st.TrueHitRatio(),
 			ApparentHit:   st.ApparentHitRatio(),
 			StaleRate:     st.StaleRate(),
 			DiscardedGood: st.DiscardedGood,
 			MsgsPerReq:    st.MessagesPerRequest(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return r, nil
 }

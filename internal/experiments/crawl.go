@@ -40,8 +40,10 @@ type CrawlResult struct {
 func Crawl(o Options) (*CrawlResult, error) {
 	p := trace.DECProfile(o.Scale)
 	span := p.Span() - p.Warmup()
-	r := &CrawlResult{Scale: o.Scale}
-	for _, fanout := range []int{0, 2, 8, 24} {
+	fanouts := []int{0, 2, 8, 24}
+	r := &CrawlResult{Scale: o.Scale, Rows: make([]CrawlRow, len(fanouts))}
+	err := runCells(o, len(fanouts), func(i int) error {
+		fanout := fanouts[i]
 		var crawler *push.Crawler
 		cfg := hints.Config{
 			Model:  netmodel.NewTestbed(),
@@ -51,23 +53,23 @@ func Crawl(o Options) (*CrawlResult, error) {
 			var err error
 			crawler, err = push.NewCrawler(p, fanout)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			cfg.Pusher = crawler
 		}
 		h, err := hints.New(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if crawler != nil {
 			crawler.Bind(h)
 		}
-		g, err := trace.NewGenerator(p)
+		g, err := traceFor(p)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := sim.Run(g, h); err != nil {
-			return nil, err
+			return err
 		}
 		row := CrawlRow{
 			Fanout:   fanout,
@@ -80,7 +82,11 @@ func Crawl(o Options) (*CrawlResult, error) {
 				row.PrefetchKBs = float64(crawler.Stats().PrefetchedBytes) / span.Seconds() / 1024
 			}
 		}
-		r.Rows = append(r.Rows, row)
+		r.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return r, nil
 }

@@ -85,7 +85,9 @@ func Digests(o Options) (*DigestsResult, error) {
 		})
 	}
 
-	for _, v := range variants {
+	r.Rows = make([]DigestRow, len(variants))
+	err := runCells(o, len(variants), func(i int) error {
+		v := variants[i]
 		cfg := v.cfg
 		cfg.Topology = topo
 		cfg.Model = netmodel.NewTestbed()
@@ -93,23 +95,27 @@ func Digests(o Options) (*DigestsResult, error) {
 		cfg.Warmup = p.Warmup()
 		s, err := hints.New(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		g, err := trace.NewGenerator(p)
+		g, err := traceFor(p)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := sim.Run(g, s); err != nil {
-			return nil, err
+			return err
 		}
-		r.Rows = append(r.Rows, DigestRow{
+		r.Rows[i] = DigestRow{
 			Scheme:       v.scheme,
 			BytesPerNode: v.bytes(s),
 			Mean:         s.MeanResponse(),
 			HitRatio:     s.HitRatio(),
 			FalsePos:     s.FalsePositives(),
 			FalseNeg:     s.FalseNegatives(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return r, nil
 }

@@ -16,14 +16,19 @@ import (
 	"beyondcache/internal/trace"
 )
 
-// Options control experiment scale.
+// Options control experiment scale and scheduling.
 type Options struct {
 	// Scale is the fraction of the published trace sizes to generate.
 	Scale trace.Scale
+
+	// Parallel bounds how many of an experiment's independent simulation
+	// cells run concurrently; <= 0 means GOMAXPROCS. Results are merged
+	// in enumeration order, so output is byte-identical at any setting.
+	Parallel int
 }
 
 // DefaultOptions runs at a scale where the full suite completes in tens of
-// seconds on a laptop.
+// seconds on a laptop, with one worker per available CPU.
 func DefaultOptions() Options {
 	return Options{Scale: trace.ScaleSmall}
 }

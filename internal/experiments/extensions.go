@@ -40,40 +40,48 @@ type ICPResult struct {
 	Rows  []ICPRow
 }
 
+// icpPolicies are the three organizations the ICP extension compares.
+var icpPolicies = []core.Policy{core.PolicyHierarchy, core.PolicyHierarchyICP, core.PolicyHints}
+
 // ICP runs the comparison.
 func ICP(o Options) (*ICPResult, error) {
 	p := trace.DECProfile(o.Scale)
-	r := &ICPResult{Scale: o.Scale}
-	for _, m := range netmodel.Models() {
-		row := ICPRow{Model: m.Name()}
-		for _, pol := range []core.Policy{core.PolicyHierarchy, core.PolicyHierarchyICP, core.PolicyHints} {
-			sys, err := core.NewSystem(core.Config{
-				Policy: pol,
-				Model:  m,
-				Warmup: p.Warmup(),
-			})
-			if err != nil {
-				return nil, err
-			}
-			g, err := trace.NewGenerator(p)
-			if err != nil {
-				return nil, err
-			}
-			rep, err := sys.Run(g)
-			if err != nil {
-				return nil, err
-			}
-			switch pol {
-			case core.PolicyHierarchy:
-				row.Hierarchy = rep.MeanResponse
-			case core.PolicyHierarchyICP:
-				row.ICP = rep.MeanResponse
-			case core.PolicyHints:
-				row.Hints = rep.MeanResponse
-			}
+	models := netmodel.Models()
+	r := &ICPResult{Scale: o.Scale, Rows: make([]ICPRow, len(models))}
+	means := make([]time.Duration, len(models)*len(icpPolicies))
+	err := runCells(o, len(means), func(i int) error {
+		m := models[i/len(icpPolicies)]
+		pol := icpPolicies[i%len(icpPolicies)]
+		sys, err := core.NewSystem(core.Config{
+			Policy: pol,
+			Model:  m,
+			Warmup: p.Warmup(),
+		})
+		if err != nil {
+			return err
 		}
-		row.MissPenalty = m.FalsePositive(netmodel.L2)
-		r.Rows = append(r.Rows, row)
+		g, err := traceFor(p)
+		if err != nil {
+			return err
+		}
+		rep, err := sys.Run(g)
+		if err != nil {
+			return err
+		}
+		means[i] = rep.MeanResponse
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, m := range models {
+		r.Rows[mi] = ICPRow{
+			Model:       m.Name(),
+			Hierarchy:   means[mi*len(icpPolicies)],
+			ICP:         means[mi*len(icpPolicies)+1],
+			Hints:       means[mi*len(icpPolicies)+2],
+			MissPenalty: m.FalsePositive(netmodel.L2),
+		}
 	}
 	return r, nil
 }
@@ -214,7 +222,7 @@ func Plaxton(o Options) (*PlaxtonResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	g, err := trace.NewGenerator(p)
+	g, err := traceFor(p)
 	if err != nil {
 		return nil, err
 	}

@@ -50,41 +50,53 @@ type Figure10Result struct {
 // of Section 4.2 (64 L1 caches with 5 GB each, scaled).
 func Figure10(o Options) (*Figure10Result, error) {
 	p := trace.DECProfile(o.Scale)
-	r := &Figure10Result{Scale: o.Scale, reports: make(map[string]core.Report)}
+	models := netmodel.Models()
 	capBytes := scaledBytes(5*GB, o.Scale)
-	for _, m := range netmodel.Models() {
-		for _, v := range figure10Variants {
-			cfg := core.Config{
-				Policy:       v.policy,
-				PushStrategy: v.strategy,
-				Model:        m,
-				Warmup:       p.Warmup(),
-				L1Capacity:   capBytes,
-				Seed:         1,
-			}
-			if v.policy == core.PolicyHierarchy {
-				cfg.L2Capacity = capBytes
-				cfg.L3Capacity = capBytes
-			}
-			sys, err := core.NewSystem(cfg)
-			if err != nil {
-				return nil, err
-			}
-			g, err := trace.NewGenerator(p)
-			if err != nil {
-				return nil, err
-			}
-			rep, err := sys.Run(g)
-			if err != nil {
-				return nil, err
-			}
-			r.Cells = append(r.Cells, Figure10Cell{
-				Model:     m.Name(),
-				Algorithm: v.label,
-				Mean:      rep.MeanResponse,
-			})
-			r.reports[m.Name()+"/"+v.label] = rep
+	n := len(models) * len(figure10Variants)
+	r := &Figure10Result{Scale: o.Scale, Cells: make([]Figure10Cell, n), reports: make(map[string]core.Report, n)}
+	reps := make([]core.Report, n)
+	err := runCells(o, n, func(i int) error {
+		m := models[i/len(figure10Variants)]
+		v := figure10Variants[i%len(figure10Variants)]
+		cfg := core.Config{
+			Policy:       v.policy,
+			PushStrategy: v.strategy,
+			Model:        m,
+			Warmup:       p.Warmup(),
+			L1Capacity:   capBytes,
+			Seed:         1,
 		}
+		if v.policy == core.PolicyHierarchy {
+			cfg.L2Capacity = capBytes
+			cfg.L3Capacity = capBytes
+		}
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			return err
+		}
+		g, err := traceFor(p)
+		if err != nil {
+			return err
+		}
+		rep, err := sys.Run(g)
+		if err != nil {
+			return err
+		}
+		r.Cells[i] = Figure10Cell{
+			Model:     m.Name(),
+			Algorithm: v.label,
+			Mean:      rep.MeanResponse,
+		}
+		reps[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, rep := range reps {
+		m := models[i/len(figure10Variants)]
+		v := figure10Variants[i%len(figure10Variants)]
+		r.reports[m.Name()+"/"+v.label] = rep
 	}
 	return r, nil
 }

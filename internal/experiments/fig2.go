@@ -19,17 +19,23 @@ type Table4Result struct {
 
 // Table4 measures the synthetic traces.
 func Table4(o Options) (*Table4Result, error) {
-	r := &Table4Result{Scale: o.Scale}
-	for _, p := range trace.Profiles(o.Scale) {
-		g, err := trace.NewGenerator(p)
+	profiles := trace.Profiles(o.Scale)
+	r := &Table4Result{Scale: o.Scale, Chars: make([]trace.Characteristics, len(profiles))}
+	err := runCells(o, len(profiles), func(i int) error {
+		p := profiles[i]
+		g, err := traceFor(p)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		c, err := trace.Measure(p.Name, p.Days, g)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		r.Chars = append(r.Chars, c)
+		r.Chars[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return r, nil
 }
@@ -82,26 +88,35 @@ var figure2GBs = []float64{0.5, 1, 2, 4, 8, 16, 32}
 // Figure2 replays each trace through a single shared cache per capacity
 // point, classifying every miss.
 func Figure2(o Options) (*Figure2Result, error) {
+	profiles := trace.Profiles(o.Scale)
 	r := &Figure2Result{
 		Scale:  o.Scale,
 		Points: make(map[string][]Figure2Point),
 	}
-	for _, p := range trace.Profiles(o.Scale) {
-		r.Traces = append(r.Traces, p.Name)
-		for _, gb := range figure2GBs {
-			capBytes := scaledBytes(int64(gb*float64(GB)), o.Scale)
-			pt, err := figure2Point(p, capBytes, gb)
-			if err != nil {
-				return nil, err
-			}
-			r.Points[p.Name] = append(r.Points[p.Name], pt)
+	pts := make([]Figure2Point, len(profiles)*len(figure2GBs))
+	err := runCells(o, len(pts), func(i int) error {
+		p := profiles[i/len(figure2GBs)]
+		gb := figure2GBs[i%len(figure2GBs)]
+		capBytes := scaledBytes(int64(gb*float64(GB)), o.Scale)
+		pt, err := figure2Point(p, capBytes, gb)
+		if err != nil {
+			return err
 		}
+		pts[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, p := range profiles {
+		r.Traces = append(r.Traces, p.Name)
+		r.Points[p.Name] = pts[pi*len(figure2GBs) : (pi+1)*len(figure2GBs)]
 	}
 	return r, nil
 }
 
 func figure2Point(p trace.Profile, capBytes int64, gb float64) (Figure2Point, error) {
-	g, err := trace.NewGenerator(p)
+	g, err := traceFor(p)
 	if err != nil {
 		return Figure2Point{}, err
 	}

@@ -27,28 +27,34 @@ type Figure3Result struct {
 
 // Figure3 replays each trace through the infinite three-level hierarchy.
 func Figure3(o Options) (*Figure3Result, error) {
-	r := &Figure3Result{Scale: o.Scale}
-	for _, p := range trace.Profiles(o.Scale) {
+	profiles := trace.Profiles(o.Scale)
+	r := &Figure3Result{Scale: o.Scale, Rows: make([]Figure3Row, len(profiles))}
+	err := runCells(o, len(profiles), func(i int) error {
+		p := profiles[i]
 		h, err := hierarchy.New(hierarchy.Config{
 			Model:  netmodel.NewTestbed(),
 			Warmup: p.Warmup(),
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		g, err := trace.NewGenerator(p)
+		g, err := traceFor(p)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := sim.Run(g, h); err != nil {
-			return nil, err
+			return err
 		}
 		row := Figure3Row{Trace: p.Name}
-		for i, lvl := range []netmodel.Level{netmodel.L1, netmodel.L2, netmodel.L3} {
-			row.HitRatio[i] = h.HitRatio(lvl)
-			row.ByteHitRatio[i] = h.ByteHitRatio(lvl)
+		for lv, lvl := range []netmodel.Level{netmodel.L1, netmodel.L2, netmodel.L3} {
+			row.HitRatio[lv] = h.HitRatio(lvl)
+			row.ByteHitRatio[lv] = h.ByteHitRatio(lvl)
 		}
-		r.Rows = append(r.Rows, row)
+		r.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return r, nil
 }

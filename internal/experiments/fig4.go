@@ -57,7 +57,7 @@ func Figure4(o Options) (*Figure4Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		g, err := trace.NewGenerator(p)
+		g, err := traceFor(p)
 		if err != nil {
 			return nil, err
 		}
@@ -67,13 +67,20 @@ func Figure4(o Options) (*Figure4Result, error) {
 		return h, nil
 	}
 
-	proxy, err := runCfg(hints.Config{Mode: hints.ModeHints})
-	if err != nil {
-		return nil, err
-	}
-	r := &Figure4Result{Scale: o.Scale, ProxyMean: proxy.MeanResponse()}
-
-	for _, mb := range figure4ClientMBs {
+	// Cell 0 is the proxy-hint run; cells 1..N are the client-table sweep.
+	// The proxy/client ratio needs the proxy mean, so it is derived after
+	// the merge rather than inside the cells.
+	r := &Figure4Result{Scale: o.Scale, Points: make([]Figure4Point, len(figure4ClientMBs))}
+	err := runCells(o, 1+len(figure4ClientMBs), func(i int) error {
+		if i == 0 {
+			proxy, err := runCfg(hints.Config{Mode: hints.ModeHints})
+			if err != nil {
+				return err
+			}
+			r.ProxyMean = proxy.MeanResponse()
+			return nil
+		}
+		mb := figure4ClientMBs[i-1]
 		entries := 0
 		if mb > 0 {
 			bytes := int64(mb * float64(MB) * float64(o.Scale))
@@ -87,7 +94,7 @@ func Figure4(o Options) (*Figure4Result, error) {
 			HintEntries: entries,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pt := Figure4Point{
 			EquivalentMB: mb,
@@ -96,10 +103,16 @@ func Figure4(o Options) (*Figure4Result, error) {
 		if n := client.Stats().N(); n > 0 {
 			pt.FalseNegRate = float64(client.FalseNegatives()) / float64(n)
 		}
-		if pt.ClientMean > 0 {
+		r.Points[i-1] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range r.Points {
+		if pt := &r.Points[i]; pt.ClientMean > 0 {
 			pt.Ratio = float64(r.ProxyMean) / float64(pt.ClientMean)
 		}
-		r.Points = append(r.Points, pt)
 	}
 	return r, nil
 }

@@ -43,8 +43,9 @@ var figure5MBs = []float64{0.1, 0.5, 1, 5, 10, 50, 100, 0}
 // Figure5 sweeps the hint-table size.
 func Figure5(o Options) (*Figure5Result, error) {
 	p := trace.DECProfile(o.Scale)
-	r := &Figure5Result{Scale: o.Scale}
-	for _, mb := range figure5MBs {
+	r := &Figure5Result{Scale: o.Scale, Points: make([]Figure5Point, len(figure5MBs))}
+	err := runCells(o, len(figure5MBs), func(i int) error {
+		mb := figure5MBs[i]
 		entries := 0
 		if mb > 0 {
 			// Scale the table with the workload, but without the
@@ -62,22 +63,26 @@ func Figure5(o Options) (*Figure5Result, error) {
 			Warmup:      p.Warmup(),
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		g, err := trace.NewGenerator(p)
+		g, err := traceFor(p)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := sim.Run(g, h); err != nil {
-			return nil, err
+			return err
 		}
-		r.Points = append(r.Points, Figure5Point{
+		r.Points[i] = Figure5Point{
 			Entries:        entries,
 			EquivalentMB:   mb,
 			HitRatio:       h.HitRatio(),
 			LocalHitRatio:  h.LocalHitRatio(),
 			FalseNegatives: h.FalseNegatives(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return r, nil
 }
@@ -128,28 +133,33 @@ var figure6Delays = []time.Duration{
 // Figure6 sweeps the propagation delay.
 func Figure6(o Options) (*Figure6Result, error) {
 	p := trace.DECProfile(o.Scale)
-	r := &Figure6Result{Scale: o.Scale}
-	for _, d := range figure6Delays {
+	r := &Figure6Result{Scale: o.Scale, Points: make([]Figure6Point, len(figure6Delays))}
+	err := runCells(o, len(figure6Delays), func(i int) error {
+		d := figure6Delays[i]
 		h, err := hints.New(hints.Config{
 			Model:            netmodel.NewTestbed(),
 			PropagationDelay: d,
 			Warmup:           p.Warmup(),
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		g, err := trace.NewGenerator(p)
+		g, err := traceFor(p)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := sim.Run(g, h); err != nil {
-			return nil, err
+			return err
 		}
-		r.Points = append(r.Points, Figure6Point{
+		r.Points[i] = Figure6Point{
 			Delay:          d,
 			HitRatio:       h.HitRatio(),
 			FalsePositives: h.FalsePositives(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return r, nil
 }
@@ -195,7 +205,7 @@ func Table5(o Options) (*Table5Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	g, err := trace.NewGenerator(p)
+	g, err := traceFor(p)
 	if err != nil {
 		return nil, err
 	}

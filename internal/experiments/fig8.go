@@ -35,19 +35,34 @@ var figure8Policies = []core.Policy{core.PolicyHierarchy, core.PolicyDirectory, 
 
 // Figure8 runs the full 3 traces x 3 models x 2 configs x 3 policies grid.
 func Figure8(o Options) (*Figure8Result, error) {
-	r := &Figure8Result{Scale: o.Scale}
+	type gridCell struct {
+		p           trace.Profile
+		m           netmodel.Model
+		pol         core.Policy
+		constrained bool
+	}
+	var grid []gridCell
 	for _, p := range trace.Profiles(o.Scale) {
 		for _, m := range netmodel.Models() {
 			for _, constrained := range []bool{false, true} {
 				for _, pol := range figure8Policies {
-					cell, err := figure8Cell(o, p, m, pol, constrained)
-					if err != nil {
-						return nil, err
-					}
-					r.Cells = append(r.Cells, cell)
+					grid = append(grid, gridCell{p, m, pol, constrained})
 				}
 			}
 		}
+	}
+	r := &Figure8Result{Scale: o.Scale, Cells: make([]Figure8Cell, len(grid))}
+	err := runCells(o, len(grid), func(i int) error {
+		c := grid[i]
+		cell, err := figure8Cell(o, c.p, c.m, c.pol, c.constrained)
+		if err != nil {
+			return err
+		}
+		r.Cells[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return r, nil
 }
@@ -77,7 +92,7 @@ func figure8Cell(o Options, p trace.Profile, m netmodel.Model, pol core.Policy, 
 	if err != nil {
 		return Figure8Cell{}, err
 	}
-	g, err := trace.NewGenerator(p)
+	g, err := traceFor(p)
 	if err != nil {
 		return Figure8Cell{}, err
 	}

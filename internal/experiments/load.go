@@ -34,37 +34,46 @@ type LoadResult struct {
 // Load sweeps utilization on the DEC trace over the testbed model.
 func Load(o Options) (*LoadResult, error) {
 	p := trace.DECProfile(o.Scale)
-	r := &LoadResult{Scale: o.Scale}
-	for _, rho := range []float64{0, 0.3, 0.6, 0.8, 0.9} {
+	rhos := []float64{0, 0.3, 0.6, 0.8, 0.9}
+	policies := []core.Policy{core.PolicyHierarchy, core.PolicyHints}
+	r := &LoadResult{Scale: o.Scale, Rows: make([]LoadRow, len(rhos))}
+	means := make([]time.Duration, len(rhos)*len(policies))
+	err := runCells(o, len(means), func(i int) error {
+		rho := rhos[i/len(policies)]
+		pol := policies[i%len(policies)]
 		m, err := netmodel.NewLoaded(netmodel.NewTestbed(), rho, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row := LoadRow{Rho: rho}
-		for _, pol := range []core.Policy{core.PolicyHierarchy, core.PolicyHints} {
-			sys, err := core.NewSystem(core.Config{Policy: pol, Model: m, Warmup: p.Warmup()})
-			if err != nil {
-				return nil, err
-			}
-			g, err := trace.NewGenerator(p)
-			if err != nil {
-				return nil, err
-			}
-			rep, err := sys.Run(g)
-			if err != nil {
-				return nil, err
-			}
-			if pol == core.PolicyHierarchy {
-				row.Hierarchy = rep.MeanResponse
-			} else {
-				row.Hints = rep.MeanResponse
-			}
+		sys, err := core.NewSystem(core.Config{Policy: pol, Model: m, Warmup: p.Warmup()})
+		if err != nil {
+			return err
+		}
+		g, err := traceFor(p)
+		if err != nil {
+			return err
+		}
+		rep, err := sys.Run(g)
+		if err != nil {
+			return err
+		}
+		means[i] = rep.MeanResponse
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ri, rho := range rhos {
+		row := LoadRow{
+			Rho:       rho,
+			Hierarchy: means[ri*len(policies)],
+			Hints:     means[ri*len(policies)+1],
 		}
 		if row.Hints > 0 {
 			row.Speedup = float64(row.Hierarchy) / float64(row.Hints)
 		}
 		row.Gap = row.Hierarchy - row.Hints
-		r.Rows = append(r.Rows, row)
+		r.Rows[ri] = row
 	}
 	return r, nil
 }

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"beyondcache/internal/trace"
+)
+
+// traceFor returns a fresh reader over the memoized materialized trace for
+// p. Every cell of every experiment in a process replays the same shared
+// buffer instead of regenerating the workload, which both removes the
+// generator from the per-cell cost and lets cells run concurrently (the
+// buffer is read-only; each reader owns its cursor).
+func traceFor(p trace.Profile) (trace.Reader, error) {
+	m, err := trace.MaterializedFor(p)
+	if err != nil {
+		return nil, err
+	}
+	return m.Reader(), nil
+}
+
+// runCells executes fn(0..n-1) — one call per independent simulation cell —
+// on a bounded worker pool of o.Parallel goroutines (<= 0: GOMAXPROCS).
+// Each fn(i) must write its result only into slot i of a caller-owned
+// slice, so merged output is in enumeration order and byte-identical to a
+// serial run regardless of worker count or completion order. The first
+// error in enumeration order is returned.
+func runCells(o Options, n int, fn func(i int) error) error {
+	workers := o.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -29,16 +29,22 @@ type ReplacementResult struct {
 
 // Replacement runs the ablation over all three traces.
 func Replacement(o Options) (*ReplacementResult, error) {
-	r := &ReplacementResult{Scale: o.Scale}
 	capBytes := scaledBytes(5*GB, o.Scale)
-	for _, p := range trace.Profiles(o.Scale) {
-		for _, pol := range replacement.Policies() {
-			row, err := replacementRow(p, pol, capBytes)
-			if err != nil {
-				return nil, err
-			}
-			r.Rows = append(r.Rows, row)
+	profiles := trace.Profiles(o.Scale)
+	policies := replacement.Policies()
+	r := &ReplacementResult{Scale: o.Scale, Rows: make([]ReplacementRow, len(profiles)*len(policies))}
+	err := runCells(o, len(r.Rows), func(i int) error {
+		p := profiles[i/len(policies)]
+		pol := policies[i%len(policies)]
+		row, err := replacementRow(p, pol, capBytes)
+		if err != nil {
+			return err
 		}
+		r.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return r, nil
 }
@@ -48,7 +54,7 @@ func replacementRow(p trace.Profile, pol replacement.Policy, capBytes int64) (Re
 	if err != nil {
 		return ReplacementRow{}, err
 	}
-	g, err := trace.NewGenerator(p)
+	g, err := traceFor(p)
 	if err != nil {
 		return ReplacementRow{}, err
 	}

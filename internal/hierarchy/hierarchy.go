@@ -77,14 +77,16 @@ func New(cfg Config) (*Simulator, error) {
 		model: cfg.Model,
 		l1:    make([]*cache.LRU, cfg.Topology.NumL1),
 		l2:    make([]*cache.LRU, cfg.Topology.NumL2()),
-		l3:    cache.NewLRU(cfg.L3Capacity),
+		l3:    cache.NewDenseLRU(cfg.L3Capacity),
 		stats: metrics.NewResponse(),
 	}
+	// Trace object IDs are dense popularity ranks, so the paged dense
+	// index replaces per-request map hashing at every level.
 	for i := range s.l1 {
-		s.l1[i] = cache.NewLRU(cfg.L1Capacity)
+		s.l1[i] = cache.NewDenseLRU(cfg.L1Capacity)
 	}
 	for i := range s.l2 {
-		s.l2[i] = cache.NewLRU(cfg.L2Capacity)
+		s.l2[i] = cache.NewDenseLRU(cfg.L2Capacity)
 	}
 	return s, nil
 }

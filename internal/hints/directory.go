@@ -24,7 +24,10 @@ type staleRec struct {
 }
 
 // objState is the global directory's knowledge about one object, plus the
-// metadata-hierarchy filtering state used for Table 5 accounting.
+// metadata-hierarchy filtering state used for Table 5 accounting. States
+// live by value inside directory pages; ownCount == nil marks a slot whose
+// object has never been seen (initialized states always carve a non-empty
+// ownCount, since every topology has at least one L2 subtree).
 type objState struct {
 	holders []holderRec
 	stales  []staleRec
@@ -34,25 +37,34 @@ type objState struct {
 	// knownRemote is a bitmask over L2 subtrees: bit s set means subtree
 	// s has been informed (by the root) of a copy outside itself.
 	knownRemote uint64
+	// minVersion is a conservative lower bound on the versions held (never
+	// above the true minimum; exact after removals). The per-request
+	// consistency sweep compares it first and skips scanning holders when
+	// no copy can be stale — the overwhelmingly common case.
+	minVersion int64
 	// rootHolder is the subtree whose copy the root currently advertises,
 	// or -1.
 	rootHolder int16
 }
 
-func newObjState(numL2 int) *objState {
-	return &objState{
-		ownCount:   make([]int16, numL2),
-		rootHolder: -1,
-	}
-}
+// maxDirSlots bounds the flat state table at 8M slots. Object IDs are dense
+// popularity ranks, so this is never reached by the trace simulators; a
+// stray huge ID spills to a map instead of allocating the whole ID space.
+const maxDirSlots = 1 << 23
+
+// ownCountSlabLen sizes the chunk new ownCount slices are carved from.
+// Chunks are never reallocated, so carved slices stay valid forever.
+const ownCountSlabLen = 1 << 14
 
 // directory tracks every copy in the system together with visibility
 // windows, and simulates the hint-update traffic through both a metadata
 // hierarchy (with subtree filtering, Section 3.1.2) and a centralized
 // directory, counting the updates each root receives (Table 5).
 type directory struct {
-	objs  map[uint64]*objState
-	numL2 int
+	slots    []objState
+	overflow map[uint64]*objState
+	slab     []int16
+	numL2    int
 
 	// Table 5 counters.
 	rootUpdates    int64 // updates reaching the hierarchy root, post-filter
@@ -61,17 +73,63 @@ type directory struct {
 }
 
 func newDirectory(numL2 int) *directory {
-	return &directory{
-		objs:  make(map[uint64]*objState),
-		numL2: numL2,
-	}
+	return &directory{numL2: numL2}
 }
 
+// carveOwnCount hands out a zeroed []int16 of numL2 entries from the slab.
+func (d *directory) carveOwnCount() []int16 {
+	if len(d.slab) < d.numL2 {
+		d.slab = make([]int16, ownCountSlabLen)
+	}
+	oc := d.slab[:d.numL2:d.numL2]
+	d.slab = d.slab[d.numL2:]
+	return oc
+}
+
+// peek returns the state for object if it has ever been initialized, else
+// nil. It never allocates: one bounds check and one load on the hot path.
+func (d *directory) peek(object uint64) *objState {
+	if object < uint64(len(d.slots)) {
+		st := &d.slots[object]
+		if st.ownCount == nil {
+			return nil
+		}
+		return st
+	}
+	if object < maxDirSlots {
+		return nil
+	}
+	return d.overflow[object]
+}
+
+// state returns the state for object, initializing its slot on first touch.
+// Returned pointers are valid until the next state() call for a new object
+// (which may grow the table); no caller retains them across updates.
 func (d *directory) state(object uint64) *objState {
-	st, ok := d.objs[object]
-	if !ok {
-		st = newObjState(d.numL2)
-		d.objs[object] = st
+	if object >= maxDirSlots {
+		st := d.overflow[object]
+		if st == nil {
+			st = &objState{ownCount: d.carveOwnCount(), rootHolder: -1}
+			if d.overflow == nil {
+				d.overflow = make(map[uint64]*objState)
+			}
+			d.overflow[object] = st
+		}
+		return st
+	}
+	if object >= uint64(len(d.slots)) {
+		n := uint64(512)
+		for n <= object {
+			n *= 2
+		}
+		grown := make([]objState, n)
+		copy(grown, d.slots)
+		d.slots = grown
+	}
+	st := &d.slots[object]
+	if st.ownCount == nil {
+		st.ownCount = d.carveOwnCount()
+		st.rootHolder = -1
 	}
 	return st
 }
@@ -96,6 +154,14 @@ func (d *directory) addCopy(object uint64, node int32, s2 int, version int64, t 
 			d.centralUpdates++
 			return
 		}
+	}
+	if st.holders == nil {
+		// Most objects accumulate a few holders; starting at capacity 4
+		// skips the 1->2->4 growth reallocations on every fresh object.
+		st.holders = make([]holderRec, 0, 4)
+	}
+	if len(st.holders) == 0 || version < st.minVersion {
+		st.minVersion = version
 	}
 	st.holders = append(st.holders, holderRec{node: node, version: version, addedAt: t})
 
@@ -123,8 +189,8 @@ func (d *directory) addCopy(object uint64, node int32, s2 int, version int64, t 
 
 // removeCopy records that node's copy is gone (evicted or invalidated).
 func (d *directory) removeCopy(object uint64, node int32, s2 int, t time.Duration) {
-	st, ok := d.objs[object]
-	if !ok {
+	st := d.peek(object)
+	if st == nil {
 		return
 	}
 	found := false
@@ -138,9 +204,24 @@ func (d *directory) removeCopy(object uint64, node int32, s2 int, t time.Duratio
 	if !found {
 		return
 	}
+	if st.stales == nil {
+		st.stales = make([]staleRec, 0, maxStaleRecords)
+	}
 	st.stales = append(st.stales, staleRec{node: node, removedAt: t})
 	if len(st.stales) > maxStaleRecords {
-		st.stales = st.stales[len(st.stales)-maxStaleRecords:]
+		st.stales = append(st.stales[:0], st.stales[len(st.stales)-maxStaleRecords:]...)
+	}
+	// Removals are rare next to reads: recompute the exact version floor.
+	if len(st.holders) > 0 {
+		m := st.holders[0].version
+		for _, h := range st.holders[1:] {
+			if h.version < m {
+				m = h.version
+			}
+		}
+		st.minVersion = m
+	} else {
+		st.minVersion = 0
 	}
 
 	d.leafUpdates++
@@ -172,19 +253,21 @@ func (d *directory) removeCopy(object uint64, node int32, s2 int, t time.Duratio
 	}
 }
 
-// holdersOlderThan returns the nodes holding a version older than v.
-func (d *directory) holdersOlderThan(object uint64, v int64) []int32 {
-	st, ok := d.objs[object]
-	if !ok {
-		return nil
+// holdersOlderThan appends the nodes holding a version older than v to dst
+// and returns it. Callers pass a reused scratch slice: this runs on every
+// request, so it must not allocate on the (overwhelmingly common) path
+// where no holder is stale.
+func (d *directory) holdersOlderThan(object uint64, v int64, dst []int32) []int32 {
+	st := d.peek(object)
+	if st == nil || st.minVersion >= v || len(st.holders) == 0 {
+		return dst
 	}
-	var out []int32
 	for _, h := range st.holders {
 		if h.version < v {
-			out = append(out, h.node)
+			dst = append(dst, h.node)
 		}
 	}
-	return out
+	return dst
 }
 
 // purgeExpiredStales drops stale records whose hint visibility window has
@@ -222,8 +305,8 @@ type lookupResult struct {
 func (d *directory) lookup(object uint64, requester int32, reqS2 int, l2OfNode func(int32) int,
 	t, delay time.Duration) lookupResult {
 
-	st, ok := d.objs[object]
-	if !ok {
+	st := d.peek(object)
+	if st == nil {
 		return lookupResult{}
 	}
 	st.purgeExpiredStales(t, delay)
@@ -272,8 +355,8 @@ func (d *directory) lookup(object uint64, requester int32, reqS2 int, l2OfNode f
 
 // anyHolder returns some live holder of the object, or -1.
 func (d *directory) anyHolder(object uint64) int32 {
-	st, ok := d.objs[object]
-	if !ok || len(st.holders) == 0 {
+	st := d.peek(object)
+	if st == nil || len(st.holders) == 0 {
 		return -1
 	}
 	return st.holders[0].node
@@ -281,8 +364,8 @@ func (d *directory) anyHolder(object uint64) int32 {
 
 // holderNodes returns the nodes currently holding the object.
 func (d *directory) holderNodes(object uint64) []int32 {
-	st, ok := d.objs[object]
-	if !ok {
+	st := d.peek(object)
+	if st == nil {
 		return nil
 	}
 	out := make([]int32, len(st.holders))

@@ -67,7 +67,7 @@ func TestDirectoryFilteringCounters(t *testing.T) {
 	if d.rootUpdates != 3 {
 		t.Errorf("root updates = %d after failover, want 3", d.rootUpdates)
 	}
-	st := d.objs[1]
+	st := d.peek(1)
 	if st.rootHolder != 2 {
 		t.Errorf("rootHolder = %d, want subtree 2", st.rootHolder)
 	}
@@ -131,12 +131,17 @@ func TestDirectoryHoldersOlderThan(t *testing.T) {
 	d := newDirectory(4)
 	d.addCopy(1, 0, 0, 1, 0)
 	d.addCopy(1, 2, 1, 2, 0)
-	old := d.holdersOlderThan(1, 2)
+	old := d.holdersOlderThan(1, 2, nil)
 	if len(old) != 1 || old[0] != 0 {
 		t.Errorf("holdersOlderThan = %v, want [0]", old)
 	}
-	if got := d.holdersOlderThan(99, 5); got != nil {
+	if got := d.holdersOlderThan(99, 5, nil); got != nil {
 		t.Errorf("unknown object returned %v", got)
+	}
+	// Scratch reuse: results append to the passed buffer.
+	scratch := make([]int32, 0, 4)
+	if got := d.holdersOlderThan(1, 2, scratch[:0]); len(got) != 1 || got[0] != 0 {
+		t.Errorf("holdersOlderThan with scratch = %v, want [0]", got)
 	}
 }
 
@@ -147,7 +152,7 @@ func TestDirectoryStaleRecordsBounded(t *testing.T) {
 		d.addCopy(1, node, int(node)/2, 1, time.Duration(2*i)*time.Second)
 		d.removeCopy(1, node, int(node)/2, time.Duration(2*i+1)*time.Second)
 	}
-	if got := len(d.objs[1].stales); got > maxStaleRecords {
+	if got := len(d.peek(1).stales); got > maxStaleRecords {
 		t.Errorf("stale records = %d, want <= %d", got, maxStaleRecords)
 	}
 }
@@ -169,8 +174,8 @@ func TestDirectoryQuickInvariants(t *testing.T) {
 			} else {
 				d.addCopy(obj, node, s2, int64(op%4)+1, now)
 			}
-			st, ok := d.objs[obj]
-			if !ok {
+			st := d.peek(obj)
+			if st == nil {
 				continue
 			}
 			seen := map[int32]bool{}

@@ -152,6 +152,11 @@ type Simulator struct {
 	firstTime      time.Duration
 	lastTime       time.Duration
 	sawRequest     bool
+
+	// staleScratch is the per-request buffer holdersOlderThan appends
+	// into; reused across requests so the consistency sweep on the hot
+	// path never allocates.
+	staleScratch []int32
 }
 
 var _ sim.Processor = (*Simulator)(nil)
@@ -216,7 +221,9 @@ func New(cfg Config) (*Simulator, error) {
 	}
 	for i := range s.l1 {
 		node := i
-		c := cache.NewLRU(cfg.L1Capacity)
+		// Trace object IDs are dense popularity ranks, so the paged
+		// dense index replaces per-request map hashing.
+		c := cache.NewDenseLRU(cfg.L1Capacity)
 		c.OnEvict(func(o cache.Object) {
 			s.noteRemoved(node, o.ID)
 			if s.cfg.Pusher != nil {
@@ -348,11 +355,16 @@ func (s *Simulator) Process(req trace.Request) {
 
 	// Strong consistency: a version bump invalidates every cached copy
 	// of the previous version (Section 2.2.1).
-	staleHolders := s.dir.holdersOlderThan(req.Object, req.Version)
-	if len(staleHolders) > 0 {
-		prev := make([]int, len(staleHolders))
+	s.staleScratch = s.dir.holdersOlderThan(req.Object, req.Version, s.staleScratch[:0])
+	if staleHolders := s.staleScratch; len(staleHolders) > 0 {
+		var prev []int
+		if s.cfg.Pusher != nil {
+			prev = make([]int, len(staleHolders))
+		}
 		for i, h := range staleHolders {
-			prev[i] = int(h)
+			if prev != nil {
+				prev[i] = int(h)
+			}
 			s.l1[h].RemoveQuiet(req.Object)
 			s.noteRemoved(int(h), req.Object)
 		}

@@ -21,27 +21,56 @@ func responseBounds() []time.Duration {
 	return obs.ExpBounds(100*time.Microsecond, 2, 23)
 }
 
+// outcomeAgg is the per-outcome accumulator. The handful of outcome labels
+// (≤ 8) live in a slice scanned linearly: every call site passes the same
+// string constants, so the label comparison usually short-circuits on
+// pointer equality, and Add stays allocation- and hash-free — it runs once
+// per simulated request.
+type outcomeAgg struct {
+	label string
+	count int64
+	time  time.Duration
+	bytes int64
+	hist  *obs.Histogram
+}
+
 // Response aggregates per-request outcomes.
 type Response struct {
-	n      int64
-	total  time.Duration
-	bytes  int64
-	counts map[string]int64
-	times  map[string]time.Duration
-	sizes  map[string]int64
-	hist   *obs.Histogram
-	hists  map[string]*obs.Histogram
+	n     int64
+	total time.Duration
+	bytes int64
+	aggs  []outcomeAgg
+	hist  *obs.Histogram
 }
 
 // NewResponse returns an empty aggregator.
 func NewResponse() *Response {
 	return &Response{
-		counts: make(map[string]int64, 8),
-		times:  make(map[string]time.Duration, 8),
-		sizes:  make(map[string]int64, 8),
-		hist:   obs.NewHistogram(responseBounds()),
-		hists:  make(map[string]*obs.Histogram, 8),
+		aggs: make([]outcomeAgg, 0, 8),
+		hist: obs.NewHistogram(responseBounds()),
 	}
+}
+
+// find returns the accumulator for outcome, or nil if never recorded.
+func (r *Response) find(outcome string) *outcomeAgg {
+	for i := range r.aggs {
+		if r.aggs[i].label == outcome {
+			return &r.aggs[i]
+		}
+	}
+	return nil
+}
+
+// agg returns the accumulator for outcome, creating it on first use.
+func (r *Response) agg(outcome string) *outcomeAgg {
+	if a := r.find(outcome); a != nil {
+		return a
+	}
+	r.aggs = append(r.aggs, outcomeAgg{
+		label: outcome,
+		hist:  obs.NewHistogram(responseBounds()),
+	})
+	return &r.aggs[len(r.aggs)-1]
 }
 
 // Add records one request with the given outcome label, response time, and
@@ -50,16 +79,12 @@ func (r *Response) Add(outcome string, d time.Duration, size int64) {
 	r.n++
 	r.total += d
 	r.bytes += size
-	r.counts[outcome]++
-	r.times[outcome] += d
-	r.sizes[outcome] += size
+	a := r.agg(outcome)
+	a.count++
+	a.time += d
+	a.bytes += size
 	r.hist.Observe(d)
-	h, ok := r.hists[outcome]
-	if !ok {
-		h = obs.NewHistogram(responseBounds())
-		r.hists[outcome] = h
-	}
-	h.Observe(d)
+	a.hist.Observe(d)
 }
 
 // Quantile estimates the q-quantile of the response-time distribution by
@@ -71,11 +96,11 @@ func (r *Response) Quantile(q float64) time.Duration {
 // QuantileOf estimates the q-quantile of one outcome class, or 0 when the
 // outcome was never recorded.
 func (r *Response) QuantileOf(outcome string, q float64) time.Duration {
-	h, ok := r.hists[outcome]
-	if !ok {
+	a := r.find(outcome)
+	if a == nil {
 		return 0
 	}
-	return h.Quantile(q)
+	return a.hist.Quantile(q)
 }
 
 // N returns the number of recorded requests.
@@ -96,18 +121,28 @@ func (r *Response) Mean() time.Duration {
 func (r *Response) Total() time.Duration { return r.total }
 
 // Count returns the number of requests with the given outcome.
-func (r *Response) Count(outcome string) int64 { return r.counts[outcome] }
+func (r *Response) Count(outcome string) int64 {
+	if a := r.find(outcome); a != nil {
+		return a.count
+	}
+	return 0
+}
 
 // SizeOf returns the bytes recorded under the given outcome.
-func (r *Response) SizeOf(outcome string) int64 { return r.sizes[outcome] }
+func (r *Response) SizeOf(outcome string) int64 {
+	if a := r.find(outcome); a != nil {
+		return a.bytes
+	}
+	return 0
+}
 
 // MeanOf returns the mean response time of one outcome class.
 func (r *Response) MeanOf(outcome string) time.Duration {
-	c := r.counts[outcome]
-	if c == 0 {
+	a := r.find(outcome)
+	if a == nil || a.count == 0 {
 		return 0
 	}
-	return r.times[outcome] / time.Duration(c)
+	return a.time / time.Duration(a.count)
 }
 
 // Frac returns the fraction of requests with the given outcome.
@@ -115,7 +150,7 @@ func (r *Response) Frac(outcome string) float64 {
 	if r.n == 0 {
 		return 0
 	}
-	return float64(r.counts[outcome]) / float64(r.n)
+	return float64(r.Count(outcome)) / float64(r.n)
 }
 
 // ByteFrac returns the fraction of bytes with the given outcome.
@@ -123,7 +158,7 @@ func (r *Response) ByteFrac(outcome string) float64 {
 	if r.bytes == 0 {
 		return 0
 	}
-	return float64(r.sizes[outcome]) / float64(r.bytes)
+	return float64(r.SizeOf(outcome)) / float64(r.bytes)
 }
 
 // FracAny sums Frac over several outcomes.
@@ -146,9 +181,9 @@ func (r *Response) ByteFracAny(outcomes ...string) float64 {
 
 // Outcomes returns the recorded outcome labels, sorted.
 func (r *Response) Outcomes() []string {
-	out := make([]string, 0, len(r.counts))
-	for k := range r.counts {
-		out = append(out, k)
+	out := make([]string, 0, len(r.aggs))
+	for i := range r.aggs {
+		out = append(out, r.aggs[i].label)
 	}
 	sort.Strings(out)
 	return out

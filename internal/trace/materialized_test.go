@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestMaterializedMatchesGenerator locks in the tentpole equivalence: a
+// materialized replay must be request-for-request identical to streaming
+// the generator, for all three workloads.
+func TestMaterializedMatchesGenerator(t *testing.T) {
+	for _, p := range Profiles(0.002) {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			m, err := Materialize(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int64(m.Len()) != p.Requests {
+				t.Fatalf("Len = %d, want %d", m.Len(), p.Requests)
+			}
+			g, err := NewGenerator(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur := m.Reader()
+			for i := 0; ; i++ {
+				want, werr := g.Next()
+				got, gerr := cur.Next()
+				if werr != gerr {
+					t.Fatalf("request %d: err %v vs generator err %v", i, gerr, werr)
+				}
+				if werr == io.EOF {
+					break
+				}
+				if got != want {
+					t.Fatalf("request %d: materialized %+v != generator %+v", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestMaterializedCursorReset(t *testing.T) {
+	p := DECProfile(0.001)
+	m, err := Materialize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Reader()
+	first, err := c.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := c.Next(); err == io.EOF {
+			break
+		}
+	}
+	c.Reset()
+	again, err := c.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again {
+		t.Fatalf("after Reset, first request %+v != original %+v", again, first)
+	}
+}
+
+// TestMaterializedForMemo asserts the memo returns the identical buffer for
+// equal profiles and distinct buffers for distinct profiles.
+func TestMaterializedForMemo(t *testing.T) {
+	ResetMaterializedCache()
+	defer ResetMaterializedCache()
+
+	p := DECProfile(0.001)
+	a, err := MaterializedFor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MaterializedFor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("equal profiles returned distinct materialized buffers")
+	}
+	q, err := MaterializedFor(BerkeleyProfile(0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q == a {
+		t.Fatal("distinct profiles shared a materialized buffer")
+	}
+}
+
+func TestMaterializedForInvalidProfile(t *testing.T) {
+	ResetMaterializedCache()
+	defer ResetMaterializedCache()
+	var bad Profile // zero value fails validation
+	if _, err := MaterializedFor(bad); err == nil {
+		t.Fatal("expected error for invalid profile")
+	}
+}
+
+// TestMaterializedForConcurrent hammers the memo from many goroutines (run
+// under -race in CI): generation must happen once and every reader must see
+// the same request stream.
+func TestMaterializedForConcurrent(t *testing.T) {
+	ResetMaterializedCache()
+	defer ResetMaterializedCache()
+
+	p := DECProfile(0.001)
+	const workers = 8
+	bufs := make([]*Materialized, workers)
+	firsts := make([]Request, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m, err := MaterializedFor(p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			bufs[w] = m
+			r, err := m.Reader().Next()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			firsts[w] = r
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if bufs[w] != bufs[0] {
+			t.Fatalf("worker %d got a different buffer", w)
+		}
+		if firsts[w] != firsts[0] {
+			t.Fatalf("worker %d read a different first request", w)
+		}
+	}
+}
