@@ -66,6 +66,8 @@ func run(args []string, out io.Writer, wait func()) error {
 		hintEntries = fs.Int("hint-entries", 65536, "hint table entries (16 bytes each)")
 		hintStripes = fs.Int("hint-stripes", 0, "hint table lock stripes, rounded up to a power of two (0: sized from GOMAXPROCS)")
 		interval    = fs.Duration("update-interval", time.Second, "mean hint batch interval")
+		hintQueue   = fs.Int("hint-queue", 0, "pending and per-peer hint queue capacity in records; overflow drops oldest informs first (0: 8192 default)")
+		digWorkers  = fs.Int("digest-workers", 0, "concurrent peer digest pulls in digest mode (0: 4 default)")
 		objectSize  = fs.Int64("object-size", 8<<10, "origin default object size")
 		traceSample = fs.Float64("trace-sample", 0, "fraction of fetches recorded in /debug/traces (0: node default of 1/64, >=1: all, <0: none)")
 		debugAddr   = fs.String("debug-addr", "", "optional address for a net/http/pprof debug listener (off when empty)")
@@ -113,6 +115,8 @@ func run(args []string, out io.Writer, wait func()) error {
 		HintStripes:    *hintStripes,
 		OriginURL:      *originURL,
 		UpdateInterval: *interval,
+		HintQueue:      *hintQueue,
+		DigestWorkers:  *digWorkers,
 		TraceSample:    *traceSample,
 		PeerTimeout:    *peerTimeout,
 		OriginTimeout:  *originTO,

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
+	"sync/atomic"
 
 	"beyondcache/internal/digest"
 )
@@ -52,56 +54,116 @@ func (n *Node) handleDigest(w http.ResponseWriter, r *http.Request) {
 	w.Write(data)
 }
 
+// digestBodyLimit bounds one pulled digest's wire size.
+const digestBodyLimit = 8 << 20
+
+// digestSource is one peer to pull a digest from.
+type digestSource struct {
+	id  uint64
+	url string
+}
+
 // PullDigests fetches every peer's digest now. The batcher calls it
-// periodically in digest mode; tests call it directly.
+// periodically in digest mode; tests call it directly. Pulls fan out over
+// a bounded worker pool (NodeConfig.DigestWorkers), so one round costs
+// roughly the slowest peer rather than the sum of all peers, and a sick
+// peer burning its retry budget delays only the worker holding it. Each
+// worker reuses one read buffer across its pulls (digest.Decode copies out
+// of it), so a round does not allocate per peer.
 func (n *Node) PullDigests() {
-	type peer struct {
-		id  uint64
-		url string
-	}
 	n.peerMu.RLock()
-	peers := make([]peer, 0, len(n.peers))
-	for id, u := range n.peers {
-		peers = append(peers, peer{id: id, url: u})
+	peers := make([]digestSource, 0, len(n.peers))
+	for _, id := range n.peerOrder {
+		peers = append(peers, digestSource{id: id, url: n.peers[id]})
 	}
 	n.peerMu.RUnlock()
+	if len(peers) == 0 {
+		return
+	}
 
-	for _, p := range peers {
-		// Digest pulls are idempotent reads, so a failed pull retries
-		// under jittered backoff before the peer's digest is left stale
-		// until the next exchange.
-		var f *digest.Filter
-		retries, err := n.backoff.Retry(context.Background(), 3, func() error {
-			ctx, cancel := context.WithTimeout(context.Background(), metadataTimeout)
-			defer cancel()
-			req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.url+"/digest", nil)
-			if err != nil {
-				return err
+	workers := n.digestWorkers
+	if workers > len(peers) {
+		workers = len(peers)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf []byte
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(peers) {
+					return
+				}
+				buf = n.pullDigest(peers[i], buf)
 			}
-			resp, err := n.client.Do(req)
-			if err != nil {
-				return err
-			}
-			data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
-			resp.Body.Close()
-			if err != nil {
-				return err
-			}
-			if resp.StatusCode != http.StatusOK {
-				return fmt.Errorf("digest pull: status %d", resp.StatusCode)
-			}
-			f, err = digest.Decode(data)
-			return err
-		})
-		n.stats.retries.Add(int64(retries))
+		}()
+	}
+	wg.Wait()
+}
+
+// pullDigest fetches one peer's digest, retrying under jittered backoff (a
+// pull is an idempotent read) before leaving the old digest stale until the
+// next exchange. buf is the worker's reusable read buffer; the possibly
+// regrown buffer is returned for the next pull.
+func (n *Node) pullDigest(p digestSource, buf []byte) []byte {
+	var f *digest.Filter
+	retries, err := n.backoff.Retry(context.Background(), 3, func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), metadataTimeout)
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.url+"/digest", nil)
 		if err != nil {
-			n.stats.sendErrors.Add(1)
-			continue
+			return err
 		}
-		n.digestMu.Lock()
-		n.peerDigests[p.id] = f
-		n.digestMu.Unlock()
-		n.stats.digestsPulled.Add(1)
+		resp, err := n.client.Do(req)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			// Check the status before touching the body so an error
+			// page is never slurped at full digest size; drain a token
+			// amount for connection reuse and give up on this attempt.
+			io.CopyN(io.Discard, resp.Body, 4<<10)
+			resp.Body.Close()
+			return fmt.Errorf("digest pull: status %d", resp.StatusCode)
+		}
+		buf, err = readAllInto(buf[:0], io.LimitReader(resp.Body, digestBodyLimit))
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		f, err = digest.Decode(buf)
+		return err
+	})
+	n.stats.retries.Add(int64(retries))
+	if err != nil {
+		n.stats.sendErrors.Add(1)
+		return buf
+	}
+	n.digestMu.Lock()
+	n.peerDigests[p.id] = f
+	n.digestMu.Unlock()
+	n.stats.digestsPulled.Add(1)
+	return buf
+}
+
+// readAllInto reads r to EOF into buf, reusing buf's capacity and growing
+// it only when the payload outgrows it. The filled slice is returned.
+func readAllInto(buf []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		nn, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+nn]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
 	}
 }
 

@@ -34,6 +34,12 @@ type FleetConfig struct {
 	HintEntries int
 	// UpdateInterval between hint batches or digest pulls (<= 0 for 1s).
 	UpdateInterval time.Duration
+	// HintQueue bounds each node's pending and per-peer sender queues in
+	// records (<= 0 for the node default of 8192).
+	HintQueue int
+	// DigestWorkers bounds each node's concurrent digest pulls (<= 0 for
+	// the node default of 4).
+	DigestWorkers int
 	// ObjectSize is the origin's default object size (<= 0 for 8 KB).
 	ObjectSize int64
 	// UseDigests switches every node to Bloom-filter digest exchange.
@@ -60,6 +66,8 @@ func (cfg FleetConfig) nodeConfig(i int, originURL string) NodeConfig {
 		HintEntries:    cfg.HintEntries,
 		OriginURL:      originURL,
 		UpdateInterval: cfg.UpdateInterval,
+		HintQueue:      cfg.HintQueue,
+		DigestWorkers:  cfg.DigestWorkers,
 		Seed:           int64(i) + 1,
 		UseDigests:     cfg.UseDigests,
 		PeerTimeout:    cfg.PeerTimeout,

@@ -1,0 +1,520 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"beyondcache/internal/digest"
+	"beyondcache/internal/faults"
+	"beyondcache/internal/hintcache"
+	"beyondcache/internal/resilience"
+)
+
+// Run with -bench-cluster-out to measure the metadata plane before/after
+// the per-peer sender pipeline and write the comparison JSON there:
+//
+//	go test ./internal/cluster -run TestRecordClusterBench \
+//	    -bench-cluster-out ../../BENCH_cluster.json
+var benchClusterOut = flag.String("bench-cluster-out", "", "write the cluster metadata-plane bench JSON to this path")
+
+// updateSink is a stub /updates receiver: it decodes every delivered batch
+// and records the updates, the wire bytes, and the arrival time of each
+// batch.
+type updateSink struct {
+	srv *httptest.Server
+
+	mu      sync.Mutex
+	recs    []hintcache.Update
+	wire    int64
+	arrived []time.Time
+}
+
+func newUpdateSink(t testing.TB) *updateSink {
+	t.Helper()
+	s := &updateSink{}
+	s.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		us, err := hintcache.DecodeUpdates(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		now := time.Now()
+		s.mu.Lock()
+		s.wire += int64(len(body))
+		s.recs = append(s.recs, us...)
+		s.arrived = append(s.arrived, now)
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	t.Cleanup(s.srv.Close)
+	return s
+}
+
+func (s *updateSink) records() []hintcache.Update {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]hintcache.Update(nil), s.recs...)
+}
+
+func (s *updateSink) wireBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wire
+}
+
+func (s *updateSink) reset() {
+	s.mu.Lock()
+	s.recs, s.arrived, s.wire = nil, nil, 0
+	s.mu.Unlock()
+}
+
+// firstArrival blocks until the sink has received at least one batch (or
+// the deadline passes) and returns the first batch's arrival time.
+func (s *updateSink) firstArrival(t testing.TB, deadline time.Duration) time.Time {
+	t.Helper()
+	stop := time.Now().Add(deadline)
+	for {
+		s.mu.Lock()
+		if len(s.arrived) > 0 {
+			at := s.arrived[0]
+			s.mu.Unlock()
+			return at
+		}
+		s.mu.Unlock()
+		if time.Now().After(stop) {
+			t.Fatalf("sink %s received nothing within %v", s.srv.URL, deadline)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// newMetaNode boots a node over httptest for metadata-plane tests. The
+// origin URL points nowhere: these tests never fetch objects.
+func newMetaNode(t testing.TB, cfg NodeConfig) *Node {
+	t.Helper()
+	if cfg.OriginURL == "" {
+		cfg.OriginURL = "http://127.0.0.1:1"
+	}
+	if cfg.UpdateInterval == 0 {
+		cfg.UpdateInterval = time.Hour // tests flush explicitly
+	}
+	n, err := NewNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(n.Handler())
+	n.Bind(srv.URL)
+	t.Cleanup(func() {
+		if err := n.Close(); err != nil {
+			t.Errorf("node close: %v", err)
+		}
+		srv.Close()
+	})
+	return n
+}
+
+// TestFlushCoalescesOverWire drives the full pipeline: repeated informs for
+// one object dedupe and an inform-then-invalidate collapses to the
+// invalidate, so one round delivers one record per touched object.
+func TestFlushCoalescesOverWire(t *testing.T) {
+	sink := newUpdateSink(t)
+	n := newMetaNode(t, NodeConfig{Name: "coalesce"})
+	n.AddUpdateTarget(sink.srv.URL)
+
+	n.queueInform(1)
+	n.enqueueLocal(hintcache.Update{Action: hintcache.ActionInvalidate, URLHash: 1, Machine: n.machineID})
+	n.queueInform(2)
+	n.queueInform(2)
+	n.queueInform(2)
+	n.Flush()
+
+	got := sink.records()
+	want := []hintcache.Update{
+		{Action: hintcache.ActionInvalidate, URLHash: 1, Machine: n.machineID},
+		{Action: hintcache.ActionInform, URLHash: 2, Machine: n.machineID},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("sink received %d records %v, want %d (coalesced)", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	st := n.Stats()
+	if st.Coalesced != 3 {
+		t.Errorf("Coalesced = %d, want 3 (one invalidate collapse + two inform dedupes)", st.Coalesced)
+	}
+	if st.UpdatesSent != 2 {
+		t.Errorf("UpdatesSent = %d, want 2", st.UpdatesSent)
+	}
+	if wb := sink.wireBytes(); wb != 2*hintcache.UpdateSize {
+		t.Errorf("wire bytes = %d, want %d", wb, 2*hintcache.UpdateSize)
+	}
+}
+
+// TestPendingQueueBounded checks satellite 1: the node-level pending queue
+// is capped, overflow drops the oldest informs first, and drops are
+// counted.
+func TestPendingQueueBounded(t *testing.T) {
+	n := newMetaNode(t, NodeConfig{Name: "bounded", HintQueue: 4})
+	for h := uint64(1); h <= 6; h++ {
+		n.queueInform(h)
+	}
+	if st := n.Stats(); st.PendingDropped != 2 {
+		t.Errorf("PendingDropped = %d, want 2", st.PendingDropped)
+	}
+	if got := n.pend.len(); got != 4 {
+		t.Errorf("pending queue holds %d records, want 4", got)
+	}
+}
+
+// TestUpdatesOversizeRejected checks satellite 2 on both receivers: a body
+// over the limit draws 413 whole instead of being truncated mid-record,
+// and the node counts the reject.
+func TestUpdatesOversizeRejected(t *testing.T) {
+	n := newMetaNode(t, NodeConfig{Name: "oversize"}) // default limit: 1 MB
+	big := bytes.Repeat([]byte{0}, 1<<20+hintcache.UpdateSize)
+	resp, err := http.Post(n.URL()+"/updates", "application/octet-stream", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("node oversized POST /updates = %d, want 413", resp.StatusCode)
+	}
+	if st := n.Stats(); st.OversizeRejects != 1 {
+		t.Errorf("OversizeRejects = %d, want 1", st.OversizeRejects)
+	}
+
+	// A batch that exactly fits the limit still decodes (no shearing).
+	fit := make([]hintcache.Update, 8)
+	for i := range fit {
+		fit[i] = hintcache.Update{Action: hintcache.ActionInform, URLHash: uint64(i) + 1, Machine: 42}
+	}
+	resp, err = http.Post(n.URL()+"/updates", "application/octet-stream", bytes.NewReader(hintcache.EncodeUpdates(fit)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Errorf("node valid POST /updates = %d, want 204", resp.StatusCode)
+	}
+
+	relay := NewRelay("r")
+	rs := httptest.NewServer(relay.Handler())
+	defer rs.Close()
+	resp, err = http.Post(rs.URL+"/updates", "application/octet-stream", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("relay oversized POST /updates = %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestDigestPullChecksStatusFirst checks satellite 3: a non-200 digest
+// response is an error without the body being decoded, and the peer's
+// digest stays absent.
+func TestDigestPullChecksStatusFirst(t *testing.T) {
+	errSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "digest rebuild failed", http.StatusInternalServerError)
+	}))
+	defer errSrv.Close()
+
+	n := newMetaNode(t, NodeConfig{Name: "status-first", UseDigests: true})
+	n.AddPeer(errSrv.URL)
+	n.PullDigests()
+
+	st := n.Stats()
+	if st.DigestsPulled != 0 {
+		t.Errorf("DigestsPulled = %d, want 0", st.DigestsPulled)
+	}
+	if st.SendErrors != 1 {
+		t.Errorf("SendErrors = %d, want 1", st.SendErrors)
+	}
+	if peer := n.digestPeer(1); peer != "" {
+		t.Errorf("digestPeer after failed pull = %q, want none", peer)
+	}
+}
+
+// TestDigestPullsRunConcurrently boots four slow digest peers and checks
+// that one pull round costs roughly the slowest peer, not the sum.
+func TestDigestPullsRunConcurrently(t *testing.T) {
+	const delay = 300 * time.Millisecond
+	own, err := digest.NewForCapacity(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := own.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := newMetaNode(t, NodeConfig{Name: "parallel-pull", UseDigests: true, DigestWorkers: 4})
+	for i := 0; i < 4; i++ {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			time.Sleep(delay)
+			w.Write(wire)
+		}))
+		t.Cleanup(srv.Close)
+		n.AddPeer(srv.URL)
+	}
+
+	start := time.Now()
+	n.PullDigests()
+	elapsed := time.Since(start)
+
+	if st := n.Stats(); st.DigestsPulled != 4 {
+		t.Errorf("DigestsPulled = %d, want 4", st.DigestsPulled)
+	}
+	// Serial pulls would cost 4 x delay = 1.2s; allow generous headroom
+	// over one delay for scheduling noise.
+	if elapsed > 3*delay {
+		t.Errorf("PullDigests took %v for 4 peers at %v each, want concurrent (< %v)", elapsed, delay, 3*delay)
+	}
+}
+
+// TestChaosMetadataPlaneIsolation is the per-peer isolation contract: with
+// one of four update targets blackholed, the three healthy targets must
+// receive a queued hint within 2x the batch interval — the sick target's
+// retry budget burns on its own sender. After healing, the blackholed
+// target receives the batch too (the in-flight retries deliver it).
+func TestChaosMetadataPlaneIsolation(t *testing.T) {
+	const interval = 200 * time.Millisecond
+	sinks := make([]*updateSink, 4)
+	for i := range sinks {
+		sinks[i] = newUpdateSink(t)
+	}
+	inj, err := faults.New(hostPortOf(sinks[0].srv.URL)+":blackhole", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := newMetaNode(t, NodeConfig{
+		Name:           "isolation",
+		UpdateInterval: interval,
+		Faults:         inj,
+	})
+	t.Cleanup(func() { _ = inj.SetSpec("") }) // heal before the close-time flush
+	for _, s := range sinks {
+		n.AddUpdateTarget(s.srv.URL)
+	}
+
+	n.queueInform(42)
+	start := time.Now()
+	n.flushAsync()
+
+	for i, s := range sinks[1:] {
+		at := s.firstArrival(t, 2*interval)
+		if d := at.Sub(start); d > 2*interval {
+			t.Errorf("healthy sink %d received the hint after %v, want within %v", i+1, d, 2*interval)
+		}
+	}
+
+	// Heal: the blackholed sender is mid-retry; its queued batch must
+	// still arrive (first attempt times out after metadataTimeout, the
+	// next one succeeds).
+	if err := inj.SetSpec(""); err != nil {
+		t.Fatal(err)
+	}
+	sinks[0].firstArrival(t, 2*metadataTimeout+2*time.Second)
+
+	if got := sinks[1].records(); len(got) != 1 || got[0].URLHash != 42 {
+		t.Errorf("healthy sink records = %v, want exactly the queued inform", got)
+	}
+}
+
+// TestRecordClusterBench measures the metadata plane before (the serial
+// flush loop, emulated faithfully) and after (the per-peer sender
+// pipeline) and writes the comparison to -bench-cluster-out. Skipped
+// unless the flag is set; the committed BENCH_cluster.json is its output.
+func TestRecordClusterBench(t *testing.T) {
+	if *benchClusterOut == "" {
+		t.Skip("set -bench-cluster-out to record the cluster bench")
+	}
+	const (
+		targets     = 4
+		interval    = 200 * time.Millisecond
+		events      = 4096
+		distinct    = 512
+		ingestIters = 500
+	)
+
+	// --- Flush fan-out with one blackholed target among four. ---
+	sinks := make([]*updateSink, targets)
+	for i := range sinks {
+		sinks[i] = newUpdateSink(t)
+	}
+	maxHealthyArrival := func(t0 time.Time) time.Duration {
+		var worst time.Duration
+		for _, s := range sinks[1:] {
+			if d := s.firstArrival(t, time.Second).Sub(t0); d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+
+	// Before: the pre-pipeline serial loop — one POST per target in
+	// order, each with 3 attempts under the metadata timeout, the
+	// blackholed target first (the worst case the old code admitted).
+	inj, err := faults.New(hostPortOf(sinks[0].srv.URL)+":blackhole", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := newClient(nil, inj)
+	backoff := resilience.NewBackoff(25*time.Millisecond, 200*time.Millisecond, 2, 1)
+	body := hintcache.EncodeUpdates([]hintcache.Update{{Action: hintcache.ActionInform, URLHash: 99, Machine: 7}})
+	serialStart := time.Now()
+	for _, s := range sinks {
+		_, _ = backoff.Retry(context.Background(), 3, func() error {
+			ctx, cancel := context.WithTimeout(context.Background(), metadataTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.srv.URL+"/updates", bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				return err
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return nil
+		})
+	}
+	serialRound := time.Since(serialStart)
+	serialHealthy := maxHealthyArrival(serialStart)
+	for _, s := range sinks {
+		s.reset()
+	}
+
+	// After: the sender pipeline, same fault.
+	pinj, err := faults.New(hostPortOf(sinks[0].srv.URL)+":blackhole", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := newMetaNode(t, NodeConfig{Name: "bench-fanout", UpdateInterval: interval, Faults: pinj})
+	t.Cleanup(func() { _ = pinj.SetSpec("") })
+	for _, s := range sinks {
+		n.AddUpdateTarget(s.srv.URL)
+	}
+	n.queueInform(99)
+	pipeStart := time.Now()
+	n.Flush() // synchronous: returns once every sender delivered or abandoned
+	pipeRound := time.Since(pipeStart)
+	pipeHealthy := maxHealthyArrival(pipeStart)
+	if pipeHealthy > 2*interval {
+		t.Errorf("pipeline healthy delivery %v exceeds 2x interval %v", pipeHealthy, 2*interval)
+	}
+
+	// --- Wire bytes per round under a hot-set workload. ---
+	wireSink := newUpdateSink(t)
+	wn := newMetaNode(t, NodeConfig{Name: "bench-wire"})
+	wn.AddUpdateTarget(wireSink.srv.URL)
+	for i := 0; i < events; i++ {
+		wn.queueInform(uint64(i%distinct) + 1)
+	}
+	wn.Flush()
+	wireAfter := wireSink.wireBytes()
+	wireBefore := int64(events) * hintcache.UpdateSize // one record per event, no coalescing
+
+	// --- Ingest throughput through POST /updates handling. ---
+	in := newMetaNode(t, NodeConfig{Name: "bench-ingest"})
+	batch := make([]hintcache.Update, events)
+	for i := range batch {
+		batch[i] = hintcache.Update{Action: hintcache.ActionInform, URLHash: uint64(i) + 1, Machine: 0xABCD}
+	}
+	msg := hintcache.EncodeUpdates(batch)
+
+	// Before: the pre-pipeline handler body — fresh ReadAll, fresh
+	// DecodeUpdates allocation, one table lock per record.
+	oldHandler := func(w http.ResponseWriter, r *http.Request) {
+		m, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, "read body", http.StatusBadRequest)
+			return
+		}
+		us, err := hintcache.DecodeUpdates(m)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		for _, u := range us {
+			if u.Machine == in.machineID {
+				continue
+			}
+			_ = in.hints.Apply(u)
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}
+	measure := func(h http.HandlerFunc) float64 {
+		start := time.Now()
+		for i := 0; i < ingestIters; i++ {
+			req := httptest.NewRequest(http.MethodPost, "/updates", bytes.NewReader(msg))
+			h(httptest.NewRecorder(), req)
+		}
+		return float64(ingestIters*events) / time.Since(start).Seconds()
+	}
+	ingestBefore := measure(oldHandler)
+	ingestAfter := measure(in.handleUpdates)
+
+	out := struct {
+		Description               string  `json:"description"`
+		Targets                   int     `json:"targets"`
+		Blackholed                int     `json:"blackholed_targets"`
+		IntervalMs                float64 `json:"batch_interval_ms"`
+		SerialHealthyDeliveryMs   float64 `json:"serial_healthy_delivery_ms"`
+		SerialRoundMs             float64 `json:"serial_round_ms"`
+		PipelineHealthyDeliveryMs float64 `json:"pipeline_healthy_delivery_ms"`
+		PipelineRoundMs           float64 `json:"pipeline_round_ms"`
+		IngestBatchRecords        int     `json:"ingest_batch_records"`
+		SerialIngestPerSec        float64 `json:"serial_ingest_updates_per_sec"`
+		PipelineIngestPerSec      float64 `json:"pipeline_ingest_updates_per_sec"`
+		HotSetEvents              int     `json:"hot_set_events"`
+		HotSetDistinct            int     `json:"hot_set_distinct_objects"`
+		SerialWireBytesPerRound   int64   `json:"serial_wire_bytes_per_round"`
+		PipelineWireBytesPerRound int64   `json:"pipeline_wire_bytes_per_round"`
+	}{
+		Description:               "Metadata plane with one blackholed target among 4: serial flush loop (before) vs per-peer sender pipeline (after); /updates ingest throughput; wire bytes per round under a hot-set workload.",
+		Targets:                   targets,
+		Blackholed:                1,
+		IntervalMs:                float64(interval.Milliseconds()),
+		SerialHealthyDeliveryMs:   float64(serialHealthy.Microseconds()) / 1000,
+		SerialRoundMs:             float64(serialRound.Microseconds()) / 1000,
+		PipelineHealthyDeliveryMs: float64(pipeHealthy.Microseconds()) / 1000,
+		PipelineRoundMs:           float64(pipeRound.Microseconds()) / 1000,
+		IngestBatchRecords:        events,
+		SerialIngestPerSec:        ingestBefore,
+		PipelineIngestPerSec:      ingestAfter,
+		HotSetEvents:              events,
+		HotSetDistinct:            distinct,
+		SerialWireBytesPerRound:   wireBefore,
+		PipelineWireBytesPerRound: wireAfter,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*benchClusterOut, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %s", *benchClusterOut, data)
+}

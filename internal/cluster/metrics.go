@@ -70,6 +70,20 @@ func (n *Node) Metrics() *obs.Expo {
 	e.Counter("beyondcache_digest_pulls_total",
 		"Peer digest pulls completed (digest mode).", st.DigestsPulled)
 
+	// Metadata-plane pipeline: coalescing, queue bounds, and oversize
+	// rejects (see DESIGN.md §10).
+	e.Counter("beyondcache_hint_coalesced_total",
+		"Pending hint updates folded onto an existing record for the same object before send.",
+		st.Coalesced)
+	e.Counter("beyondcache_hint_pending_dropped_total",
+		"Records dropped by the bounded node-level pending queue (oldest informs first).",
+		st.PendingDropped)
+	e.Gauge("beyondcache_hint_pending_records",
+		"Hint updates queued for the next batch round.", float64(n.pend.len()))
+	e.Counter("beyondcache_updates_oversize_total",
+		"POST /updates bodies refused with 413 for exceeding the size limit.",
+		st.OversizeRejects)
+
 	// Resilience: breaker activity, hedged races, and metadata retries.
 	e.Counter("beyondcache_breaker_skips_total",
 		"Peer probes skipped outright because the peer's breaker was open.",
@@ -112,6 +126,30 @@ func (n *Node) Metrics() *obs.Expo {
 	e.Gauge("beyondcache_breakers_open",
 		"Peers whose breaker is currently not closed.", float64(open))
 
+	// Per-peer sender queues. Senders are created eagerly alongside the
+	// breakers (AddPeer/AddUpdateTarget), so every target reports from
+	// the first scrape.
+	n.peerMu.RLock()
+	targets := make([]string, 0, len(n.senders))
+	for t := range n.senders {
+		targets = append(targets, t)
+	}
+	senders := make(map[string]*peerSender, len(n.senders))
+	for t, s := range n.senders {
+		senders[t] = s
+	}
+	n.peerMu.RUnlock()
+	sort.Strings(targets)
+	for _, t := range targets {
+		s := senders[t]
+		label := obs.L("peer", hostPortOf(t))
+		e.Gauge("beyondcache_hint_queue_depth",
+			"Records waiting in the per-peer sender queue.", float64(s.q.len()), label)
+		e.Counter("beyondcache_hint_queue_dropped_total",
+			"Records dropped from the per-peer sender queue under backpressure (oldest informs first).",
+			s.dropped.Load(), label)
+	}
+
 	// Injected-fault counters, one series per fault kind; all zero (but
 	// present) when the node runs without a fault spec.
 	var fc faults.Counts
@@ -149,6 +187,9 @@ func (n *Node) Metrics() *obs.Expo {
 	e.Histogram("beyondcache_hint_flush_seconds",
 		"Duration of one hint-batch flush round across all targets.",
 		n.hist.flush.Snapshot())
+	e.Histogram("beyondcache_hint_fanout_seconds",
+		"Per-target hint-batch delivery time (one sender's successful POST, retries included).",
+		n.hist.fanout.Snapshot())
 	e.Histogram("beyondcache_peer_serve_seconds",
 		"Time to serve a cached object to a peer over /object.",
 		n.hist.peerServe.Snapshot())

@@ -72,6 +72,15 @@ type NodeConfig struct {
 	// avoid synchronization effects (Section 3.2 cites Floyd & Jacobson).
 	// Zero means 1 second. In digest mode it is the digest pull interval.
 	UpdateInterval time.Duration
+	// HintQueue bounds the pending hint queues in records (<= 0 means
+	// 8192): both the node-level queue feeding the batcher and each
+	// per-peer sender queue. Overflow drops the oldest informs first
+	// (invalidates are preserved) and is counted in /metrics. It also
+	// sizes the /updates body limit (HintQueue x 20 bytes, floor 1 MB).
+	HintQueue int
+	// DigestWorkers bounds concurrent peer digest pulls in digest mode
+	// (<= 0 means 4).
+	DigestWorkers int
 	// Seed feeds the update-interval jitter.
 	Seed int64
 
@@ -158,6 +167,18 @@ type Stats struct {
 	// Retries counts metadata-path re-attempts (hint-batch POSTs and
 	// digest pulls) spent after a failure.
 	Retries int64 `json:"retries"`
+	// Coalesced counts pending hint updates folded onto an existing
+	// record for the same object before being sent (repeated informs
+	// dedupe; inform-then-invalidate collapses to the invalidate).
+	Coalesced int64 `json:"coalesced"`
+	// PendingDropped counts records the bounded node-level pending queue
+	// discarded under overflow (oldest informs first); QueueDropped is
+	// the same for the per-peer sender queues, summed across peers.
+	PendingDropped int64 `json:"pendingDropped"`
+	QueueDropped   int64 `json:"queueDropped"`
+	// OversizeRejects counts POST /updates bodies refused with 413 for
+	// exceeding the size limit.
+	OversizeRejects int64 `json:"oversizeRejects"`
 }
 
 // counters is the node's live (concurrently updated) form of Stats.
@@ -179,6 +200,10 @@ type counters struct {
 	hedgeOriginWins atomic.Int64
 	hedgePeerWins   atomic.Int64
 	retries         atomic.Int64
+	coalesced       atomic.Int64
+	pendingDropped  atomic.Int64
+	queueDropped    atomic.Int64
+	oversizeRejects atomic.Int64
 }
 
 // nodeHists are the node's latency histograms: client-facing fetch time per
@@ -191,7 +216,8 @@ type nodeHists struct {
 	remote        *obs.Histogram // X-Cache REMOTE
 	miss          *obs.Histogram // X-Cache MISS and "MISS,STALE-HINT"
 	falsePositive *obs.Histogram // failed peer probe paid before origin
-	flush         *obs.Histogram // one Flush round (all targets)
+	flush         *obs.Histogram // one flush round (slowest target's delivery)
+	fanout        *obs.Histogram // one sender's successful batch POST
 	peerServe     *obs.Histogram // serving /object to a peer
 }
 
@@ -203,6 +229,7 @@ func newNodeHists() nodeHists {
 		miss:          obs.NewHistogram(nil),
 		falsePositive: obs.NewHistogram(nil),
 		flush:         obs.NewHistogram(nil),
+		fanout:        obs.NewHistogram(nil),
 		peerServe:     obs.NewHistogram(nil),
 	}
 }
@@ -241,6 +268,10 @@ func (c *counters) snapshot() Stats {
 		HedgeOriginWins: c.hedgeOriginWins.Load(),
 		HedgePeerWins:   c.hedgePeerWins.Load(),
 		Retries:         c.retries.Load(),
+		Coalesced:       c.coalesced.Load(),
+		PendingDropped:  c.pendingDropped.Load(),
+		QueueDropped:    c.queueDropped.Load(),
+		OversizeRejects: c.oversizeRejects.Load(),
 	}
 }
 
@@ -262,16 +293,20 @@ type Node struct {
 	// flights collapses duplicate in-flight fills per URL.
 	flights flightGroup
 
-	// pendMu guards the queue of hint updates awaiting the next batch.
-	pendMu  sync.Mutex
-	pending []hintcache.Update
+	// pend is the bounded coalescing queue of hint updates awaiting the
+	// next batch round (at most one record per object; see pendq).
+	pend *pendq
 
-	// peerMu guards the peer table and update-target list.
+	// peerMu guards the peer table, update-target list, and sender table.
 	peerMu sync.RWMutex
 	peers  map[uint64]string // machine ID -> base URL
 	// peerOrder fixes a deterministic scan order for digest lookups.
 	peerOrder []uint64
 	updates   []string // update targets; empty means all peers
+	// senders holds one running peerSender per known target (peers and
+	// update targets), keyed by base URL and created eagerly so /metrics
+	// exposes every queue from the first scrape.
+	senders map[string]*peerSender
 
 	// digestMu guards the digest state (own and pulled).
 	digestMu    sync.RWMutex
@@ -302,6 +337,10 @@ type Node struct {
 	peerTimeout   time.Duration
 	originTimeout time.Duration
 	hedgeBudget   time.Duration
+	digestWorkers int
+	// updatesLimit bounds a POST /updates body (bytes); larger bodies
+	// are refused with 413 instead of silently truncated.
+	updatesLimit int64
 
 	machineID uint64
 	// nodeLabel names the node in hop segments and request IDs: the
@@ -335,6 +374,12 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	}
 	if cfg.UpdateInterval <= 0 {
 		cfg.UpdateInterval = time.Second
+	}
+	if cfg.HintQueue <= 0 {
+		cfg.HintQueue = 8192
+	}
+	if cfg.DigestWorkers <= 0 {
+		cfg.DigestWorkers = 4
 	}
 	if err := validateDigestConfig(&cfg); err != nil {
 		return nil, err
@@ -371,6 +416,10 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if hedgeBudget == 0 {
 		hedgeBudget = 50 * time.Millisecond
 	}
+	updatesLimit := int64(cfg.HintQueue) * hintcache.UpdateSize
+	if updatesLimit < 1<<20 {
+		updatesLimit = 1 << 20
+	}
 	n := &Node{
 		cfg:           cfg,
 		data:          cache.NewSharded(cfg.CacheShards, cfg.CacheBytes),
@@ -378,7 +427,9 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		hist:          newNodeHists(),
 		traces:        obs.NewTraceRing(cfg.TraceRing),
 		sampler:       obs.NewSampler(sample),
+		pend:          newPendq(cfg.HintQueue),
 		peers:         make(map[uint64]string),
+		senders:       make(map[string]*peerSender),
 		nodeLabel:     cfg.Name,
 		rng:           rand.New(rand.NewSource(cfg.Seed)),
 		breakers:      resilience.NewBreakerSet(cfg.Breaker),
@@ -388,6 +439,8 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		peerTimeout:   peerTimeout,
 		originTimeout: originTimeout,
 		hedgeBudget:   hedgeBudget,
+		digestWorkers: cfg.DigestWorkers,
+		updatesLimit:  updatesLimit,
 		client:        newClient(cfg.Transport, inj),
 		stopBatch:     make(chan struct{}),
 		batchDone:     make(chan struct{}),
@@ -403,18 +456,29 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	}
 	// Capacity evictions advertise non-presence (the prototype's
 	// invalidate command). The callback runs with the evicted object's
-	// shard lock held and takes only pendMu — the shard-lock -> pending-
-	// queue edge of the locking hierarchy (DESIGN.md).
+	// shard lock held and takes only the pending queue's mutex — the
+	// shard-lock -> pending-queue edge of the locking hierarchy
+	// (DESIGN.md).
 	n.data.OnEvict(func(o cache.Object) {
-		n.pendMu.Lock()
-		n.pending = append(n.pending, hintcache.Update{
+		n.enqueueLocal(hintcache.Update{
 			Action:  hintcache.ActionInvalidate,
 			URLHash: o.ID,
 			Machine: n.machineID,
 		})
-		n.pendMu.Unlock()
 	})
 	return n, nil
+}
+
+// enqueueLocal folds one locally generated update into the pending queue,
+// counting coalesces and bound-overflow drops.
+func (n *Node) enqueueLocal(u hintcache.Update) {
+	coalesced, dropped := n.pend.add(u)
+	if coalesced {
+		n.stats.coalesced.Add(1)
+	}
+	if dropped {
+		n.stats.pendingDropped.Add(1)
+	}
 }
 
 // Handler returns the node's HTTP handler. Most callers use Start, which
@@ -530,9 +594,21 @@ func (n *Node) AddPeer(baseURL string) {
 		n.peerOrder = append(n.peerOrder, id)
 	}
 	n.peers[id] = baseURL
-	// Eagerly create the peer's breaker so /metrics exposes its state
-	// from the first scrape, not the first failure.
+	// Eagerly create the peer's breaker and sender so /metrics exposes
+	// their state from the first scrape, not the first failure or flush.
 	n.breakers.Get(baseURL)
+	n.senderLocked(baseURL)
+}
+
+// senderLocked returns the running sender for a target, creating it on
+// first sight. Callers hold peerMu in write mode.
+func (n *Node) senderLocked(baseURL string) *peerSender {
+	s, ok := n.senders[baseURL]
+	if !ok {
+		s = newPeerSender(n, baseURL, n.cfg.HintQueue)
+		n.senders[baseURL] = s
+	}
+	return s
 }
 
 // AddUpdateTarget directs hint-update batches to baseURL (a metadata relay
@@ -543,6 +619,7 @@ func (n *Node) AddUpdateTarget(baseURL string) {
 	n.peerMu.Lock()
 	defer n.peerMu.Unlock()
 	n.updates = append(n.updates, baseURL)
+	n.senderLocked(baseURL)
 }
 
 // hostPortOf strips an "http://" prefix.
@@ -561,6 +638,18 @@ func (n *Node) Close() error {
 	n.closeOnce.Do(func() {
 		close(n.stopBatch)
 		<-n.batchDone
+		// The batcher's final synchronous flush has completed; stop the
+		// per-peer senders (anything still queued on a failing target
+		// has already burned its retry budget).
+		n.peerMu.RLock()
+		senders := make([]*peerSender, 0, len(n.senders))
+		for _, s := range n.senders {
+			senders = append(senders, s)
+		}
+		n.peerMu.RUnlock()
+		for _, s := range senders {
+			s.shutdown()
+		}
 		if n.srv == nil {
 			return
 		}
@@ -601,7 +690,11 @@ func (n *Node) Breakers() map[string]resilience.BreakerStats {
 func (n *Node) FaultInjector() *faults.Injector { return n.inj }
 
 // batchLoop periodically flushes pending hint updates to all peers, with a
-// randomized period to avoid synchronization.
+// randomized period to avoid synchronization. Periodic rounds distribute to
+// the per-peer senders without waiting for delivery — a target burning its
+// retry budget never delays the next round, so healthy peers keep receiving
+// hints at the configured interval. The final round on shutdown is
+// synchronous so Close does not abandon queued updates untried.
 func (n *Node) batchLoop() {
 	defer close(n.batchDone)
 	for {
@@ -611,7 +704,11 @@ func (n *Node) batchLoop() {
 			n.exchange()
 			return
 		case <-time.After(interval):
-			n.exchange()
+			if n.cfg.UseDigests {
+				n.PullDigests()
+			} else {
+				n.flushAsync()
+			}
 		}
 	}
 }
@@ -632,72 +729,79 @@ func (n *Node) exchange() {
 	n.Flush()
 }
 
-// Flush sends all pending hint updates to every peer immediately. It is
-// also called by the batcher; tests call it directly to avoid sleeping.
-// Rounds that actually send something are timed into the flush histogram
-// (empty rounds would swamp it with no-ops).
-func (n *Node) Flush() {
-	start := time.Now()
-	n.pendMu.Lock()
-	batch := n.pending
-	n.pending = nil
-	n.pendMu.Unlock()
+// distribute drains the pending queue and hands the batch to every
+// target's sender. It returns the senders together with the generation to
+// wait on for this round's delivery, plus the record count. With an empty
+// batch nothing is enqueued; the returned generations make waiting a
+// barrier on whatever the senders already had in flight.
+func (n *Node) distribute() (senders []*peerSender, seqs []int64, records int) {
+	batch := n.pend.drain(nil)
 
 	n.peerMu.RLock()
-	var targets []string
 	if len(n.updates) > 0 {
-		targets = append(targets, n.updates...)
+		for _, t := range n.updates {
+			senders = append(senders, n.senders[t])
+		}
 	} else {
-		for _, u := range n.peers {
-			targets = append(targets, u)
+		for _, id := range n.peerOrder {
+			senders = append(senders, n.senders[n.peers[id]])
 		}
 	}
 	n.peerMu.RUnlock()
-	if len(batch) == 0 || len(targets) == 0 {
+
+	seqs = make([]int64, len(senders))
+	for i, s := range senders {
+		if len(batch) > 0 {
+			seqs[i] = s.enqueue(batch)
+		} else {
+			seqs[i] = s.currentSeq()
+		}
+	}
+	return senders, seqs, len(batch)
+}
+
+// Flush sends all pending hint updates to every peer immediately and waits
+// until each target's sender has delivered (or abandoned) them. It is also
+// called by the batcher's final round; tests call it directly to avoid
+// sleeping. The fan-out is concurrent — one sender per target — so a round
+// costs the slowest target, not the sum of all targets. Rounds that
+// actually send something are timed into the flush histogram (empty rounds
+// would swamp it with no-ops).
+func (n *Node) Flush() {
+	start := time.Now()
+	senders, seqs, records := n.distribute()
+	for i, s := range senders {
+		s.wait(seqs[i])
+	}
+	if records > 0 && len(senders) > 0 {
+		n.hist.flush.Observe(time.Since(start))
+	}
+}
+
+// flushAsync distributes the pending batch to the senders without waiting
+// for delivery — the batcher's periodic round. A goroutine waits out the
+// round solely to time it into the flush histogram.
+func (n *Node) flushAsync() {
+	start := time.Now()
+	senders, seqs, records := n.distribute()
+	if records == 0 || len(senders) == 0 {
 		return
 	}
-	body := hintcache.EncodeUpdates(batch)
-	for _, t := range targets {
-		// Hint batches are idempotent (the table applies them by
-		// record), so a failed POST retries under jittered exponential
-		// backoff before being abandoned.
-		retries, err := n.backoff.Retry(context.Background(), 3, func() error {
-			ctx, cancel := context.WithTimeout(context.Background(), metadataTimeout)
-			defer cancel()
-			req, err := http.NewRequestWithContext(ctx, http.MethodPost, t+"/updates", bytes.NewReader(body))
-			if err != nil {
-				return err
-			}
-			req.Header.Set("Content-Type", "application/octet-stream")
-			req.Header.Set("X-Relay-From", n.URL())
-			resp, err := n.client.Do(req)
-			if err != nil {
-				return err
-			}
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			return nil
-		})
-		n.stats.retries.Add(int64(retries))
-		if err != nil {
-			n.stats.sendErrors.Add(1)
-			continue
+	go func() {
+		for i, s := range senders {
+			s.wait(seqs[i])
 		}
-		n.stats.batchesSent.Add(1)
-		n.stats.updatesSent.Add(int64(len(batch)))
-	}
-	n.hist.flush.Observe(time.Since(start))
+		n.hist.flush.Observe(time.Since(start))
+	}()
 }
 
 // queueInform records a local copy and schedules its advertisement.
 func (n *Node) queueInform(urlHash uint64) {
-	n.pendMu.Lock()
-	n.pending = append(n.pending, hintcache.Update{
+	n.enqueueLocal(hintcache.Update{
 		Action:  hintcache.ActionInform,
 		URLHash: urlHash,
 		Machine: n.machineID,
 	})
-	n.pendMu.Unlock()
 }
 
 // store caches a fetched object. PutNewer refuses version downgrades, so a
@@ -968,29 +1072,75 @@ func (n *Node) handleObject(w http.ResponseWriter, r *http.Request) {
 	serveObject(w, "PEER", obj.Version, body)
 }
 
-// handleUpdates ingests a batch of hint updates: POST /updates.
+// updatesBodyPool and updatesScratchPool recycle the body buffer and the
+// decoded-update scratch slice of the /updates ingest path, so a steady
+// stream of hint batches does not allocate per request.
+var (
+	updatesBodyPool    = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+	updatesScratchPool = sync.Pool{New: func() any { return new([]hintcache.Update) }}
+)
+
+// readUpdatesBody reads a POST /updates body into buf, enforcing limit. A
+// body that exceeds the limit is refused whole — the old behavior of
+// silently truncating at the limit could shear a 20-byte record mid-encode
+// and reject an otherwise valid batch as garbage. On error it returns the
+// HTTP status to respond with (413 for oversize, 400 otherwise).
+func readUpdatesBody(buf *bytes.Buffer, r *http.Request, limit int64) (status int, err error) {
+	if r.ContentLength > limit {
+		return http.StatusRequestEntityTooLarge,
+			fmt.Errorf("body %d bytes exceeds limit %d", r.ContentLength, limit)
+	}
+	// Read one byte past the limit so an unannounced oversized body is
+	// distinguishable from one that exactly fits.
+	if _, err := buf.ReadFrom(io.LimitReader(r.Body, limit+1)); err != nil {
+		return http.StatusBadRequest, fmt.Errorf("read body: %w", err)
+	}
+	if int64(buf.Len()) > limit {
+		return http.StatusRequestEntityTooLarge,
+			fmt.Errorf("body exceeds limit %d", limit)
+	}
+	return 0, nil
+}
+
+// handleUpdates ingests a batch of hint updates: POST /updates. The body
+// limit is sized from the hint-queue cap (a batch can never legitimately
+// exceed one full queue), records from this node are filtered out (our own
+// copies are tracked by the data cache), and the rest apply through
+// ApplyBatch, which takes each hint-table stripe lock once per batch
+// instead of once per record.
 func (n *Node) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
-	msg, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
-	if err != nil {
-		http.Error(w, "read body", http.StatusBadRequest)
+	buf := updatesBodyPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer updatesBodyPool.Put(buf)
+	if status, err := readUpdatesBody(buf, r, n.updatesLimit); err != nil {
+		if status == http.StatusRequestEntityTooLarge {
+			n.stats.oversizeRejects.Add(1)
+		}
+		http.Error(w, err.Error(), status)
 		return
 	}
-	updates, err := hintcache.DecodeUpdates(msg)
+	scratch := updatesScratchPool.Get().(*[]hintcache.Update)
+	defer updatesScratchPool.Put(scratch)
+	updates, err := hintcache.AppendDecodedUpdates((*scratch)[:0], buf.Bytes())
+	*scratch = updates[:0]
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	total := len(updates)
+	kept := updates[:0]
 	for _, u := range updates {
 		if u.Machine == n.machineID {
-			continue // our own copies are tracked by the data cache
+			continue
 		}
-		_ = n.hints.Apply(u)
+		kept = append(kept, u)
 	}
-	n.stats.updatesReceived.Add(int64(len(updates)))
+	_ = n.hints.ApplyBatch(kept)
+	n.stats.updatesReceived.Add(int64(total))
 	w.WriteHeader(http.StatusNoContent)
 }
 

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"sync"
+
+	"beyondcache/internal/hintcache"
+)
+
+// pendq is a bounded, coalescing queue of pending hint updates. It backs
+// both the node-level pending queue (updates awaiting the next batch round)
+// and each per-peer sender queue (updates awaiting that peer's next send).
+//
+// Coalescing: the queue holds at most one record per URL hash. A second
+// update for the same object overwrites the first in place — inform after
+// inform dedupes, inform followed by invalidate collapses to the
+// invalidate, and invalidate followed by a re-fill's inform collapses to
+// the inform. The receiver applies records independently, so sending only
+// the last action per object is observationally equivalent to sending the
+// whole history, and the wire batch shrinks to one 20-byte record per
+// object per round instead of one per event (the paper's principle 2: the
+// metadata path must stay cheap).
+//
+// Bounding: when the queue is full, the oldest inform is dropped first —
+// informs are advisory (a lost inform costs a possible remote hit), while
+// invalidates protect correctness-adjacent freshness (a lost invalidate
+// leaves a stale hint to mislead a peer), so invalidates are preserved over
+// informs. Only when the queue is all invalidates is the oldest invalidate
+// dropped. Drops are counted so backpressure is visible in /metrics.
+type pendq struct {
+	mu  sync.Mutex
+	cap int // max records; <= 0 means unbounded
+
+	order []uint64 // URL hashes in arrival order, oldest first
+	m     map[uint64]pendRec
+}
+
+// pendRec is the queue's view of one object's latest pending action.
+type pendRec struct {
+	action  hintcache.Action
+	machine uint64
+}
+
+func newPendq(capRecords int) *pendq {
+	return &pendq{cap: capRecords, m: make(map[uint64]pendRec)}
+}
+
+// add folds one update into the queue. It reports whether the update
+// coalesced onto an existing record and whether an older record was
+// dropped to make room.
+func (q *pendq) add(u hintcache.Update) (coalesced, dropped bool) {
+	q.mu.Lock()
+	coalesced, dropped = q.addLocked(u)
+	q.mu.Unlock()
+	return coalesced, dropped
+}
+
+// addBatch folds a batch under one lock acquisition, returning how many
+// records coalesced and how many were dropped for room.
+func (q *pendq) addBatch(batch []hintcache.Update) (coalesced, dropped int) {
+	q.mu.Lock()
+	for _, u := range batch {
+		c, d := q.addLocked(u)
+		if c {
+			coalesced++
+		}
+		if d {
+			dropped++
+		}
+	}
+	q.mu.Unlock()
+	return coalesced, dropped
+}
+
+func (q *pendq) addLocked(u hintcache.Update) (coalesced, dropped bool) {
+	if _, ok := q.m[u.URLHash]; ok {
+		// Last action wins; the record keeps its queue position.
+		q.m[u.URLHash] = pendRec{action: u.Action, machine: u.Machine}
+		return true, false
+	}
+	if q.cap > 0 && len(q.order) >= q.cap {
+		q.evictLocked()
+		dropped = true
+	}
+	q.order = append(q.order, u.URLHash)
+	q.m[u.URLHash] = pendRec{action: u.Action, machine: u.Machine}
+	return false, dropped
+}
+
+// evictLocked removes the oldest inform, or the oldest record outright when
+// the queue holds only invalidates.
+func (q *pendq) evictLocked() {
+	victim := 0
+	for i, h := range q.order {
+		if q.m[h].action == hintcache.ActionInform {
+			victim = i
+			break
+		}
+	}
+	delete(q.m, q.order[victim])
+	copy(q.order[victim:], q.order[victim+1:])
+	q.order = q.order[:len(q.order)-1]
+}
+
+// drain appends every queued record, oldest first, onto dst and empties the
+// queue. The queue's internal storage is retained for reuse.
+func (q *pendq) drain(dst []hintcache.Update) []hintcache.Update {
+	q.mu.Lock()
+	for _, h := range q.order {
+		r := q.m[h]
+		dst = append(dst, hintcache.Update{Action: r.action, URLHash: h, Machine: r.machine})
+	}
+	q.order = q.order[:0]
+	clear(q.m)
+	q.mu.Unlock()
+	return dst
+}
+
+// len returns the queued record count.
+func (q *pendq) len() int {
+	q.mu.Lock()
+	n := len(q.order)
+	q.mu.Unlock()
+	return n
+}

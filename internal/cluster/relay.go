@@ -54,6 +54,9 @@ type Relay struct {
 // batch).
 const relayForwardTimeout = 2 * time.Second
 
+// relayBodyLimit bounds one forwarded batch's wire size.
+const relayBodyLimit = 1 << 20
+
 // NewRelay builds a relay; call Start to begin serving.
 func NewRelay(name string) *Relay {
 	return &Relay{
@@ -148,11 +151,14 @@ func (r *Relay) handleUpdates(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
-	msg, err := io.ReadAll(io.LimitReader(req.Body, 1<<20))
-	if err != nil {
-		http.Error(w, "read body", http.StatusBadRequest)
+	// Oversized batches are refused whole with 413 rather than truncated
+	// at the limit, which could shear a 20-byte record mid-encode.
+	var body bytes.Buffer
+	if status, err := readUpdatesBody(&body, req, relayBodyLimit); err != nil {
+		http.Error(w, err.Error(), status)
 		return
 	}
+	msg := body.Bytes()
 	updates, err := hintcache.DecodeUpdates(msg)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)

@@ -1,0 +1,150 @@
+package hintcache
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// randomUpdates builds a deterministic mixed inform/invalidate workload over
+// a hash space small enough to force set conflicts and evictions.
+func randomUpdates(n int, hashes, machines uint64, seed int64) []Update {
+	rng := rand.New(rand.NewSource(seed))
+	us := make([]Update, n)
+	for i := range us {
+		action := ActionInform
+		if rng.Intn(4) == 0 {
+			action = ActionInvalidate
+		}
+		us[i] = Update{
+			Action:  action,
+			URLHash: rng.Uint64()%hashes + 1,
+			Machine: rng.Uint64()%machines + 1,
+		}
+	}
+	return us
+}
+
+// TestApplyBatchEquivalence applies the same workload record-at-a-time via
+// Apply and in chunks via ApplyBatch and requires bit-identical results:
+// same counters, same lookup answers for every hash, same occupancy. The
+// small table forces evictions, so ordering mistakes in the batch path
+// would surface as diverging LRU states.
+func TestApplyBatchEquivalence(t *testing.T) {
+	const (
+		entries = 256
+		ways    = 2
+		stripes = 4
+		chunk   = 64
+	)
+	us := randomUpdates(4096, 512, 4, 1)
+
+	serial := NewStriped(entries, ways, stripes)
+	for _, u := range us {
+		if err := serial.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batched := NewStriped(entries, ways, stripes)
+	for off := 0; off < len(us); off += chunk {
+		end := off + chunk
+		if end > len(us) {
+			end = len(us)
+		}
+		if err := batched.ApplyBatch(us[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Counters first: Lookup below mutates hit/lookup counts and MRU order.
+	if s, b := serial.Stats(), batched.Stats(); s != b {
+		t.Errorf("stats diverge: serial %+v, batched %+v", s, b)
+	}
+	if s, b := serial.Occupied(), batched.Occupied(); s != b {
+		t.Errorf("occupancy diverges: serial %d, batched %d", s, b)
+	}
+	for h := uint64(1); h <= 512; h++ {
+		sm, sok := serial.Lookup(h)
+		bm, bok := batched.Lookup(h)
+		if sm != bm || sok != bok {
+			t.Errorf("hash %d: serial (%d,%v), batched (%d,%v)", h, sm, sok, bm, bok)
+		}
+	}
+}
+
+// TestApplyBatchUnknownAction checks that a corrupt record is skipped and
+// reported while the valid remainder still lands.
+func TestApplyBatchUnknownAction(t *testing.T) {
+	s := NewStriped(256, 2, 4)
+	err := s.ApplyBatch([]Update{
+		{Action: ActionInform, URLHash: 1, Machine: 7},
+		{Action: 99, URLHash: 2, Machine: 7},
+		{Action: ActionInform, URLHash: 3, Machine: 7},
+	})
+	if err == nil {
+		t.Fatal("ApplyBatch with unknown action returned nil error")
+	}
+	if m, ok := s.Lookup(1); !ok || m != 7 {
+		t.Errorf("hash 1 = (%d,%v), want (7,true)", m, ok)
+	}
+	if m, ok := s.Lookup(3); !ok || m != 7 {
+		t.Errorf("hash 3 = (%d,%v), want (7,true)", m, ok)
+	}
+	if _, ok := s.Lookup(2); ok {
+		t.Error("corrupt record for hash 2 was applied")
+	}
+}
+
+// TestApplyBatchConcurrent hammers ApplyBatch from several goroutines while
+// readers probe — run under -race, this checks the one-lock-per-stripe-run
+// locking discipline.
+func TestApplyBatchConcurrent(t *testing.T) {
+	s := NewStriped(1024, 4, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			us := randomUpdates(2048, 256, 4, seed)
+			for off := 0; off < len(us); off += 128 {
+				if err := s.ApplyBatch(us[off : off+128]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(w) + 1)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 8192; i++ {
+				s.Lookup(rng.Uint64()%256 + 1)
+			}
+		}(int64(r) + 100)
+	}
+	wg.Wait()
+}
+
+func BenchmarkStripedApply(b *testing.B) {
+	s := NewStriped(65536, 4, 0)
+	us := randomUpdates(4096, 16384, 8, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, u := range us {
+			_ = s.Apply(u)
+		}
+	}
+}
+
+func BenchmarkStripedApplyBatch(b *testing.B) {
+	s := NewStriped(65536, 4, 0)
+	us := randomUpdates(4096, 16384, 8, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.ApplyBatch(us)
+	}
+}

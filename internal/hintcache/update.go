@@ -60,11 +60,22 @@ func EncodeUpdates(updates []Update) []byte {
 // whose length is not a multiple of UpdateSize or that contain an unknown
 // action.
 func DecodeUpdates(msg []byte) ([]Update, error) {
+	out, err := AppendDecodedUpdates(make([]Update, 0, len(msg)/UpdateSize), msg)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AppendDecodedUpdates parses a wire message onto dst and returns the
+// extended slice — DecodeUpdates for callers that recycle the decode
+// buffer across batches. Validation matches DecodeUpdates; on error the
+// returned slice holds whatever decoded cleanly before the fault.
+func AppendDecodedUpdates(dst []Update, msg []byte) ([]Update, error) {
 	if len(msg)%UpdateSize != 0 {
-		return nil, fmt.Errorf("hintcache: update message length %d not a multiple of %d",
+		return dst, fmt.Errorf("hintcache: update message length %d not a multiple of %d",
 			len(msg), UpdateSize)
 	}
-	out := make([]Update, 0, len(msg)/UpdateSize)
 	for off := 0; off < len(msg); off += UpdateSize {
 		u := Update{
 			Action:  Action(binary.LittleEndian.Uint32(msg[off : off+4])),
@@ -72,11 +83,11 @@ func DecodeUpdates(msg []byte) ([]Update, error) {
 			Machine: binary.LittleEndian.Uint64(msg[off+12 : off+20]),
 		}
 		if u.Action != ActionInform && u.Action != ActionInvalidate {
-			return nil, fmt.Errorf("hintcache: unknown action %d at offset %d", u.Action, off)
+			return dst, fmt.Errorf("hintcache: unknown action %d at offset %d", u.Action, off)
 		}
-		out = append(out, u)
+		dst = append(dst, u)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // Apply folds an update into the cache: informs insert, invalidates delete
