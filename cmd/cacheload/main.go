@@ -1,0 +1,154 @@
+// Command cacheload drives wire-level load scenarios against the hint-cache
+// fleet: an open-loop, coordinated-omission-safe HTTP load generator plus
+// the fault-scenario matrix shipped in internal/loadgen/scenarios.
+//
+// Usage:
+//
+//	cacheload -list
+//	cacheload -show flash-crowd
+//	cacheload -scenario flash-crowd -v
+//	cacheload -scenario all -out BENCH_load.json
+//	cacheload -file my.scenario -workers 128
+//	cacheload -scenario diurnal-ramp -targets http://h1:8001,http://h2:8001
+//
+// Each scenario parses into a deterministic request schedule (fixed seed ⇒
+// byte-identical schedule), boots an in-process fleet (or targets a running
+// one with -targets), replays the schedule paced by intended arrival times,
+// applies the scenario's fault/origin/invalidation timeline mid-run, and
+// judges the recorded client-side latencies against the scenario's
+// acceptance bounds. Exit status is non-zero if any bound fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"beyondcache/internal/loadgen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cacheload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cacheload", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		list     = fs.Bool("list", false, "list the shipped scenarios and exit")
+		show     = fs.String("show", "", "print a shipped scenario's canonical spec and exit")
+		scenario = fs.String("scenario", "all", "shipped scenario to run, or \"all\"")
+		file     = fs.String("file", "", "run a scenario file instead of a shipped scenario")
+		outPath  = fs.String("out", "", "write a BENCH_load.json document to this path")
+		targets  = fs.String("targets", "", "comma-separated node base URLs of an already-running fleet (default: boot an in-process fleet per scenario)")
+		workers  = fs.Int("workers", 0, "override the scenario's driver worker count")
+		verbose  = fs.Bool("v", false, "log schedule, event, and bound progress")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, name := range loadgen.BuiltinNames() {
+			fmt.Fprintln(out, name)
+		}
+		return nil
+	}
+	if *show != "" {
+		sc, err := loadgen.Builtin(*show)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, sc.Format())
+		return nil
+	}
+
+	var scenarios []*loadgen.Scenario
+	switch {
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		sc, err := loadgen.Parse(string(data))
+		if err != nil {
+			return err
+		}
+		scenarios = append(scenarios, sc)
+	case *scenario == "all":
+		all, err := loadgen.Builtins()
+		if err != nil {
+			return err
+		}
+		scenarios = all
+	default:
+		sc, err := loadgen.Builtin(*scenario)
+		if err != nil {
+			return err
+		}
+		scenarios = append(scenarios, sc)
+	}
+
+	opt := loadgen.RunOptions{Workers: *workers}
+	if *targets != "" {
+		for _, tgt := range strings.Split(*targets, ",") {
+			if tgt = strings.TrimSpace(tgt); tgt != "" {
+				opt.Targets = append(opt.Targets, tgt)
+			}
+		}
+	}
+	if *verbose {
+		opt.Logf = func(format string, args ...any) {
+			fmt.Fprintf(out, format+"\n", args...)
+		}
+	}
+
+	var rows []loadgen.BenchRow
+	failed := 0
+	for _, sc := range scenarios {
+		rep, err := loadgen.Run(sc, opt)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sc.Name, err)
+		}
+		row := rep.Row()
+		rows = append(rows, row)
+		printRow(out, row)
+		if !rep.Pass {
+			failed++
+		}
+	}
+
+	if *outPath != "" {
+		if err := loadgen.WriteBenchFile(*outPath, rows); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d rows to %s\n", len(rows), *outPath)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d scenarios failed their acceptance bounds", failed, len(scenarios))
+	}
+	return nil
+}
+
+// printRow renders one scenario's verdict, a summary line, and its bounds.
+func printRow(out io.Writer, row loadgen.BenchRow) {
+	verdict := "PASS"
+	if !row.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(out, "%s %s: %d req (%d err) in %.1fs, %.0f req/s/node, hit %.3f, p50 %.2fms p95 %.2fms p99 %.2fms\n",
+		verdict, row.Scenario, row.Requests, row.Errors, row.WallSeconds,
+		row.ReqPerSecPerNode, row.HitRate, row.P50Ms, row.P95Ms, row.P99Ms)
+	for _, b := range row.Bounds {
+		mark := "ok"
+		if !b.Pass {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(out, "  %-4s %s (actual %.4g)\n", mark, b.Expr, b.Actual)
+	}
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListAndShow(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"flash-crowd", "diurnal-ramp", "regional-partition", "origin-brownout", "invalidation-storm"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("-list output missing %s:\n%s", want, sb.String())
+		}
+	}
+
+	sb.Reset()
+	if err := run([]string{"-show", "flash-crowd"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "name flash-crowd") || !strings.Contains(sb.String(), "accept p99_ratio spike steady <= 3") {
+		t.Fatalf("-show output not canonical:\n%s", sb.String())
+	}
+
+	if err := run([]string{"-show", "nope"}, &sb); err == nil {
+		t.Fatal("-show accepted an unknown scenario")
+	}
+	if err := run([]string{"-scenario", "nope"}, &sb); err == nil {
+		t.Fatal("-scenario accepted an unknown scenario")
+	}
+}
+
+// TestRunScenarioFile drives a tiny scenario end to end through the CLI —
+// in-process fleet, bench file out — and checks the artifact parses.
+func TestRunScenarioFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping live-fleet CLI test in -short mode")
+	}
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "tiny.scenario")
+	bench := filepath.Join(dir, "BENCH_load.json")
+	err := os.WriteFile(spec, []byte(`
+name tiny
+profile DEC
+nodes 2
+seed 1
+warmup 20
+workers 8
+origin-latency 2ms
+phase only 1s rate=40
+accept error_rate <= 0.1
+`), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := run([]string{"-file", spec, "-out", bench}, &sb); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "PASS tiny:") {
+		t.Fatalf("missing verdict line:\n%s", sb.String())
+	}
+
+	data, err := os.ReadFile(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Description string `json:"description"`
+		Rows        []struct {
+			Scenario       string `json:"scenario"`
+			ScheduleSHA256 string `json:"schedule_sha256"`
+			Pass           bool   `json:"pass"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Rows) != 1 || doc.Rows[0].Scenario != "tiny" || !doc.Rows[0].Pass || len(doc.Rows[0].ScheduleSHA256) != 64 {
+		t.Fatalf("bench document malformed: %+v", doc)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"beyondcache/internal/faults"
 	"beyondcache/internal/obs"
 	"beyondcache/internal/resilience"
 )
@@ -22,6 +23,7 @@ type Fleet struct {
 	// (empty for a full-mesh fleet).
 	Relays []*Relay
 	client *http.Client
+	faults *faults.Injector
 }
 
 // FleetConfig parameterizes StartFleet.
@@ -56,6 +58,13 @@ type FleetConfig struct {
 	// deterministic but not lock-stepped across the fleet.
 	FaultSpec string
 	FaultSeed int64
+	// Faults, when non-nil, shares ONE prebuilt outbound injector across
+	// every node instead of per-node injectors built from FaultSpec. A
+	// shared injector is the live fault plane of the load scenarios: one
+	// SetSpec (see Fleet.SetFaultSpec) breaks or heals targets fleet-wide
+	// mid-run. InboundFaults is the serving-side twin.
+	Faults        *faults.Injector
+	InboundFaults *faults.Injector
 }
 
 // nodeConfig builds node i's NodeConfig from the fleet-wide settings.
@@ -76,6 +85,8 @@ func (cfg FleetConfig) nodeConfig(i int, originURL string) NodeConfig {
 		Breaker:        cfg.Breaker,
 		FaultSpec:      cfg.FaultSpec,
 		FaultSeed:      cfg.FaultSeed + int64(i),
+		Faults:         cfg.Faults,
+		InboundFaults:  cfg.InboundFaults,
 	}
 }
 
@@ -88,6 +99,7 @@ func StartFleet(cfg FleetConfig) (*Fleet, error) {
 	f := &Fleet{
 		Origin: NewOrigin(cfg.ObjectSize),
 		client: newClient(nil, nil),
+		faults: cfg.Faults,
 	}
 	if err := f.Origin.Start("127.0.0.1:0"); err != nil {
 		return nil, err
@@ -113,6 +125,39 @@ func StartFleet(cfg FleetConfig) (*Fleet, error) {
 		}
 	}
 	return f, nil
+}
+
+// NodeURLs returns every node's base URL, in node order.
+func (f *Fleet) NodeURLs() []string {
+	urls := make([]string, len(f.Nodes))
+	for i, n := range f.Nodes {
+		urls[i] = n.URL()
+	}
+	return urls
+}
+
+// SetFaultSpec re-specs the fleet's live fault plane: the shared injector
+// if the fleet was started with one (FleetConfig.Faults), else every
+// node's own outbound injector. Scenario timelines call this to break and
+// heal targets mid-run; an empty spec heals everything. It errors when no
+// node has an injector to re-spec (the fleet was started without faults).
+func (f *Fleet) SetFaultSpec(spec string) error {
+	if f.faults != nil {
+		return f.faults.SetSpec(spec)
+	}
+	applied := false
+	for _, n := range f.Nodes {
+		if inj := n.FaultInjector(); inj != nil {
+			if err := inj.SetSpec(spec); err != nil {
+				return err
+			}
+			applied = true
+		}
+	}
+	if !applied {
+		return fmt.Errorf("cluster: fleet has no fault injector (start it with FleetConfig.Faults or FaultSpec)")
+	}
+	return nil
 }
 
 // Close shuts down every node, relay, and the origin, returning the first

@@ -1,0 +1,77 @@
+package faults
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// TimelineEvent is one timed re-spec of the fault plane: at At after the
+// run starts, Spec replaces the active rules (an empty Spec heals
+// everything). Specs are written in the same DSL as the -inject flag, so a
+// scenario file can break and heal exactly what a hand-driven test would.
+type TimelineEvent struct {
+	At   time.Duration
+	Spec string
+}
+
+// Timeline is a validated, time-ordered sequence of fault re-specs. Load
+// scenarios use it to model partitions that heal, brownouts that lift, and
+// flapping links: the scenario parser builds one per run, and Run applies
+// it against the live fleet's injector while the load driver replays.
+type Timeline struct {
+	events []TimelineEvent
+}
+
+// NewTimeline validates every event's spec (so scenario typos surface at
+// parse time, not minutes into a run) and orders events by offset. Offsets
+// must be non-negative; equal offsets keep their given order.
+func NewTimeline(events []TimelineEvent) (*Timeline, error) {
+	own := make([]TimelineEvent, len(events))
+	copy(own, events)
+	for _, e := range own {
+		if e.At < 0 {
+			return nil, fmt.Errorf("faults: timeline offset %v is negative", e.At)
+		}
+		if _, err := ParseSpec(e.Spec); err != nil {
+			return nil, fmt.Errorf("faults: timeline at %v: %w", e.At, err)
+		}
+	}
+	sort.SliceStable(own, func(i, j int) bool { return own[i].At < own[j].At })
+	return &Timeline{events: own}, nil
+}
+
+// Events returns a copy of the ordered events.
+func (t *Timeline) Events() []TimelineEvent {
+	out := make([]TimelineEvent, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Len returns the number of events.
+func (t *Timeline) Len() int { return len(t.events) }
+
+// Run sleeps to each event's offset (measured from the moment Run is
+// called) and hands its spec to apply — normally an Injector.SetSpec
+// closure, possibly fanned out across a fleet. Run returns the first apply
+// error, or ctx's error if the context ends first; events already due when
+// reached apply immediately.
+func (t *Timeline) Run(ctx context.Context, apply func(spec string) error) error {
+	start := time.Now()
+	for _, e := range t.events {
+		if d := e.At - time.Since(start); d > 0 {
+			timer := time.NewTimer(d)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return ctx.Err()
+			}
+		}
+		if err := apply(e.Spec); err != nil {
+			return fmt.Errorf("faults: timeline at %v: %w", e.At, err)
+		}
+	}
+	return nil
+}

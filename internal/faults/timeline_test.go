@@ -1,0 +1,105 @@
+package faults
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestTimelineValidatesAndOrders(t *testing.T) {
+	tl, err := NewTimeline([]TimelineEvent{
+		{At: 30 * time.Millisecond, Spec: ""},
+		{At: 10 * time.Millisecond, Spec: "peerA:partition"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := tl.Events()
+	if len(ev) != 2 || ev[0].At != 10*time.Millisecond || ev[1].At != 30*time.Millisecond {
+		t.Errorf("events not ordered by offset: %+v", ev)
+	}
+
+	if _, err := NewTimeline([]TimelineEvent{{At: -time.Second, Spec: ""}}); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if _, err := NewTimeline([]TimelineEvent{{At: 0, Spec: "peerA:bogus=1"}}); err == nil {
+		t.Error("unparsable spec accepted at construction")
+	}
+}
+
+func TestTimelineRunAppliesInOrder(t *testing.T) {
+	tl, err := NewTimeline([]TimelineEvent{
+		{At: 0, Spec: "a:partition"},
+		{At: 20 * time.Millisecond, Spec: "b:partition"},
+		{At: 40 * time.Millisecond, Spec: ""},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	start := time.Now()
+	var at []time.Duration
+	err = tl.Run(context.Background(), func(spec string) error {
+		got = append(got, spec)
+		at = append(at, time.Since(start))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a:partition", "b:partition", ""}
+	if len(got) != len(want) {
+		t.Fatalf("applied %d specs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("apply %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// Events must not fire early (sleeps may overshoot, never undershoot).
+	if at[1] < 20*time.Millisecond || at[2] < 40*time.Millisecond {
+		t.Errorf("events fired early: %v", at)
+	}
+}
+
+func TestTimelineRunDrivesInjector(t *testing.T) {
+	inj, err := New("", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := NewTimeline([]TimelineEvent{
+		{At: 0, Spec: "peerA:partition"},
+		{At: 15 * time.Millisecond, Spec: ""},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- tl.Run(context.Background(), inj.SetSpec) }()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for !inj.Decide("peerA:80").Drop {
+		if time.Now().After(deadline) {
+			t.Fatal("partition never applied")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if d := inj.Decide("peerA:80"); d.Drop {
+		t.Error("partition still active after heal event")
+	}
+}
+
+func TestTimelineRunHonorsContext(t *testing.T) {
+	tl, err := NewTimeline([]TimelineEvent{{At: time.Hour, Spec: ""}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := tl.Run(ctx, func(string) error { return nil }); err != context.DeadlineExceeded {
+		t.Errorf("Run under expired context = %v, want DeadlineExceeded", err)
+	}
+}

@@ -1,0 +1,225 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"beyondcache/internal/obs"
+)
+
+// uniformSchedule builds n requests spaced evenly by step, all phase 0.
+func uniformSchedule(n int, step time.Duration) *Schedule {
+	s := &Schedule{
+		Offsets:  make([]time.Duration, n),
+		Phases:   make([]uint8, n),
+		Objects:  make([]uint64, n),
+		Clients:  make([]int32, n),
+		Sizes:    make([]int64, n),
+		Versions: make([]int64, n),
+	}
+	for i := 0; i < n; i++ {
+		s.Offsets[i] = time.Duration(i) * step
+		s.Objects[i] = uint64(i % 32)
+		s.Clients[i] = int32(i)
+		s.Sizes[i] = 100
+		s.Versions[i] = 1
+	}
+	return s
+}
+
+// countAtLeast sums the histogram samples whose bucket lies entirely at or
+// above min (i.e. the bucket's lower bound >= min) — a conservative count
+// of observations >= min.
+func countAtLeast(h obs.HistogramSnapshot, min time.Duration) int64 {
+	var n int64
+	for i, c := range h.Counts {
+		// Bucket i covers (Bounds[i-1], Bounds[i]]; the overflow bucket
+		// starts above the last bound.
+		if i > 0 && h.Bounds[i-1] >= min {
+			n += c
+		}
+	}
+	return n
+}
+
+// TestCoordinatedOmissionNotHidden is the regression test for the driver's
+// core property. The server stalls every in-flight request for a window
+// mid-run; with only a few workers, a closed-loop driver would record the
+// stall on just those few requests and measure everything issued afterwards
+// as fast. The open-loop driver measures from intended arrival instead, so
+// all the requests whose send was delayed by the stall must surface the
+// queueing delay in the recorded latencies.
+func TestCoordinatedOmissionNotHidden(t *testing.T) {
+	var stalled atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if stalled.Load() {
+			time.Sleep(250 * time.Millisecond)
+		}
+		w.Header().Set("X-Cache", "LOCAL")
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	const n = 600
+	sched := uniformSchedule(n, time.Millisecond) // 600ms span
+	const workers = 4
+
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		stalled.Store(true)
+		time.Sleep(250 * time.Millisecond)
+		stalled.Store(false)
+	}()
+
+	res, err := RunSchedule(context.Background(), sched, DriverConfig{
+		Targets: []string{srv.URL},
+		Workers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overall.Requests != n {
+		t.Fatalf("issued %d of %d requests", res.Overall.Requests, n)
+	}
+	if res.Overall.Errors != 0 {
+		t.Fatalf("%d errors", res.Overall.Errors)
+	}
+
+	// Roughly 250 intended arrivals fall inside the stall window but only
+	// `workers` requests can be in flight, so the rest queue and their
+	// recorded latency must include the wait. A closed-loop driver would
+	// show at most ~2*workers samples over 100ms; require far more than
+	// that could ever produce.
+	slow := countAtLeast(res.Overall.Hist, 100*time.Millisecond)
+	if slow < 10*workers {
+		t.Fatalf("only %d samples >= 100ms; the stall's queueing delay was hidden (coordinated omission)", slow)
+	}
+	if p99 := res.Overall.Hist.Quantile(0.99); p99 < 100*time.Millisecond {
+		t.Fatalf("p99 %v does not reflect the stall", p99)
+	}
+}
+
+func TestDriverClassifiesAndPartitionsPhases(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch hits.Add(1) % 3 {
+		case 0:
+			w.Header().Set("X-Cache", "LOCAL hint")
+		case 1:
+			w.Header().Set("X-Cache", "REMOTE")
+		default:
+			w.Header().Set("X-Cache", "MISS")
+		}
+		w.Write([]byte("x"))
+	}))
+	defer srv.Close()
+
+	sched := uniformSchedule(90, 100*time.Microsecond)
+	for i := 45; i < 90; i++ {
+		sched.Phases[i] = 1
+	}
+	res, err := RunSchedule(context.Background(), sched, DriverConfig{
+		Targets:   []string{srv.URL},
+		Workers:   8,
+		NumPhases: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 2 || res.Phases[0].Requests != 45 || res.Phases[1].Requests != 45 {
+		t.Fatalf("phase partition wrong: %+v", res.Phases)
+	}
+	o := res.Overall
+	if o.Local+o.Remote+o.Miss != 90 || o.Local != 30 || o.Remote != 30 || o.Miss != 30 {
+		t.Fatalf("classification wrong: local=%d remote=%d miss=%d", o.Local, o.Remote, o.Miss)
+	}
+	if got := o.HitRate(); got < 0.66 || got > 0.67 {
+		t.Fatalf("hit rate = %v, want 2/3", got)
+	}
+	if o.Bytes != 90 {
+		t.Fatalf("bytes = %d", o.Bytes)
+	}
+	if o.Hist.Count() != 90 {
+		t.Fatalf("histogram holds %d samples", o.Hist.Count())
+	}
+}
+
+func TestDriverCountsErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	sched := uniformSchedule(20, 0)
+	res, err := RunSchedule(context.Background(), sched, DriverConfig{Targets: []string{srv.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overall.Errors != 20 {
+		t.Fatalf("errors = %d, want 20", res.Overall.Errors)
+	}
+	if got := res.Overall.ErrorRate(); got != 1 {
+		t.Fatalf("error rate = %v", got)
+	}
+	// Failed requests still contribute latency samples: a driver that
+	// drops them would understate tail latency under faults.
+	if res.Overall.Hist.Count() != 20 {
+		t.Fatalf("histogram holds %d samples, want 20", res.Overall.Hist.Count())
+	}
+}
+
+func TestDriverAdvancesVersionsOncePerStep(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Cache", "LOCAL")
+		w.Write([]byte("x"))
+	}))
+	defer srv.Close()
+
+	sched := uniformSchedule(40, 0)
+	for i := range sched.Objects {
+		sched.Objects[i] = 7 // one object, forty requests
+		sched.Versions[i] = 1
+	}
+	sched.Versions[20] = 3 // modified once mid-trace
+
+	var calls atomic.Int64
+	var lastFrom, lastTo atomic.Int64
+	_, err := RunSchedule(context.Background(), sched, DriverConfig{
+		Targets: []string{srv.URL},
+		Workers: 1, // single worker: the advance sequence is deterministic
+		AdvanceVersion: func(url string, from, to int64) {
+			calls.Add(1)
+			lastFrom.Store(from)
+			lastTo.Store(to)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly two advances: 0→1 on first sight, then (1)→3 — never one per
+	// request, no matter how many workers race.
+	if calls.Load() != 2 {
+		t.Fatalf("AdvanceVersion called %d times, want 2", calls.Load())
+	}
+	if lastFrom.Load() != 1 || lastTo.Load() != 3 {
+		t.Fatalf("last advance %d->%d, want 1->3", lastFrom.Load(), lastTo.Load())
+	}
+}
+
+func TestRunScheduleRejectsBadInput(t *testing.T) {
+	if _, err := RunSchedule(context.Background(), uniformSchedule(1, 0), DriverConfig{}); err == nil {
+		t.Fatal("accepted empty target list")
+	}
+	if _, err := RunSchedule(context.Background(), &Schedule{}, DriverConfig{Targets: []string{"http://x"}}); err == nil {
+		t.Fatal("accepted empty schedule")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunSchedule(ctx, uniformSchedule(10, time.Second), DriverConfig{Targets: []string{"http://x"}}); err == nil {
+		t.Fatal("cancelled context did not abort the run")
+	}
+}

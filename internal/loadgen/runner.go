@@ -1,0 +1,391 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"beyondcache/internal/cluster"
+	"beyondcache/internal/faults"
+	"beyondcache/internal/trace"
+)
+
+// RunOptions tunes a scenario run.
+type RunOptions struct {
+	// Targets, when non-empty, drives an already-running external fleet
+	// instead of booting an in-process one. Scenarios with fault, origin,
+	// or invalidate events need the in-process fleet (the runner cannot
+	// reach an external fleet's fault plane) and refuse external targets.
+	Targets []string
+	// Workers overrides the scenario's worker count when positive.
+	Workers int
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// BoundResult is one evaluated acceptance bound.
+type BoundResult struct {
+	Bound  Bound
+	Actual float64
+	Pass   bool
+}
+
+// RunReport is a completed scenario run.
+type RunReport struct {
+	Scenario    *Scenario
+	Fingerprint string
+	Result      *Result
+	Bounds      []BoundResult
+	// Pass is true when every bound held.
+	Pass bool
+}
+
+// Run executes one scenario end to end: build the deterministic schedule,
+// boot (or attach to) the fleet, replay open-loop while the event timeline
+// breaks and heals things, then evaluate the acceptance bounds.
+func Run(sc *Scenario, opt RunOptions) (*RunReport, error) {
+	logf := opt.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	sched, err := BuildSchedule(sc)
+	if err != nil {
+		return nil, err
+	}
+	fp, err := sched.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	logf("%s: schedule %d requests over %v (sha256 %s...)", sc.Name, sched.Len(), sc.Span(), fp[:12])
+
+	hasEvents := len(sc.Faults)+len(sc.OriginEvents)+len(sc.Invalidates) > 0
+	var fleet *cluster.Fleet
+	targets := opt.Targets
+	if len(targets) == 0 {
+		inj, err := faults.New("", sc.Seed)
+		if err != nil {
+			return nil, err
+		}
+		interval := sc.UpdateInterval
+		if interval == 0 {
+			interval = 100 * time.Millisecond
+		}
+		fleet, err = cluster.StartFleet(cluster.FleetConfig{
+			Nodes:          sc.Nodes,
+			CacheBytes:     sc.CacheBytes,
+			HintEntries:    sc.HintEntries,
+			UpdateInterval: interval,
+			HedgeBudget:    sc.HedgeBudget,
+			Faults:         inj,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer fleet.Close()
+		fleet.Origin.SetLatency(sc.OriginLatency)
+		targets = fleet.NodeURLs()
+		primeOrigin(fleet, sched)
+	} else if hasEvents || sc.StrongConsistency {
+		return nil, fmt.Errorf("loadgen: %s: fault/origin/invalidate events and strong consistency need the in-process fleet, not external targets", sc.Name)
+	}
+
+	cfg := DriverConfig{
+		Targets:   targets,
+		Workers:   sc.Workers,
+		NumPhases: max(len(sc.Phases), 1),
+	}
+	if opt.Workers > 0 {
+		cfg.Workers = opt.Workers
+	}
+	if sc.StrongConsistency {
+		cfg.AdvanceVersion = advanceVersionFunc(fleet)
+	}
+
+	if sc.Warmup > 0 {
+		warm(cfg, sched, sc.Warmup)
+		if fleet != nil {
+			fleet.FlushAll()
+		}
+		logf("%s: warmed %d requests", sc.Name, min(sc.Warmup, sched.Len()))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var errMu sync.Mutex
+	var eventsErr error
+	var eventsDone sync.WaitGroup
+	if len(sc.Faults) > 0 {
+		events := make([]faults.TimelineEvent, 0, len(sc.Faults))
+		for _, e := range sc.Faults {
+			events = append(events, faults.TimelineEvent{At: e.At, Spec: expandTargets(e.Spec, fleet)})
+		}
+		tl, err := faults.NewTimeline(events)
+		if err != nil {
+			return nil, err
+		}
+		eventsDone.Add(1)
+		go func() {
+			defer eventsDone.Done()
+			if err := tl.Run(ctx, func(spec string) error {
+				logf("%s: fault: %s", sc.Name, specLabel(spec))
+				return fleet.SetFaultSpec(spec)
+			}); err != nil && ctx.Err() == nil {
+				errMu.Lock()
+				eventsErr = err
+				errMu.Unlock()
+			}
+		}()
+	}
+	if len(sc.OriginEvents)+len(sc.Invalidates) > 0 {
+		eventsDone.Add(1)
+		go func() {
+			defer eventsDone.Done()
+			runOriginEvents(ctx, fleet, sc, logf)
+		}()
+	}
+
+	res, err := RunSchedule(ctx, sched, cfg)
+	cancel()
+	eventsDone.Wait()
+	if err != nil {
+		return nil, err
+	}
+	if eventsErr != nil {
+		return nil, fmt.Errorf("loadgen: %s: event timeline: %w", sc.Name, eventsErr)
+	}
+
+	rep := &RunReport{Scenario: sc, Fingerprint: fp, Result: res, Pass: true}
+	for _, b := range sc.Bounds {
+		actual, err := evalBound(sc, res, b)
+		if err != nil {
+			return nil, err
+		}
+		pass := actual <= b.Value
+		if b.Op == ">=" {
+			pass = actual >= b.Value
+		}
+		rep.Bounds = append(rep.Bounds, BoundResult{Bound: b, Actual: actual, Pass: pass})
+		rep.Pass = rep.Pass && pass
+		logf("%s: bound %q: actual %.4g -> %v", sc.Name, b.Expr(), actual, pass)
+	}
+	return rep, nil
+}
+
+// primeOrigin fixes every scheduled object's origin body size before the
+// run, so first fetches transfer the workload's sizes rather than the
+// origin default.
+func primeOrigin(fleet *cluster.Fleet, sched *Schedule) {
+	seen := make(map[uint64]struct{}, sched.Len()/4)
+	for i := 0; i < sched.Len(); i++ {
+		obj := sched.Objects[i]
+		if _, ok := seen[obj]; ok {
+			continue
+		}
+		seen[obj] = struct{}{}
+		fleet.Origin.SetSize(sched.URL(i), sched.Sizes[i])
+	}
+}
+
+// advanceVersionFunc mirrors Fleet.Replay's version bookkeeping: advance
+// the origin to the scheduled version and purge stale cached copies (the
+// simulators' invalidation-based consistency).
+func advanceVersionFunc(fleet *cluster.Fleet) func(url string, from, to int64) {
+	if fleet == nil {
+		return nil
+	}
+	return func(url string, from, to int64) {
+		start := from
+		if start < 1 {
+			start = 1
+		}
+		for v := start; v < to; v++ {
+			fleet.Origin.Bump(url)
+		}
+		if from != 0 {
+			fleet.PurgeAll(url)
+		}
+	}
+}
+
+// warm issues the schedule's first n requests closed-loop (paced only by
+// completions, unrecorded) to pre-fill caches before the measured run.
+func warm(cfg DriverConfig, sched *Schedule, n int) {
+	if n > sched.Len() {
+		n = sched.Len()
+	}
+	head := &Schedule{
+		Offsets:  make([]time.Duration, n), // all zero: no pacing, issue ASAP
+		Phases:   make([]uint8, n),
+		Objects:  sched.Objects[:n],
+		Clients:  sched.Clients[:n],
+		Sizes:    sched.Sizes[:n],
+		Versions: sched.Versions[:n],
+	}
+	wcfg := cfg
+	wcfg.NumPhases = 1
+	wcfg.AdvanceVersion = nil // warmup never advances versions
+	if wcfg.Workers <= 0 || wcfg.Workers > 16 {
+		wcfg.Workers = 16
+	}
+	// Result and errors intentionally dropped: warmup is unmeasured.
+	_, _ = RunSchedule(context.Background(), head, wcfg)
+}
+
+// originEvent is one origin-plane timeline entry: either a latency change
+// (invalidate < 0) or a hot-set invalidation of `invalidate` objects.
+type originEvent struct {
+	at         time.Duration
+	latency    time.Duration
+	invalidate int
+}
+
+// runOriginEvents walks the scenario's origin-latency and invalidation
+// events in offset order, sleeping to each one. These events cannot fail
+// (they were validated with the scenario), so the loop returns nothing.
+func runOriginEvents(ctx context.Context, fleet *cluster.Fleet, sc *Scenario, logf func(string, ...any)) {
+	events := make([]originEvent, 0, len(sc.OriginEvents)+len(sc.Invalidates))
+	for _, e := range sc.OriginEvents {
+		events = append(events, originEvent{at: e.At, latency: e.Latency, invalidate: -1})
+	}
+	for _, e := range sc.Invalidates {
+		events = append(events, originEvent{at: e.At, invalidate: e.Count})
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].at < events[j].at })
+	start := time.Now()
+	for _, e := range events {
+		if d := e.at - time.Since(start); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return
+			}
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		if e.invalidate < 0 {
+			logf("%s: origin latency -> %v", sc.Name, e.latency)
+			fleet.Origin.SetLatency(e.latency)
+		} else {
+			logf("%s: invalidating %d hottest objects", sc.Name, e.invalidate)
+			invalidateHotSet(fleet, e.invalidate)
+		}
+	}
+}
+
+// invalidateHotSet bumps and purges the count most popular objects
+// (object IDs are popularity ranks), fanning out over a few goroutines so
+// a big storm applies in a bounded burst rather than a slow trickle.
+func invalidateHotSet(fleet *cluster.Fleet, count int) {
+	const fanout = 8
+	var wg sync.WaitGroup
+	for w := 0; w < fanout; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rank := w; rank < count; rank += fanout {
+				url := trace.ObjectURL(uint64(rank))
+				fleet.Origin.Bump(url)
+				fleet.PurgeAll(url)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// expandTargets rewrites symbolic fault targets — "node-<i>" and "origin"
+// — to the fleet's live host:port addresses. Longer node names replace
+// first so "node-1" never clobbers "node-12"'s prefix.
+func expandTargets(spec string, fleet *cluster.Fleet) string {
+	type sub struct{ from, to string }
+	subs := make([]sub, 0, len(fleet.Nodes)+1)
+	for i, u := range fleet.NodeURLs() {
+		subs = append(subs, sub{fmt.Sprintf("node-%d", i), hostPort(u)})
+	}
+	subs = append(subs, sub{"origin", hostPort(fleet.Origin.URL())})
+	sort.Slice(subs, func(i, j int) bool { return len(subs[i].from) > len(subs[j].from) })
+	for _, s := range subs {
+		spec = strings.ReplaceAll(spec, s.from, s.to)
+	}
+	return spec
+}
+
+// hostPort strips the scheme from a base URL.
+func hostPort(u string) string {
+	u = strings.TrimPrefix(u, "http://")
+	return strings.TrimSuffix(u, "/")
+}
+
+// specLabel compresses an event spec for progress logs.
+func specLabel(spec string) string {
+	if spec == "" {
+		return "heal (clear fault spec)"
+	}
+	return spec
+}
+
+// evalBound extracts a bound's measured value from the run result.
+func evalBound(sc *Scenario, res *Result, b Bound) (float64, error) {
+	phaseOf := func(args []string) (PhaseResult, time.Duration, error) {
+		if len(args) == 0 {
+			return res.Overall, sc.Span(), nil
+		}
+		i := sc.PhaseIndex(args[0])
+		if i < 0 || i >= len(res.Phases) {
+			return PhaseResult{}, 0, fmt.Errorf("loadgen: bound %q: unknown phase %q", b.Expr(), args[0])
+		}
+		return res.Phases[i], sc.Phases[i].Dur, nil
+	}
+	quantile := func(p PhaseResult, q float64) float64 {
+		return p.Hist.Quantile(q).Seconds()
+	}
+	switch b.Metric {
+	case "p50", "p95", "p99":
+		p, _, err := phaseOf(b.Args)
+		if err != nil {
+			return 0, err
+		}
+		q := map[string]float64{"p50": 0.50, "p95": 0.95, "p99": 0.99}[b.Metric]
+		return quantile(p, q), nil
+	case "p99_ratio":
+		a, _, err := phaseOf(b.Args[:1])
+		if err != nil {
+			return 0, err
+		}
+		c, _, err := phaseOf(b.Args[1:])
+		if err != nil {
+			return 0, err
+		}
+		den := quantile(c, 0.99)
+		if den == 0 {
+			return 0, fmt.Errorf("loadgen: bound %q: reference phase %q recorded no latency", b.Expr(), b.Args[1])
+		}
+		return quantile(a, 0.99) / den, nil
+	case "hit_rate":
+		p, _, err := phaseOf(b.Args)
+		if err != nil {
+			return 0, err
+		}
+		return p.HitRate(), nil
+	case "error_rate":
+		p, _, err := phaseOf(b.Args)
+		if err != nil {
+			return 0, err
+		}
+		return p.ErrorRate(), nil
+	case "reqps":
+		p, dur, err := phaseOf(b.Args)
+		if err != nil {
+			return 0, err
+		}
+		if dur <= 0 {
+			return 0, fmt.Errorf("loadgen: bound %q: zero-duration window", b.Expr())
+		}
+		return float64(p.Requests) / dur.Seconds(), nil
+	default:
+		return 0, fmt.Errorf("loadgen: unknown bound metric %q", b.Metric)
+	}
+}

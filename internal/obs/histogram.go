@@ -9,6 +9,7 @@
 package obs
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 )
@@ -100,6 +101,49 @@ func (h *Histogram) Count() int64 {
 // Sum returns the summed observed duration.
 func (h *Histogram) Sum() time.Duration {
 	return time.Duration(h.sum.Load())
+}
+
+// Merge folds a snapshot's observations into h. The snapshot must have been
+// taken from a histogram with identical bucket bounds; merging across
+// differently-shaped histograms would silently misbucket, so it errors
+// instead. Load-driver workers each record into a private histogram and
+// merge into one at the end, keeping the per-request path contention-free
+// even though Observe is already lock-free (merging also composes: a merged
+// histogram can be merged onward).
+func (h *Histogram) Merge(s HistogramSnapshot) error {
+	if len(s.Bounds) != len(h.bounds) {
+		return fmt.Errorf("obs: merge: %d bounds vs %d", len(s.Bounds), len(h.bounds))
+	}
+	for i, b := range s.Bounds {
+		if b != h.bounds[i] {
+			return fmt.Errorf("obs: merge: bound %d differs (%v vs %v)", i, b, h.bounds[i])
+		}
+	}
+	if len(s.Counts) != len(h.counts) {
+		return fmt.Errorf("obs: merge: %d counts vs %d", len(s.Counts), len(h.counts))
+	}
+	for i, c := range s.Counts {
+		if c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.sum.Add(int64(s.Sum))
+	return nil
+}
+
+// MergeAll snapshots and merges every source histogram into one new
+// histogram sharing the first source's bounds (nil for no sources).
+func MergeAll(hs ...*Histogram) (*Histogram, error) {
+	if len(hs) == 0 {
+		return nil, nil
+	}
+	out := NewHistogram(hs[0].bounds)
+	for _, h := range hs {
+		if err := out.Merge(h.Snapshot()); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // HistogramSnapshot is a point-in-time copy of a histogram's state.

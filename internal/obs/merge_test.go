@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramMergeCombinesCountsAndSum(t *testing.T) {
+	a := NewHistogram(nil)
+	b := NewHistogram(nil)
+	for i := 0; i < 100; i++ {
+		a.Observe(time.Duration(i+1) * time.Millisecond)
+		b.Observe(time.Duration(i+1) * 10 * time.Microsecond)
+	}
+	if err := a.Merge(b.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Count(); got != 200 {
+		t.Errorf("merged count = %d, want 200", got)
+	}
+	wantSum := time.Duration(0)
+	for i := 0; i < 100; i++ {
+		wantSum += time.Duration(i+1)*time.Millisecond + time.Duration(i+1)*10*time.Microsecond
+	}
+	if got := a.Sum(); got != wantSum {
+		t.Errorf("merged sum = %v, want %v", got, wantSum)
+	}
+}
+
+func TestHistogramMergeEqualsSingleHistogram(t *testing.T) {
+	// Observing a stream split across two histograms and merging must give
+	// the exact counts (and therefore quantiles) of one histogram that saw
+	// the whole stream — the property worker-sharded recording relies on.
+	whole := NewHistogram(nil)
+	parts := []*Histogram{NewHistogram(nil), NewHistogram(nil), NewHistogram(nil)}
+	for i := 0; i < 3000; i++ {
+		d := time.Duration(1+i%500) * 37 * time.Microsecond
+		whole.Observe(d)
+		parts[i%len(parts)].Observe(d)
+	}
+	merged, err := MergeAll(parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, ms := whole.Snapshot(), merged.Snapshot()
+	if ws.Count() != ms.Count() || ws.Sum != ms.Sum {
+		t.Fatalf("merged (count %d, sum %v) != whole (count %d, sum %v)",
+			ms.Count(), ms.Sum, ws.Count(), ws.Sum)
+	}
+	for i := range ws.Counts {
+		if ws.Counts[i] != ms.Counts[i] {
+			t.Fatalf("bucket %d: merged %d != whole %d", i, ms.Counts[i], ws.Counts[i])
+		}
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if whole.Quantile(q) != merged.Quantile(q) {
+			t.Errorf("q%.2f: merged %v != whole %v", q, merged.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramMergeRejectsMismatchedBounds(t *testing.T) {
+	a := NewHistogram(ExpBounds(time.Millisecond, 2, 8))
+	b := NewHistogram(ExpBounds(time.Millisecond, 2, 9))
+	if err := a.Merge(b.Snapshot()); err == nil {
+		t.Error("merge across differing bucket counts accepted")
+	}
+	c := NewHistogram(ExpBounds(2*time.Millisecond, 2, 8))
+	if err := a.Merge(c.Snapshot()); err == nil {
+		t.Error("merge across differing bounds accepted")
+	}
+}
+
+func TestMergeAllEmpty(t *testing.T) {
+	h, err := MergeAll()
+	if err != nil || h != nil {
+		t.Errorf("MergeAll() = (%v, %v), want (nil, nil)", h, err)
+	}
+}

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// Paced maps a materialized trace's virtual timeline onto a wall-clock
+// replay window: request i's intended arrival is Offset(i) after the
+// replay's start. The mapping rescales the trace's own inter-arrival
+// pattern linearly, so bursts and lulls in the generated workload survive
+// compression — a trace spanning 21 virtual days replayed over 10 wall
+// seconds keeps the same relative arrival shape.
+//
+// Paced is the open-loop half of the wire-level load driver: the driver
+// issues request i at start+Offset(i) regardless of whether earlier
+// requests have completed, which is what keeps recorded latencies honest
+// about queueing delay (no coordinated omission).
+type Paced struct {
+	m     *Materialized
+	span  time.Duration
+	vspan time.Duration
+}
+
+// NewPaced rescales m's virtual timeline to the wall-clock window span.
+// The trace's virtual span is taken from its last request's timestamp; a
+// degenerate trace whose requests all share one timestamp is spread
+// uniformly over the window instead.
+func NewPaced(m *Materialized, span time.Duration) (*Paced, error) {
+	if m == nil || m.Len() == 0 {
+		return nil, fmt.Errorf("trace: paced replay needs a non-empty trace")
+	}
+	if span <= 0 {
+		return nil, fmt.Errorf("trace: paced replay window must be positive, got %v", span)
+	}
+	return &Paced{m: m, span: span, vspan: m.times[m.Len()-1]}, nil
+}
+
+// Len returns the number of requests in the underlying trace.
+func (p *Paced) Len() int { return p.m.Len() }
+
+// Span returns the wall-clock replay window.
+func (p *Paced) Span() time.Duration { return p.span }
+
+// Offset returns request i's intended wall-clock arrival measured from the
+// replay's start. Offsets are non-decreasing and the last request lands at
+// or before Span. i must be in [0, Len()).
+func (p *Paced) Offset(i int) time.Duration {
+	if p.vspan <= 0 {
+		// All requests share one virtual instant: spread them uniformly.
+		return time.Duration(int64(p.span) * int64(i) / int64(p.m.Len()))
+	}
+	return time.Duration(float64(p.m.times[i]) * float64(p.span) / float64(p.vspan))
+}
+
+// At returns request i of the underlying trace.
+func (p *Paced) At(i int) Request { return p.m.At(i) }

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func pacedTestProfile() Profile {
+	p := DECProfile(ScaleSmall)
+	p.Requests = 2000
+	p.DistinctURLs = 400
+	p.Clients = 32
+	return p
+}
+
+func TestPacedRescalesVirtualSpan(t *testing.T) {
+	m, err := Materialize(pacedTestProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const window = 10 * time.Second
+	p, err := NewPaced(m, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != m.Len() {
+		t.Fatalf("paced len %d != trace len %d", p.Len(), m.Len())
+	}
+	prev := time.Duration(-1)
+	for i := 0; i < p.Len(); i++ {
+		off := p.Offset(i)
+		if off < prev {
+			t.Fatalf("offset %d (%v) < offset %d (%v): offsets must be non-decreasing", i, off, i-1, prev)
+		}
+		if off < 0 || off > window {
+			t.Fatalf("offset %d = %v outside [0, %v]", i, off, window)
+		}
+		prev = off
+	}
+	if got := p.Offset(p.Len() - 1); got != window {
+		t.Errorf("last offset = %v, want exactly the window %v", got, window)
+	}
+	// The rescale is linear: a request halfway through virtual time lands
+	// halfway through the window (within a bucket of float rounding).
+	mid := m.At(m.Len()-1).Time / 2
+	for i := 0; i < m.Len(); i++ {
+		if m.At(i).Time >= mid {
+			off := p.Offset(i)
+			if off < window/2-window/100 {
+				t.Errorf("virtual-midpoint request %d at %v, want ~%v", i, off, window/2)
+			}
+			break
+		}
+	}
+}
+
+func TestPacedDegenerateTimesSpreadUniformly(t *testing.T) {
+	m := &Materialized{
+		times:    make([]time.Duration, 10),
+		clients:  make([]int32, 10),
+		objects:  make([]uint64, 10),
+		sizes:    make([]int64, 10),
+		versions: make([]int64, 10),
+		flags:    make([]uint8, 10),
+	}
+	p, err := NewPaced(m, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Offset(0); got != 0 {
+		t.Errorf("first offset = %v, want 0", got)
+	}
+	if got := p.Offset(5); got != 500*time.Millisecond {
+		t.Errorf("middle offset = %v, want 500ms", got)
+	}
+}
+
+func TestPacedRejectsBadInputs(t *testing.T) {
+	if _, err := NewPaced(nil, time.Second); err == nil {
+		t.Error("nil trace accepted")
+	}
+	if _, err := NewPaced(&Materialized{}, time.Second); err == nil {
+		t.Error("empty trace accepted")
+	}
+	m, err := Materialize(pacedTestProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPaced(m, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+}
