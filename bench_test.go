@@ -515,6 +515,28 @@ func BenchmarkNodeFetchParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkNodeFetchSpans measures what structured-span recording costs the
+// prewarmed hit path at the three sampling settings: recording disabled
+// (TraceSample < 0), the 1/64 default, and every request sampled. The
+// guard this backs (BENCH_obs.json): an unsampled request must record
+// nothing and allocate nothing — off and default must stay within noise of
+// the BenchmarkNodeFetchParallel/hits/sharded baseline — and even
+// sample=all must stay within a few percent of it.
+func BenchmarkNodeFetchSpans(b *testing.B) {
+	for _, c := range []struct {
+		name   string
+		sample float64
+	}{
+		{"sample=off", -1},
+		{"sample=default", 0},
+		{"sample=all", 1},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			benchNodeFetch(b, "hits", cluster.NodeConfig{Name: "bench", TraceSample: c.sample}, nil)
+		})
+	}
+}
+
 // BenchmarkAblationDirectoryVsHints reports the speedup of local hint
 // caches over a centralized directory (the design's core bet: metadata
 // lookups must not cost a network round trip).

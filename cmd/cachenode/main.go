@@ -70,6 +70,7 @@ func run(args []string, out io.Writer, wait func()) error {
 		digWorkers  = fs.Int("digest-workers", 0, "concurrent peer digest pulls in digest mode (0: 4 default)")
 		objectSize  = fs.Int64("object-size", 8<<10, "origin default object size")
 		traceSample = fs.Float64("trace-sample", 0, "fraction of fetches recorded in /debug/traces (0: node default of 1/64, >=1: all, <0: none)")
+		spanRing    = fs.Int("span-ring", 0, "structured-span ring capacity behind /debug/spans, rounded up to a power of two (0: 4096 default)")
 		debugAddr   = fs.String("debug-addr", "", "optional address for a net/http/pprof debug listener (off when empty)")
 
 		inject       = fs.String("inject", "", `outbound fault spec, e.g. "127.0.0.1:8002:latency=200ms,errrate=0.1;*:droprate=0.01" (see internal/faults)`)
@@ -118,6 +119,7 @@ func run(args []string, out io.Writer, wait func()) error {
 		HintQueue:      *hintQueue,
 		DigestWorkers:  *digWorkers,
 		TraceSample:    *traceSample,
+		SpanRing:       *spanRing,
 		PeerTimeout:    *peerTimeout,
 		OriginTimeout:  *originTO,
 		HedgeBudget:    *hedgeBudget,

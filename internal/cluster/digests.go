@@ -7,8 +7,10 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"beyondcache/internal/digest"
+	"beyondcache/internal/hintcache"
 )
 
 // Digest support for the prototype: instead of exchanging exact 20-byte
@@ -50,6 +52,11 @@ func (n *Node) handleDigest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	// Stamp the snapshot with its generation sequence and wall clock so
+	// the puller can measure how stale each pulled digest grows between
+	// exchanges (the digest twin of the hint batch's X-Hint-Batch stamp).
+	stamp := hintcache.Stamp{Seq: n.digestSeq.Add(1), UnixNs: time.Now().UnixNano()}
+	w.Header().Set(headerDigestGenerated, stamp.HeaderValue())
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Write(data)
 }
@@ -110,6 +117,7 @@ func (n *Node) PullDigests() {
 // regrown buffer is returned for the next pull.
 func (n *Node) pullDigest(p digestSource, buf []byte) []byte {
 	var f *digest.Filter
+	var genNs int64
 	retries, err := n.backoff.Retry(context.Background(), 3, func() error {
 		ctx, cancel := context.WithTimeout(context.Background(), metadataTimeout)
 		defer cancel()
@@ -120,6 +128,9 @@ func (n *Node) pullDigest(p digestSource, buf []byte) []byte {
 		resp, err := n.client.Do(req)
 		if err != nil {
 			return err
+		}
+		if st, ok := hintcache.ParseStamp(resp.Header.Get(headerDigestGenerated)); ok {
+			genNs = st.UnixNs
 		}
 		if resp.StatusCode != http.StatusOK {
 			// Check the status before touching the body so an error
@@ -142,9 +153,23 @@ func (n *Node) pullDigest(p digestSource, buf []byte) []byte {
 		n.stats.sendErrors.Add(1)
 		return buf
 	}
+	now := time.Now().UnixNano()
+	if genNs == 0 {
+		// Peer without a generation stamp: fall back to the pull time, so
+		// staleness still measures the exchange interval.
+		genNs = now
+	}
 	n.digestMu.Lock()
+	prev := n.digestGen[p.id]
+	n.digestGen[p.id] = genNs
 	n.peerDigests[p.id] = f
 	n.digestMu.Unlock()
+	if prev != 0 {
+		// The snapshot this pull replaces was generated at prev; it has
+		// been the node's view of this peer ever since — that age is the
+		// digest staleness the paper's summary-scheme tradeoff pays.
+		n.digestStale.Observe(hostPortOf(p.url), time.Duration(now-prev))
+	}
 	n.stats.digestsPulled.Add(1)
 	return buf
 }

@@ -140,15 +140,42 @@ func (n *Node) Metrics() *obs.Expo {
 	}
 	n.peerMu.RUnlock()
 	sort.Strings(targets)
+	maxQueued := 0
 	for _, t := range targets {
 		s := senders[t]
+		depth := s.q.len()
+		if depth > maxQueued {
+			maxQueued = depth
+		}
 		label := obs.L("peer", hostPortOf(t))
 		e.Gauge("beyondcache_hint_queue_depth",
-			"Records waiting in the per-peer sender queue.", float64(s.q.len()), label)
+			"Records waiting in the per-peer sender queue.", float64(depth), label)
 		e.Counter("beyondcache_hint_queue_dropped_total",
 			"Records dropped from the per-peer sender queue under backpressure (oldest informs first).",
 			s.dropped.Load(), label)
 	}
+
+	// Metadata freshness (DESIGN.md §11). The aggregate (unlabeled) series
+	// of each histogram family exists from the first scrape; per-peer series
+	// appear once that peer has contributed an observation. Directory lag is
+	// the node's view of how far its peers' hint directories trail reality:
+	// records still pending the next batch round plus the deepest per-peer
+	// sender backlog.
+	e.Histogram("beyondcache_hint_propagation_seconds",
+		"Age of hint batches at receipt: receiver wall clock minus the batch's oldest-enqueue stamp, by sending peer.",
+		n.hintLag.All().Snapshot())
+	n.hintLag.Each(func(label string, s obs.HistogramSnapshot) {
+		e.Histogram("beyondcache_hint_propagation_seconds", "", s, obs.L("peer", label))
+	})
+	e.Histogram("beyondcache_digest_staleness_seconds",
+		"Age of the peer digest each pull replaces: time since that snapshot was generated, by peer.",
+		n.digestStale.All().Snapshot())
+	n.digestStale.Each(func(label string, s obs.HistogramSnapshot) {
+		e.Histogram("beyondcache_digest_staleness_seconds", "", s, obs.L("peer", label))
+	})
+	e.Gauge("beyondcache_hint_directory_lag_objects",
+		"Updates enqueued locally but not yet delivered to every peer: pending records plus the deepest sender queue.",
+		float64(n.pend.len()+maxQueued))
 
 	// Injected-fault counters, one series per fault kind; all zero (but
 	// present) when the node runs without a fault spec.
@@ -223,6 +250,9 @@ func (n *Node) Metrics() *obs.Expo {
 	e.Counter("beyondcache_traces_sampled_total",
 		"Requests whose full trace was recorded in the /debug/traces ring.",
 		n.traces.Sampled())
+	e.Counter("beyondcache_spans_recorded_total",
+		"Structured spans recorded in the /debug/spans ring.",
+		n.spans.Recorded())
 	e.Gauge("beyondcache_node_info",
 		"Constant 1; the name label identifies the node.", 1, obs.L("name", n.label()))
 	return e
@@ -236,12 +266,33 @@ func (n *Node) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeExpo(w, n.Metrics())
 }
 
+// tracesMaxN caps how many traces one /debug/traces response returns; it
+// doubles as the default when no ?n= is given (the ring itself is smaller
+// in every stock configuration).
+const tracesMaxN = 1024
+
 // handleTraces serves GET /debug/traces: the sampled-trace ring as JSON,
 // oldest first, plus the effective sample rate so a reader knows how much
-// traffic the ring represents.
+// traffic the ring represents. ?n= trims the response to the newest n
+// traces (capped at tracesMaxN).
 func (n *Node) handleTraces(w http.ResponseWriter, r *http.Request) {
 	if !expoGET(w, r) {
 		return
+	}
+	limit := tracesMaxN
+	if v := r.URL.Query().Get("n"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil || p <= 0 {
+			http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		if p < limit {
+			limit = p
+		}
+	}
+	traces := n.traces.Snapshot()
+	if len(traces) > limit {
+		traces = traces[len(traces)-limit:]
 	}
 	payload := struct {
 		Node       string      `json:"node"`
@@ -252,12 +303,56 @@ func (n *Node) handleTraces(w http.ResponseWriter, r *http.Request) {
 		Node:       n.label(),
 		SampleRate: n.sampler.Rate(),
 		Sampled:    n.traces.Sampled(),
-		Traces:     n.traces.Snapshot(),
+		Traces:     traces,
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(payload); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+// spansMaxPull caps how many spans one /debug/spans response carries; it is
+// also the default when no ?limit= is given. A scraper that is far behind
+// simply polls again with the returned cursor.
+const spansMaxPull = 4096
+
+// handleSpans serves GET /debug/spans: the structured-span ring in its
+// binary wire encoding (internal/obs AppendSpan records), oldest first from
+// the ?since= cursor. The response carries the scrape state in headers —
+// X-Span-Cursor is the value to pass as ?since= next time, X-Span-Lost
+// counts spans the ring overwrote before this scrape reached them, and
+// X-Span-Node names the serving node so an inspector can label the spans'
+// source without a second request.
+func (n *Node) handleSpans(w http.ResponseWriter, r *http.Request) {
+	if !expoGET(w, r) {
+		return
+	}
+	var since uint64
+	if v := r.URL.Query().Get("since"); v != "" {
+		p, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "since must be an unsigned integer", http.StatusBadRequest)
+			return
+		}
+		since = p
+	}
+	limit := spansMaxPull
+	if v := r.URL.Query().Get("limit"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil || p <= 0 {
+			http.Error(w, "limit must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		if p < limit {
+			limit = p
+		}
+	}
+	spans, next, lost := n.spans.Since(since, limit)
+	w.Header().Set("X-Span-Node", n.label())
+	w.Header().Set("X-Span-Cursor", strconv.FormatUint(next, 10))
+	w.Header().Set("X-Span-Lost", strconv.FormatUint(lost, 10))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(obs.AppendSpans(nil, spans))
 }
 
 // Metrics builds the origin's exposition.

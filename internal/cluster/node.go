@@ -46,6 +46,20 @@ const (
 	// origin's /obj) hands its own self-timed hop segment to the
 	// fetching node, which splices it into the chain.
 	headerTraceHop = "X-Trace-Hop"
+	// headerTraceSampled marks an upstream request as part of a sampled
+	// trace: the fetching node forwards its X-Request-Id plus this flag,
+	// and the peer records its own span group under the same trace ID so
+	// a fleet scraper can assemble the complete cross-node tree.
+	headerTraceSampled = "X-Trace-Sampled"
+	// headerHintBatch stamps a hint-batch POST with the sender's batch
+	// sequence and the oldest enqueue wall clock it carries
+	// (hintcache.Stamp); receivers turn it into per-peer
+	// hint-propagation-lag observations.
+	headerHintBatch = "X-Hint-Batch"
+	// headerDigestGenerated stamps a /digest response with the snapshot's
+	// generation sequence and wall clock; pullers turn it into
+	// digest-staleness observations.
+	headerDigestGenerated = "X-Digest-Generated"
 )
 
 // NodeConfig parameterizes a cache node.
@@ -134,6 +148,11 @@ type NodeConfig struct {
 	TraceSample float64
 	// TraceRing bounds the /debug/traces ring (<= 0 means 256 traces).
 	TraceRing int
+	// SpanRing bounds the structured-span ring behind /debug/spans,
+	// rounded up to a power of two (<= 0 means 4096 spans). Sampling
+	// (TraceSample) gates span recording exactly as it gates the trace
+	// ring: unsampled requests record nothing and allocate nothing.
+	SpanRing int
 }
 
 // Stats counts node activity.
@@ -308,17 +327,33 @@ type Node struct {
 	// exposes every queue from the first scrape.
 	senders map[string]*peerSender
 
-	// digestMu guards the digest state (own and pulled).
+	// digestMu guards the digest state (own and pulled). digestGen
+	// remembers each peer digest's generation wall clock (from its
+	// X-Digest-Generated stamp) so the next pull can observe how stale
+	// the snapshot it replaces had become.
 	digestMu    sync.RWMutex
 	peerDigests map[uint64]*digest.Filter
 	ownDigest   *digest.Filter
+	digestGen   map[uint64]int64
+	// digestSeq numbers the digest snapshots this node serves.
+	digestSeq atomic.Int64
 
 	stats counters
 	hist  nodeHists
 
-	// traces is the bounded ring behind /debug/traces; sampler decides
-	// which requests land in it. reqSeq numbers generated request IDs.
+	// hintLag records, per sending peer, how old a hint batch's oldest
+	// record was on arrival (the live hint-propagation-lag signal);
+	// digestStale records, per pulled peer, how stale each digest
+	// snapshot had grown when its replacement arrived.
+	hintLag     *obs.HistogramVec
+	digestStale *obs.HistogramVec
+
+	// traces is the bounded ring behind /debug/traces; spans is the
+	// lock-free structured-span ring behind /debug/spans (same sampling
+	// decision feeds both). sampler decides which requests are recorded.
+	// reqSeq numbers generated request IDs.
 	traces  *obs.TraceRing
+	spans   *obs.SpanRing
 	sampler *obs.Sampler
 	reqSeq  atomic.Int64
 
@@ -425,7 +460,10 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		data:          cache.NewSharded(cfg.CacheShards, cfg.CacheBytes),
 		hints:         hintcache.NewStriped(cfg.HintEntries, cfg.HintWays, cfg.HintStripes),
 		hist:          newNodeHists(),
+		hintLag:       obs.NewHistogramVec(nil),
+		digestStale:   obs.NewHistogramVec(nil),
 		traces:        obs.NewTraceRing(cfg.TraceRing),
+		spans:         obs.NewSpanRing(cfg.SpanRing),
 		sampler:       obs.NewSampler(sample),
 		pend:          newPendq(cfg.HintQueue),
 		peers:         make(map[uint64]string),
@@ -453,6 +491,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		}
 		n.ownDigest = own
 		n.peerDigests = make(map[uint64]*digest.Filter)
+		n.digestGen = make(map[uint64]int64)
 	}
 	// Capacity evictions advertise non-presence (the prototype's
 	// invalidate command). The callback runs with the evicted object's
@@ -494,6 +533,7 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("/stats", n.handleStats)
 	mux.HandleFunc("/metrics", n.handleMetrics)
 	mux.HandleFunc("/debug/traces", n.handleTraces)
+	mux.HandleFunc("/debug/spans", n.handleSpans)
 	mux.HandleFunc("/digest", n.handleDigest)
 	if n.inboundInj == nil {
 		return mux
@@ -735,7 +775,7 @@ func (n *Node) exchange() {
 // batch nothing is enqueued; the returned generations make waiting a
 // barrier on whatever the senders already had in flight.
 func (n *Node) distribute() (senders []*peerSender, seqs []int64, records int) {
-	batch := n.pend.drain(nil)
+	batch, stampNs := n.pend.drain(nil)
 
 	n.peerMu.RLock()
 	if len(n.updates) > 0 {
@@ -752,7 +792,7 @@ func (n *Node) distribute() (senders []*peerSender, seqs []int64, records int) {
 	seqs = make([]int64, len(senders))
 	for i, s := range senders {
 		if len(batch) > 0 {
-			seqs[i] = s.enqueue(batch)
+			seqs[i] = s.enqueue(batch, stampNs)
 		} else {
 			seqs[i] = s.currentSeq()
 		}
@@ -855,16 +895,21 @@ func (n *Node) handleFetch(w http.ResponseWriter, r *http.Request) {
 	} else {
 		reqID = n.newRequestID()
 	}
+	// The sampling decision is made on entry so the whole request shares
+	// it: a sampled request's upstream fetches forward the request ID and
+	// sampled flag, letting the contacted peer record its own span group
+	// under the same trace ID. Unsampled requests record nothing.
+	sampled := n.sampler.Sample()
 	h := hintcache.HashURL(url)
 
 	// Local cache.
 	if obj, body, ok := n.data.Get(h); ok {
 		n.stats.localHits.Add(1)
-		n.finishFetch(w, reqID, url, start, "LOCAL", obj.Version, body, nil)
+		n.finishFetch(w, reqID, url, start, "LOCAL", obj.Version, body, nil, sampled)
 		return
 	}
 
-	out, shared := n.flights.do(url, func() fetchOutcome { return n.fill(h, url) })
+	out, shared := n.flights.do(url, func() fetchOutcome { return n.fill(h, url, reqID, sampled) })
 	if out.err != nil {
 		http.Error(w, fmt.Sprintf("origin fetch: %v", out.err), http.StatusBadGateway)
 		return
@@ -877,40 +922,44 @@ func (n *Node) handleFetch(w http.ResponseWriter, r *http.Request) {
 		n.stats.coalescedHits.Add(1)
 		how = "LOCAL,COALESCED"
 	}
-	n.finishFetch(w, reqID, url, start, how, out.version, out.body, out.hops)
+	n.finishFetch(w, reqID, url, start, how, out.version, out.body, out.hops, sampled)
 }
 
 // finishFetch completes a successful /fetch: it observes the outcome
 // histogram, appends the node's terminal hop to the upstream chain (waiters
 // sharing a fill each get their own copy — out.hops is shared across every
-// coalesced request), serves the object with the trace headers, and records
-// the trace in the ring if sampled. The terminal hop's outcome is the
-// X-Cache value, so the two headers can never disagree.
-func (n *Node) finishFetch(w http.ResponseWriter, reqID, url string, start time.Time, how string, version int64, body []byte, upstream []obs.Hop) {
+// coalesced request), records the structured span group and the trace if
+// sampled, and serves the object with the trace headers. The terminal hop's
+// outcome is the X-Cache value and the X-Trace header is rendered from the
+// same hop data the spans are built from, so the three views can never
+// disagree. Recording happens before the response is written: a client
+// holding the response can immediately pull its spans from /debug/spans.
+func (n *Node) finishFetch(w http.ResponseWriter, reqID, url string, start time.Time, how string, version int64, body []byte, upstream []obs.Hop, sampled bool) {
 	elapsed := time.Since(start)
 	n.hist.observeFetch(how, elapsed)
 	term := obs.Hop{Node: n.label(), Outcome: how, Elapsed: elapsed}
+	if sampled {
+		// The span group and combined hop slice are built only for
+		// sampled requests; the unsampled majority never allocates.
+		n.spans.AddGroup(obs.SpansFromHops(obs.TraceID(reqID), upstream, term))
+		hops := make([]obs.Hop, 0, len(upstream)+1)
+		hops = append(hops, upstream...)
+		hops = append(hops, term)
+		n.traces.Add(obs.Trace{ID: reqID, URL: url, Outcome: how, Start: start, Total: elapsed, Hops: hops})
+	}
 	// The header keys are pre-canonicalized constants: direct map
 	// assignment skips Set's canonicalization scan on the hot path.
 	hdr := w.Header()
 	hdr[headerRequestID] = []string{reqID}
 	hdr[headerTrace] = []string{obs.FormatChain(upstream, term)}
 	serveObject(w, how, version, body)
-	if n.sampler.Sample() {
-		// The combined hop slice is built only for sampled requests; the
-		// unsampled majority never allocates it.
-		hops := make([]obs.Hop, 0, len(upstream)+1)
-		hops = append(hops, upstream...)
-		hops = append(hops, term)
-		n.traces.Add(obs.Trace{ID: reqID, URL: url, Outcome: how, Start: start, Total: elapsed, Hops: hops})
-	}
 }
 
 // fill resolves a cache miss as the singleflight leader: peer transfer if a
 // hint or digest points somewhere (raced against the origin under the hedge
 // budget), origin otherwise. Leader-side stats are counted here so waiters
 // sharing the outcome do not double-count them.
-func (n *Node) fill(h uint64, url string) fetchOutcome {
+func (n *Node) fill(h uint64, url, reqID string, sampled bool) fetchOutcome {
 	// Re-check the cache: the object may have been filled between the
 	// caller's miss and winning flight leadership.
 	if obj, body, ok := n.data.Get(h); ok {
@@ -934,7 +983,7 @@ func (n *Node) fill(h uint64, url string) fetchOutcome {
 	if peerURL != "" {
 		br := n.breakers.Get(peerURL)
 		if br.Allow() {
-			return n.fillRaced(h, url, peerURL, br)
+			return n.fillRaced(h, url, reqID, peerURL, br, sampled)
 		}
 		// The peer's breaker is open: a known-bad peer must not cost
 		// this request anything. Straight to the origin, hint kept —
@@ -945,7 +994,7 @@ func (n *Node) fill(h uint64, url string) fetchOutcome {
 
 	ctx, cancel := context.WithTimeout(context.Background(), n.originTimeout)
 	defer cancel()
-	got, err := n.fetchOrigin(ctx, url)
+	got, err := n.fetchOrigin(ctx, url, reqID, sampled)
 	if err != nil {
 		return fetchOutcome{err: err}
 	}
@@ -963,7 +1012,7 @@ func (n *Node) fill(h uint64, url string) fetchOutcome {
 // dead peer's hints stop costing anything — the paper's principles 1–2
 // enforced under faults: a stale hint must never make a request slower
 // than going straight to the origin.
-func (n *Node) fillRaced(h uint64, url, peerURL string, br *resilience.Breaker) fetchOutcome {
+func (n *Node) fillRaced(h uint64, url, reqID, peerURL string, br *resilience.Breaker, sampled bool) fetchOutcome {
 	peerHost := hostPortOf(peerURL)
 	probeStart := time.Now()
 	// The probe's elapsed time is written by the primary goroutine and
@@ -973,14 +1022,14 @@ func (n *Node) fillRaced(h uint64, url, peerURL string, br *resilience.Breaker) 
 	primary := func(ctx context.Context) (fetched, error) {
 		pctx, cancel := context.WithTimeout(ctx, n.peerTimeout)
 		defer cancel()
-		got, err := n.fetchPeer(pctx, peerURL, url)
+		got, err := n.fetchPeer(pctx, peerURL, url, reqID, sampled)
 		probeNS.Store(int64(time.Since(probeStart)))
 		return got, err
 	}
 	fallback := func(ctx context.Context) (fetched, error) {
 		octx, cancel := context.WithTimeout(ctx, n.originTimeout)
 		defer cancel()
-		return n.fetchOrigin(octx, url)
+		return n.fetchOrigin(octx, url, reqID, sampled)
 	}
 	r := resilience.Race(context.Background(), n.hedgeBudget, primary, fallback)
 	if r.Hedged {
@@ -1059,17 +1108,42 @@ func (n *Node) handleObject(w http.ResponseWriter, r *http.Request) {
 	obj, body, ok := n.data.Get(h)
 	if !ok {
 		n.stats.peerRejects.Add(1)
+		elapsed := time.Since(start)
+		n.recordPeerSpan(r, "PEER-REJECT", elapsed)
 		w.Header().Set(headerTraceHop,
-			obs.Hop{Node: n.label(), Outcome: "PEER-REJECT", Elapsed: time.Since(start)}.Segment())
+			obs.Hop{Node: n.label(), Outcome: "PEER-REJECT", Elapsed: elapsed}.Segment())
 		http.Error(w, "not cached", http.StatusNotFound)
 		return
 	}
 	n.stats.peerServes.Add(1)
 	elapsed := time.Since(start)
 	n.hist.peerServe.Observe(elapsed)
+	n.recordPeerSpan(r, "PEER-SERVE", elapsed)
 	w.Header().Set(headerTraceHop,
 		obs.Hop{Node: n.label(), Outcome: "PEER-SERVE", Elapsed: elapsed}.Segment())
 	serveObject(w, "PEER", obj.Version, body)
+}
+
+// recordPeerSpan records this node's side of a cache-to-cache transfer as
+// a single-span group under the fetching node's trace ID, but only when
+// the fetcher marked the request sampled — the unsampled majority of peer
+// serves records nothing.
+func (n *Node) recordPeerSpan(r *http.Request, outcome string, elapsed time.Duration) {
+	if r.Header.Get(headerTraceSampled) == "" {
+		return
+	}
+	reqID := r.Header.Get(headerRequestID)
+	if reqID == "" {
+		return
+	}
+	n.spans.Add(obs.Span{
+		TraceID:  obs.TraceID(reqID),
+		Index:    0,
+		Parent:   obs.SpanRoot,
+		Node:     n.label(),
+		Outcome:  outcome,
+		Duration: elapsed,
+	})
 }
 
 // updatesBodyPool and updatesScratchPool recycle the body buffer and the
@@ -1141,6 +1215,14 @@ func (n *Node) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	}
 	_ = n.hints.ApplyBatch(kept)
 	n.stats.updatesReceived.Add(int64(total))
+	// Freshness telemetry: the sender (or the relay forwarding for it)
+	// stamped the batch with its oldest enqueue wall clock; the difference
+	// to our clock is how stale these hints already were on arrival.
+	if st, ok := hintcache.ParseStamp(r.Header.Get(headerHintBatch)); ok {
+		if from := r.Header.Get("X-Relay-From"); from != "" {
+			n.hintLag.Observe(hostPortOf(from), time.Since(time.Unix(0, st.UnixNs)))
+		}
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -1188,11 +1270,17 @@ type fetched struct {
 }
 
 // fetchGet performs one upstream GET under ctx and decodes the object plus
-// the upstream's self-timed hop segment.
-func (n *Node) fetchGet(ctx context.Context, reqURL string) (int64, []byte, []obs.Hop, error) {
+// the upstream's self-timed hop segment. Sampled requests forward the
+// request ID and the sampled flag so the upstream can record its own span
+// group under the same trace ID.
+func (n *Node) fetchGet(ctx context.Context, reqURL, reqID string, sampled bool) (int64, []byte, []obs.Hop, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, reqURL, nil)
 	if err != nil {
 		return 0, nil, nil, err
+	}
+	if sampled {
+		req.Header[headerRequestID] = []string{reqID}
+		req.Header[headerTraceSampled] = []string{"1"}
 	}
 	resp, err := n.client.Do(req)
 	if err != nil {
@@ -1219,9 +1307,9 @@ func (n *Node) fetchGet(ctx context.Context, reqURL string) (int64, []byte, []ob
 // X-Trace-Hop header) followed by this node's round-trip measurement — the
 // difference between the two is time on the wire. ctx carries the per-hop
 // peer deadline (and, on the hedged path, the race's abandon signal).
-func (n *Node) fetchPeer(ctx context.Context, peerURL, url string) (fetched, error) {
+func (n *Node) fetchPeer(ctx context.Context, peerURL, url, reqID string, sampled bool) (fetched, error) {
 	start := time.Now()
-	version, body, hops, err := n.fetchGet(ctx, peerURL+"/object?url="+neturl.QueryEscape(url))
+	version, body, hops, err := n.fetchGet(ctx, peerURL+"/object?url="+neturl.QueryEscape(url), reqID, sampled)
 	if err != nil {
 		return fetched{}, fmt.Errorf("peer fetch: %w", err)
 	}
@@ -1231,9 +1319,9 @@ func (n *Node) fetchPeer(ctx context.Context, peerURL, url string) (fetched, err
 
 // fetchOrigin fetches from the origin server, returning the origin's
 // self-timed serve segment (when present) plus the measured round trip.
-func (n *Node) fetchOrigin(ctx context.Context, url string) (fetched, error) {
+func (n *Node) fetchOrigin(ctx context.Context, url, reqID string, sampled bool) (fetched, error) {
 	start := time.Now()
-	version, body, hops, err := n.fetchGet(ctx, n.cfg.OriginURL+"/obj?url="+neturl.QueryEscape(url))
+	version, body, hops, err := n.fetchGet(ctx, n.cfg.OriginURL+"/obj?url="+neturl.QueryEscape(url), reqID, sampled)
 	if err != nil {
 		return fetched{}, fmt.Errorf("origin fetch: %w", err)
 	}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"sync"
+	"time"
 
 	"beyondcache/internal/hintcache"
 )
@@ -26,12 +27,19 @@ import (
 // leaves a stale hint to mislead a peer), so invalidates are preserved over
 // informs. Only when the queue is all invalidates is the oldest invalidate
 // dropped. Drops are counted so backpressure is visible in /metrics.
+// Freshness: the queue remembers the wall clock of the oldest enqueue it
+// currently holds (oldestNs). drain hands that stamp out alongside the
+// records so the sender can mark the batch with its true age; receivers
+// turn the mark into a hint-propagation-lag observation. Eviction does
+// not advance the stamp (an evicted oldest record leaves the reported age
+// slightly pessimistic), which keeps the bookkeeping one int64.
 type pendq struct {
 	mu  sync.Mutex
 	cap int // max records; <= 0 means unbounded
 
-	order []uint64 // URL hashes in arrival order, oldest first
-	m     map[uint64]pendRec
+	order    []uint64 // URL hashes in arrival order, oldest first
+	m        map[uint64]pendRec
+	oldestNs int64 // wall clock of the oldest held enqueue; 0 when empty
 }
 
 // pendRec is the queue's view of one object's latest pending action.
@@ -49,15 +57,26 @@ func newPendq(capRecords int) *pendq {
 // dropped to make room.
 func (q *pendq) add(u hintcache.Update) (coalesced, dropped bool) {
 	q.mu.Lock()
+	if q.oldestNs == 0 {
+		q.oldestNs = time.Now().UnixNano()
+	}
 	coalesced, dropped = q.addLocked(u)
 	q.mu.Unlock()
 	return coalesced, dropped
 }
 
 // addBatch folds a batch under one lock acquisition, returning how many
-// records coalesced and how many were dropped for room.
-func (q *pendq) addBatch(batch []hintcache.Update) (coalesced, dropped int) {
+// records coalesced and how many were dropped for room. stampNs is the
+// batch's own oldest-enqueue stamp (0 for none); the queue keeps the
+// minimum of its stamp and the batch's, so re-queued records never look
+// fresher than they are.
+func (q *pendq) addBatch(batch []hintcache.Update, stampNs int64) (coalesced, dropped int) {
 	q.mu.Lock()
+	if stampNs != 0 && (q.oldestNs == 0 || stampNs < q.oldestNs) {
+		q.oldestNs = stampNs
+	} else if q.oldestNs == 0 && len(batch) > 0 {
+		q.oldestNs = time.Now().UnixNano()
+	}
 	for _, u := range batch {
 		c, d := q.addLocked(u)
 		if c {
@@ -101,9 +120,11 @@ func (q *pendq) evictLocked() {
 	q.order = q.order[:len(q.order)-1]
 }
 
-// drain appends every queued record, oldest first, onto dst and empties the
-// queue. The queue's internal storage is retained for reuse.
-func (q *pendq) drain(dst []hintcache.Update) []hintcache.Update {
+// drain appends every queued record, oldest first, onto dst and empties
+// the queue, returning the drained records' oldest-enqueue stamp (0 when
+// the queue was empty). The queue's internal storage is retained for
+// reuse.
+func (q *pendq) drain(dst []hintcache.Update) ([]hintcache.Update, int64) {
 	q.mu.Lock()
 	for _, h := range q.order {
 		r := q.m[h]
@@ -111,8 +132,10 @@ func (q *pendq) drain(dst []hintcache.Update) []hintcache.Update {
 	}
 	q.order = q.order[:0]
 	clear(q.m)
+	stamp := q.oldestNs
+	q.oldestNs = 0
 	q.mu.Unlock()
-	return dst
+	return dst, stamp
 }
 
 // len returns the queued record count.

@@ -27,7 +27,7 @@ func TestPendqCoalesces(t *testing.T) {
 	if c, _ := q.add(invalidate(1, 7)); !c {
 		t.Error("invalidate after inform for hash 1 did not coalesce")
 	}
-	got := q.drain(nil)
+	got, _ := q.drain(nil)
 	want := []hintcache.Update{invalidate(1, 7), inform(2, 7)}
 	if len(got) != len(want) {
 		t.Fatalf("drained %d records, want %d: %v", len(got), len(want), got)
@@ -48,7 +48,7 @@ func TestPendqInvalidateThenInform(t *testing.T) {
 	q := newPendq(0)
 	q.add(invalidate(1, 7))
 	q.add(inform(1, 7))
-	got := q.drain(nil)
+	got, _ := q.drain(nil)
 	if len(got) != 1 || got[0] != inform(1, 7) {
 		t.Fatalf("drained %v, want single inform(1)", got)
 	}
@@ -66,7 +66,7 @@ func TestPendqBoundDropsOldestInformFirst(t *testing.T) {
 	if _, dropped := q.add(inform(4, 7)); !dropped {
 		t.Fatal("overflow add reported no drop")
 	}
-	got := q.drain(nil)
+	got, _ := q.drain(nil)
 	want := []hintcache.Update{invalidate(1, 7), inform(3, 7), inform(4, 7)}
 	if len(got) != len(want) {
 		t.Fatalf("drained %v, want %v", got, want)
@@ -82,7 +82,7 @@ func TestPendqBoundDropsOldestInformFirst(t *testing.T) {
 	q.add(invalidate(1, 7))
 	q.add(invalidate(2, 7))
 	q.add(invalidate(3, 7))
-	got = q.drain(nil)
+	got, _ = q.drain(nil)
 	want = []hintcache.Update{invalidate(2, 7), invalidate(3, 7)}
 	for i := range want {
 		if got[i] != want[i] {
@@ -101,7 +101,7 @@ func TestPendqAddBatchCounts(t *testing.T) {
 		inform(2, 7),
 		inform(3, 7), // overflows: drops hash 1 (oldest inform)
 	}
-	coalesced, dropped := q.addBatch(batch)
+	coalesced, dropped := q.addBatch(batch, 0)
 	if coalesced != 1 || dropped != 1 {
 		t.Errorf("addBatch = (coalesced %d, dropped %d), want (1, 1)", coalesced, dropped)
 	}

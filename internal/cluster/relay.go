@@ -165,6 +165,11 @@ func (r *Relay) handleUpdates(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	from := req.Header.Get("X-Relay-From")
+	// The originator's freshness stamp rides through the tree untouched:
+	// a leaf receiving the forward measures lag back to the *original*
+	// enqueue, so relay hops show up in the propagation histogram instead
+	// of resetting it.
+	stamp := req.Header.Get(headerHintBatch)
 	r.received.Add(int64(len(updates)))
 
 	r.mu.RLock()
@@ -194,6 +199,9 @@ func (r *Relay) handleUpdates(w http.ResponseWriter, req *http.Request) {
 				}
 				hreq.Header.Set("Content-Type", "application/octet-stream")
 				hreq.Header.Set("X-Relay-From", r.URL())
+				if stamp != "" {
+					hreq.Header.Set(headerHintBatch, stamp)
+				}
 				resp, err := r.client.Do(hreq)
 				if err != nil {
 					return err

@@ -34,6 +34,9 @@ type peerSender struct {
 	// dropped counts records this sender's queue bound discarded; depth
 	// and drops surface per peer in /metrics.
 	dropped atomic.Int64
+	// batchSeq numbers the batches actually sent to this target; it rides
+	// the X-Hint-Batch stamp so the receiver can see delivery gaps.
+	batchSeq atomic.Int64
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -61,10 +64,11 @@ func newPeerSender(n *Node, target string, queueCap int) *peerSender {
 	return s
 }
 
-// enqueue folds a batch into the sender's queue and returns the generation
-// to wait on for its delivery.
-func (s *peerSender) enqueue(batch []hintcache.Update) int64 {
-	_, dropped := s.q.addBatch(batch)
+// enqueue folds a batch into the sender's queue (carrying the batch's
+// oldest-enqueue stamp forward) and returns the generation to wait on for
+// its delivery.
+func (s *peerSender) enqueue(batch []hintcache.Update, stampNs int64) int64 {
+	_, dropped := s.q.addBatch(batch, stampNs)
 	if dropped > 0 {
 		s.dropped.Add(int64(dropped))
 		s.n.stats.queueDropped.Add(int64(dropped))
@@ -129,13 +133,14 @@ func (s *peerSender) loop() {
 			s.mu.Lock()
 			target := s.seq
 			s.mu.Unlock()
-			scratch = s.q.drain(scratch[:0])
+			var stampNs int64
+			scratch, stampNs = s.q.drain(scratch[:0])
 			if len(scratch) > 0 {
 				wire = wire[:0]
 				for _, u := range scratch {
 					wire = hintcache.AppendUpdate(wire, u)
 				}
-				s.send(wire, len(scratch))
+				s.send(wire, len(scratch), stampNs)
 			}
 			s.mu.Lock()
 			if s.done < target {
@@ -156,9 +161,13 @@ func (s *peerSender) loop() {
 // the retry budget abandons the batch for this target, exactly as the
 // serial flush did; the node's counters and the per-target fan-out
 // histogram record the outcome.
-func (s *peerSender) send(body []byte, records int) {
+func (s *peerSender) send(body []byte, records int, stampNs int64) {
 	n := s.n
 	start := time.Now()
+	stamp := ""
+	if stampNs > 0 {
+		stamp = hintcache.Stamp{Seq: s.batchSeq.Add(1), UnixNs: stampNs}.HeaderValue()
+	}
 	retries, err := n.backoff.Retry(context.Background(), 3, func() error {
 		ctx, cancel := context.WithTimeout(context.Background(), metadataTimeout)
 		defer cancel()
@@ -168,6 +177,9 @@ func (s *peerSender) send(body []byte, records int) {
 		}
 		req.Header.Set("Content-Type", "application/octet-stream")
 		req.Header.Set("X-Relay-From", n.URL())
+		if stamp != "" {
+			req.Header.Set(headerHintBatch, stamp)
+		}
 		resp, err := n.client.Do(req)
 		if err != nil {
 			return err

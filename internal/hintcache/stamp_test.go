@@ -1,0 +1,40 @@
+package hintcache
+
+import "testing"
+
+// TestStampRoundTrip pins the header codec both ways.
+func TestStampRoundTrip(t *testing.T) {
+	s := Stamp{Seq: 42, UnixNs: 1700000000123456789}
+	v := s.HeaderValue()
+	if v != "42,1700000000123456789" {
+		t.Errorf("HeaderValue = %q", v)
+	}
+	got, ok := ParseStamp(v)
+	if !ok || got != s {
+		t.Errorf("ParseStamp(%q) = (%+v, %v), want (%+v, true)", v, got, ok, s)
+	}
+}
+
+// TestParseStampRejects enumerates malformed and out-of-domain values: a
+// bad stamp must be ignored (ok=false), never misread as a real timestamp.
+func TestParseStampRejects(t *testing.T) {
+	for _, v := range []string{
+		"",
+		"42",
+		"42,",
+		",123",
+		"a,123",
+		"42,b",
+		"0,123",      // seq starts at 1
+		"-1,123",     // negative seq
+		"42,0",       // zero clock
+		"42,-5",      // negative clock
+		"42,123,456", // trailing field
+		" 42,123",    // whitespace is not tolerated
+		"42, 123",    // nor inside
+	} {
+		if s, ok := ParseStamp(v); ok {
+			t.Errorf("ParseStamp(%q) accepted as %+v", v, s)
+		}
+	}
+}

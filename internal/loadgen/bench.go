@@ -43,7 +43,11 @@ type BenchRow struct {
 	P99Ms            float64      `json:"p99_ms"`
 	Phases           []BenchPhase `json:"phases"`
 	Bounds           []BenchBound `json:"bounds"`
-	Pass             bool         `json:"pass"`
+	// Obs carries the run's observability deltas (hint-propagation lag,
+	// span/trace volume, end-of-run directory lag); absent when the fleet
+	// could not be scraped.
+	Obs  *BenchObs `json:"obs,omitempty"`
+	Pass bool      `json:"pass"`
 }
 
 // BenchFile is the BENCH_load.json document: a description plus one row
@@ -73,6 +77,7 @@ func (r *RunReport) Row() BenchRow {
 		P50Ms:          ms(res.Overall.Hist.Quantile(0.50)),
 		P95Ms:          ms(res.Overall.Hist.Quantile(0.95)),
 		P99Ms:          ms(res.Overall.Hist.Quantile(0.99)),
+		Obs:            r.Obs,
 		Pass:           r.Pass,
 	}
 	if span > 0 && r.Scenario.Nodes > 0 {

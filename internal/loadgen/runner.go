@@ -39,6 +39,9 @@ type RunReport struct {
 	Fingerprint string
 	Result      *Result
 	Bounds      []BoundResult
+	// Obs is the observability section diffed from before/after /metrics
+	// scrapes of every node, or nil when no node could be scraped.
+	Obs *BenchObs
 	// Pass is true when every bound held.
 	Pass bool
 }
@@ -147,6 +150,10 @@ func Run(sc *Scenario, opt RunOptions) (*RunReport, error) {
 		}()
 	}
 
+	// Bracket the measured window with /metrics captures (warmup traffic is
+	// already behind us) so the report can carry the run's observability
+	// deltas alongside its client-side latencies.
+	obsBefore := captureExpos(targets)
 	res, err := RunSchedule(ctx, sched, cfg)
 	cancel()
 	eventsDone.Wait()
@@ -156,8 +163,9 @@ func Run(sc *Scenario, opt RunOptions) (*RunReport, error) {
 	if eventsErr != nil {
 		return nil, fmt.Errorf("loadgen: %s: event timeline: %w", sc.Name, eventsErr)
 	}
+	obsAfter := captureExpos(targets)
 
-	rep := &RunReport{Scenario: sc, Fingerprint: fp, Result: res, Pass: true}
+	rep := &RunReport{Scenario: sc, Fingerprint: fp, Result: res, Obs: summarizeObs(obsBefore, obsAfter), Pass: true}
 	for _, b := range sc.Bounds {
 		actual, err := evalBound(sc, res, b)
 		if err != nil {

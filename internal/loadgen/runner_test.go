@@ -63,10 +63,27 @@ func TestLoadSmokeFlashCrowd(t *testing.T) {
 		t.Fatalf("spike did not spike: %+v", phases)
 	}
 
+	// The in-process fleet is always scrapable, so the observability
+	// section must be present, and the run's hint traffic must have left
+	// propagation-lag observations behind.
+	if rep.Obs == nil {
+		t.Fatal("run report has no observability section")
+	}
+	if rep.Obs.HintPropagationCount < 1 {
+		t.Errorf("hint propagation count = %d, want >= 1", rep.Obs.HintPropagationCount)
+	}
+	if rep.Obs.HintPropagationCount > 0 && rep.Obs.HintPropagationP99Ms <= 0 {
+		t.Errorf("hint propagation p99 = %vms with %d observations",
+			rep.Obs.HintPropagationP99Ms, rep.Obs.HintPropagationCount)
+	}
+
 	// BENCH row schema round trip.
 	row := rep.Row()
 	if row.Scenario != "flash-crowd-smoke" || row.ScheduleSHA256 != rep.Fingerprint || len(row.Phases) != 3 {
 		t.Fatalf("bench row malformed: %+v", row)
+	}
+	if row.Obs == nil {
+		t.Fatal("bench row lost the observability section")
 	}
 	path := filepath.Join(t.TempDir(), "BENCH_load.json")
 	if err := WriteBenchFile(path, []BenchRow{row}); err != nil {

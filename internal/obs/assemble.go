@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Trace assembly stitches span groups pulled from many nodes into
+// complete cross-node request trees. Each node records only what it saw
+// (its own terminal segment plus the hops it measured); the group whose
+// root is a client-facing outcome (LOCAL, REMOTE, MISS, ...) anchors the
+// tree, and groups whose root is a peer-side self-report (PEER-SERVE,
+// PEER-REJECT) splice in under the anchor's matching PEER round-trip
+// span, replacing the one-line copy the anchor already spliced from the
+// X-Trace-Hop header with the remote node's own record.
+
+// SpanSource is one node's pulled spans plus the two names the node goes
+// by: Label is its configured name ("node-1"), HostPort the address peers
+// dial it on — hop chains use the label for self-reports and the
+// host:port for measured peer round trips, so assembly matches both.
+type SpanSource struct {
+	Label    string
+	HostPort string
+	Spans    []Span
+}
+
+// SpanNode is one span in an assembled tree, annotated with the source
+// label it was pulled from.
+type SpanNode struct {
+	Span
+	Source   string      `json:"source"`
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// TraceTree is one request's assembled cross-node span tree.
+type TraceTree struct {
+	TraceID uint64    `json:"traceId"`
+	Root    *SpanNode `json:"root"`
+	// Sources counts the distinct nodes that contributed spans: 2 or
+	// more means a genuinely cross-node trace was stitched together.
+	Sources int `json:"sources"`
+}
+
+// spanGroup is one node's spans for one trace ID, built into a tree.
+type spanGroup struct {
+	source SpanSource
+	root   *SpanNode
+}
+
+// carrierOutcome reports whether a span can carry a remote node's group:
+// the outcomes under which the anchor node contacted that peer.
+func carrierOutcome(outcome string) bool {
+	switch outcome {
+	case "PEER", "PEER-REJECT", "PEER-ABANDON":
+		return true
+	}
+	return false
+}
+
+// buildGroup assembles one node's spans for one trace into a tree, or
+// nil when the group has no root span (the ring overwrote part of it).
+func buildGroup(src SpanSource, spans []Span) *spanGroup {
+	sorted := make([]Span, len(spans))
+	copy(sorted, spans)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Index < sorted[j].Index })
+	nodes := make(map[uint8]*SpanNode, len(sorted))
+	uniq := sorted[:0]
+	var root *SpanNode
+	for _, s := range sorted {
+		if _, dup := nodes[s.Index]; dup {
+			continue
+		}
+		n := &SpanNode{Span: s, Source: src.Label}
+		nodes[s.Index] = n
+		uniq = append(uniq, s)
+		if s.Parent == SpanRoot || s.Index == 0 {
+			if root == nil {
+				root = n
+			}
+		}
+	}
+	if root == nil {
+		return nil
+	}
+	for _, s := range uniq {
+		n := nodes[s.Index]
+		if n == root {
+			continue
+		}
+		parent := nodes[s.Parent]
+		if parent == nil || parent == n {
+			parent = root
+		}
+		parent.Children = append(parent.Children, n)
+	}
+	return &spanGroup{source: src, root: root}
+}
+
+// findCarrier walks the tree depth-first for the first span that contacted
+// the given node (by host:port or label) under a carrier outcome.
+func findCarrier(n *SpanNode, src SpanSource) *SpanNode {
+	if carrierOutcome(n.Outcome) && (n.Node == src.HostPort || n.Node == src.Label) {
+		return n
+	}
+	for _, c := range n.Children {
+		if hit := findCarrier(c, src); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// attach splices a remote group under the carrier, dropping the carrier's
+// spliced one-line copy of the same hop (same node and outcome, no
+// children) so the remote node's own record replaces it instead of
+// duplicating it.
+func attach(carrier *SpanNode, remote *spanGroup) {
+	for i, c := range carrier.Children {
+		if len(c.Children) == 0 && c.Node == remote.root.Node && c.Outcome == remote.root.Outcome {
+			carrier.Children = append(carrier.Children[:i], carrier.Children[i+1:]...)
+			break
+		}
+	}
+	carrier.Children = append(carrier.Children, remote.root)
+}
+
+// Assemble stitches span groups from many nodes into per-request trace
+// trees, sorted by trace ID. Groups whose root outcome is a peer-side
+// self-report attach under the anchor group's matching carrier span (or
+// under the anchor root when no carrier matches); trace IDs with no
+// anchor group still yield a tree so partial visibility is never silently
+// dropped. The result is deterministic for a given input.
+func Assemble(sources []SpanSource) []*TraceTree {
+	type traceAcc struct {
+		anchor  *spanGroup
+		remotes []*spanGroup
+		sources map[string]bool
+	}
+	byTrace := make(map[uint64]*traceAcc)
+	var order []uint64
+
+	for _, src := range sources {
+		grouped := make(map[uint64][]Span)
+		var gorder []uint64
+		for _, s := range src.Spans {
+			if _, ok := grouped[s.TraceID]; !ok {
+				gorder = append(gorder, s.TraceID)
+			}
+			grouped[s.TraceID] = append(grouped[s.TraceID], s)
+		}
+		for _, tid := range gorder {
+			g := buildGroup(src, grouped[tid])
+			if g == nil {
+				continue
+			}
+			acc := byTrace[tid]
+			if acc == nil {
+				acc = &traceAcc{sources: make(map[string]bool)}
+				byTrace[tid] = acc
+				order = append(order, tid)
+			}
+			acc.sources[src.Label] = true
+			if strings.HasPrefix(g.root.Outcome, "PEER-") {
+				acc.remotes = append(acc.remotes, g)
+			} else if acc.anchor == nil {
+				acc.anchor = g
+			} else {
+				// A second client-facing group for the same trace ID
+				// (hash collision or ID reuse): keep it visible as an
+				// unattached branch under the first anchor.
+				acc.remotes = append(acc.remotes, g)
+			}
+		}
+	}
+
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	trees := make([]*TraceTree, 0, len(order))
+	for _, tid := range order {
+		acc := byTrace[tid]
+		root := acc.anchor
+		rest := acc.remotes
+		if root == nil {
+			if len(rest) == 0 {
+				continue
+			}
+			root, rest = rest[0], rest[1:]
+		}
+		for _, g := range rest {
+			carrier := findCarrier(root.root, g.source)
+			if carrier == nil {
+				carrier = root.root
+			}
+			attach(carrier, g)
+		}
+		trees = append(trees, &TraceTree{
+			TraceID: tid,
+			Root:    root.root,
+			Sources: len(acc.sources),
+		})
+	}
+	return trees
+}
+
+// Render writes the tree as indented text, one span per line. rename maps
+// hop node names (host:ports, typically) to stable labels; withTimings
+// adds start/duration in microseconds. With rename covering every
+// ephemeral address and withTimings false, the output is byte-stable
+// across runs of the same deterministic scenario.
+func (t *TraceTree) Render(rename map[string]string, withTimings bool) string {
+	var b strings.Builder
+	b.WriteString("trace ")
+	b.WriteString(strconv.FormatUint(t.TraceID, 16))
+	b.WriteByte('\n')
+	renderNode(&b, t.Root, 1, rename, withTimings)
+	return b.String()
+}
+
+func renderNode(b *strings.Builder, n *SpanNode, depth int, rename map[string]string, withTimings bool) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	name := n.Node
+	if r, ok := rename[name]; ok {
+		name = r
+	}
+	b.WriteString(name)
+	b.WriteByte(';')
+	b.WriteString(n.Outcome)
+	if withTimings {
+		b.WriteString(" +")
+		b.WriteString(strconv.FormatInt(n.Start.Microseconds(), 10))
+		b.WriteString("us ")
+		b.WriteString(strconv.FormatInt(n.Duration.Microseconds(), 10))
+		b.WriteString("us")
+	}
+	b.WriteByte('\n')
+	for _, c := range n.Children {
+		renderNode(b, c, depth+1, rename, withTimings)
+	}
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// remoteFetchSources builds the two span groups a REMOTE fetch leaves
+// behind: node-1 served the client after a peer round trip to node-2, and
+// node-2 recorded its own PEER-SERVE.
+func remoteFetchSources(tid uint64) []SpanSource {
+	anchor := []Span{
+		{TraceID: tid, Index: 0, Parent: SpanRoot, Node: "node-1", Outcome: "REMOTE", Duration: 9 * time.Millisecond},
+		{TraceID: tid, Index: 1, Parent: 2, Node: "node-2", Outcome: "PEER-SERVE", Duration: 7 * time.Millisecond},
+		{TraceID: tid, Index: 2, Parent: 0, Node: "127.0.0.1:8888", Outcome: "PEER", Duration: 8 * time.Millisecond},
+	}
+	remote := []Span{
+		{TraceID: tid, Index: 0, Parent: SpanRoot, Node: "node-2", Outcome: "PEER-SERVE", Duration: 7 * time.Millisecond},
+	}
+	return []SpanSource{
+		{Label: "node-1", HostPort: "127.0.0.1:7777", Spans: anchor},
+		{Label: "node-2", HostPort: "127.0.0.1:8888", Spans: remote},
+	}
+}
+
+// TestAssembleCrossNode checks the core splice: the remote group's own root
+// replaces the anchor's spliced one-line copy under the PEER carrier.
+func TestAssembleCrossNode(t *testing.T) {
+	trees := Assemble(remoteFetchSources(42))
+	if len(trees) != 1 {
+		t.Fatalf("got %d trees, want 1", len(trees))
+	}
+	tree := trees[0]
+	if tree.TraceID != 42 || tree.Sources != 2 {
+		t.Fatalf("tree = (trace %d, sources %d), want (42, 2)", tree.TraceID, tree.Sources)
+	}
+	if tree.Root.Outcome != "REMOTE" || tree.Root.Source != "node-1" {
+		t.Fatalf("root = %s from %s, want REMOTE from node-1", tree.Root.Outcome, tree.Root.Source)
+	}
+	if len(tree.Root.Children) != 1 {
+		t.Fatalf("root has %d children, want 1 (the PEER carrier)", len(tree.Root.Children))
+	}
+	carrier := tree.Root.Children[0]
+	if carrier.Outcome != "PEER" {
+		t.Fatalf("carrier outcome = %s, want PEER", carrier.Outcome)
+	}
+	// The spliced copy was replaced by node-2's own record — exactly one
+	// child, sourced from node-2.
+	if len(carrier.Children) != 1 {
+		t.Fatalf("carrier has %d children, want 1 (dedupe failed)", len(carrier.Children))
+	}
+	leaf := carrier.Children[0]
+	if leaf.Source != "node-2" || leaf.Outcome != "PEER-SERVE" {
+		t.Errorf("leaf = %s from %s, want PEER-SERVE from node-2", leaf.Outcome, leaf.Source)
+	}
+}
+
+// TestAssembleNoCarrierFallsBack attaches a remote group with no matching
+// carrier under the anchor root, keeping partial visibility.
+func TestAssembleNoCarrierFallsBack(t *testing.T) {
+	srcs := []SpanSource{
+		{Label: "node-1", HostPort: "127.0.0.1:7777", Spans: []Span{
+			{TraceID: 5, Index: 0, Parent: SpanRoot, Node: "node-1", Outcome: "MISS"},
+		}},
+		{Label: "node-9", HostPort: "127.0.0.1:6666", Spans: []Span{
+			{TraceID: 5, Index: 0, Parent: SpanRoot, Node: "node-9", Outcome: "PEER-REJECT"},
+		}},
+	}
+	trees := Assemble(srcs)
+	if len(trees) != 1 || len(trees[0].Root.Children) != 1 {
+		t.Fatalf("fallback attach failed: %+v", trees)
+	}
+	if trees[0].Root.Children[0].Source != "node-9" {
+		t.Errorf("fallback child source = %s, want node-9", trees[0].Root.Children[0].Source)
+	}
+}
+
+// TestAssembleOrphanTrace keeps a trace visible even when only a remote
+// group was captured (the anchor node's ring already overwrote its group).
+func TestAssembleOrphanTrace(t *testing.T) {
+	srcs := []SpanSource{{Label: "node-2", HostPort: "h:1", Spans: []Span{
+		{TraceID: 3, Index: 0, Parent: SpanRoot, Node: "node-2", Outcome: "PEER-SERVE"},
+	}}}
+	trees := Assemble(srcs)
+	if len(trees) != 1 || trees[0].Root.Outcome != "PEER-SERVE" {
+		t.Fatalf("orphan remote group dropped: %+v", trees)
+	}
+}
+
+// TestAssembleDeterministic asserts the assembled forest and its rendering
+// are identical across repeated calls, and trees sort by trace ID.
+func TestAssembleDeterministic(t *testing.T) {
+	srcs := append(remoteFetchSources(42), remoteFetchSources(7)...)
+	rename := map[string]string{"127.0.0.1:8888": "node-2"}
+	render := func() string {
+		var b strings.Builder
+		for _, tree := range Assemble(srcs) {
+			b.WriteString(tree.Render(rename, false))
+		}
+		return b.String()
+	}
+	first := render()
+	for i := 0; i < 10; i++ {
+		if got := render(); got != first {
+			t.Fatalf("render %d diverged:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+	if !strings.HasPrefix(first, "trace 7\n") {
+		t.Errorf("trees not sorted by trace ID:\n%s", first)
+	}
+	want := "trace 7\n" +
+		"  node-1;REMOTE\n" +
+		"    node-2;PEER\n" +
+		"      node-2;PEER-SERVE\n" +
+		"trace 2a\n" +
+		"  node-1;REMOTE\n" +
+		"    node-2;PEER\n" +
+		"      node-2;PEER-SERVE\n"
+	if first != want {
+		t.Errorf("rendered forest:\n%s\nwant:\n%s", first, want)
+	}
+}
+
+// TestAssembleDuplicateIndexes tolerates a group where the ring delivered
+// the same index twice (a wrap mid-trace): first record wins, no panic.
+func TestAssembleDuplicateIndexes(t *testing.T) {
+	srcs := []SpanSource{{Label: "n", HostPort: "h:1", Spans: []Span{
+		{TraceID: 1, Index: 0, Parent: SpanRoot, Node: "n", Outcome: "LOCAL"},
+		{TraceID: 1, Index: 1, Parent: 0, Node: "x", Outcome: "PEER"},
+		{TraceID: 1, Index: 1, Parent: 0, Node: "y", Outcome: "PEER"},
+		{TraceID: 1, Index: 2, Parent: 9, Node: "z", Outcome: "ORIGIN"}, // orphan parent -> root
+	}}}
+	trees := Assemble(srcs)
+	if len(trees) != 1 {
+		t.Fatalf("got %d trees, want 1", len(trees))
+	}
+	if got := len(trees[0].Root.Children); got != 2 {
+		t.Errorf("root children = %d, want 2 (dup dropped, orphan adopted)", got)
+	}
+}

@@ -2,9 +2,11 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // This file is the read side of the exposition format: a minimal parser for
@@ -69,6 +71,113 @@ series:
 		return s.Value, true
 	}
 	return 0, false
+}
+
+// ParsedHistogram is one histogram series reconstructed from a parsed
+// exposition: its identifying labels (minus "le") and a snapshot usable
+// with Quantile, Diff, and Merge.
+type ParsedHistogram struct {
+	Labels   map[string]string
+	Snapshot HistogramSnapshot
+}
+
+// HistogramsOf reconstructs every histogram of the named family from the
+// exposition, one per distinct label set, in first-seen order. Cumulative
+// _bucket samples are de-cumulated back into per-bucket counts, the +Inf
+// bucket becomes the overflow slot, and _sum becomes the duration sum —
+// the exact inverse of Expo.Histogram — so a scraper can Diff two scrapes
+// of a live node and compute interval quantiles without touching the
+// node's histograms. Bounds survive a write/parse round trip exactly at
+// nanosecond resolution (Expo renders them with full float64 precision).
+func (e *Exposition) HistogramsOf(family string) []ParsedHistogram {
+	f := e.byName[family]
+	if f == nil {
+		return nil
+	}
+	type acc struct {
+		labels map[string]string
+		bounds []time.Duration
+		cum    map[time.Duration]int64
+		infCum int64
+		hasInf bool
+		sum    time.Duration
+	}
+	byKey := make(map[string]*acc)
+	var order []string
+	keyOf := func(labels map[string]string) string {
+		names := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				names = append(names, k)
+			}
+		}
+		sort.Strings(names)
+		var b strings.Builder
+		for _, k := range names {
+			b.WriteString(k)
+			b.WriteByte('=')
+			b.WriteString(labels[k])
+			b.WriteByte(';')
+		}
+		return b.String()
+	}
+	get := func(labels map[string]string) *acc {
+		key := keyOf(labels)
+		a := byKey[key]
+		if a == nil {
+			a = &acc{labels: make(map[string]string), cum: make(map[time.Duration]int64)}
+			for k, v := range labels {
+				if k != "le" {
+					a.labels[k] = v
+				}
+			}
+			byKey[key] = a
+			order = append(order, key)
+		}
+		return a
+	}
+	for _, s := range f.Series {
+		switch s.Name {
+		case family + "_bucket":
+			a := get(s.Labels)
+			le := s.Labels["le"]
+			if le == "+Inf" {
+				a.infCum = int64(math.Round(s.Value))
+				a.hasInf = true
+				continue
+			}
+			sec, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				continue
+			}
+			bound := time.Duration(math.Round(sec * 1e9))
+			a.bounds = append(a.bounds, bound)
+			a.cum[bound] = int64(math.Round(s.Value))
+		case family + "_sum":
+			get(s.Labels).sum = time.Duration(math.Round(s.Value * 1e9))
+		}
+	}
+	var out []ParsedHistogram
+	for _, key := range order {
+		a := byKey[key]
+		if len(a.bounds) == 0 && !a.hasInf {
+			continue
+		}
+		sort.Slice(a.bounds, func(i, j int) bool { return a.bounds[i] < a.bounds[j] })
+		snap := HistogramSnapshot{
+			Bounds: a.bounds,
+			Counts: make([]int64, len(a.bounds)+1),
+			Sum:    a.sum,
+		}
+		var prev int64
+		for i, b := range a.bounds {
+			snap.Counts[i] = a.cum[b] - prev
+			prev = a.cum[b]
+		}
+		snap.Counts[len(a.bounds)] = a.infCum - prev
+		out = append(out, ParsedHistogram{Labels: a.labels, Snapshot: snap})
+	}
+	return out
 }
 
 // familyOf strips histogram sample suffixes to recover the family name.

@@ -155,6 +155,35 @@ type HistogramSnapshot struct {
 	Sum    time.Duration
 }
 
+// Diff returns the observations recorded between prev and s (s minus
+// prev, bucket by bucket): the interval histogram two consecutive scrapes
+// of the same live histogram imply, computed without ever resetting the
+// source. Bounds must match. By construction Merge(prev, s.Diff(prev))
+// reproduces s; counts can go negative if the source was restarted
+// between scrapes, which callers should treat as a reset.
+func (s HistogramSnapshot) Diff(prev HistogramSnapshot) (HistogramSnapshot, error) {
+	if len(prev.Bounds) != len(s.Bounds) {
+		return HistogramSnapshot{}, fmt.Errorf("obs: diff: %d bounds vs %d", len(prev.Bounds), len(s.Bounds))
+	}
+	for i, b := range prev.Bounds {
+		if b != s.Bounds[i] {
+			return HistogramSnapshot{}, fmt.Errorf("obs: diff: bound %d differs (%v vs %v)", i, b, s.Bounds[i])
+		}
+	}
+	if len(prev.Counts) != len(s.Counts) {
+		return HistogramSnapshot{}, fmt.Errorf("obs: diff: %d counts vs %d", len(prev.Counts), len(s.Counts))
+	}
+	d := HistogramSnapshot{
+		Bounds: s.Bounds,
+		Counts: make([]int64, len(s.Counts)),
+		Sum:    s.Sum - prev.Sum,
+	}
+	for i := range s.Counts {
+		d.Counts[i] = s.Counts[i] - prev.Counts[i]
+	}
+	return d, nil
+}
+
 // Count returns the snapshot's total observation count.
 func (s HistogramSnapshot) Count() int64 {
 	var n int64

@@ -1,0 +1,323 @@
+package obs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Structured spans are the fleet's source of truth for request tracing.
+// Every sampled request records one span per hop into a bounded lock-free
+// ring; the human-readable X-Trace header is *derived* from the same hop
+// data, so the two views can never disagree. Spans use a fixed-layout
+// append-encoded binary record (the metadata plane's byte-append style):
+//
+//	u16  payload length (little-endian, excludes these two bytes)
+//	u64  trace ID (FNV-1a of the request ID)
+//	u8   span index within the trace group (0 is the root)
+//	u8   parent span index (SpanRoot = 0xFF marks the root)
+//	u64  start delta from the root span, nanoseconds
+//	u64  duration, nanoseconds
+//	u8   node length, then node bytes
+//	u8   outcome length, then outcome bytes
+//
+// The length prefix makes the stream self-framing: a reader can skip
+// records it cannot parse, and /debug/spans responses are plain
+// concatenations of records.
+
+// SpanRoot is the Parent sentinel marking a trace group's root span.
+const SpanRoot = 0xFF
+
+// spanFixed is the payload size before the two variable-length strings.
+const spanFixed = 8 + 1 + 1 + 8 + 8 + 1 + 1
+
+// Span is one annotated step of a request, as recorded by one node. The
+// spans a node records for one request share a TraceID and form a small
+// tree via Parent indexes; groups from different nodes that served the
+// same request share the TraceID and are stitched together by Assemble.
+type Span struct {
+	// TraceID identifies the request fleet-wide (TraceID(requestID)).
+	TraceID uint64 `json:"traceId"`
+	// Index is this span's position in its node-local group; 0 is the
+	// group's root (the serving node's own terminal segment).
+	Index uint8 `json:"index"`
+	// Parent is the Index of the parent span, or SpanRoot for the root.
+	Parent uint8 `json:"parent"`
+	// Node labels who did the work ("node-1", "origin", a host:port).
+	Node string `json:"node"`
+	// Outcome is what happened there (LOCAL, PEER, BREAKER-SKIP, ...).
+	Outcome string `json:"outcome"`
+	// Start is the span's start offset from the root span's start.
+	Start time.Duration `json:"startUs"`
+	// Duration is how long the span took.
+	Duration time.Duration `json:"durationUs"`
+}
+
+// TraceID hashes a request ID to the fleet-wide 64-bit trace ID (FNV-1a).
+func TraceID(requestID string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(requestID); i++ {
+		h ^= uint64(requestID[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// AppendSpan appends one encoded span record to dst. Node and outcome
+// strings longer than 255 bytes are truncated; negative times clamp to 0.
+func AppendSpan(dst []byte, s Span) []byte {
+	node, outcome := s.Node, s.Outcome
+	if len(node) > 255 {
+		node = node[:255]
+	}
+	if len(outcome) > 255 {
+		outcome = outcome[:255]
+	}
+	start, dur := s.Start, s.Duration
+	if start < 0 {
+		start = 0
+	}
+	if dur < 0 {
+		dur = 0
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(spanFixed+len(node)+len(outcome)))
+	dst = binary.LittleEndian.AppendUint64(dst, s.TraceID)
+	dst = append(dst, s.Index, s.Parent)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(start))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(dur))
+	dst = append(dst, uint8(len(node)))
+	dst = append(dst, node...)
+	dst = append(dst, uint8(len(outcome)))
+	dst = append(dst, outcome...)
+	return dst
+}
+
+// AppendSpans appends every span's record to dst.
+func AppendSpans(dst []byte, spans []Span) []byte {
+	for _, s := range spans {
+		dst = AppendSpan(dst, s)
+	}
+	return dst
+}
+
+// DecodeSpan decodes one span record from the front of b, returning the
+// span and the total bytes consumed (prefix included). Malformed input
+// returns an error, never a panic.
+func DecodeSpan(b []byte) (Span, int, error) {
+	if len(b) < 2 {
+		return Span{}, 0, fmt.Errorf("obs: span record truncated: %d bytes", len(b))
+	}
+	payload := int(binary.LittleEndian.Uint16(b))
+	if payload < spanFixed {
+		return Span{}, 0, fmt.Errorf("obs: span payload %d shorter than fixed layout %d", payload, spanFixed)
+	}
+	if len(b) < 2+payload {
+		return Span{}, 0, fmt.Errorf("obs: span payload truncated: want %d, have %d", payload, len(b)-2)
+	}
+	p := b[2 : 2+payload]
+	s := Span{
+		TraceID:  binary.LittleEndian.Uint64(p),
+		Index:    p[8],
+		Parent:   p[9],
+		Start:    time.Duration(binary.LittleEndian.Uint64(p[10:])),
+		Duration: time.Duration(binary.LittleEndian.Uint64(p[18:])),
+	}
+	if s.Start < 0 || s.Duration < 0 {
+		return Span{}, 0, fmt.Errorf("obs: span time overflows int64")
+	}
+	nodeLen := int(p[26])
+	if 27+nodeLen+1 > payload {
+		return Span{}, 0, fmt.Errorf("obs: span node length %d overruns payload %d", nodeLen, payload)
+	}
+	s.Node = string(p[27 : 27+nodeLen])
+	outLen := int(p[27+nodeLen])
+	if 28+nodeLen+outLen != payload {
+		return Span{}, 0, fmt.Errorf("obs: span outcome length %d disagrees with payload %d", outLen, payload)
+	}
+	s.Outcome = string(p[28+nodeLen : 28+nodeLen+outLen])
+	return s, 2 + payload, nil
+}
+
+// DecodeSpans decodes a concatenation of span records. The first malformed
+// record stops the decode and returns the error alongside everything
+// decoded before it.
+func DecodeSpans(b []byte) ([]Span, error) {
+	var spans []Span
+	for len(b) > 0 {
+		s, n, err := DecodeSpan(b)
+		if err != nil {
+			return spans, err
+		}
+		spans = append(spans, s)
+		b = b[n:]
+	}
+	return spans, nil
+}
+
+// spanSlot pairs a span with the ring sequence that wrote it, so readers
+// can detect overwrites without locks.
+type spanSlot struct {
+	seq  uint64
+	span Span
+}
+
+// SpanRing is a bounded lock-free ring of recent spans. Writers claim a
+// monotonic sequence with one atomic add and publish the slot with one
+// atomic pointer store; readers walk a cursor range and detect both
+// not-yet-published and already-overwritten slots from the stored
+// sequence, so Add never blocks on a scrape and scrapes never tear a
+// record. (A seqlock would be faster still but trips the race detector;
+// the pointer-per-slot design is both lock-free and -race-clean, and the
+// per-span allocation happens only on sampled requests.)
+type SpanRing struct {
+	slots []atomic.Pointer[spanSlot]
+	mask  uint64
+	next  atomic.Uint64
+}
+
+// NewSpanRing builds a ring holding up to n spans, rounded up to a power
+// of two (n <= 0 means 4096).
+func NewSpanRing(n int) *SpanRing {
+	if n <= 0 {
+		n = 4096
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return &SpanRing{
+		slots: make([]atomic.Pointer[spanSlot], size),
+		mask:  uint64(size - 1),
+	}
+}
+
+// Add records one span.
+func (r *SpanRing) Add(s Span) {
+	seq := r.next.Add(1)
+	r.slots[(seq-1)&r.mask].Store(&spanSlot{seq: seq, span: s})
+}
+
+// AddGroup records every span of one trace group.
+func (r *SpanRing) AddGroup(spans []Span) {
+	for _, s := range spans {
+		r.Add(s)
+	}
+}
+
+// Recorded returns how many spans have ever been added (including spans
+// the ring has since overwritten).
+func (r *SpanRing) Recorded() int64 { return int64(r.next.Load()) }
+
+// Cursor returns the current read cursor: passing it to Since later
+// returns only spans recorded after this call.
+func (r *SpanRing) Cursor() uint64 { return r.next.Load() }
+
+// Since returns spans recorded after the given cursor, oldest first, up
+// to limit (limit <= 0 means no limit beyond the ring size). It returns
+// the next cursor to resume from and how many spans in the requested
+// range were lost to ring overwrites. A span whose writer has claimed a
+// sequence but not yet published is not lost: Since stops just before it
+// and the next call picks it up.
+func (r *SpanRing) Since(cursor uint64, limit int) (spans []Span, next uint64, lost uint64) {
+	hi := r.next.Load()
+	lo := cursor
+	if lo > hi {
+		lo = hi
+	}
+	if span := uint64(len(r.slots)); hi-lo > span {
+		lost += hi - lo - span
+		lo = hi - span
+	}
+	if limit > 0 && hi-lo > uint64(limit) {
+		hi = lo + uint64(limit)
+	}
+	if hi > lo {
+		spans = make([]Span, 0, hi-lo)
+	}
+	for seq := lo + 1; seq <= hi; seq++ {
+		p := r.slots[(seq-1)&r.mask].Load()
+		if p == nil || p.seq < seq {
+			// The writer holding this sequence has not published yet;
+			// resume here next poll instead of skipping its span.
+			hi = seq - 1
+			break
+		}
+		if p.seq > seq {
+			lost++
+			continue
+		}
+		spans = append(spans, p.span)
+	}
+	return spans, hi, lost
+}
+
+// SpansFromHops converts one request's hop chain (upstream hops first,
+// the serving node's terminal hop last — exactly FormatChain's input)
+// into a span group. The root span is the terminal hop; upstream hops
+// become children of the root, except that a *-SERVE self-report nests
+// under the measured PEER/ORIGIN round trip that immediately follows it
+// in the chain (the serve happened inside that round trip). Hedge and
+// breaker hops (PEER-ABANDON, PEER-REJECT, BREAKER-SKIP) stay direct
+// children of the root, so they render as sibling branches.
+func SpansFromHops(traceID uint64, upstream []Hop, term Hop) []Span {
+	if len(upstream) > SpanRoot-1 {
+		upstream = upstream[:SpanRoot-1]
+	}
+	spans := make([]Span, len(upstream)+1)
+	spans[0] = Span{
+		TraceID:  traceID,
+		Index:    0,
+		Parent:   SpanRoot,
+		Node:     term.Node,
+		Outcome:  term.Outcome,
+		Start:    0,
+		Duration: term.Elapsed,
+	}
+	for j, h := range upstream {
+		start := term.Elapsed - h.Elapsed
+		if start < 0 {
+			start = 0
+		}
+		spans[j+1] = Span{
+			TraceID:  traceID,
+			Index:    uint8(j + 1),
+			Parent:   0,
+			Node:     h.Node,
+			Outcome:  h.Outcome,
+			Start:    start,
+			Duration: h.Elapsed,
+		}
+	}
+	for j := 1; j < len(upstream); j++ {
+		if (upstream[j].Outcome == "PEER" || upstream[j].Outcome == "ORIGIN") &&
+			strings.HasSuffix(upstream[j-1].Outcome, "-SERVE") {
+			spans[j].Parent = uint8(j + 1)
+		}
+	}
+	return spans
+}
+
+// RenderXTrace renders one node's span group back into the exact X-Trace
+// header value the node emitted for that request: upstream spans in index
+// order joined with "|", the root span as the terminal segment. Spans and
+// header are derived from the same hop data, so this is byte-identical to
+// the live header.
+func RenderXTrace(group []Span) string {
+	sorted := make([]Span, len(group))
+	copy(sorted, group)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Index < sorted[j].Index })
+	var term Hop
+	hops := make([]Hop, 0, len(sorted))
+	for _, s := range sorted {
+		h := Hop{Node: s.Node, Outcome: s.Outcome, Elapsed: s.Duration}
+		if s.Index == 0 {
+			term = h
+		} else {
+			hops = append(hops, h)
+		}
+	}
+	return FormatChain(hops, term)
+}

@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func sampleSpan() Span {
+	return Span{
+		TraceID:  0xdeadbeefcafe,
+		Index:    2,
+		Parent:   0,
+		Node:     "node-1",
+		Outcome:  "PEER-SERVE",
+		Start:    1500 * time.Microsecond,
+		Duration: 300 * time.Microsecond,
+	}
+}
+
+// TestSpanCodecRoundTrip encodes a batch of spans and decodes them back.
+func TestSpanCodecRoundTrip(t *testing.T) {
+	spans := []Span{
+		sampleSpan(),
+		{TraceID: 1, Index: 0, Parent: SpanRoot, Node: "a", Outcome: "LOCAL"},
+		{TraceID: 2, Index: 7, Parent: 3, Node: "", Outcome: ""},
+		{TraceID: 3, Index: 1, Parent: 0, Node: "127.0.0.1:49152", Outcome: "BREAKER-SKIP",
+			Start: time.Second, Duration: 48 * time.Hour},
+	}
+	wire := AppendSpans(nil, spans)
+	got, err := DecodeSpans(wire)
+	if err != nil {
+		t.Fatalf("DecodeSpans: %v", err)
+	}
+	if len(got) != len(spans) {
+		t.Fatalf("decoded %d spans, want %d", len(got), len(spans))
+	}
+	for i := range spans {
+		if got[i] != spans[i] {
+			t.Errorf("span %d = %+v, want %+v", i, got[i], spans[i])
+		}
+	}
+}
+
+// TestSpanCodecClamps checks the encoder's defensive normalization: long
+// strings truncate at 255 bytes, negative times clamp to zero.
+func TestSpanCodecClamps(t *testing.T) {
+	s := sampleSpan()
+	s.Node = strings.Repeat("n", 300)
+	s.Outcome = strings.Repeat("o", 256)
+	s.Start = -time.Second
+	s.Duration = -1
+	got, n, err := DecodeSpan(AppendSpan(nil, s))
+	if err != nil {
+		t.Fatalf("DecodeSpan: %v", err)
+	}
+	if len(got.Node) != 255 || len(got.Outcome) != 255 {
+		t.Errorf("string lengths = (%d, %d), want (255, 255)", len(got.Node), len(got.Outcome))
+	}
+	if got.Start != 0 || got.Duration != 0 {
+		t.Errorf("negative times decoded as (%v, %v), want (0, 0)", got.Start, got.Duration)
+	}
+	if n != 2+spanFixed+255+255 {
+		t.Errorf("consumed %d bytes, want %d", n, 2+spanFixed+255+255)
+	}
+}
+
+// TestSpanDecodeErrors feeds malformed records and expects errors, never
+// panics and never bogus spans.
+func TestSpanDecodeErrors(t *testing.T) {
+	good := AppendSpan(nil, sampleSpan())
+	cases := map[string][]byte{
+		"empty":             nil,
+		"one byte":          {0x05},
+		"payload too short": {0x05, 0x00, 1, 2, 3, 4, 5},
+		"truncated payload": good[:len(good)-1],
+		"node overruns":     func() []byte { b := append([]byte(nil), good...); b[2+26] = 255; return b }(),
+		"outcome disagrees": func() []byte { b := append([]byte(nil), good...); b[2+27+6] = 200; return b }(),
+	}
+	for name, b := range cases {
+		if s, _, err := DecodeSpan(b); err == nil {
+			t.Errorf("%s: decoded %+v, want error", name, s)
+		}
+	}
+}
+
+// FuzzSpanDecode asserts the decoder never panics, and that records it
+// accepts re-encode to something it accepts again (decode is total on its
+// own output).
+func FuzzSpanDecode(f *testing.F) {
+	f.Add(AppendSpan(nil, sampleSpan()))
+	f.Add(AppendSpans(nil, []Span{sampleSpan(), {TraceID: 9, Index: 0, Parent: SpanRoot}}))
+	f.Add([]byte{0x00, 0x00})
+	f.Add([]byte{0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		spans, err := DecodeSpans(b)
+		if err != nil {
+			return
+		}
+		re, err := DecodeSpans(AppendSpans(nil, spans))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded spans failed: %v", err)
+		}
+		if len(re) != len(spans) {
+			t.Fatalf("re-decode yielded %d spans, want %d", len(re), len(spans))
+		}
+	})
+}
+
+// TestTraceIDStable pins the FNV-1a mapping: assembled traces from
+// different nodes only join up if every node hashes the request ID the
+// same way forever.
+func TestTraceIDStable(t *testing.T) {
+	if got := TraceID(""); got != 14695981039346656037 {
+		t.Errorf("TraceID(\"\") = %d, want FNV offset basis", got)
+	}
+	if TraceID("req-1") == TraceID("req-2") {
+		t.Error("distinct request IDs hashed to the same trace ID")
+	}
+	if got, again := TraceID("node-1-000042"), TraceID("node-1-000042"); got != again {
+		t.Errorf("TraceID not deterministic: %d vs %d", got, again)
+	}
+}
+
+// TestSpanRingSince checks cursor semantics: incremental reads, limits, and
+// loss accounting when the ring laps a slow reader.
+func TestSpanRingSince(t *testing.T) {
+	r := NewSpanRing(4)
+	cur := r.Cursor()
+	if spans, next, lost := r.Since(cur, 0); len(spans) != 0 || next != cur || lost != 0 {
+		t.Fatalf("empty ring Since = (%d spans, next %d, lost %d)", len(spans), next, lost)
+	}
+	for i := 0; i < 3; i++ {
+		r.Add(Span{TraceID: uint64(i + 1)})
+	}
+	spans, next, lost := r.Since(cur, 0)
+	if len(spans) != 3 || lost != 0 {
+		t.Fatalf("Since after 3 adds = (%d spans, lost %d), want (3, 0)", len(spans), lost)
+	}
+	for i, s := range spans {
+		if s.TraceID != uint64(i+1) {
+			t.Errorf("span %d traceID = %d, want %d (oldest first)", i, s.TraceID, i+1)
+		}
+	}
+	// Nothing new: resuming from the returned cursor is empty.
+	if again, _, _ := r.Since(next, 0); len(again) != 0 {
+		t.Errorf("resumed Since returned %d spans, want 0", len(again))
+	}
+	// Limit trims the front of the range and the cursor stops with it.
+	if part, pnext, _ := r.Since(cur, 2); len(part) != 2 || pnext != cur+2 {
+		t.Errorf("limited Since = (%d spans, next %d), want (2, %d)", len(part), pnext, cur+2)
+	}
+	// Lap the reader: 5 more adds into a 4-slot ring loses the oldest 4
+	// of the 8 total unread.
+	for i := 3; i < 8; i++ {
+		r.Add(Span{TraceID: uint64(i + 1)})
+	}
+	spans, _, lost = r.Since(cur, 0)
+	if len(spans) != 4 || lost != 4 {
+		t.Fatalf("lapped Since = (%d spans, lost %d), want (4, 4)", len(spans), lost)
+	}
+	if spans[0].TraceID != 5 {
+		t.Errorf("oldest surviving span traceID = %d, want 5", spans[0].TraceID)
+	}
+	if r.Recorded() != 8 {
+		t.Errorf("Recorded = %d, want 8", r.Recorded())
+	}
+}
+
+// TestSpanRingConcurrent hammers the ring from several writers while a
+// reader polls; run under -race this checks the lock-free design, and the
+// final drain must account for every span as either read or lost.
+func TestSpanRingConcurrent(t *testing.T) {
+	r := NewSpanRing(64)
+	const writers, perWriter = 4, 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Add(Span{TraceID: uint64(w)<<32 | uint64(i)})
+			}
+		}(w)
+	}
+	var read, lost uint64
+	var cursor uint64
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		spans, next, l := r.Since(cursor, 0)
+		read += uint64(len(spans))
+		lost += l
+		cursor = next
+		select {
+		case <-done:
+			spans, _, l = r.Since(cursor, 0)
+			read += uint64(len(spans))
+			lost += l
+			if total := read + lost; total != writers*perWriter {
+				t.Fatalf("read %d + lost %d = %d, want %d", read, lost, total, writers*perWriter)
+			}
+			return
+		default:
+		}
+	}
+}
+
+func fleetHops() ([]Hop, Hop) {
+	upstream := []Hop{
+		{Node: "origin", Outcome: "ORIGIN-SERVE", Elapsed: 5 * time.Millisecond},
+		{Node: "127.0.0.1:9999", Outcome: "ORIGIN", Elapsed: 6 * time.Millisecond},
+		{Node: "node-2", Outcome: "PEER-SERVE", Elapsed: 7 * time.Millisecond},
+		{Node: "127.0.0.1:8888", Outcome: "PEER", Elapsed: 8 * time.Millisecond},
+	}
+	term := Hop{Node: "node-1", Outcome: "REMOTE", Elapsed: 9 * time.Millisecond}
+	return upstream, term
+}
+
+// TestSpansFromHopsNesting checks the nesting rule: a *-SERVE self-report
+// nests under the measured round trip that follows it in the chain, while
+// other hops stay children of the root.
+func TestSpansFromHopsNesting(t *testing.T) {
+	upstream, term := fleetHops()
+	spans := SpansFromHops(42, upstream, term)
+	if len(spans) != 5 {
+		t.Fatalf("got %d spans, want 5", len(spans))
+	}
+	if spans[0].Parent != SpanRoot || spans[0].Node != "node-1" || spans[0].Start != 0 {
+		t.Errorf("root span = %+v", spans[0])
+	}
+	// upstream[0] ORIGIN-SERVE nests under upstream[1] ORIGIN (index 2).
+	if spans[1].Parent != 2 {
+		t.Errorf("ORIGIN-SERVE parent = %d, want 2", spans[1].Parent)
+	}
+	// upstream[2] PEER-SERVE nests under upstream[3] PEER (index 4).
+	if spans[3].Parent != 4 {
+		t.Errorf("PEER-SERVE parent = %d, want 4", spans[3].Parent)
+	}
+	// The measured round trips hang off the root.
+	if spans[2].Parent != 0 || spans[4].Parent != 0 {
+		t.Errorf("round-trip parents = (%d, %d), want (0, 0)", spans[2].Parent, spans[4].Parent)
+	}
+	for _, s := range spans {
+		if s.TraceID != 42 {
+			t.Errorf("span %d traceID = %d, want 42", s.Index, s.TraceID)
+		}
+	}
+	// Hedge/breaker hops never nest.
+	hedge := []Hop{
+		{Node: "127.0.0.1:8888", Outcome: "PEER-ABANDON", Elapsed: time.Millisecond},
+		{Node: "127.0.0.1:9999", Outcome: "ORIGIN", Elapsed: 2 * time.Millisecond},
+	}
+	spans = SpansFromHops(1, hedge, Hop{Node: "node-1", Outcome: "MISS,HEDGE", Elapsed: 3 * time.Millisecond})
+	if spans[1].Parent != 0 || spans[2].Parent != 0 {
+		t.Errorf("hedge branch parents = (%d, %d), want sibling roots (0, 0)", spans[1].Parent, spans[2].Parent)
+	}
+}
+
+// TestRenderXTraceMatchesFormatChain pins the derivation invariant: the
+// span group renders back to the byte-exact X-Trace header value.
+func TestRenderXTraceMatchesFormatChain(t *testing.T) {
+	upstream, term := fleetHops()
+	want := FormatChain(upstream, term)
+	spans := SpansFromHops(7, upstream, term)
+	// Shuffle the group: render must sort by index, not trust input order.
+	shuffled := []Span{spans[3], spans[0], spans[4], spans[1], spans[2]}
+	if got := RenderXTrace(shuffled); got != want {
+		t.Errorf("RenderXTrace = %q, want %q", got, want)
+	}
+	// Single-span group (a LOCAL hit): just the terminal segment.
+	local := SpansFromHops(8, nil, Hop{Node: "node-1", Outcome: "LOCAL", Elapsed: 100 * time.Microsecond})
+	if got, want := RenderXTrace(local), FormatChain(nil, Hop{Node: "node-1", Outcome: "LOCAL", Elapsed: 100 * time.Microsecond}); got != want {
+		t.Errorf("single-span RenderXTrace = %q, want %q", got, want)
+	}
+}

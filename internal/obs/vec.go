@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// HistogramVec is a family of histograms keyed by one label value (a peer
+// address, typically), plus an always-present unlabeled aggregate that
+// receives every observation. The aggregate keeps the metric family alive
+// in the exposition even before any labeled observation exists, so the
+// frozen metric-name golden sees the family from the first scrape.
+// Observe takes a read lock on the label map only; the common case (label
+// already present) never contends with other labels.
+type HistogramVec struct {
+	bounds []time.Duration
+	all    *Histogram
+	mu     sync.RWMutex
+	m      map[string]*Histogram
+}
+
+// NewHistogramVec builds a vec whose member histograms share the given
+// bounds (nil means DefaultLatencyBounds).
+func NewHistogramVec(bounds []time.Duration) *HistogramVec {
+	all := NewHistogram(bounds)
+	return &HistogramVec{
+		bounds: all.bounds,
+		all:    all,
+		m:      make(map[string]*Histogram),
+	}
+}
+
+// Observe records one duration under the given label (and into the
+// aggregate).
+func (v *HistogramVec) Observe(label string, d time.Duration) {
+	v.all.Observe(d)
+	v.mu.RLock()
+	h := v.m[label]
+	v.mu.RUnlock()
+	if h == nil {
+		v.mu.Lock()
+		h = v.m[label]
+		if h == nil {
+			h = NewHistogram(v.bounds)
+			v.m[label] = h
+		}
+		v.mu.Unlock()
+	}
+	h.Observe(d)
+}
+
+// All returns the unlabeled aggregate histogram.
+func (v *HistogramVec) All() *Histogram { return v.all }
+
+// Get returns the histogram for one label, or nil if nothing has been
+// observed under it.
+func (v *HistogramVec) Get(label string) *Histogram {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.m[label]
+}
+
+// Labels returns every label observed so far, sorted.
+func (v *HistogramVec) Labels() []string {
+	v.mu.RLock()
+	labels := make([]string, 0, len(v.m))
+	for l := range v.m {
+		labels = append(labels, l)
+	}
+	v.mu.RUnlock()
+	sort.Strings(labels)
+	return labels
+}
+
+// Each calls f for every label in sorted order with that label's
+// snapshot. The aggregate is not included; snapshot it via All.
+func (v *HistogramVec) Each(f func(label string, s HistogramSnapshot)) {
+	for _, l := range v.Labels() {
+		if h := v.Get(l); h != nil {
+			f(l, h.Snapshot())
+		}
+	}
+}

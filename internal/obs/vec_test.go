@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHistogramVec checks label bookkeeping and that the aggregate sees
+// every observation.
+func TestHistogramVec(t *testing.T) {
+	v := NewHistogramVec(nil)
+	if v.All().Count() != 0 {
+		t.Fatal("fresh vec aggregate not empty")
+	}
+	v.Observe("b", time.Millisecond)
+	v.Observe("a", 2*time.Millisecond)
+	v.Observe("b", 3*time.Millisecond)
+	if got := v.All().Count(); got != 3 {
+		t.Errorf("aggregate count = %d, want 3", got)
+	}
+	if got := v.Get("b").Count(); got != 2 {
+		t.Errorf("label b count = %d, want 2", got)
+	}
+	if v.Get("zzz") != nil {
+		t.Error("unknown label returned a histogram")
+	}
+	labels := v.Labels()
+	if len(labels) != 2 || labels[0] != "a" || labels[1] != "b" {
+		t.Errorf("Labels = %v, want [a b]", labels)
+	}
+	seen := map[string]int64{}
+	v.Each(func(label string, s HistogramSnapshot) { seen[label] = s.Count() })
+	if seen["a"] != 1 || seen["b"] != 2 {
+		t.Errorf("Each saw %v", seen)
+	}
+}
+
+// TestHistogramDiffIdentity: the diff of a snapshot with itself is zero.
+func TestHistogramDiffIdentity(t *testing.T) {
+	h := NewHistogram(nil)
+	for i := 0; i < 50; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	d, err := s.Diff(s)
+	if err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	if d.Count() != 0 || d.Sum != 0 {
+		t.Errorf("self-diff = (count %d, sum %v), want zero", d.Count(), d.Sum)
+	}
+	for i, c := range d.Counts {
+		if c != 0 {
+			t.Errorf("self-diff bucket %d = %d, want 0", i, c)
+		}
+	}
+}
+
+// TestHistogramDiffMergeInverse: Merge(a, Diff(b, a)) reconstructs b, the
+// contract interval-quantile scrapers rely on.
+func TestHistogramDiffMergeInverse(t *testing.T) {
+	h := NewHistogram(nil)
+	h.Observe(time.Millisecond)
+	h.Observe(20 * time.Millisecond)
+	a := h.Snapshot()
+	h.Observe(300 * time.Millisecond)
+	h.Observe(4 * time.Second)
+	b := h.Snapshot()
+
+	d, err := b.Diff(a)
+	if err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	if d.Count() != 2 {
+		t.Errorf("interval count = %d, want 2", d.Count())
+	}
+	rebuilt := NewHistogram(a.Bounds)
+	if err := rebuilt.Merge(a); err != nil {
+		t.Fatalf("Merge(a): %v", err)
+	}
+	if err := rebuilt.Merge(d); err != nil {
+		t.Fatalf("Merge(diff): %v", err)
+	}
+	got := rebuilt.Snapshot()
+	if got.Count() != b.Count() || got.Sum != b.Sum {
+		t.Errorf("rebuilt = (count %d, sum %v), want (count %d, sum %v)",
+			got.Count(), got.Sum, b.Count(), b.Sum)
+	}
+	for i := range b.Counts {
+		if got.Counts[i] != b.Counts[i] {
+			t.Errorf("rebuilt bucket %d = %d, want %d", i, got.Counts[i], b.Counts[i])
+		}
+	}
+}
+
+// TestHistogramDiffMismatch rejects snapshots with different bounds.
+func TestHistogramDiffMismatch(t *testing.T) {
+	a := NewHistogram(ExpBounds(time.Millisecond, 2, 4)).Snapshot()
+	b := NewHistogram(ExpBounds(time.Millisecond, 2, 5)).Snapshot()
+	if _, err := b.Diff(a); err == nil {
+		t.Error("Diff across mismatched bounds succeeded")
+	}
+	c := NewHistogram(ExpBounds(2*time.Millisecond, 2, 4)).Snapshot()
+	if _, err := c.Diff(a); err == nil {
+		t.Error("Diff across different bound values succeeded")
+	}
+}
+
+// TestHistogramsOfRoundTrip writes histograms through Expo and parses them
+// back: bounds, per-bucket counts, and sums must survive exactly, for both
+// the unlabeled aggregate and labeled series of one family.
+func TestHistogramsOfRoundTrip(t *testing.T) {
+	v := NewHistogramVec(nil)
+	v.Observe("p1", 70*time.Microsecond)
+	v.Observe("p1", 3*time.Millisecond)
+	v.Observe("p2", 2*time.Hour) // lands in the overflow bucket
+
+	e := NewExpo()
+	e.Histogram("x_seconds", "help", v.All().Snapshot())
+	v.Each(func(label string, s HistogramSnapshot) {
+		e.Histogram("x_seconds", "", s, L("peer", label))
+	})
+	parsed, err := ParseExposition(e.String())
+	if err != nil {
+		t.Fatalf("ParseExposition: %v", err)
+	}
+	hists := parsed.HistogramsOf("x_seconds")
+	if len(hists) != 3 {
+		t.Fatalf("got %d histograms, want 3", len(hists))
+	}
+	want := map[string]HistogramSnapshot{
+		"":   v.All().Snapshot(),
+		"p1": v.Get("p1").Snapshot(),
+		"p2": v.Get("p2").Snapshot(),
+	}
+	for _, ph := range hists {
+		w := want[ph.Labels["peer"]]
+		if len(ph.Snapshot.Bounds) != len(w.Bounds) {
+			t.Fatalf("peer %q: %d bounds, want %d", ph.Labels["peer"], len(ph.Snapshot.Bounds), len(w.Bounds))
+		}
+		for i := range w.Bounds {
+			if ph.Snapshot.Bounds[i] != w.Bounds[i] {
+				t.Fatalf("peer %q bound %d = %v, want %v", ph.Labels["peer"], i, ph.Snapshot.Bounds[i], w.Bounds[i])
+			}
+		}
+		for i := range w.Counts {
+			if ph.Snapshot.Counts[i] != w.Counts[i] {
+				t.Errorf("peer %q bucket %d = %d, want %d", ph.Labels["peer"], i, ph.Snapshot.Counts[i], w.Counts[i])
+			}
+		}
+		if ph.Snapshot.Count() != w.Count() {
+			t.Errorf("peer %q count = %d, want %d", ph.Labels["peer"], ph.Snapshot.Count(), w.Count())
+		}
+	}
+	// A parsed snapshot diffs cleanly against a later parse — the scraper's
+	// actual usage.
+	v.Observe("p1", 5*time.Millisecond)
+	e2 := NewExpo()
+	e2.Histogram("x_seconds", "help", v.All().Snapshot())
+	parsed2, err := ParseExposition(e2.String())
+	if err != nil {
+		t.Fatalf("ParseExposition 2: %v", err)
+	}
+	after := parsed2.HistogramsOf("x_seconds")[0].Snapshot
+	before := hists[0].Snapshot
+	d, err := after.Diff(before)
+	if err != nil {
+		t.Fatalf("Diff of parsed snapshots: %v", err)
+	}
+	if d.Count() != 1 {
+		t.Errorf("parsed interval count = %d, want 1", d.Count())
+	}
+	// 5ms falls in the (2.56ms, 5.12ms] bucket of the default bounds; the
+	// interval quantile must land inside that bucket.
+	if q := d.Quantile(0.5); q <= 2560*time.Microsecond || q > 5120*time.Microsecond {
+		t.Errorf("parsed interval p50 = %v, want in (2.56ms, 5.12ms]", q)
+	}
+}
