@@ -1,0 +1,70 @@
+// The hit-path allocation budget, as a test instead of a human reading
+// benchmark output: the prewarmed local-hit path must stay within the
+// baseline BENCH_obs.json records (9 allocs/op, ~181 B/op) — and it must
+// stay there with a persistent disk tier configured, since the disk probe
+// belongs to the miss path only.
+package beyondcache_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"beyondcache/internal/cluster"
+)
+
+// obsBaseline is the slice of BENCH_obs.json this guard reads: the recorded
+// hit-path cost that later work must not regress.
+type obsBaseline struct {
+	Baseline struct {
+		BytesPerOp  int64 `json:"bytes_per_op"`
+		AllocsPerOp int64 `json:"allocs_per_op"`
+	} `json:"baseline"`
+}
+
+// TestHitPathAllocBudget re-measures the prewarmed hit path (the same
+// harness as BenchmarkNodeFetchParallel/hits) against the BENCH_obs.json
+// baseline, on a memory-only node and on one carrying a disk tier. Allocs
+// are exact; bytes get 25% headroom for size-class noise.
+func TestHitPathAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("skipping benchmark-backed guard in short mode")
+	}
+	data, err := os.ReadFile("BENCH_obs.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc obsBaseline
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Baseline.AllocsPerOp <= 0 || doc.Baseline.BytesPerOp <= 0 {
+		t.Fatalf("BENCH_obs.json baseline is empty: %+v", doc.Baseline)
+	}
+
+	for _, c := range []struct {
+		name string
+		cfg  cluster.NodeConfig
+	}{
+		{"memory-only", cluster.NodeConfig{Name: "bench"}},
+		{"disk-tier", cluster.NodeConfig{Name: "bench", CacheDir: t.TempDir()}},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			res := testing.Benchmark(func(b *testing.B) {
+				benchNodeFetch(b, "hits", c.cfg, nil)
+			})
+			allocs, bytes := res.AllocsPerOp(), res.AllocedBytesPerOp()
+			t.Logf("hit path: %d allocs/op, %d B/op (budget %d allocs, %d B)",
+				allocs, bytes, doc.Baseline.AllocsPerOp, doc.Baseline.BytesPerOp)
+			if allocs > doc.Baseline.AllocsPerOp {
+				t.Errorf("hit path allocates %d/op, budget is %d/op", allocs, doc.Baseline.AllocsPerOp)
+			}
+			if limit := doc.Baseline.BytesPerOp * 5 / 4; bytes > limit {
+				t.Errorf("hit path allocates %d B/op, budget is %d B/op (+25%%)", bytes, limit)
+			}
+		})
+	}
+}

@@ -63,6 +63,11 @@ func run(args []string, out io.Writer, wait func()) error {
 		name        = fs.String("name", "", "node name for stats (default: listen address)")
 		cacheBytes  = fs.Int64("cache-bytes", 64<<20, "object cache capacity in bytes")
 		cacheShards = fs.Int("cache-shards", 0, "object cache shard count, rounded up to a power of two (0: sized from GOMAXPROCS)")
+		cacheDir    = fs.String("cache-dir", "", "directory for the persistent disk tier; evictions spill here and the population is recovered and re-advertised on boot (off when empty)")
+		diskCap     = fs.Int64("disk-capacity", 0, "disk tier capacity in bytes; overflow evicts least-recently-read objects (0: unbounded; requires -cache-dir)")
+		spillQueue  = fs.Int("spill-queue", 0, "bounded write-behind spill queue, in evicted objects; overflow drops oldest (0: 1024 default)")
+		compressMin = fs.Int64("compress-min", 0, "deflate spilled objects of at least this many bytes, kept only when smaller (0: never compress)")
+		recWorkers  = fs.Int("recovery-workers", 0, "concurrent verify-on-read workers for the boot recovery scan (0: 4 default)")
 		hintEntries = fs.Int("hint-entries", 65536, "hint table entries (16 bytes each)")
 		hintStripes = fs.Int("hint-stripes", 0, "hint table lock stripes, rounded up to a power of two (0: sized from GOMAXPROCS)")
 		interval    = fs.Duration("update-interval", time.Second, "mean hint batch interval")
@@ -109,20 +114,25 @@ func run(args []string, out io.Writer, wait func()) error {
 		return fmt.Errorf("-origin-url is required for cache nodes")
 	}
 	n, err := cluster.NewNode(cluster.NodeConfig{
-		Name:           *name,
-		CacheBytes:     *cacheBytes,
-		CacheShards:    *cacheShards,
-		HintEntries:    *hintEntries,
-		HintStripes:    *hintStripes,
-		OriginURL:      *originURL,
-		UpdateInterval: *interval,
-		HintQueue:      *hintQueue,
-		DigestWorkers:  *digWorkers,
-		TraceSample:    *traceSample,
-		SpanRing:       *spanRing,
-		PeerTimeout:    *peerTimeout,
-		OriginTimeout:  *originTO,
-		HedgeBudget:    *hedgeBudget,
+		Name:            *name,
+		CacheBytes:      *cacheBytes,
+		CacheShards:     *cacheShards,
+		CacheDir:        *cacheDir,
+		DiskCapacity:    *diskCap,
+		SpillQueue:      *spillQueue,
+		CompressMin:     *compressMin,
+		RecoveryWorkers: *recWorkers,
+		HintEntries:     *hintEntries,
+		HintStripes:     *hintStripes,
+		OriginURL:       *originURL,
+		UpdateInterval:  *interval,
+		HintQueue:       *hintQueue,
+		DigestWorkers:   *digWorkers,
+		TraceSample:     *traceSample,
+		SpanRing:        *spanRing,
+		PeerTimeout:     *peerTimeout,
+		OriginTimeout:   *originTO,
+		HedgeBudget:     *hedgeBudget,
 		Breaker: resilience.BreakerConfig{
 			Window:           *brkWindow,
 			FailureThreshold: *brkThreshold,

@@ -24,6 +24,9 @@ import (
 type Sharded struct {
 	shards []cacheShard
 	mask   uint64
+	// onEvict is the user eviction callback; fired OUTSIDE the shard lock
+	// (see OnEvict). Set once before the cache is shared.
+	onEvict func(Object, []byte)
 }
 
 // cacheShard pads each shard to its own cache lines so that shard locks do
@@ -32,7 +35,17 @@ type cacheShard struct {
 	mu     sync.Mutex
 	lru    *LRU
 	bodies map[uint64][]byte
-	_      [24]byte
+	// evicted accumulates this call's evictions under the shard lock; the
+	// mutating operation drains it after unlocking and fires the user
+	// callback lock-free.
+	evicted []evictedObject
+	_       [24]byte
+}
+
+// evictedObject pairs an evicted object with the body it held.
+type evictedObject struct {
+	obj  Object
+	body []byte
 }
 
 // NewSharded builds a sharded cache with the given shard count (rounded up
@@ -61,8 +74,20 @@ func NewSharded(shards int, capacity int64) *Sharded {
 		mask:   uint64(n - 1),
 	}
 	for i := range s.shards {
-		s.shards[i].lru = NewLRU(perShard)
-		s.shards[i].bodies = make(map[uint64][]byte)
+		sh := &s.shards[i]
+		sh.lru = NewLRU(perShard)
+		sh.bodies = make(map[uint64][]byte)
+		// The inner LRU callback runs with the shard lock held: it only
+		// moves the eviction (object + body) onto the shard's pending
+		// list and cleans the body map. The user callback fires later,
+		// outside the lock — see OnEvict.
+		sh.lru.OnEvict(func(o Object) {
+			body := sh.bodies[o.ID]
+			delete(sh.bodies, o.ID)
+			if s.onEvict != nil {
+				sh.evicted = append(sh.evicted, evictedObject{obj: o, body: body})
+			}
+		})
 	}
 	return s
 }
@@ -77,19 +102,42 @@ func (s *Sharded) shardFor(id uint64) *cacheShard {
 func (s *Sharded) Shards() int { return len(s.shards) }
 
 // OnEvict registers fn to run whenever an object leaves the cache due to
-// capacity pressure or explicit removal. The callback runs with the
-// object's shard lock held, so it must not call back into the cache (see
-// the locking hierarchy in DESIGN.md). OnEvict must be called before the
-// cache is shared across goroutines.
-func (s *Sharded) OnEvict(fn func(Object)) {
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.lru.OnEvict(func(o Object) {
-			delete(sh.bodies, o.ID)
-			if fn != nil {
-				fn(o)
-			}
-		})
+// capacity pressure or explicit removal (Discard excepted), together with
+// the body the cache held for it (nil for metadata-only entries).
+//
+// Guarantee: the callback fires AFTER the object's shard lock has been
+// released and BEFORE the mutating call (Put, PutNewer, Remove) returns, in
+// eviction order. It may therefore block — e.g. on a spill-queue enqueue —
+// and may call back into the cache without deadlocking (see the locking
+// hierarchy in DESIGN.md §6). The flip side of running unlocked: by the
+// time the callback observes an eviction, a concurrent goroutine may
+// already have re-inserted the object, so callbacks must treat evictions
+// as advisory, not as the cache's current state.
+//
+// OnEvict must be called before the cache is shared across goroutines.
+func (s *Sharded) OnEvict(fn func(Object, []byte)) {
+	s.onEvict = fn
+}
+
+// takeEvicted drains the shard's pending evictions. Callers hold the shard
+// lock.
+func (sh *cacheShard) takeEvicted() []evictedObject {
+	if len(sh.evicted) == 0 {
+		return nil
+	}
+	ev := sh.evicted
+	sh.evicted = nil
+	return ev
+}
+
+// fire runs the user eviction callback over a drained pending list. Called
+// with no locks held.
+func (s *Sharded) fire(evicted []evictedObject) {
+	if s.onEvict == nil {
+		return
+	}
+	for _, e := range evicted {
+		s.onEvict(e.obj, e.body)
 	}
 }
 
@@ -127,8 +175,11 @@ func (s *Sharded) Contains(id uint64) bool {
 func (s *Sharded) Put(obj Object, body []byte) bool {
 	sh := s.shardFor(obj.ID)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.putLocked(obj, body)
+	ok := sh.putLocked(obj, body)
+	evicted := sh.takeEvicted()
+	sh.mu.Unlock()
+	s.fire(evicted)
+	return ok
 }
 
 // PutNewer is Put except that it refuses to replace a cached copy with an
@@ -140,11 +191,15 @@ func (s *Sharded) Put(obj Object, body []byte) bool {
 func (s *Sharded) PutNewer(obj Object, body []byte) bool {
 	sh := s.shardFor(obj.ID)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if cur, ok := sh.lru.Peek(obj.ID); ok && cur.Version >= obj.Version {
+		sh.mu.Unlock()
 		return true
 	}
-	return sh.putLocked(obj, body)
+	ok := sh.putLocked(obj, body)
+	evicted := sh.takeEvicted()
+	sh.mu.Unlock()
+	s.fire(evicted)
+	return ok
 }
 
 func (sh *cacheShard) putLocked(obj Object, body []byte) bool {
@@ -157,13 +212,33 @@ func (sh *cacheShard) putLocked(obj Object, body []byte) bool {
 	return true
 }
 
-// Remove deletes an object, firing the eviction callback. It reports whether
-// the object was present.
+// Remove deletes an object, firing the eviction callback (outside the
+// shard lock, like any eviction). It reports whether the object was
+// present.
 func (s *Sharded) Remove(id uint64) bool {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.lru.Remove(id)
+	ok := sh.lru.Remove(id)
+	evicted := sh.takeEvicted()
+	sh.mu.Unlock()
+	s.fire(evicted)
+	return ok
+}
+
+// Discard deletes an object WITHOUT firing the eviction callback — the
+// caller takes responsibility for whatever bookkeeping the callback would
+// have done. The node's purge path uses this: a purged object must not be
+// spilled to the disk tier by its own removal. It reports whether the
+// object was present.
+func (s *Sharded) Discard(id uint64) bool {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	ok := sh.lru.RemoveQuiet(id)
+	if ok {
+		delete(sh.bodies, id)
+	}
+	sh.mu.Unlock()
+	return ok
 }
 
 // Len returns the total number of cached objects across shards.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestShardedRoundsToPowerOfTwo(t *testing.T) {
@@ -66,11 +67,18 @@ func TestShardedEvictionDropsBodyAndFiresCallback(t *testing.T) {
 	// One shard so capacity pressure is deterministic.
 	s := NewSharded(1, 10)
 	var evicted []uint64
-	s.OnEvict(func(o Object) { evicted = append(evicted, o.ID) })
+	var bodies []string
+	s.OnEvict(func(o Object, body []byte) {
+		evicted = append(evicted, o.ID)
+		bodies = append(bodies, string(body))
+	})
 	s.Put(Object{ID: 1, Size: 6, Version: 1}, []byte("aaaaaa"))
 	s.Put(Object{ID: 2, Size: 6, Version: 1}, []byte("bbbbbb"))
 	if len(evicted) != 1 || evicted[0] != 1 {
 		t.Fatalf("evicted = %v, want [1]", evicted)
+	}
+	if bodies[0] != "aaaaaa" {
+		t.Errorf("evicted body = %q, want the object's body", bodies[0])
 	}
 	if _, _, ok := s.Get(1); ok {
 		t.Error("evicted object still served")
@@ -78,6 +86,61 @@ func TestShardedEvictionDropsBodyAndFiresCallback(t *testing.T) {
 	st := s.Stats()
 	if st.Inserts != 2 || st.Evictions != 1 {
 		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestShardedEvictionCallbackRunsOutsideShardLock pins the write-behind
+// contract: the eviction callback fires with no shard lock held, so it may
+// block (a spill-queue enqueue) or call back into the cache. Before the
+// fix this deadlocked — sync.Mutex is not reentrant — because the callback
+// ran inside the evicting shard's critical section.
+func TestShardedEvictionCallbackRunsOutsideShardLock(t *testing.T) {
+	s := NewSharded(1, 10)
+	reentered := 0
+	s.OnEvict(func(o Object, body []byte) {
+		// Call back into the evicted object's own shard (1 shard = the
+		// same lock the eviction was triggered under).
+		if s.Contains(o.ID) {
+			t.Errorf("evicted object %d still present during callback", o.ID)
+		}
+		s.Peek(o.ID)
+		reentered++
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Put(Object{ID: 1, Size: 6, Version: 1}, []byte("aaaaaa"))
+		s.Put(Object{ID: 2, Size: 6, Version: 1}, []byte("bbbbbb")) // evicts 1
+		s.Remove(2)                                                 // explicit removal fires too
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("eviction callback deadlocked: still running under the shard lock")
+	}
+	if reentered != 2 {
+		t.Errorf("callback fired %d times, want 2", reentered)
+	}
+}
+
+// TestShardedDiscardSkipsCallback pins the purge seam: Discard removes the
+// object and its body without firing the eviction callback.
+func TestShardedDiscardSkipsCallback(t *testing.T) {
+	s := NewSharded(4, 0)
+	fired := false
+	s.OnEvict(func(Object, []byte) { fired = true })
+	s.Put(Object{ID: 9, Size: 3, Version: 1}, []byte("xyz"))
+	if !s.Discard(9) {
+		t.Fatal("Discard missed a present object")
+	}
+	if fired {
+		t.Error("Discard fired the eviction callback")
+	}
+	if s.Contains(9) {
+		t.Error("object survives Discard")
+	}
+	if s.Discard(9) {
+		t.Error("second Discard reported success")
 	}
 }
 

@@ -24,6 +24,9 @@ type Fleet struct {
 	Relays []*Relay
 	client *http.Client
 	faults *faults.Injector
+	// cfg remembers the boot configuration so RestartNode can rebuild a
+	// node identically (same cache dir, same knobs).
+	cfg FleetConfig
 }
 
 // FleetConfig parameterizes StartFleet.
@@ -32,6 +35,9 @@ type FleetConfig struct {
 	Nodes int
 	// CacheBytes per node (<= 0 for the node default).
 	CacheBytes int64
+	// CacheShards per node (<= 0 for the node default). Tests squeezing
+	// CacheBytes use 1 so the byte budget is not split across shards.
+	CacheShards int
 	// HintEntries per node (<= 0 for the node default).
 	HintEntries int
 	// UpdateInterval between hint batches or digest pulls (<= 0 for 1s).
@@ -65,28 +71,49 @@ type FleetConfig struct {
 	// mid-run. InboundFaults is the serving-side twin.
 	Faults        *faults.Injector
 	InboundFaults *faults.Injector
+
+	// CacheDirs gives node i a persistent disk tier rooted at
+	// CacheDirs[i] (see NodeConfig.CacheDir); nodes beyond the slice —
+	// or all nodes, when nil — stay memory-only. DiskCapacity,
+	// SpillQueue, CompressMin, and RecoveryWorkers pass through to every
+	// disk-tiered node.
+	CacheDirs       []string
+	DiskCapacity    int64
+	SpillQueue      int
+	CompressMin     int64
+	RecoveryWorkers int
 }
 
 // nodeConfig builds node i's NodeConfig from the fleet-wide settings.
 func (cfg FleetConfig) nodeConfig(i int, originURL string) NodeConfig {
+	var cacheDir string
+	if i < len(cfg.CacheDirs) {
+		cacheDir = cfg.CacheDirs[i]
+	}
 	return NodeConfig{
-		Name:           fmt.Sprintf("node-%d", i),
-		CacheBytes:     cfg.CacheBytes,
-		HintEntries:    cfg.HintEntries,
-		OriginURL:      originURL,
-		UpdateInterval: cfg.UpdateInterval,
-		HintQueue:      cfg.HintQueue,
-		DigestWorkers:  cfg.DigestWorkers,
-		Seed:           int64(i) + 1,
-		UseDigests:     cfg.UseDigests,
-		PeerTimeout:    cfg.PeerTimeout,
-		OriginTimeout:  cfg.OriginTimeout,
-		HedgeBudget:    cfg.HedgeBudget,
-		Breaker:        cfg.Breaker,
-		FaultSpec:      cfg.FaultSpec,
-		FaultSeed:      cfg.FaultSeed + int64(i),
-		Faults:         cfg.Faults,
-		InboundFaults:  cfg.InboundFaults,
+		CacheDir:        cacheDir,
+		DiskCapacity:    cfg.DiskCapacity,
+		SpillQueue:      cfg.SpillQueue,
+		CompressMin:     cfg.CompressMin,
+		RecoveryWorkers: cfg.RecoveryWorkers,
+		Name:            fmt.Sprintf("node-%d", i),
+		CacheBytes:      cfg.CacheBytes,
+		CacheShards:     cfg.CacheShards,
+		HintEntries:     cfg.HintEntries,
+		OriginURL:       originURL,
+		UpdateInterval:  cfg.UpdateInterval,
+		HintQueue:       cfg.HintQueue,
+		DigestWorkers:   cfg.DigestWorkers,
+		Seed:            int64(i) + 1,
+		UseDigests:      cfg.UseDigests,
+		PeerTimeout:     cfg.PeerTimeout,
+		OriginTimeout:   cfg.OriginTimeout,
+		HedgeBudget:     cfg.HedgeBudget,
+		Breaker:         cfg.Breaker,
+		FaultSpec:       cfg.FaultSpec,
+		FaultSeed:       cfg.FaultSeed + int64(i),
+		Faults:          cfg.Faults,
+		InboundFaults:   cfg.InboundFaults,
 	}
 }
 
@@ -100,6 +127,7 @@ func StartFleet(cfg FleetConfig) (*Fleet, error) {
 		Origin: NewOrigin(cfg.ObjectSize),
 		client: newClient(nil, nil),
 		faults: cfg.Faults,
+		cfg:    cfg,
 	}
 	if err := f.Origin.Start("127.0.0.1:0"); err != nil {
 		return nil, err
@@ -125,6 +153,47 @@ func StartFleet(cfg FleetConfig) (*Fleet, error) {
 		}
 	}
 	return f, nil
+}
+
+// RestartNode stops node i and boots a replacement with the same
+// configuration on the SAME listen address, so peer tables, hint machine
+// IDs, and breaker keys all stay valid — the fleet-level model of a cache
+// process restarting. With a CacheDir configured, the replacement runs the
+// boot recovery scan over the previous incarnation's files and republishes
+// the surviving population; call Nodes[i].WaitRecovery() to wait for it.
+func (f *Fleet) RestartNode(i int) error {
+	if i < 0 || i >= len(f.Nodes) {
+		return fmt.Errorf("cluster: restart: no node %d", i)
+	}
+	old := f.Nodes[i]
+	addr := old.Addr()
+	if addr == "" {
+		return fmt.Errorf("cluster: restart: node %d does not own its listener", i)
+	}
+	if err := old.Close(); err != nil {
+		return fmt.Errorf("cluster: restart: close node %d: %w", i, err)
+	}
+	n, err := NewNode(f.cfg.nodeConfig(i, f.Origin.URL()))
+	if err != nil {
+		return fmt.Errorf("cluster: restart: %w", err)
+	}
+	// The old listener just closed; give the kernel a few tries to hand
+	// the exact port back.
+	startErr := n.Start(addr)
+	for attempt := 0; startErr != nil && attempt < 50; attempt++ {
+		time.Sleep(10 * time.Millisecond)
+		startErr = n.Start(addr)
+	}
+	if startErr != nil {
+		return fmt.Errorf("cluster: restart: rebind %s: %w", addr, startErr)
+	}
+	f.Nodes[i] = n
+	for j, p := range f.Nodes {
+		if j != i {
+			n.AddPeer(p.URL())
+		}
+	}
+	return nil
 }
 
 // NodeURLs returns every node's base URL, in node order.

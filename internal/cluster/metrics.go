@@ -10,6 +10,7 @@ import (
 	"beyondcache/internal/faults"
 	"beyondcache/internal/obs"
 	"beyondcache/internal/resilience"
+	"beyondcache/internal/store"
 )
 
 // Prometheus text-format /metrics endpoints for the three server kinds of
@@ -203,6 +204,8 @@ func (n *Node) Metrics() *obs.Expo {
 		"Client-facing /fetch latency by terminal outcome class.",
 		n.hist.local.Snapshot(), obs.L("outcome", "LOCAL"))
 	e.Histogram("beyondcache_fetch_duration_seconds", "",
+		n.hist.localDisk.Snapshot(), obs.L("outcome", "LOCAL-DISK"))
+	e.Histogram("beyondcache_fetch_duration_seconds", "",
 		n.hist.coalesced.Snapshot(), obs.L("outcome", "LOCAL,COALESCED"))
 	e.Histogram("beyondcache_fetch_duration_seconds", "",
 		n.hist.remote.Snapshot(), obs.L("outcome", "REMOTE"))
@@ -239,6 +242,72 @@ func (n *Node) Metrics() *obs.Expo {
 		"Object-cache inserts across shards.", cs.Inserts)
 	e.Counter("beyondcache_cache_evictions_total",
 		"Object-cache capacity evictions across shards.", cs.Evictions)
+
+	// Disk tier (DESIGN.md §12). Every family is emitted — zero-valued —
+	// even for memory-only nodes, so the /metrics surface is identical
+	// across the fleet and dashboards need no existence checks.
+	var ds store.Stats
+	var ss store.SpillStats
+	var promotions int64
+	if n.tier != nil {
+		ds = n.tier.DiskStats()
+		ss = n.tier.SpillStats()
+		promotions = n.tier.Promotions()
+	}
+	n.recoveryMu.Lock()
+	rec := n.recovery
+	n.recoveryMu.Unlock()
+	e.Counter("beyondcache_fetch_disk_hits_total",
+		"Subset of local /fetch hits served from the disk tier (X-Cache LOCAL-DISK).",
+		st.DiskHits)
+	e.Counter("beyondcache_store_disk_hits_total",
+		"Disk-tier reads that passed verification and served an object.", ds.Hits)
+	e.Counter("beyondcache_store_disk_misses_total",
+		"Disk-tier probes that found no valid object.", ds.Misses)
+	e.Counter("beyondcache_store_puts_total",
+		"Objects written to the disk tier.", ds.Puts)
+	e.Counter("beyondcache_store_put_skipped_total",
+		"Disk writes skipped because the same or a newer version was already stored.",
+		ds.PutSkipped)
+	e.Counter("beyondcache_store_evictions_total",
+		"Objects evicted from the disk tier by capacity pressure.", ds.Evictions)
+	e.Counter("beyondcache_store_verify_failures_total",
+		"Object files quarantined after failing header or body-checksum verification.",
+		ds.VerifyFailures)
+	e.Counter("beyondcache_store_compressed_total",
+		"Bodies stored flate-compressed (at least CompressMin bytes and actually shrank).",
+		ds.Compressed)
+	e.Counter("beyondcache_store_promotions_total",
+		"Disk hits promoted back into the memory tier.", promotions)
+	e.Gauge("beyondcache_store_disk_objects",
+		"Objects indexed in the disk tier.", float64(ds.Objects))
+	e.Gauge("beyondcache_store_disk_bytes_used",
+		"On-disk bytes (object headers included) charged against the disk capacity.",
+		float64(ds.UsedBytes))
+	e.Gauge("beyondcache_store_disk_bytes_capacity",
+		"Configured disk-tier capacity in bytes (0 = unbounded).", float64(ds.Capacity))
+	e.Gauge("beyondcache_store_spill_queue_depth",
+		"Evicted objects waiting in the write-behind queue.", float64(ss.Depth))
+	e.Counter("beyondcache_store_spilled_total",
+		"Evicted objects written through to disk by the write-behind worker.", ss.Spilled)
+	e.Counter("beyondcache_store_spill_coalesced_total",
+		"Evictions folded onto an already-queued spill of the same object.", ss.Coalesced)
+	e.Counter("beyondcache_store_spill_dropped_total",
+		"Evictions that never reached disk, by reason; each drop left both tiers and queued an invalidate.",
+		ss.Drops, obs.L("reason", "overflow"))
+	e.Counter("beyondcache_store_spill_dropped_total", "",
+		ss.Errors, obs.L("reason", "write-error"))
+	e.Gauge("beyondcache_store_recovery_duration_seconds",
+		"Wall time of the boot recovery scan (0 until it finishes).",
+		rec.Duration.Seconds())
+	e.Gauge("beyondcache_store_recovery_objects",
+		"Valid objects recovered and republished by the boot scan.", float64(rec.Objects))
+	e.Counter("beyondcache_store_recovery_tmp_removed_total",
+		"Orphaned tmp files (crash mid-write) removed by the boot recovery scan.",
+		int64(rec.TmpRemoved))
+	e.Counter("beyondcache_store_recovery_quarantined_total",
+		"Files quarantined by the boot recovery scan for invalid or truncated headers.",
+		int64(rec.Quarantined))
 
 	e.Gauge("beyondcache_hint_table_entries",
 		"Hint-table slot count.", float64(n.hints.Entries()))

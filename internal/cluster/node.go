@@ -22,14 +22,16 @@ import (
 	"beyondcache/internal/hintcache"
 	"beyondcache/internal/obs"
 	"beyondcache/internal/resilience"
+	"beyondcache/internal/store"
 )
 
 // Protocol headers.
 const (
 	// headerVersion carries the object's version.
 	headerVersion = "X-Object-Version"
-	// headerCache reports how a /fetch was served: LOCAL, REMOTE, or
-	// MISS (origin fetch), optionally suffixed with ",STALE-HINT" when a
+	// headerCache reports how a /fetch was served: LOCAL, LOCAL-DISK
+	// (served from the persistent tier and promoted), REMOTE, or MISS
+	// (origin fetch), optionally suffixed with ",STALE-HINT" when a
 	// false positive was paid first, ",HEDGE" when the origin outran a
 	// silent hinted peer, or "LOCAL,COALESCED" when the request shared
 	// another request's in-flight fill.
@@ -153,6 +155,26 @@ type NodeConfig struct {
 	// (TraceSample) gates span recording exactly as it gates the trace
 	// ring: unsampled requests record nothing and allocate nothing.
 	SpanRing int
+
+	// CacheDir enables the persistent disk tier: memory evictions spill
+	// (write-behind) into a content-addressed store under this directory,
+	// misses probe it before peers or the origin, and on boot a recovery
+	// scan republishes the surviving population into the hint plane.
+	// Empty keeps the node memory-only. See DESIGN.md §12.
+	CacheDir string
+	// DiskCapacity bounds the disk tier's on-disk footprint in bytes
+	// (<= 0 means unbounded).
+	DiskCapacity int64
+	// SpillQueue bounds the write-behind queue in objects (<= 0 means
+	// 1024). Overflow drops the oldest queued eviction — which then left
+	// both tiers, so an invalidate hint is queued for it.
+	SpillQueue int
+	// CompressMin flate-compresses spilled bodies of at least this many
+	// bytes (<= 0 disables compression).
+	CompressMin int64
+	// RecoveryWorkers bounds the boot recovery scan's worker pool (<= 0
+	// means 4).
+	RecoveryWorkers int
 }
 
 // Stats counts node activity.
@@ -165,7 +187,10 @@ type Stats struct {
 	// sharing another request's in-flight fill (the singleflight path)
 	// instead of probing the cache themselves. LocalHits + RemoteHits +
 	// Misses still accounts for every successful /fetch.
-	CoalescedHits   int64 `json:"coalescedHits"`
+	CoalescedHits int64 `json:"coalescedHits"`
+	// DiskHits is the subset of LocalHits served from the disk tier
+	// (X-Cache LOCAL-DISK) and promoted back into memory on the way out.
+	DiskHits        int64 `json:"diskHits"`
 	PeerServes      int64 `json:"peerServes"`
 	PeerRejects     int64 `json:"peerRejects"`
 	UpdatesSent     int64 `json:"updatesSent"`
@@ -207,6 +232,7 @@ type counters struct {
 	misses          atomic.Int64
 	falsePositives  atomic.Int64
 	coalescedHits   atomic.Int64
+	diskHits        atomic.Int64
 	peerServes      atomic.Int64
 	peerRejects     atomic.Int64
 	updatesSent     atomic.Int64
@@ -231,6 +257,7 @@ type counters struct {
 // hint-batch flush round, and the peer-serve (/object) path.
 type nodeHists struct {
 	local         *obs.Histogram // X-Cache LOCAL
+	localDisk     *obs.Histogram // X-Cache LOCAL-DISK (disk-tier hit)
 	coalesced     *obs.Histogram // X-Cache "LOCAL,COALESCED"
 	remote        *obs.Histogram // X-Cache REMOTE
 	miss          *obs.Histogram // X-Cache MISS and "MISS,STALE-HINT"
@@ -243,6 +270,7 @@ type nodeHists struct {
 func newNodeHists() nodeHists {
 	return nodeHists{
 		local:         obs.NewHistogram(nil),
+		localDisk:     obs.NewHistogram(nil),
 		coalesced:     obs.NewHistogram(nil),
 		remote:        obs.NewHistogram(nil),
 		miss:          obs.NewHistogram(nil),
@@ -258,6 +286,8 @@ func (h *nodeHists) observeFetch(how string, d time.Duration) {
 	switch how {
 	case "LOCAL":
 		h.local.Observe(d)
+	case "LOCAL-DISK":
+		h.localDisk.Observe(d)
 	case "LOCAL,COALESCED":
 		h.coalesced.Observe(d)
 	case "REMOTE":
@@ -275,6 +305,7 @@ func (c *counters) snapshot() Stats {
 		Misses:          c.misses.Load(),
 		FalsePositives:  c.falsePositives.Load(),
 		CoalescedHits:   c.coalescedHits.Load(),
+		DiskHits:        c.diskHits.Load(),
 		PeerServes:      c.peerServes.Load(),
 		PeerRejects:     c.peerRejects.Load(),
 		UpdatesSent:     c.updatesSent.Load(),
@@ -307,6 +338,15 @@ type Node struct {
 	// data is the sharded object cache: metadata and bodies under
 	// per-shard locks.
 	data *cache.Sharded
+	// tier is the persistent disk tier (nil without CacheDir): memory
+	// evictions spill into it, fill() probes it before peers or the
+	// origin, and its involuntary drops queue invalidate hints.
+	tier *store.Tier
+	// recoveryMu guards recovery, the boot scan's result; recoveryDone
+	// closes once the scan (a no-op without a tier) has finished.
+	recoveryMu   sync.Mutex
+	recovery     store.RecoverStats
+	recoveryDone chan struct{}
 	// hints is the striped concurrent hint table.
 	hints *hintcache.Striped
 	// flights collapses duplicate in-flight fills per URL.
@@ -483,6 +523,26 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		stopBatch:     make(chan struct{}),
 		batchDone:     make(chan struct{}),
 		srvDone:       make(chan struct{}),
+		recoveryDone:  make(chan struct{}),
+	}
+	if cfg.CacheDir != "" {
+		st, err := store.Open(cfg.CacheDir, store.Options{
+			Capacity:    cfg.DiskCapacity,
+			CompressMin: cfg.CompressMin,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %q: %w", cfg.Name, err)
+		}
+		// An object that involuntarily leaves BOTH tiers — spill-queue
+		// overflow, failed spill write, disk eviction, quarantine — is no
+		// longer locally resident, so its hints must be withdrawn.
+		n.tier = store.NewTier(n.data, st, cfg.SpillQueue, func(o cache.Object) {
+			n.enqueueLocal(hintcache.Update{
+				Action:  hintcache.ActionInvalidate,
+				URLHash: o.ID,
+				Machine: n.machineID,
+			})
+		})
 	}
 	if cfg.UseDigests {
 		own, err := digest.NewForCapacity(cfg.DigestCapacity, cfg.DigestBitsPerEntry)
@@ -493,12 +553,16 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		n.peerDigests = make(map[uint64]*digest.Filter)
 		n.digestGen = make(map[uint64]int64)
 	}
-	// Capacity evictions advertise non-presence (the prototype's
-	// invalidate command). The callback runs with the evicted object's
-	// shard lock held and takes only the pending queue's mutex — the
-	// shard-lock -> pending-queue edge of the locking hierarchy
-	// (DESIGN.md).
-	n.data.OnEvict(func(o cache.Object) {
+	// Capacity evictions either spill to the disk tier (hints stay valid:
+	// the object is still locally resident) or, memory-only, advertise
+	// non-presence. The callback runs AFTER the shard lock is released
+	// (see cache.Sharded.OnEvict), so a blocking spill enqueue never
+	// holds a shard lock.
+	n.data.OnEvict(func(o cache.Object, body []byte) {
+		if n.tier != nil {
+			n.tier.Spill(o, body)
+			return
+		}
 		n.enqueueLocal(hintcache.Update{
 			Action:  hintcache.ActionInvalidate,
 			URLHash: o.ID,
@@ -569,6 +633,7 @@ func (n *Node) Start(addr string) error {
 		_ = n.srv.Serve(lis)
 	}()
 	go n.batchLoop()
+	go n.recoverDisk()
 	return nil
 }
 
@@ -583,6 +648,43 @@ func (n *Node) Bind(baseURL string) {
 		n.nodeLabel = hostPortOf(baseURL)
 	}
 	go n.batchLoop()
+	go n.recoverDisk()
+}
+
+// recoverDisk is the boot-time disk recovery: rebuild the on-disk index
+// (removing orphaned tmp files, quarantining files with invalid headers)
+// and republish every recovered object into the hint plane through the
+// pending queue, then flush so peers re-learn a restarted node's contents
+// within one update interval instead of waiting out a cold start. Runs
+// after Start/Bind fixes machineID — the informs must carry it. Recovered
+// objects become visible to fill() incrementally as the scan proceeds.
+func (n *Node) recoverDisk() {
+	defer close(n.recoveryDone)
+	if n.tier == nil {
+		return
+	}
+	st := n.tier.Recover(n.cfg.RecoveryWorkers, func(o cache.Object) {
+		n.queueInform(o.ID)
+	})
+	n.recoveryMu.Lock()
+	n.recovery = st
+	n.recoveryMu.Unlock()
+	if st.Objects > 0 {
+		n.flushAsync()
+	}
+}
+
+// WaitRecovery blocks until the boot disk-recovery scan has finished. It
+// returns immediately for memory-only nodes. Must be called after Start or
+// Bind.
+func (n *Node) WaitRecovery() { <-n.recoveryDone }
+
+// RecoveryStats returns the boot recovery scan's result (zero value until
+// the scan finishes).
+func (n *Node) RecoveryStats() store.RecoverStats {
+	n.recoveryMu.Lock()
+	defer n.recoveryMu.Unlock()
+	return n.recovery
 }
 
 // label names the node in hop segments and request IDs.
@@ -676,6 +778,15 @@ func hostPortOf(baseURL string) string {
 func (n *Node) Close() error {
 	var err error
 	n.closeOnce.Do(func() {
+		// Wait out the boot recovery scan first: its republish rides the
+		// hint plane, which shuts down below, and a restart test reusing
+		// the same cache dir must not race a still-running scan.
+		<-n.recoveryDone
+		if n.tier != nil {
+			// Drain the write-behind queue so the directory survives
+			// the restart intact.
+			n.tier.Close()
+		}
 		close(n.stopBatch)
 		<-n.batchDone
 		// The batcher's final synchronous flush has completed; stop the
@@ -967,6 +1078,18 @@ func (n *Node) fill(h uint64, url, reqID string, sampled bool) fetchOutcome {
 		return fetchOutcome{how: "LOCAL", version: obj.Version, body: body}
 	}
 
+	// Disk tier: a spilled object is still a local hit — promoted back
+	// into memory by the read — just a slower one. Probing here keeps
+	// the memory-tier hot path (handleFetch) untouched: only flight
+	// leaders, already off the fast path, pay the disk lookup.
+	if n.tier != nil {
+		if obj, body, ok := n.tier.Get(h); ok {
+			n.stats.localHits.Add(1)
+			n.stats.diskHits.Add(1)
+			return fetchOutcome{how: "LOCAL-DISK", version: obj.Version, body: body}
+		}
+	}
+
 	// Local metadata lookup (the find-nearest command). Misses are
 	// detected locally: no hint or digest match means go straight to the
 	// origin.
@@ -1106,6 +1229,11 @@ func (n *Node) handleObject(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	h := hintcache.HashURL(url)
 	obj, body, ok := n.data.Get(h)
+	if !ok && n.tier != nil {
+		// The hint that led the peer here may point at a spilled (or
+		// just-recovered) object: still locally cached, just on disk.
+		obj, body, ok = n.tier.Get(h)
+	}
 	if !ok {
 		n.stats.peerRejects.Add(1)
 		elapsed := time.Since(start)
@@ -1239,10 +1367,22 @@ func (n *Node) handlePurge(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h := hintcache.HashURL(url)
-	if !n.data.Remove(h) { // fires the eviction callback
+	// Discard, not Remove: a purged object must leave BOTH tiers without
+	// the eviction callback spilling it back to disk. The purge owns the
+	// resulting invalidate.
+	removed := n.data.Discard(h)
+	if n.tier != nil && n.tier.Discard(h) {
+		removed = true
+	}
+	if !removed {
 		http.Error(w, "not cached", http.StatusNotFound)
 		return
 	}
+	n.enqueueLocal(hintcache.Update{
+		Action:  hintcache.ActionInvalidate,
+		URLHash: h,
+		Machine: n.machineID,
+	})
 	w.WriteHeader(http.StatusNoContent)
 }
 

@@ -23,8 +23,10 @@ import (
 var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
 
 // obsFleet is a testFleet whose nodes trace every request (TraceSample 1),
-// so /debug/traces assertions are deterministic.
-func newObsFleet(t *testing.T, n int) *testFleet {
+// so /debug/traces assertions are deterministic. Optional mutators adjust
+// each node's config before construction (the golden test gives one node a
+// disk tier, for example).
+func newObsFleet(t *testing.T, n int, muts ...func(i int, cfg *NodeConfig)) *testFleet {
 	t.Helper()
 	f := &testFleet{
 		origin: NewOrigin(1024),
@@ -33,13 +35,17 @@ func newObsFleet(t *testing.T, n int) *testFleet {
 	f.originS = httptest.NewServer(f.origin.Handler())
 	t.Cleanup(f.originS.Close)
 	for i := 0; i < n; i++ {
-		node, err := NewNode(NodeConfig{
+		cfg := NodeConfig{
 			Name:           fmt.Sprintf("obs-%d", i),
 			OriginURL:      f.originS.URL,
 			UpdateInterval: time.Hour,
 			Seed:           int64(i) + 1,
 			TraceSample:    1,
-		})
+		}
+		for _, mut := range muts {
+			mut(i, &cfg)
+		}
+		node, err := NewNode(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -382,9 +388,23 @@ func TestFleetObservabilityEndToEnd(t *testing.T) {
 // deliberately. Run with -update to regenerate.
 func TestMetricNamesGolden(t *testing.T) {
 	// Two nodes, so the per-peer breaker families (created eagerly in
-	// AddPeer) appear in the exposition and stay frozen.
-	f := newObsFleet(t, 2)
+	// AddPeer) appear in the exposition and stay frozen. Node 0 gets a
+	// disk tier squeezed so one fetch evicts the last — the store/spill
+	// families are scraped from a fleet that has actually spilled.
+	f := newObsFleet(t, 2, func(i int, cfg *NodeConfig) {
+		if i == 0 {
+			cfg.CacheDir = t.TempDir()
+			cfg.CacheBytes = 1500 // origin bodies are 1024 B: two never fit
+			cfg.CacheShards = 1
+		}
+	})
 	tracedFetch(t, f, 0, "http://example.com/g") // populate per-outcome series
+	tracedFetch(t, f, 0, "http://example.com/h") // evicts g -> spill to disk
+	f.nodes[0].WaitRecovery()
+	f.nodes[0].tier.Flush()
+	if spilled := f.nodes[0].tier.SpillStats().Spilled; spilled < 1 {
+		t.Fatalf("golden fleet spilled %d objects, want >= 1", spilled)
+	}
 	relay := NewRelay("golden")
 
 	names := map[string]bool{}

@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"beyondcache/internal/obs"
+)
+
+// TestRestartRecoveryFleet is the end-to-end restart contract: a 3-node
+// fleet, node 0 carrying a disk tier, filled past its memory budget so part
+// of its population lives only on disk. After a restart with the same cache
+// dir, (a) node 0 serves its whole pre-restart population locally without a
+// single origin refetch, (b) peers resolve hinted fetches against the
+// recovered population, and (c) hint_directory_lag_objects re-converges to
+// zero once the recovery republish has flushed.
+func TestRestartRecoveryFleet(t *testing.T) {
+	const (
+		objects    = 20
+		objectSize = 1024
+	)
+	f, err := StartFleet(FleetConfig{
+		Nodes:          3,
+		ObjectSize:     objectSize,
+		UpdateInterval: time.Hour, // hints move only on explicit FlushAll
+		// Memory holds 6 objects (one shard, so the budget is not
+		// split); the rest of the population must survive on disk alone.
+		CacheBytes:  6 * objectSize,
+		CacheShards: 1,
+		CacheDirs:   []string{t.TempDir()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	url := func(i int) string { return fmt.Sprintf("http://example.com/restart/%d", i) }
+
+	// Fill node 0 past its memory budget.
+	for i := 0; i < objects; i++ {
+		r, err := f.Fetch(0, url(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Miss() {
+			t.Fatalf("fill fetch %d served %s, want a miss", i, r.How)
+		}
+	}
+	f.Nodes[0].tier.Flush() // all evictions on disk before we measure
+	f.FlushAll()            // peers learn node 0's population
+
+	// Pre-restart baseline: the whole population is a local hit (memory
+	// or disk) and a peer resolves it cache-to-cache.
+	localBefore := 0
+	for i := 0; i < objects; i++ {
+		r, err := f.Fetch(0, url(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Local() {
+			localBefore++
+		}
+	}
+	if localBefore != objects {
+		t.Fatalf("pre-restart local hits = %d/%d", localBefore, objects)
+	}
+	if r, err := f.Fetch(1, url(0)); err != nil || !r.Remote() {
+		t.Fatalf("pre-restart peer fetch = %v, %v; want REMOTE", r.How, err)
+	}
+
+	originBefore := f.Origin.Fetches()
+
+	// Restart node 0 on the same address and cache dir, and wait out the
+	// recovery scan (which republishes the recovered population).
+	if err := f.RestartNode(0); err != nil {
+		t.Fatal(err)
+	}
+	f.Nodes[0].WaitRecovery()
+	rec := f.Nodes[0].RecoveryStats()
+	if rec.Objects < objects {
+		t.Fatalf("recovered %d objects, want >= %d", rec.Objects, objects)
+	}
+	if rec.Duration <= 0 {
+		t.Error("recovery duration not measured")
+	}
+
+	// The restarted node serves its entire pre-restart population locally
+	// — the >= 90%-of-pre-restart-hit-rate acceptance bar, met at 100% —
+	// without touching the origin.
+	localAfter, diskServed := 0, 0
+	for i := 0; i < objects; i++ {
+		r, err := f.Fetch(0, url(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Local() {
+			localAfter++
+		}
+		if r.How == "LOCAL-DISK" {
+			diskServed++
+		}
+	}
+	if threshold := (localBefore * 9) / 10; localAfter < threshold {
+		t.Fatalf("post-restart local hits = %d/%d, want >= %d (90%% of pre-restart)",
+			localAfter, objects, threshold)
+	}
+	if diskServed == 0 {
+		t.Error("no post-restart fetch was served from the disk tier")
+	}
+	if got := f.Origin.Fetches(); got != originBefore {
+		t.Fatalf("origin refetched during recovery: %d fetches, was %d", got, originBefore)
+	}
+
+	// Peers resolve hinted fetches against the recovered population. Their
+	// hints survived the restart (same machine ID); the republish keeps
+	// newly learned peers working too.
+	for _, peer := range []int{1, 2} {
+		r, err := f.Fetch(peer, url(7+peer))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Remote() {
+			t.Errorf("peer %d fetch served %s, want REMOTE from recovered node", peer, r.How)
+		}
+	}
+
+	// The recovery republish drains: directory lag re-converges to zero
+	// after a flush round.
+	f.FlushAll()
+	p, err := obs.ParseExposition(f.Nodes[0].Metrics().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := p.Value("beyondcache_hint_directory_lag_objects"); !ok || v != 0 {
+		t.Errorf("hint_directory_lag_objects = %v after flush, want 0", v)
+	}
+	if v, _ := p.Value("beyondcache_store_recovery_objects"); v < objects {
+		t.Errorf("store_recovery_objects = %v, want >= %d", v, objects)
+	}
+}
+
+// TestRestartRecoveryRepublishReachesNewPeer: a peer whose hint table is
+// EMPTY (restarted after node 0 filled, so it never saw the original
+// informs) learns the recovered population purely from the boot republish.
+func TestRestartRecoveryRepublishReachesNewPeer(t *testing.T) {
+	f, err := StartFleet(FleetConfig{
+		Nodes:          2,
+		ObjectSize:     512,
+		UpdateInterval: time.Hour,
+		CacheBytes:     1024, // two objects in memory, rest on disk
+		CacheShards:    1,
+		CacheDirs:      []string{t.TempDir()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	const objects = 8
+	const pads = 2 // evict the last measured objects out of memory onto disk
+	url := func(i int) string { return fmt.Sprintf("http://example.com/repub/%d", i) }
+	for i := 0; i < objects+pads; i++ {
+		if _, err := f.Fetch(0, url(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Deliver the fill-time informs to the OLD node 1 now, so the boot
+	// republish — not node 0's shutdown flush of a still-pending queue —
+	// is what teaches the new node 1 below.
+	f.FlushAll()
+	// Drop the pre-restart informs on the floor: restart node 1 (memory
+	// only, no disk) so its hint table is empty.
+	if err := f.RestartNode(1); err != nil {
+		t.Fatal(err)
+	}
+	// Restart node 0; its boot republish re-advertises everything it
+	// recovered. One flush round later the fresh node 1 resolves the
+	// population cache-to-cache.
+	if err := f.RestartNode(0); err != nil {
+		t.Fatal(err)
+	}
+	f.Nodes[0].WaitRecovery()
+	f.FlushAll()
+
+	remote := 0
+	for i := 0; i < objects; i++ {
+		r, err := f.Fetch(1, url(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Remote() {
+			remote++
+		}
+	}
+	if remote != objects {
+		t.Fatalf("peer resolved %d/%d recovered objects cache-to-cache", remote, objects)
+	}
+	if got := f.Origin.Fetches(); got != objects+pads {
+		t.Errorf("origin fetches = %d, want %d (fill only; recovery must not refetch)", got, objects+pads)
+	}
+}

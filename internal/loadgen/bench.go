@@ -19,6 +19,15 @@ type BenchPhase struct {
 	P99Ms     float64 `json:"p99_ms"`
 }
 
+// BenchRestart is one restart event's disk-recovery outcome in a bench row.
+type BenchRestart struct {
+	Node             int     `json:"node"`
+	AtSeconds        float64 `json:"at_seconds"`
+	RecoveredObjects int     `json:"recovered_objects"`
+	RecoveredBytes   int64   `json:"recovered_bytes"`
+	RecoveryMs       float64 `json:"recovery_ms"`
+}
+
 // BenchBound is one evaluated acceptance bound.
 type BenchBound struct {
 	Expr   string  `json:"expr"`
@@ -43,6 +52,9 @@ type BenchRow struct {
 	P99Ms            float64      `json:"p99_ms"`
 	Phases           []BenchPhase `json:"phases"`
 	Bounds           []BenchBound `json:"bounds"`
+	// Restarts records mid-run node restarts and what their boot recovery
+	// scans brought back from the disk tier.
+	Restarts []BenchRestart `json:"restarts,omitempty"`
 	// Obs carries the run's observability deltas (hint-propagation lag,
 	// span/trace volume, end-of-run directory lag); absent when the fleet
 	// could not be scraped.
@@ -106,6 +118,15 @@ func (r *RunReport) Row() BenchRow {
 	}
 	for _, b := range r.Bounds {
 		row.Bounds = append(row.Bounds, BenchBound{Expr: b.Bound.Expr(), Actual: b.Actual, Pass: b.Pass})
+	}
+	for _, rs := range r.Restarts {
+		row.Restarts = append(row.Restarts, BenchRestart{
+			Node:             rs.Node,
+			AtSeconds:        rs.At.Seconds(),
+			RecoveredObjects: rs.Objects,
+			RecoveredBytes:   rs.Bytes,
+			RecoveryMs:       ms(rs.Duration),
+		})
 	}
 	return row
 }

@@ -3,6 +3,8 @@ package loadgen
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -33,6 +35,16 @@ type BoundResult struct {
 	Pass   bool
 }
 
+// RestartResult is one executed restart event's recovery outcome: what the
+// replacement node found on disk and how long the boot scan took.
+type RestartResult struct {
+	Node     int
+	At       time.Duration
+	Objects  int
+	Bytes    int64
+	Duration time.Duration
+}
+
 // RunReport is a completed scenario run.
 type RunReport struct {
 	Scenario    *Scenario
@@ -42,6 +54,9 @@ type RunReport struct {
 	// Obs is the observability section diffed from before/after /metrics
 	// scrapes of every node, or nil when no node could be scraped.
 	Obs *BenchObs
+	// Restarts records each restart event's disk-recovery outcome, in
+	// execution order.
+	Restarts []RestartResult
 	// Pass is true when every bound held.
 	Pass bool
 }
@@ -64,7 +79,7 @@ func Run(sc *Scenario, opt RunOptions) (*RunReport, error) {
 	}
 	logf("%s: schedule %d requests over %v (sha256 %s...)", sc.Name, sched.Len(), sc.Span(), fp[:12])
 
-	hasEvents := len(sc.Faults)+len(sc.OriginEvents)+len(sc.Invalidates) > 0
+	hasEvents := len(sc.Faults)+len(sc.OriginEvents)+len(sc.Invalidates)+len(sc.Restarts) > 0
 	var fleet *cluster.Fleet
 	targets := opt.Targets
 	if len(targets) == 0 {
@@ -76,6 +91,17 @@ func Run(sc *Scenario, opt RunOptions) (*RunReport, error) {
 		if interval == 0 {
 			interval = 100 * time.Millisecond
 		}
+		var cacheDirs []string
+		if sc.DiskTier {
+			root, err := os.MkdirTemp("", "cacheload-disk-")
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: %s: disk tier: %w", sc.Name, err)
+			}
+			defer os.RemoveAll(root)
+			for i := 0; i < sc.Nodes; i++ {
+				cacheDirs = append(cacheDirs, filepath.Join(root, fmt.Sprintf("node-%d", i)))
+			}
+		}
 		fleet, err = cluster.StartFleet(cluster.FleetConfig{
 			Nodes:          sc.Nodes,
 			CacheBytes:     sc.CacheBytes,
@@ -83,6 +109,7 @@ func Run(sc *Scenario, opt RunOptions) (*RunReport, error) {
 			UpdateInterval: interval,
 			HedgeBudget:    sc.HedgeBudget,
 			Faults:         inj,
+			CacheDirs:      cacheDirs,
 		})
 		if err != nil {
 			return nil, err
@@ -149,6 +176,25 @@ func Run(sc *Scenario, opt RunOptions) (*RunReport, error) {
 			runOriginEvents(ctx, fleet, sc, logf)
 		}()
 	}
+	var restartMu sync.Mutex
+	var restarts []RestartResult
+	if len(sc.Restarts) > 0 {
+		eventsDone.Add(1)
+		go func() {
+			defer eventsDone.Done()
+			if err := runRestarts(ctx, fleet, sc, logf, func(r RestartResult) {
+				restartMu.Lock()
+				restarts = append(restarts, r)
+				restartMu.Unlock()
+			}); err != nil && ctx.Err() == nil {
+				errMu.Lock()
+				if eventsErr == nil {
+					eventsErr = err
+				}
+				errMu.Unlock()
+			}
+		}()
+	}
 
 	// Bracket the measured window with /metrics captures (warmup traffic is
 	// already behind us) so the report can carry the run's observability
@@ -165,7 +211,7 @@ func Run(sc *Scenario, opt RunOptions) (*RunReport, error) {
 	}
 	obsAfter := captureExpos(targets)
 
-	rep := &RunReport{Scenario: sc, Fingerprint: fp, Result: res, Obs: summarizeObs(obsBefore, obsAfter), Pass: true}
+	rep := &RunReport{Scenario: sc, Fingerprint: fp, Result: res, Obs: summarizeObs(obsBefore, obsAfter), Restarts: restarts, Pass: true}
 	for _, b := range sc.Bounds {
 		actual, err := evalBound(sc, res, b)
 		if err != nil {
@@ -282,6 +328,38 @@ func runOriginEvents(ctx context.Context, fleet *cluster.Fleet, sc *Scenario, lo
 			invalidateHotSet(fleet, e.invalidate)
 		}
 	}
+}
+
+// runRestarts walks the scenario's restart events in offset order, sleeping
+// to each one, restarting the named node in place, and waiting out its boot
+// recovery scan before reporting the result. Load keeps flowing while the
+// node is down; the driver records the window's failures like any other.
+func runRestarts(ctx context.Context, fleet *cluster.Fleet, sc *Scenario, logf func(string, ...any), record func(RestartResult)) error {
+	events := append([]RestartEvent(nil), sc.Restarts...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	start := time.Now()
+	for _, e := range events {
+		if d := e.At - time.Since(start); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return nil
+			}
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+		logf("%s: restarting node %d", sc.Name, e.Node)
+		if err := fleet.RestartNode(e.Node); err != nil {
+			return fmt.Errorf("restart node %d: %w", e.Node, err)
+		}
+		fleet.Nodes[e.Node].WaitRecovery()
+		rec := fleet.Nodes[e.Node].RecoveryStats()
+		logf("%s: node %d recovered %d objects (%d bytes) in %v",
+			sc.Name, e.Node, rec.Objects, rec.Bytes, rec.Duration)
+		record(RestartResult{Node: e.Node, At: e.At, Objects: rec.Objects, Bytes: rec.Bytes, Duration: rec.Duration})
+	}
+	return nil
 }
 
 // invalidateHotSet bumps and purges the count most popular objects

@@ -73,6 +73,15 @@ type InvalidateEvent struct {
 	Count int
 }
 
+// RestartEvent stops fleet node Node At after the run starts and boots a
+// replacement on the same address — and, with disk-tier enabled, the same
+// cache directory, so the replacement recovers its population from disk and
+// republishes it into the hint plane while load continues.
+type RestartEvent struct {
+	At   time.Duration
+	Node int
+}
+
 // Bound is one acceptance bound over the run's measured results:
 //
 //	accept <metric> [phase...] <=|>= <value>
@@ -148,6 +157,10 @@ type Scenario struct {
 	// CacheBytes and HintEntries bound each node (0 = node defaults).
 	CacheBytes  int64
 	HintEntries int
+	// DiskTier gives every node a persistent disk tier in a run-scoped
+	// temporary directory: memory evictions spill to disk, and a restart
+	// event's replacement node recovers the population from it.
+	DiskTier bool
 	// Warmup issues the first N schedule requests closed-loop and
 	// unrecorded before the measured run, pre-filling caches.
 	Warmup int
@@ -156,6 +169,7 @@ type Scenario struct {
 	Faults       []FaultEvent
 	OriginEvents []OriginEvent
 	Invalidates  []InvalidateEvent
+	Restarts     []RestartEvent
 	Bounds       []Bound
 }
 
@@ -225,7 +239,7 @@ func Parse(text string) (*Scenario, error) {
 		// Singleton keys may appear once; phase/fault/origin-at/invalidate/
 		// accept accumulate.
 		switch key {
-		case "phase", "fault", "heal", "origin-at", "invalidate", "accept":
+		case "phase", "fault", "heal", "origin-at", "invalidate", "restart", "accept":
 		default:
 			if seen[key] {
 				return nil, fmt.Errorf("loadgen: line %d: duplicate %q", ln+1, key)
@@ -270,6 +284,17 @@ func Parse(text string) (*Scenario, error) {
 			}
 		case "hint-entries":
 			err = oneInt(args, &sc.HintEntries)
+		case "disk-tier":
+			var w string
+			if err = oneWord(args, &w); err == nil {
+				switch w {
+				case "true":
+					sc.DiskTier = true
+				case "false":
+				default:
+					err = fmt.Errorf("want true or false, got %q", w)
+				}
+			}
 		case "strong-consistency":
 			var w string
 			if err = oneWord(args, &w); err == nil {
@@ -335,6 +360,19 @@ func Parse(text string) (*Scenario, error) {
 				break
 			}
 			sc.Invalidates = append(sc.Invalidates, ev)
+		case "restart":
+			if len(args) != 2 {
+				err = fmt.Errorf("want: restart <offset> <node>")
+				break
+			}
+			var ev RestartEvent
+			if ev.At, err = time.ParseDuration(args[0]); err != nil {
+				break
+			}
+			if ev.Node, err = strconv.Atoi(args[1]); err != nil {
+				break
+			}
+			sc.Restarts = append(sc.Restarts, ev)
 		case "accept":
 			var b Bound
 			if b, err = parseBound(args); err == nil {
@@ -536,6 +574,20 @@ func (s *Scenario) Validate() error {
 			return fmt.Errorf("loadgen: %s: invalidate offset %v outside the run window %v", s.Name, e.At, span)
 		}
 	}
+	for _, e := range s.Restarts {
+		if e.At < 0 || e.At > span {
+			return fmt.Errorf("loadgen: %s: restart offset %v outside the run window %v", s.Name, e.At, span)
+		}
+		if e.Node < 0 || e.Node >= s.Nodes {
+			return fmt.Errorf("loadgen: %s: restart names node %d of a %d-node fleet", s.Name, e.Node, s.Nodes)
+		}
+	}
+	if len(s.Restarts) > 0 && (len(s.Invalidates) > 0 || len(s.Faults) > 0 || s.StrongConsistency) {
+		// A restart swaps the fleet's node slot mid-run; the purge fan-out
+		// behind invalidations/strong consistency and the fault re-spec
+		// walk that slot concurrently.
+		return fmt.Errorf("loadgen: %s: restart events cannot combine with fault or invalidation events or strong consistency", s.Name)
+	}
 	for _, b := range s.Bounds {
 		for _, a := range b.Args {
 			if s.PhaseIndex(a) < 0 {
@@ -598,6 +650,9 @@ func (s *Scenario) Format() string {
 	if s.HintEntries != 0 {
 		line("hint-entries", strconv.Itoa(s.HintEntries))
 	}
+	if s.DiskTier {
+		line("disk-tier", "true")
+	}
 	for _, p := range s.Phases {
 		vals := []string{p.Name, p.Dur.String()}
 		if p.Rate != 0 {
@@ -630,6 +685,9 @@ func (s *Scenario) Format() string {
 	}
 	for _, e := range s.Invalidates {
 		line("invalidate", e.At.String(), strconv.Itoa(e.Count))
+	}
+	for _, e := range s.Restarts {
+		line("restart", e.At.String(), strconv.Itoa(e.Node))
 	}
 	for _, b := range s.Bounds {
 		line("accept", b.Expr())
@@ -724,6 +782,9 @@ func (s *Scenario) sortedEventOffsets() []time.Duration {
 		out = append(out, e.At)
 	}
 	for _, e := range s.Invalidates {
+		out = append(out, e.At)
+	}
+	for _, e := range s.Restarts {
 		out = append(out, e.At)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })

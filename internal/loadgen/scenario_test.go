@@ -128,7 +128,7 @@ func TestParseRejects(t *testing.T) {
 
 func TestBuiltinMatrix(t *testing.T) {
 	names := BuiltinNames()
-	want := []string{"diurnal-ramp", "flash-crowd", "invalidation-storm", "origin-brownout", "regional-partition"}
+	want := []string{"diurnal-ramp", "flash-crowd", "invalidation-storm", "origin-brownout", "regional-partition", "restart-recovery"}
 	if !reflect.DeepEqual(names, want) {
 		t.Fatalf("builtin names = %v, want %v", names, want)
 	}

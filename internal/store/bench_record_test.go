@@ -1,0 +1,148 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"beyondcache/internal/cache"
+)
+
+// Run with -bench-store-out to record the disk tier's read-latency and
+// recovery-time curves (the BENCH_store.json the repo ships):
+//
+//	go test ./internal/store -run TestRecordStoreBench \
+//	    -bench-store-out ../../BENCH_store.json
+var benchStoreOut = flag.String("bench-store-out", "", "write the store tier bench JSON to this path")
+
+type storeBenchRead struct {
+	Tier  string  `json:"tier"`
+	P50Us float64 `json:"p50_us"`
+	P99Us float64 `json:"p99_us"`
+}
+
+type storeBenchRecovery struct {
+	Objects    int     `json:"objects"`
+	Bytes      int64   `json:"bytes"`
+	RecoveryMs float64 `json:"recovery_ms"`
+}
+
+type storeBenchFile struct {
+	Description string               `json:"description"`
+	ObjectBytes int                  `json:"object_bytes"`
+	Reads       []storeBenchRead     `json:"reads"`
+	Recovery    []storeBenchRecovery `json:"recovery"`
+}
+
+// quantileUS sorts durations in place and returns the q-quantile in
+// fractional microseconds.
+func quantileUS(d []time.Duration, q float64) float64 {
+	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+	i := int(q * float64(len(d)-1))
+	return float64(d[i]) / float64(time.Microsecond)
+}
+
+// TestRecordStoreBench measures serve latency per tier — memory hit, disk
+// hit, compressed disk hit — and the boot recovery scan's duration as the
+// on-disk population grows, then writes the curves to -bench-store-out.
+// Skipped without the flag (CI runs the cheap Benchmark* smokes instead).
+func TestRecordStoreBench(t *testing.T) {
+	if *benchStoreOut == "" {
+		t.Skip("set -bench-store-out to record the store bench")
+	}
+	const (
+		objectBytes = 4096
+		population  = 512
+		reads       = 4000
+	)
+	// Repetitive content so the compressed case actually compresses, like
+	// the HTML the paper's workloads fetched.
+	body := bytes.Repeat([]byte("<li><a href=/doc>doc</a></li>\n"), objectBytes/30+1)[:objectBytes]
+
+	doc := storeBenchFile{
+		Description: "Persistent disk tier (internal/store): serve latency per tier on a 4 KiB object (p50/p99 over sequential reads), and boot recovery-scan duration vs on-disk population (1 KiB objects, 8 workers). Memory is the sharded cache hit; disk is a verify-on-read store hit; disk-compressed adds flate decompression.",
+		ObjectBytes: objectBytes,
+	}
+
+	// Memory tier: the sharded cache's Get.
+	mem := cache.NewSharded(1, int64(population*2*objectBytes))
+	for i := 1; i <= population; i++ {
+		mem.Put(cache.Object{ID: uint64(i), Size: int64(objectBytes), Version: 1}, body)
+	}
+	lat := make([]time.Duration, 0, reads)
+	for i := 0; i < reads; i++ {
+		id := uint64(i%population + 1)
+		start := time.Now()
+		if _, _, ok := mem.Get(id); !ok {
+			t.Fatal("memory miss")
+		}
+		lat = append(lat, time.Since(start))
+	}
+	doc.Reads = append(doc.Reads, storeBenchRead{Tier: "memory", P50Us: quantileUS(lat, 0.50), P99Us: quantileUS(lat, 0.99)})
+
+	// Disk tiers, plain and compressed.
+	for _, c := range []struct {
+		tier string
+		opts Options
+	}{
+		{"disk", Options{}},
+		{"disk-compressed", Options{CompressMin: 1024}},
+	} {
+		s := openT(t, c.opts)
+		for i := 1; i <= population; i++ {
+			if err := s.Put(cache.Object{ID: uint64(i), Size: int64(objectBytes), Version: 1}, body); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if c.tier == "disk-compressed" && s.StatsSnapshot().Compressed == 0 {
+			t.Fatal("compressed case stored nothing compressed")
+		}
+		lat = lat[:0]
+		for i := 0; i < reads; i++ {
+			id := uint64(i%population + 1)
+			start := time.Now()
+			if _, _, ok := s.Get(id); !ok {
+				t.Fatal("disk miss")
+			}
+			lat = append(lat, time.Since(start))
+		}
+		doc.Reads = append(doc.Reads, storeBenchRead{Tier: c.tier, P50Us: quantileUS(lat, 0.50), P99Us: quantileUS(lat, 0.99)})
+	}
+
+	// Recovery time vs cache size: same store dir reopened at each step.
+	small := bytes.Repeat([]byte("r"), 1024)
+	for _, n := range []int{256, 1024, 4096} {
+		dir := t.TempDir()
+		s, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= n; i++ {
+			if err := s.Put(cache.Object{ID: uint64(i), Size: int64(len(small)), Version: 1}, small); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := s2.Recover(8, nil)
+		if st.Objects != n {
+			t.Fatalf("recovered %d of %d", st.Objects, n)
+		}
+		doc.Recovery = append(doc.Recovery, storeBenchRecovery{Objects: n, Bytes: st.Bytes, RecoveryMs: float64(st.Duration) / float64(time.Millisecond)})
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*benchStoreOut, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %s", *benchStoreOut, data)
+}

@@ -1,0 +1,97 @@
+package store
+
+import (
+	"sync/atomic"
+
+	"beyondcache/internal/cache"
+)
+
+// Tier composes the memory cache and the disk store into the node's
+// two-tier placement: memory evictions spill to disk through the write-
+// behind queue, disk hits promote back into memory, and an object is
+// "locally resident" — its hints stay valid — as long as it lives in
+// EITHER tier (or in the spill queue between them).
+type Tier struct {
+	mem  *cache.Sharded
+	disk *Store
+	sp   *Spiller
+
+	promotions atomic.Int64
+}
+
+// NewTier wires mem and disk together. spillQueue bounds the write-behind
+// queue (<= 0 for the Spiller default). onDrop fires whenever an object
+// involuntarily leaves BOTH tiers — spill-queue overflow, failed spill
+// write, disk eviction, or quarantine — and is the seam the node uses to
+// queue invalidate hints; it runs with no tier locks held and may be nil.
+func NewTier(mem *cache.Sharded, disk *Store, spillQueue int, onDrop func(cache.Object)) *Tier {
+	disk.OnDrop(onDrop)
+	return &Tier{
+		mem:  mem,
+		disk: disk,
+		sp:   NewSpiller(disk, spillQueue, onDrop),
+	}
+}
+
+// Spill queues a memory-tier eviction for write-behind. Called from the
+// cache's eviction callback (outside the shard lock); never blocks on disk.
+func (t *Tier) Spill(obj cache.Object, body []byte) {
+	t.sp.Enqueue(obj, body)
+}
+
+// Get serves an object from the disk tier (or the spill queue, for the
+// window where an eviction has not yet reached disk), promoting it back
+// into the memory tier. PutNewer promotion means a concurrent fill of a
+// fresher version is never clobbered.
+func (t *Tier) Get(id uint64) (cache.Object, []byte, bool) {
+	obj, body, ok := t.sp.peek(id)
+	if !ok {
+		obj, body, ok = t.disk.Get(id)
+		if !ok {
+			return cache.Object{}, nil, false
+		}
+	}
+	if t.mem.PutNewer(obj, body) {
+		t.promotions.Add(1)
+	}
+	return obj, body, true
+}
+
+// Contains reports residency in the disk tier or the spill queue, without
+// touching recency or promoting.
+func (t *Tier) Contains(id uint64) bool {
+	if _, _, ok := t.sp.peek(id); ok {
+		return true
+	}
+	return t.disk.Contains(id)
+}
+
+// Discard removes an object from the spill queue and the disk store
+// without firing the drop callback — the purge path queues its own
+// invalidate. It reports whether either layer held the object.
+func (t *Tier) Discard(id uint64) bool {
+	a := t.sp.Discard(id)
+	b := t.disk.Remove(id)
+	return a || b
+}
+
+// Recover rebuilds the disk index from a previous run (see Store.Recover)
+// and publishes each recovered object.
+func (t *Tier) Recover(workers int, publish func(cache.Object)) RecoverStats {
+	return t.disk.Recover(workers, publish)
+}
+
+// Flush blocks until the spill queue is drained to disk.
+func (t *Tier) Flush() { t.sp.Flush() }
+
+// Close drains the spill queue and stops the write-behind worker.
+func (t *Tier) Close() { t.sp.Close() }
+
+// Promotions returns the number of disk hits promoted into memory.
+func (t *Tier) Promotions() int64 { return t.promotions.Load() }
+
+// DiskStats returns the disk store's counter snapshot.
+func (t *Tier) DiskStats() Stats { return t.disk.StatsSnapshot() }
+
+// SpillStats returns the write-behind queue's counter snapshot.
+func (t *Tier) SpillStats() SpillStats { return t.sp.StatsSnapshot() }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package beyondcache_test
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package beyondcache_test
+
+// raceEnabled reports that this binary was built with -race; alloc-budget
+// guards skip themselves there, since the detector's instrumentation
+// perturbs per-op allocation counts.
+const raceEnabled = true
