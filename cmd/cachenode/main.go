@@ -73,6 +73,9 @@ func run(args []string, out io.Writer, wait func()) error {
 		interval    = fs.Duration("update-interval", time.Second, "mean hint batch interval")
 		hintQueue   = fs.Int("hint-queue", 0, "pending and per-peer hint queue capacity in records; overflow drops oldest informs first (0: 8192 default)")
 		digWorkers  = fs.Int("digest-workers", 0, "concurrent peer digest pulls in digest mode (0: 4 default)")
+		digests     = fs.Bool("digests", false, "exchange Bloom-filter cache digests instead of exact hint records")
+		digDelta    = fs.Bool("digest-delta", true, "pull cursor-based digest deltas (ops since last pull) instead of full snapshots every round")
+		wireComp    = fs.Bool("wire-compress", false, "flate-compress metadata frames (hint batches, digests) past 256 bytes")
 		objectSize  = fs.Int64("object-size", 8<<10, "origin default object size")
 		traceSample = fs.Float64("trace-sample", 0, "fraction of fetches recorded in /debug/traces (0: node default of 1/64, >=1: all, <0: none)")
 		spanRing    = fs.Int("span-ring", 0, "structured-span ring capacity behind /debug/spans, rounded up to a power of two (0: 4096 default)")
@@ -128,6 +131,9 @@ func run(args []string, out io.Writer, wait func()) error {
 		UpdateInterval:  *interval,
 		HintQueue:       *hintQueue,
 		DigestWorkers:   *digWorkers,
+		UseDigests:      *digests,
+		DigestFull:      !*digDelta,
+		WireCompress:    *wireComp,
 		TraceSample:     *traceSample,
 		SpanRing:        *spanRing,
 		PeerTimeout:     *peerTimeout,

@@ -51,7 +51,11 @@ type FleetConfig struct {
 	// ObjectSize is the origin's default object size (<= 0 for 8 KB).
 	ObjectSize int64
 	// UseDigests switches every node to Bloom-filter digest exchange.
-	UseDigests bool
+	// DigestFull and WireCompress pass through to every node's NodeConfig
+	// (full-snapshot-only pulls; framed-metadata compression).
+	UseDigests   bool
+	DigestFull   bool
+	WireCompress bool
 
 	// PeerTimeout, OriginTimeout, HedgeBudget, and Breaker pass through
 	// to every node's NodeConfig (see there for semantics and defaults).
@@ -106,6 +110,8 @@ func (cfg FleetConfig) nodeConfig(i int, originURL string) NodeConfig {
 		DigestWorkers:   cfg.DigestWorkers,
 		Seed:            int64(i) + 1,
 		UseDigests:      cfg.UseDigests,
+		DigestFull:      cfg.DigestFull,
+		WireCompress:    cfg.WireCompress,
 		PeerTimeout:     cfg.PeerTimeout,
 		OriginTimeout:   cfg.OriginTimeout,
 		HedgeBudget:     cfg.HedgeBudget,

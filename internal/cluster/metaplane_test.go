@@ -17,6 +17,7 @@ import (
 	"beyondcache/internal/faults"
 	"beyondcache/internal/hintcache"
 	"beyondcache/internal/resilience"
+	"beyondcache/internal/wire"
 )
 
 // Run with -bench-cluster-out to measure the metadata plane before/after
@@ -47,7 +48,14 @@ func newUpdateSink(t testing.TB) *updateSink {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		us, err := hintcache.DecodeUpdates(body)
+		// Senders frame batches (KindHintBatch); accept raw record bodies
+		// too, as a real node does.
+		records, _, _, err := unframeUpdates(body, int64(len(body)), nil)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		us, err := hintcache.DecodeUpdates(records)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
@@ -162,8 +170,8 @@ func TestFlushCoalescesOverWire(t *testing.T) {
 	if st.UpdatesSent != 2 {
 		t.Errorf("UpdatesSent = %d, want 2", st.UpdatesSent)
 	}
-	if wb := sink.wireBytes(); wb != 2*hintcache.UpdateSize {
-		t.Errorf("wire bytes = %d, want %d", wb, 2*hintcache.UpdateSize)
+	if wb := sink.wireBytes(); wb != wire.HeaderSize+2*hintcache.UpdateSize {
+		t.Errorf("wire bytes = %d, want %d (frame header + 2 records)", wb, wire.HeaderSize+2*hintcache.UpdateSize)
 	}
 }
 
@@ -260,19 +268,20 @@ func TestDigestPullChecksStatusFirst(t *testing.T) {
 // that one pull round costs roughly the slowest peer, not the sum.
 func TestDigestPullsRunConcurrently(t *testing.T) {
 	const delay = 300 * time.Millisecond
-	own, err := digest.NewForCapacity(64, 8)
+	own, err := digest.NewCountingForCapacity(64, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
-	wire, err := own.MarshalBinary()
+	payload, err := own.MarshalBinary()
 	if err != nil {
 		t.Fatal(err)
 	}
+	frame := wire.AppendFrame(nil, wire.KindDigestFull, payload, 0)
 	n := newMetaNode(t, NodeConfig{Name: "parallel-pull", UseDigests: true, DigestWorkers: 4})
 	for i := 0; i < 4; i++ {
 		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			time.Sleep(delay)
-			w.Write(wire)
+			w.Write(frame)
 		}))
 		t.Cleanup(srv.Close)
 		n.AddPeer(srv.URL)

@@ -71,6 +71,32 @@ func (n *Node) Metrics() *obs.Expo {
 	e.Counter("beyondcache_digest_pulls_total",
 		"Peer digest pulls completed (digest mode).", st.DigestsPulled)
 
+	// Incremental digest plane: serve modes, delta-proportional bytes,
+	// cursor losses, saturation rebuilds, and framed hint-batch wire bytes
+	// (see DESIGN.md §13).
+	e.Counter("beyondcache_digest_serves_total",
+		"GET /digest responses by transfer mode.",
+		st.DigestServesFull, obs.L("mode", "full"))
+	e.Counter("beyondcache_digest_serves_total", "",
+		st.DigestServesDelta, obs.L("mode", "delta"))
+	e.Counter("beyondcache_digest_serve_bytes_total",
+		"Frame bytes shipped by GET /digest responses, by transfer mode.",
+		st.DigestServeBytesFull, obs.L("mode", "full"))
+	e.Counter("beyondcache_digest_serve_bytes_total", "",
+		st.DigestServeBytesDelta, obs.L("mode", "delta"))
+	e.Counter("beyondcache_digest_cursor_lost_total",
+		"Delta digest requests whose cursor had aged out of the journal (full snapshot served instead).",
+		st.DigestCursorLost)
+	e.Counter("beyondcache_digest_rebuilds_total",
+		"Own-digest rebuilds forced by counting-filter saturation.",
+		st.DigestRebuilds)
+	e.Counter("beyondcache_digest_delta_ops_total",
+		"Membership ops applied from pulled digest deltas.",
+		st.DigestDeltaOps)
+	e.Counter("beyondcache_hint_wire_bytes_total",
+		"Framed hint-batch bytes successfully POSTed to /updates targets.",
+		st.WireHintBytes)
+
 	// Metadata-plane pipeline: coalescing, queue bounds, and oversize
 	// rejects (see DESIGN.md §10).
 	e.Counter("beyondcache_hint_coalesced_total",
@@ -223,6 +249,9 @@ func (n *Node) Metrics() *obs.Expo {
 	e.Histogram("beyondcache_peer_serve_seconds",
 		"Time to serve a cached object to a peer over /object.",
 		n.hist.peerServe.Snapshot())
+	e.Histogram("beyondcache_digest_serve_seconds",
+		"Time to serve GET /digest (cached full snapshot or delta encode).",
+		n.hist.digestServe.Snapshot())
 
 	e.Gauge("beyondcache_cache_bytes_used",
 		"Bytes charged against the object cache's capacity.", float64(n.data.Used()))

@@ -23,6 +23,7 @@ import (
 	"beyondcache/internal/obs"
 	"beyondcache/internal/resilience"
 	"beyondcache/internal/store"
+	"beyondcache/internal/wire"
 )
 
 // Protocol headers.
@@ -62,6 +63,11 @@ const (
 	// generation sequence and wall clock; pullers turn it into
 	// digest-staleness observations.
 	headerDigestGenerated = "X-Digest-Generated"
+	// headerDigestCursor carries the digest journal's head sequence on a
+	// /digest response: the cursor the puller presents as ?since= on its
+	// next pull to receive only the membership ops it has not seen. The
+	// delta twin of /debug/spans' X-Span-Cursor.
+	headerDigestCursor = "X-Digest-Cursor"
 )
 
 // NodeConfig parameterizes a cache node.
@@ -108,6 +114,17 @@ type NodeConfig struct {
 	UseDigests         bool
 	DigestCapacity     int
 	DigestBitsPerEntry float64
+	// DigestFull disables cursor-based delta pulls: every pull transfers
+	// the complete digest, the pre-delta behavior. The zero value (delta
+	// pulls on) is the default — pullers present their journal cursor and
+	// receive only the membership ops since, falling back to a full
+	// transfer when the cursor has aged out of the owner's journal.
+	DigestFull bool
+	// WireCompress flate-compresses metadata frames (hint batches, digest
+	// snapshots and deltas) that reach wireCompressMin bytes. Off by
+	// default: the framing layer is zero-copy either way, and most
+	// metadata payloads are small or incompressible.
+	WireCompress bool
 
 	// PeerTimeout bounds one cache-to-cache probe (<= 0 means 2s). A
 	// hinted peer that cannot produce the object inside this deadline
@@ -223,6 +240,24 @@ type Stats struct {
 	// OversizeRejects counts POST /updates bodies refused with 413 for
 	// exceeding the size limit.
 	OversizeRejects int64 `json:"oversizeRejects"`
+	// DigestServesFull / DigestServesDelta split GET /digest responses by
+	// transfer mode, and DigestServeBytesFull / DigestServeBytesDelta
+	// count the frame bytes each mode shipped — the delta-proportional
+	// metadata claim is the ratio of these.
+	DigestServesFull      int64 `json:"digestServesFull"`
+	DigestServesDelta     int64 `json:"digestServesDelta"`
+	DigestServeBytesFull  int64 `json:"digestServeBytesFull"`
+	DigestServeBytesDelta int64 `json:"digestServeBytesDelta"`
+	// DigestCursorLost counts delta requests whose cursor had aged out of
+	// the journal (the peer got a full snapshot instead); DigestRebuilds
+	// counts own-digest rebuilds forced by counter saturation;
+	// DigestDeltaOps counts membership ops applied from pulled deltas.
+	DigestCursorLost int64 `json:"digestCursorLost"`
+	DigestRebuilds   int64 `json:"digestRebuilds"`
+	DigestDeltaOps   int64 `json:"digestDeltaOps"`
+	// WireHintBytes counts framed hint-batch bytes successfully POSTed to
+	// /updates targets (after optional compression — actual wire bytes).
+	WireHintBytes int64 `json:"wireHintBytes"`
 }
 
 // counters is the node's live (concurrently updated) form of Stats.
@@ -249,6 +284,15 @@ type counters struct {
 	pendingDropped  atomic.Int64
 	queueDropped    atomic.Int64
 	oversizeRejects atomic.Int64
+
+	digestServesFull      atomic.Int64
+	digestServesDelta     atomic.Int64
+	digestServeBytesFull  atomic.Int64
+	digestServeBytesDelta atomic.Int64
+	digestCursorLost      atomic.Int64
+	digestRebuilds        atomic.Int64
+	digestDeltaOps        atomic.Int64
+	wireHintBytes         atomic.Int64
 }
 
 // nodeHists are the node's latency histograms: client-facing fetch time per
@@ -265,6 +309,7 @@ type nodeHists struct {
 	flush         *obs.Histogram // one flush round (slowest target's delivery)
 	fanout        *obs.Histogram // one sender's successful batch POST
 	peerServe     *obs.Histogram // serving /object to a peer
+	digestServe   *obs.Histogram // serving GET /digest (full or delta)
 }
 
 func newNodeHists() nodeHists {
@@ -278,6 +323,7 @@ func newNodeHists() nodeHists {
 		flush:         obs.NewHistogram(nil),
 		fanout:        obs.NewHistogram(nil),
 		peerServe:     obs.NewHistogram(nil),
+		digestServe:   obs.NewHistogram(nil),
 	}
 }
 
@@ -322,6 +368,15 @@ func (c *counters) snapshot() Stats {
 		PendingDropped:  c.pendingDropped.Load(),
 		QueueDropped:    c.queueDropped.Load(),
 		OversizeRejects: c.oversizeRejects.Load(),
+
+		DigestServesFull:      c.digestServesFull.Load(),
+		DigestServesDelta:     c.digestServesDelta.Load(),
+		DigestServeBytesFull:  c.digestServeBytesFull.Load(),
+		DigestServeBytesDelta: c.digestServeBytesDelta.Load(),
+		DigestCursorLost:      c.digestCursorLost.Load(),
+		DigestRebuilds:        c.digestRebuilds.Load(),
+		DigestDeltaOps:        c.digestDeltaOps.Load(),
+		WireHintBytes:         c.wireHintBytes.Load(),
 	}
 }
 
@@ -350,7 +405,7 @@ type Node struct {
 	// hints is the striped concurrent hint table.
 	hints *hintcache.Striped
 	// flights collapses duplicate in-flight fills per URL.
-	flights flightGroup
+	flights flightGroup[fetchOutcome]
 
 	// pend is the bounded coalescing queue of hint updates awaiting the
 	// next batch round (at most one record per object; see pendq).
@@ -367,14 +422,34 @@ type Node struct {
 	// exposes every queue from the first scrape.
 	senders map[string]*peerSender
 
-	// digestMu guards the digest state (own and pulled). digestGen
-	// remembers each peer digest's generation wall clock (from its
-	// X-Digest-Generated stamp) so the next pull can observe how stale
-	// the snapshot it replaces had become.
+	// digestMu guards the digest state (own and pulled). The node's own
+	// digest is a counting filter maintained incrementally: digestTrack
+	// converts every cache residency transition into an add/remove against
+	// own plus a journal entry, so GET /digest never rebuilds from cache
+	// contents. ownPresent is the exact resident set backing it — the
+	// dedup layer (refreshes of an already-resident object are not
+	// transitions) and the rebuild source when a counter saturates.
+	// digestGen remembers each peer digest's generation wall clock (from
+	// its X-Digest-Generated stamp) so the next pull can observe how stale
+	// the snapshot it replaces had become; peerCursor is the journal
+	// cursor to present on the next delta pull from each peer.
 	digestMu    sync.RWMutex
-	peerDigests map[uint64]*digest.Filter
-	ownDigest   *digest.Filter
+	own         *digest.Counting
+	ownPresent  map[uint64]struct{}
+	journal     *digest.Journal
+	peerDigests map[uint64]*digest.Counting
+	peerCursor  map[uint64]uint64
 	digestGen   map[uint64]int64
+	// snapGen/snapFrame cache the framed full-snapshot encoding at journal
+	// generation snapGen (snapValid distinguishes a cached empty-journal
+	// snapshot from no cache); digestFlight coalesces concurrent snapshot
+	// builds so a scrape stampede marshals once. snapBuilds counts builds
+	// (read by the coalescing test).
+	snapGen      uint64
+	snapValid    bool
+	snapFrame    []byte
+	digestFlight flightGroup[[]byte]
+	snapBuilds   atomic.Int64
 	// digestSeq numbers the digest snapshots this node serves.
 	digestSeq atomic.Int64
 
@@ -537,20 +612,23 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		// overflow, failed spill write, disk eviction, quarantine — is no
 		// longer locally resident, so its hints must be withdrawn.
 		n.tier = store.NewTier(n.data, st, cfg.SpillQueue, func(o cache.Object) {
-			n.enqueueLocal(hintcache.Update{
-				Action:  hintcache.ActionInvalidate,
-				URLHash: o.ID,
-				Machine: n.machineID,
-			})
+			n.queueInvalidate(o.ID)
 		})
 	}
 	if cfg.UseDigests {
-		own, err := digest.NewForCapacity(cfg.DigestCapacity, cfg.DigestBitsPerEntry)
+		own, err := digest.NewCountingForCapacity(cfg.DigestCapacity, cfg.DigestBitsPerEntry)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: node %q: %w", cfg.Name, err)
 		}
-		n.ownDigest = own
-		n.peerDigests = make(map[uint64]*digest.Filter)
+		n.own = own
+		n.ownPresent = make(map[uint64]struct{})
+		jcap := cfg.DigestCapacity
+		if jcap < 1024 {
+			jcap = 1024
+		}
+		n.journal = digest.NewJournal(jcap)
+		n.peerDigests = make(map[uint64]*digest.Counting)
+		n.peerCursor = make(map[uint64]uint64)
 		n.digestGen = make(map[uint64]int64)
 	}
 	// Capacity evictions either spill to the disk tier (hints stay valid:
@@ -563,11 +641,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 			n.tier.Spill(o, body)
 			return
 		}
-		n.enqueueLocal(hintcache.Update{
-			Action:  hintcache.ActionInvalidate,
-			URLHash: o.ID,
-			Machine: n.machineID,
-		})
+		n.queueInvalidate(o.ID)
 	})
 	return n, nil
 }
@@ -946,10 +1020,23 @@ func (n *Node) flushAsync() {
 	}()
 }
 
-// queueInform records a local copy and schedules its advertisement.
+// queueInform records a local copy and schedules its advertisement, and
+// feeds the residency transition into the incremental digest.
 func (n *Node) queueInform(urlHash uint64) {
+	n.digestTrack(urlHash, true)
 	n.enqueueLocal(hintcache.Update{
 		Action:  hintcache.ActionInform,
+		URLHash: urlHash,
+		Machine: n.machineID,
+	})
+}
+
+// queueInvalidate withdraws an object's advertisement — the object left
+// every local tier — and feeds the departure into the incremental digest.
+func (n *Node) queueInvalidate(urlHash uint64) {
+	n.digestTrack(urlHash, false)
+	n.enqueueLocal(hintcache.Update{
+		Action:  hintcache.ActionInvalidate,
 		URLHash: urlHash,
 		Machine: n.machineID,
 	})
@@ -1274,13 +1361,58 @@ func (n *Node) recordPeerSpan(r *http.Request, outcome string, elapsed time.Dura
 	})
 }
 
-// updatesBodyPool and updatesScratchPool recycle the body buffer and the
-// decoded-update scratch slice of the /updates ingest path, so a steady
-// stream of hint batches does not allocate per request.
+// updatesBodyPool, updatesScratchPool, and updatesPayloadPool recycle the
+// body buffer, the decoded-update scratch slice, and the frame-payload
+// inflate scratch of the /updates ingest path, so a steady stream of hint
+// batches does not allocate per request.
 var (
 	updatesBodyPool    = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 	updatesScratchPool = sync.Pool{New: func() any { return new([]hintcache.Update) }}
+	updatesPayloadPool = sync.Pool{New: func() any { return new([]byte) }}
 )
+
+// unframeUpdates extracts the hint-record payload from a POST /updates
+// body: either a single KindHintBatch frame (the framed wire plane) or a
+// bare record concatenation (the legacy encoding — raw records start with
+// an action byte 0x01/0x02, frames with 'b', so the two are unambiguous).
+// limit bounds the decoded record bytes; scratch is the caller's pooled
+// inflate buffer, returned possibly regrown. On error the returned status
+// is the HTTP response code (413 for oversize, 400 otherwise).
+func unframeUpdates(msg []byte, limit int64, scratch []byte) (records []byte, _ []byte, status int, err error) {
+	if !wire.IsFrame(msg) {
+		if int64(len(msg)) > limit {
+			return nil, scratch, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("body %d bytes exceeds limit %d", len(msg), limit)
+		}
+		return msg, scratch, 0, nil
+	}
+	f, rest, err := wire.Decode(msg)
+	if err != nil {
+		return nil, scratch, http.StatusBadRequest, err
+	}
+	if len(rest) != 0 {
+		return nil, scratch, http.StatusBadRequest,
+			fmt.Errorf("%d trailing bytes after frame", len(rest))
+	}
+	if f.Kind != wire.KindHintBatch {
+		return nil, scratch, http.StatusBadRequest,
+			fmt.Errorf("unexpected frame kind %s", f.Kind)
+	}
+	// The declared raw length is checked before inflating so a compressed
+	// bomb cannot expand past the limit.
+	if int64(f.RawLen) > limit {
+		return nil, scratch, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("frame payload %d bytes exceeds limit %d", f.RawLen, limit)
+	}
+	payload, err := f.Payload(scratch[:0])
+	if err != nil {
+		return nil, scratch, http.StatusBadRequest, err
+	}
+	if f.Compressed {
+		scratch = payload
+	}
+	return payload, scratch, 0, nil
+}
 
 // readUpdatesBody reads a POST /updates body into buf, enforcing limit. A
 // body that exceeds the limit is refused whole — the old behavior of
@@ -1318,7 +1450,21 @@ func (n *Node) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	buf := updatesBodyPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	defer updatesBodyPool.Put(buf)
-	if status, err := readUpdatesBody(buf, r, n.updatesLimit); err != nil {
+	// The body limit admits one frame header over the record limit; the
+	// record bytes themselves (raw or declared by the frame) are held to
+	// updatesLimit by unframeUpdates.
+	if status, err := readUpdatesBody(buf, r, n.updatesLimit+wire.HeaderSize); err != nil {
+		if status == http.StatusRequestEntityTooLarge {
+			n.stats.oversizeRejects.Add(1)
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	payloadBuf := updatesPayloadPool.Get().(*[]byte)
+	defer updatesPayloadPool.Put(payloadBuf)
+	msg, pb, status, err := unframeUpdates(buf.Bytes(), n.updatesLimit, *payloadBuf)
+	*payloadBuf = pb
+	if err != nil {
 		if status == http.StatusRequestEntityTooLarge {
 			n.stats.oversizeRejects.Add(1)
 		}
@@ -1327,7 +1473,7 @@ func (n *Node) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	}
 	scratch := updatesScratchPool.Get().(*[]hintcache.Update)
 	defer updatesScratchPool.Put(scratch)
-	updates, err := hintcache.AppendDecodedUpdates((*scratch)[:0], buf.Bytes())
+	updates, err := hintcache.AppendDecodedUpdates((*scratch)[:0], msg)
 	*scratch = updates[:0]
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -1378,11 +1524,7 @@ func (n *Node) handlePurge(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "not cached", http.StatusNotFound)
 		return
 	}
-	n.enqueueLocal(hintcache.Update{
-		Action:  hintcache.ActionInvalidate,
-		URLHash: h,
-		Machine: n.machineID,
-	})
+	n.queueInvalidate(h)
 	w.WriteHeader(http.StatusNoContent)
 }
 

@@ -14,6 +14,7 @@ import (
 	"beyondcache/internal/hintcache"
 	"beyondcache/internal/obs"
 	"beyondcache/internal/resilience"
+	"beyondcache/internal/wire"
 )
 
 // Relay is a metadata-only node of the hint distribution hierarchy: it
@@ -154,12 +155,20 @@ func (r *Relay) handleUpdates(w http.ResponseWriter, req *http.Request) {
 	// Oversized batches are refused whole with 413 rather than truncated
 	// at the limit, which could shear a 20-byte record mid-encode.
 	var body bytes.Buffer
-	if status, err := readUpdatesBody(&body, req, relayBodyLimit); err != nil {
+	if status, err := readUpdatesBody(&body, req, relayBodyLimit+wire.HeaderSize); err != nil {
 		http.Error(w, err.Error(), status)
 		return
 	}
+	// The batch is decoded only to count and validate it; forwards ship
+	// the original bytes verbatim — framed or raw — so the relay never
+	// re-encodes (or recompresses) what it fans out.
 	msg := body.Bytes()
-	updates, err := hintcache.DecodeUpdates(msg)
+	records, _, status, err := unframeUpdates(msg, relayBodyLimit, nil)
+	if err != nil {
+		http.Error(w, err.Error(), status)
+		return
+	}
+	updates, err := hintcache.DecodeUpdates(records)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"beyondcache/internal/hintcache"
+	"beyondcache/internal/wire"
 )
 
 // peerSender owns the hint-update pipeline to one target: a bounded
@@ -122,7 +123,7 @@ func (s *peerSender) loop() {
 		close(s.exited)
 	}()
 	var scratch []hintcache.Update
-	var wire []byte
+	var recs, frame []byte
 	for {
 		select {
 		case <-s.stop:
@@ -136,11 +137,14 @@ func (s *peerSender) loop() {
 			var stampNs int64
 			scratch, stampNs = s.q.drain(scratch[:0])
 			if len(scratch) > 0 {
-				wire = wire[:0]
+				recs = recs[:0]
 				for _, u := range scratch {
-					wire = hintcache.AppendUpdate(wire, u)
+					recs = hintcache.AppendUpdate(recs, u)
 				}
-				s.send(wire, len(scratch), stampNs)
+				// One frame per batch: the records ride as a KindHintBatch
+				// payload, optionally flate-compressed past the threshold.
+				frame = wire.AppendFrame(frame[:0], wire.KindHintBatch, recs, s.n.frameCompressMin())
+				s.send(frame, len(scratch), stampNs)
 			}
 			s.mu.Lock()
 			if s.done < target {
@@ -195,5 +199,6 @@ func (s *peerSender) send(body []byte, records int, stampNs int64) {
 	}
 	n.stats.batchesSent.Add(1)
 	n.stats.updatesSent.Add(int64(records))
+	n.stats.wireHintBytes.Add(int64(len(body)))
 	n.hist.fanout.Observe(time.Since(start))
 }

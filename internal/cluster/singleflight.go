@@ -6,26 +6,28 @@ import (
 	"beyondcache/internal/obs"
 )
 
-// flightGroup collapses duplicate in-flight fills for the same object: the
-// first caller (the leader) runs the fetch, everyone else arriving before
-// it finishes blocks and shares the result. The paper's second design
-// principle — do not slow down misses — is why this exists: without it a
-// burst of concurrent requests for one uncached object pays one origin
-// round trip per request (thundering herd) instead of one per object.
+// flightGroup collapses duplicate in-flight work for the same key: the
+// first caller (the leader) runs the function, everyone else arriving
+// before it finishes blocks and shares the result. The paper's second
+// design principle — do not slow down misses — is why this exists: without
+// it a burst of concurrent requests for one uncached object pays one origin
+// round trip per request (thundering herd) instead of one per object. The
+// same mechanism coalesces digest-snapshot builds: N concurrent GET
+// /digest scrapes marshal the filter once, not N times.
 //
 // This is a minimal purpose-built singleflight (the repository takes no
 // dependencies beyond the standard library). Results are not cached: the
 // entry is removed before waiters are released, so a fill that completes
 // and is then invalidated cannot be re-served to later arrivals.
-type flightGroup struct {
+type flightGroup[T any] struct {
 	mu sync.Mutex
-	m  map[string]*flight
+	m  map[string]*flight[T]
 }
 
-// flight is one in-progress fill.
-type flight struct {
+// flight is one in-progress call.
+type flight[T any] struct {
 	done chan struct{}
-	out  fetchOutcome
+	out  T
 }
 
 // fetchOutcome is what a fill produces: how it was served (REMOTE, MISS,
@@ -45,17 +47,17 @@ type fetchOutcome struct {
 // do runs fn for key, collapsing concurrent calls: exactly one caller
 // executes fn; the rest wait and share its outcome. shared reports whether
 // the caller was a waiter rather than the leader.
-func (g *flightGroup) do(key string, fn func() fetchOutcome) (out fetchOutcome, shared bool) {
+func (g *flightGroup[T]) do(key string, fn func() T) (out T, shared bool) {
 	g.mu.Lock()
 	if g.m == nil {
-		g.m = make(map[string]*flight)
+		g.m = make(map[string]*flight[T])
 	}
 	if f, ok := g.m[key]; ok {
 		g.mu.Unlock()
 		<-f.done
 		return f.out, true
 	}
-	f := &flight{done: make(chan struct{})}
+	f := &flight[T]{done: make(chan struct{})}
 	g.m[key] = f
 	g.mu.Unlock()
 

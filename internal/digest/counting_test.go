@@ -1,0 +1,205 @@
+package digest
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestCountingAddRemove(t *testing.T) {
+	c, err := NewCountingForCapacity(1000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	ids := make([]uint64, 1000)
+	for i := range ids {
+		ids[i] = rng.Uint64()
+		c.Add(ids[i])
+	}
+	for _, id := range ids {
+		if !c.MayContain(id) {
+			t.Fatalf("filter lost %#x after add", id)
+		}
+	}
+	if c.Live() != 1000 {
+		t.Fatalf("Live = %d, want 1000", c.Live())
+	}
+	// Removing every identifier drains the filter back to empty.
+	for _, id := range ids {
+		c.Remove(id)
+	}
+	if c.Unsound() {
+		t.Fatal("matched removes made the filter unsound")
+	}
+	if c.Live() != 0 {
+		t.Fatalf("Live = %d after full drain", c.Live())
+	}
+	if c.FillRatio() != 0 {
+		t.Fatalf("fill %g after removing everything", c.FillRatio())
+	}
+	for _, id := range ids {
+		if c.MayContain(id) {
+			t.Fatalf("%#x still present after remove", id)
+		}
+	}
+}
+
+func TestCountingMatchesFilterGeometry(t *testing.T) {
+	// A Counting and a Filter sized identically must answer membership
+	// identically (same probes, counters vs bits) while the counting filter
+	// is sound — the property that lets the cluster swap one for the other.
+	c, err := NewCountingForCapacity(500, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewForCapacity(500, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Bits() != f.Bits() || c.K() != f.K() {
+		t.Fatalf("geometry differs: %d/%d vs %d/%d", c.Bits(), c.K(), f.Bits(), f.K())
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		id := rng.Uint64()
+		c.Add(id)
+		f.Add(id)
+	}
+	for i := 0; i < 5000; i++ {
+		id := rng.Uint64()
+		if c.MayContain(id) != f.MayContain(id) {
+			t.Fatalf("filters disagree on %#x", id)
+		}
+	}
+}
+
+func TestCountingUnsoundOnUnmatchedRemove(t *testing.T) {
+	c, err := NewCounting(64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Remove(42)
+	if !c.Unsound() {
+		t.Fatal("unmatched remove did not flag the filter unsound")
+	}
+	c.Reset()
+	if c.Unsound() {
+		t.Fatal("Reset did not clear the unsound flag")
+	}
+}
+
+func TestCountingUnsoundOnSaturation(t *testing.T) {
+	// A tiny filter (64 counters, k=1) saturates a counter after 255
+	// same-position adds.
+	c, err := NewCounting(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= counterMax; i++ {
+		c.Add(7) // same id -> same counter every time
+	}
+	if !c.Unsound() {
+		t.Fatal("counter saturation did not flag the filter unsound")
+	}
+	// The saturated position still answers present.
+	if !c.MayContain(7) {
+		t.Fatal("saturated id reported absent")
+	}
+}
+
+func TestCountingMarshalRoundTrip(t *testing.T) {
+	c, err := NewCountingForCapacity(300, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	ids := make([]uint64, 300)
+	for i := range ids {
+		ids[i] = rng.Uint64()
+		c.Add(ids[i])
+	}
+	data, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := DecodeCounting(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Bits() != c.Bits() || g.K() != c.K() {
+		t.Fatalf("shape changed: %d/%d -> %d/%d", c.Bits(), c.K(), g.Bits(), g.K())
+	}
+	got := g.AppendBinary(nil)
+	if !bytes.Equal(got, data) {
+		t.Fatal("re-marshal of the decoded filter differs")
+	}
+	// UnmarshalBinary into a same-sized receiver reuses its counter slice.
+	before := &g.counts[0]
+	if err := g.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if &g.counts[0] != before {
+		t.Error("UnmarshalBinary reallocated despite sufficient capacity")
+	}
+}
+
+func TestCountingUnmarshalRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		make([]byte, 5),                      // short
+		{0, 0, 0, 0, 0, 0, 0, 0, 4, 0, 0, 0}, // zero counters
+		append(make([]byte, 12), 1, 2, 3),    // length/declared-m mismatch
+	}
+	for i, data := range cases {
+		var c Counting
+		if err := c.UnmarshalBinary(data); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+	good, _ := NewCountingForCapacity(10, 8)
+	data, _ := good.MarshalBinary()
+	data[8] = 200
+	if _, err := DecodeCounting(data); err == nil {
+		t.Error("bad hash count accepted")
+	}
+}
+
+// BenchmarkDigestMarshal pins the satellite-1 contract: marshaling a filter
+// into a reused buffer allocates nothing.
+func BenchmarkDigestMarshal(b *testing.B) {
+	f, err := NewForCapacity(8192, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 8192; i++ {
+		f.Add(rng.Uint64())
+	}
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = f.AppendBinary(buf[:0])
+	}
+	if allocs := testing.AllocsPerRun(100, func() { buf = f.AppendBinary(buf[:0]) }); allocs != 0 {
+		b.Fatalf("AppendBinary into a warm buffer allocates %.0f times per op, want 0", allocs)
+	}
+}
+
+func BenchmarkCountingMarshal(b *testing.B) {
+	c, err := NewCountingForCapacity(8192, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 8192; i++ {
+		c.Add(rng.Uint64())
+	}
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = c.AppendBinary(buf[:0])
+	}
+}

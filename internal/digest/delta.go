@@ -1,0 +1,129 @@
+package digest
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Delta replication: instead of re-shipping the whole counter array every
+// pull, the digest owner journals each membership transition (object became
+// resident / object left) and serves peers only the ops past their cursor.
+// A peer replaying the op stream against its pulled Counting produces a
+// byte-identical copy of the owner's filter — saturating adds and guarded
+// removes are deterministic — so delta pulls and full pulls converge to the
+// same bits. Metadata bytes per round become proportional to churn, not to
+// cache size (ISSUE 9's delta-proportional bound).
+
+// Op is one membership transition: an object identifier entering
+// (Remove=false) or leaving (Remove=true) the owner's resident set.
+type Op struct {
+	ID     uint64
+	Remove bool
+}
+
+// OpSize is the wire size of one encoded op: a 1-byte action followed by
+// the 8-byte little-endian identifier.
+const OpSize = 9
+
+const (
+	opAdd    = 0x01
+	opRemove = 0x02
+)
+
+// AppendOp encodes one op onto dst.
+func AppendOp(dst []byte, op Op) []byte {
+	action := byte(opAdd)
+	if op.Remove {
+		action = opRemove
+	}
+	dst = append(dst, action)
+	return binary.LittleEndian.AppendUint64(dst, op.ID)
+}
+
+// AppendDecodedOps parses a delta payload (a bare concatenation of ops, no
+// count prefix — the frame length delimits it) onto ops and returns the
+// extended slice.
+func AppendDecodedOps(ops []Op, data []byte) ([]Op, error) {
+	if len(data)%OpSize != 0 {
+		return ops, fmt.Errorf("digest: delta payload length %d is not a multiple of %d", len(data), OpSize)
+	}
+	for len(data) > 0 {
+		var op Op
+		switch data[0] {
+		case opAdd:
+		case opRemove:
+			op.Remove = true
+		default:
+			return ops, fmt.Errorf("digest: bad delta action 0x%02x", data[0])
+		}
+		op.ID = binary.LittleEndian.Uint64(data[1:OpSize])
+		ops = append(ops, op)
+		data = data[OpSize:]
+	}
+	return ops, nil
+}
+
+// Apply replays one op against the filter.
+func (c *Counting) Apply(op Op) {
+	if op.Remove {
+		c.Remove(op.ID)
+	} else {
+		c.Add(op.ID)
+	}
+}
+
+// Journal is a fixed-capacity ring of membership ops with a monotonically
+// increasing head sequence. Cursors are sequence numbers: a peer that last
+// saw head s asks for everything since s; the journal serves the request
+// only while those ops are still in the ring. It carries no lock of its
+// own — the cluster guards it with the same mutex as the filter it
+// describes, so op order and filter state can never diverge.
+type Journal struct {
+	ring  []Op
+	head  uint64 // sequence of the next op to be appended
+	start uint64 // oldest sequence still in the ring
+}
+
+// NewJournal builds a journal holding the most recent capacity ops.
+func NewJournal(capacity int) *Journal {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Journal{ring: make([]Op, capacity)}
+}
+
+// Append records one op, evicting the oldest when the ring is full.
+func (j *Journal) Append(op Op) {
+	j.ring[j.head%uint64(len(j.ring))] = op
+	j.head++
+	if j.head-j.start > uint64(len(j.ring)) {
+		j.start = j.head - uint64(len(j.ring))
+	}
+}
+
+// Head returns the current cursor: the sequence a reader that has seen
+// everything should present next.
+func (j *Journal) Head() uint64 { return j.head }
+
+// AppendSince encodes every op in (since, head] onto dst. ok is false when
+// the cursor has fallen out of the ring (or runs ahead of it) — the caller
+// must fall back to a full transfer.
+func (j *Journal) AppendSince(dst []byte, since uint64) (out []byte, ok bool) {
+	if since < j.start || since > j.head {
+		return dst, false
+	}
+	for s := since; s < j.head; s++ {
+		dst = AppendOp(dst, j.ring[s%uint64(len(j.ring))])
+	}
+	return dst, true
+}
+
+// Invalidate makes every outstanding cursor unservable — including one
+// exactly at the head — forcing full transfers. Called when the owner
+// rebuilds its filter: the journaled history no longer describes the
+// filter's contents, and even an up-to-date replica diverges (its replayed
+// copy carries the saturation artifacts the rebuild just erased).
+func (j *Journal) Invalidate() {
+	j.head++
+	j.start = j.head
+}

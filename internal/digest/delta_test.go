@@ -1,0 +1,182 @@
+package digest
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestOpCodecRoundTrip(t *testing.T) {
+	ops := []Op{
+		{ID: 1},
+		{ID: 0xdeadbeefcafef00d, Remove: true},
+		{ID: 0, Remove: false},
+		{ID: ^uint64(0), Remove: true},
+	}
+	var buf []byte
+	for _, op := range ops {
+		buf = AppendOp(buf, op)
+	}
+	if len(buf) != len(ops)*OpSize {
+		t.Fatalf("encoded %d bytes, want %d", len(buf), len(ops)*OpSize)
+	}
+	got, err := AppendDecodedOps(nil, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("decoded %d ops, want %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if got[i] != ops[i] {
+			t.Fatalf("op %d: %+v != %+v", i, got[i], ops[i])
+		}
+	}
+}
+
+func TestOpCodecRejectsGarbage(t *testing.T) {
+	if _, err := AppendDecodedOps(nil, make([]byte, OpSize-1)); err == nil {
+		t.Error("misaligned payload accepted")
+	}
+	bad := AppendOp(nil, Op{ID: 1})
+	bad[0] = 0x7f
+	if _, err := AppendDecodedOps(nil, bad); err == nil {
+		t.Error("unknown action byte accepted")
+	}
+}
+
+// TestDeltaEquivalence is the core replication contract: a mirror built
+// from a full snapshot plus replayed journal deltas is byte-identical to
+// the owner's filter at every step.
+func TestDeltaEquivalence(t *testing.T) {
+	owner, err := NewCountingForCapacity(4096, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := NewJournal(4096)
+	rng := rand.New(rand.NewSource(7))
+
+	// Seed the owner, then transfer a full snapshot.
+	resident := make([]uint64, 0, 2048)
+	for i := 0; i < 2048; i++ {
+		id := rng.Uint64()
+		resident = append(resident, id)
+		owner.Add(id)
+		j.Append(Op{ID: id})
+	}
+	snap := owner.AppendBinary(nil)
+	mirror, err := DecodeCounting(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cursor := j.Head()
+
+	// Churn in rounds; after each delta pull the mirror must re-marshal to
+	// the owner's exact bytes.
+	var ownerBuf, mirrorBuf, deltaBuf []byte
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 64; i++ {
+			victim := rng.Intn(len(resident))
+			old := resident[victim]
+			owner.Remove(old)
+			j.Append(Op{ID: old, Remove: true})
+			id := rng.Uint64()
+			resident[victim] = id
+			owner.Add(id)
+			j.Append(Op{ID: id})
+		}
+		delta, ok := j.AppendSince(deltaBuf[:0], cursor)
+		if !ok {
+			t.Fatalf("round %d: cursor %d fell out of a %d-op journal", round, cursor, 4096)
+		}
+		deltaBuf = delta
+		if len(delta) != 128*OpSize {
+			t.Fatalf("round %d: delta is %d bytes, want %d", round, len(delta), 128*OpSize)
+		}
+		ops, err := AppendDecodedOps(nil, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, op := range ops {
+			mirror.Apply(op)
+		}
+		cursor = j.Head()
+
+		ownerBuf = owner.AppendBinary(ownerBuf[:0])
+		mirrorBuf = mirror.AppendBinary(mirrorBuf[:0])
+		if !bytes.Equal(ownerBuf, mirrorBuf) {
+			t.Fatalf("round %d: mirror diverged from owner", round)
+		}
+	}
+	if owner.Unsound() {
+		t.Fatal("owner went unsound during bounded churn")
+	}
+}
+
+func TestJournalCursorLoss(t *testing.T) {
+	j := NewJournal(8)
+	for i := uint64(0); i < 20; i++ {
+		j.Append(Op{ID: i})
+	}
+	// The ring holds ops 12..19; a cursor at 4 is gone.
+	if _, ok := j.AppendSince(nil, 4); ok {
+		t.Error("evicted cursor served")
+	}
+	// A cursor inside the retained window still works, in order.
+	out, ok := j.AppendSince(nil, 12)
+	if !ok {
+		t.Fatal("retained cursor refused")
+	}
+	ops, err := AppendDecodedOps(nil, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 8 {
+		t.Fatalf("%d ops from cursor 12, want 8", len(ops))
+	}
+	for i, op := range ops {
+		if op.ID != uint64(12+i) {
+			t.Fatalf("op %d: id %d, want %d", i, op.ID, 12+i)
+		}
+	}
+	// A cursor ahead of the head is nonsense.
+	if _, ok := j.AppendSince(nil, j.Head()+1); ok {
+		t.Error("future cursor served")
+	}
+	// A cursor exactly at the head yields an empty, valid delta.
+	out, ok = j.AppendSince(nil, j.Head())
+	if !ok || len(out) != 0 {
+		t.Errorf("head cursor: ok=%v len=%d, want true/0", ok, len(out))
+	}
+}
+
+func TestJournalInvalidate(t *testing.T) {
+	j := NewJournal(16)
+	for i := uint64(0); i < 5; i++ {
+		j.Append(Op{ID: i})
+	}
+	head := j.Head()
+	j.Invalidate()
+	// Every pre-invalidate cursor — including one exactly at the old head —
+	// must be refused: a replica that replayed the old ops diverges from
+	// the rebuilt owner.
+	for _, since := range []uint64{0, 3, head} {
+		if _, ok := j.AppendSince(nil, since); ok {
+			t.Errorf("cursor %d served after Invalidate", since)
+		}
+	}
+	// New ops after the rebuild are servable from the new head.
+	cursor := j.Head()
+	j.Append(Op{ID: 99})
+	out, ok := j.AppendSince(nil, cursor)
+	if !ok {
+		t.Fatal("post-invalidate cursor refused")
+	}
+	ops, err := AppendDecodedOps(nil, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 1 || ops[0].ID != 99 {
+		t.Fatalf("post-invalidate delta = %+v", ops)
+	}
+}

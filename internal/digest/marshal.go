@@ -6,24 +6,38 @@ import (
 )
 
 // Wire format: 8-byte bit count, 4-byte hash count, then the filter words
-// little-endian. Digests travel whole (Squid transfers complete digests on
-// the order of once an hour), so the format favors simplicity over deltas.
+// little-endian. The encoder is append-based so callers that reuse a
+// marshal buffer (the cluster's cached digest snapshot, the simulator's
+// transfer accounting) pay zero allocations per encode once the buffer has
+// grown to the filter's size.
 
 // headerSize is the marshaled header length in bytes.
 const headerSize = 12
 
-// MarshalBinary encodes the filter.
-func (f *Filter) MarshalBinary() ([]byte, error) {
-	out := make([]byte, headerSize+len(f.bits)*8)
-	binary.LittleEndian.PutUint64(out[0:8], f.m)
-	binary.LittleEndian.PutUint32(out[8:12], uint32(f.k))
-	for i, w := range f.bits {
-		binary.LittleEndian.PutUint64(out[headerSize+i*8:], w)
+// AppendBinary encodes the filter onto dst and returns the extended slice.
+func (f *Filter) AppendBinary(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, f.m)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(f.k))
+	need := len(dst) + len(f.bits)*8
+	if cap(dst) < need {
+		grown := make([]byte, len(dst), need)
+		copy(grown, dst)
+		dst = grown
 	}
-	return out, nil
+	for _, w := range f.bits {
+		dst = binary.LittleEndian.AppendUint64(dst, w)
+	}
+	return dst
 }
 
-// UnmarshalBinary decodes a filter, replacing the receiver's contents.
+// MarshalBinary encodes the filter into a fresh buffer.
+func (f *Filter) MarshalBinary() ([]byte, error) {
+	return f.AppendBinary(make([]byte, 0, headerSize+len(f.bits)*8)), nil
+}
+
+// UnmarshalBinary decodes a filter, replacing the receiver's contents. The
+// receiver's word slice is reused when its capacity suffices, so a peer
+// slot that re-pulls a same-sized digest decodes allocation-free.
 func (f *Filter) UnmarshalBinary(data []byte) error {
 	if len(data) < headerSize {
 		return fmt.Errorf("digest: message too short (%d bytes)", len(data))
@@ -40,7 +54,11 @@ func (f *Filter) UnmarshalBinary(data []byte) error {
 	if len(data) != headerSize+words*8 {
 		return fmt.Errorf("digest: length %d does not match %d bits", len(data), m)
 	}
-	bits := make([]uint64, words)
+	bits := f.bits
+	if cap(bits) < words {
+		bits = make([]uint64, words)
+	}
+	bits = bits[:words]
 	for i := range bits {
 		bits[i] = binary.LittleEndian.Uint64(data[headerSize+i*8:])
 	}

@@ -11,8 +11,6 @@
 package store
 
 import (
-	"bytes"
-	"compress/flate"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -24,6 +22,7 @@ import (
 	"time"
 
 	"beyondcache/internal/cache"
+	"beyondcache/internal/wire"
 )
 
 // Options configures a Store.
@@ -583,40 +582,19 @@ func writeObjectFile(path string, h header, stored []byte) error {
 	return nil
 }
 
-var flateWriters = sync.Pool{}
-
-// deflateBody compresses body with flate (BestSpeed), reporting false when
-// compression does not shrink it.
+// deflateBody compresses body with flate (BestSpeed) through the shared
+// pooled wire plumbing, reporting false when compression does not shrink
+// it.
 func deflateBody(body []byte) ([]byte, bool) {
-	var buf bytes.Buffer
-	buf.Grow(len(body) / 2)
-	w, _ := flateWriters.Get().(*flate.Writer)
-	if w == nil {
-		w, _ = flate.NewWriter(&buf, flate.BestSpeed)
-	} else {
-		w.Reset(&buf)
-	}
-	_, werr := w.Write(body)
-	cerr := w.Close()
-	flateWriters.Put(w)
-	if werr != nil || cerr != nil || buf.Len() >= len(body) {
-		return nil, false
-	}
-	return buf.Bytes(), true
+	return wire.AppendDeflate(nil, body)
 }
 
 // inflateBody decompresses a flate-stored body into a fresh buffer of the
 // recorded uncompressed size, rejecting streams that do not decode to
 // exactly that size.
 func inflateBody(stored []byte, size int64) ([]byte, error) {
-	r := flate.NewReader(bytes.NewReader(stored))
-	defer r.Close()
-	out := make([]byte, size)
-	if _, err := io.ReadFull(r, out); err != nil {
-		return nil, err
-	}
-	var one [1]byte
-	if n, _ := r.Read(one[:]); n != 0 {
+	out, err := wire.InflateInto(nil, stored, int(size))
+	if err != nil {
 		return nil, errCorrupt
 	}
 	return out, nil

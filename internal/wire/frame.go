@@ -1,0 +1,212 @@
+// Package wire is the metadata plane's single binary framing: one
+// length-prefixed, append-based frame layout shared by /updates hint
+// batches, digest transfer (full snapshots and cursor deltas), and the load
+// generator's schedule stream — replacing the three ad-hoc encodings those
+// paths grew independently. Encoding appends into caller-supplied buffers
+// (no per-record allocations), and a frame's payload may be flate-
+// compressed per batch through the pooled helpers in flate.go, which also
+// back internal/store's body compression.
+//
+// Frame layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       2     magic "bw"
+//	2       1     format version (1)
+//	3       1     kind (KindHintBatch, KindDigestFull, KindDigestDelta, KindSchedule)
+//	4       1     flags (bit 0: payload is flate-compressed)
+//	5       3     reserved, must be zero
+//	8       4     stored payload length (bytes following the header)
+//	12      4     raw payload length (after decompression; equals stored
+//	              length for uncompressed frames)
+//	16      ...   payload
+//
+// The explicit raw length lets a decoder size its output buffer exactly and
+// lets a receiver enforce its protocol limit BEFORE inflating (callers must
+// check Frame.RawLen against their limit — see Payload). See DESIGN.md §13.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Kind identifies what a frame carries.
+type Kind uint8
+
+// Frame kinds. The zero value is invalid on the wire.
+const (
+	// KindHintBatch is a batch of 20-byte hint-update records
+	// (hintcache.AppendUpdate encoding), POSTed to /updates.
+	KindHintBatch Kind = 1
+	// KindDigestFull is a complete counting-filter digest snapshot
+	// (digest.Counting.AppendBinary encoding), served by GET /digest.
+	KindDigestFull Kind = 2
+	// KindDigestDelta is an ordered run of digest add/remove ops
+	// (digest.AppendOps encoding), served by GET /digest?since=.
+	KindDigestDelta Kind = 3
+	// KindSchedule is a load-generator schedule (loadgen columnar
+	// encoding).
+	KindSchedule Kind = 4
+
+	kindMax = KindSchedule
+)
+
+// String labels the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindHintBatch:
+		return "hint-batch"
+	case KindDigestFull:
+		return "digest-full"
+	case KindDigestDelta:
+		return "digest-delta"
+	case KindSchedule:
+		return "schedule"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// HeaderSize is the fixed frame header length in bytes.
+const HeaderSize = 16
+
+// frameVersion is the current format version.
+const frameVersion = 1
+
+// flagFlate marks a flate-compressed payload.
+const flagFlate = 0x01
+
+// IsFrame reports whether buf starts with a wire frame header. It is how
+// /updates distinguishes framed bodies from legacy raw record batches: a
+// raw batch starts with a 4-byte little-endian action in {1, 2}, so its
+// first byte can never be 'b'.
+func IsFrame(buf []byte) bool {
+	return len(buf) >= 3 && buf[0] == 'b' && buf[1] == 'w' && buf[2] == frameVersion
+}
+
+// AppendFrame appends one framed payload to dst and returns the extended
+// slice. When compressMin > 0 and the payload is at least that many bytes,
+// the payload is flate-compressed (pooled writers, BestSpeed) and the
+// compressed form is kept only if it is actually smaller; compressMin <= 0
+// never compresses.
+func AppendFrame(dst []byte, kind Kind, payload []byte, compressMin int) []byte {
+	start := len(dst)
+	dst = appendHeader(dst, kind)
+	flags := byte(0)
+	if compressMin > 0 && len(payload) >= compressMin {
+		if c, ok := AppendDeflate(dst, payload); ok {
+			dst = c
+			flags = flagFlate
+		}
+	}
+	if flags == 0 {
+		dst = append(dst, payload...)
+	}
+	return patchHeader(dst, start, flags, len(payload))
+}
+
+// BeginFrame reserves an uncompressed frame header at the end of dst,
+// returning the extended slice and the header's offset. The caller appends
+// the payload directly (no intermediate buffer) and then calls FinishFrame.
+func BeginFrame(dst []byte, kind Kind) (out []byte, start int) {
+	start = len(dst)
+	return appendHeader(dst, kind), start
+}
+
+// FinishFrame completes a frame begun with BeginFrame at offset start:
+// everything appended after the reserved header is the (uncompressed)
+// payload.
+func FinishFrame(dst []byte, start int) []byte {
+	return patchHeader(dst, start, 0, len(dst)-start-HeaderSize)
+}
+
+// appendHeader appends a header with the lengths and flags left zero.
+func appendHeader(dst []byte, kind Kind) []byte {
+	return append(dst, 'b', 'w', frameVersion, byte(kind), 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+}
+
+// patchHeader fills in the flags and length fields of the header at start,
+// deriving the stored length from the bytes appended since.
+func patchHeader(dst []byte, start int, flags byte, rawLen int) []byte {
+	dst[start+4] = flags
+	binary.LittleEndian.PutUint32(dst[start+8:], uint32(len(dst)-start-HeaderSize))
+	binary.LittleEndian.PutUint32(dst[start+12:], uint32(rawLen))
+	return dst
+}
+
+// Frame is one decoded frame. The stored payload aliases the decode buffer;
+// it is only valid while that buffer is.
+type Frame struct {
+	Kind       Kind
+	Compressed bool
+	// RawLen is the payload length after decompression. Callers MUST
+	// check it against their protocol's size limit before calling
+	// Payload — it is attacker-controlled until then.
+	RawLen int
+
+	stored []byte
+}
+
+// StoredLen returns the payload's on-the-wire length (compressed form for
+// compressed frames).
+func (f *Frame) StoredLen() int { return len(f.stored) }
+
+// Decode parses one frame at the start of buf. rest is whatever follows the
+// frame (empty for a single-frame message). The returned frame's payload
+// aliases buf.
+func Decode(buf []byte) (Frame, []byte, error) {
+	if len(buf) < HeaderSize {
+		return Frame{}, nil, fmt.Errorf("wire: message too short for a frame header (%d bytes)", len(buf))
+	}
+	if buf[0] != 'b' || buf[1] != 'w' {
+		return Frame{}, nil, fmt.Errorf("wire: bad magic %#x %#x", buf[0], buf[1])
+	}
+	if buf[2] != frameVersion {
+		return Frame{}, nil, fmt.Errorf("wire: unsupported format version %d", buf[2])
+	}
+	kind := Kind(buf[3])
+	if kind == 0 || kind > kindMax {
+		return Frame{}, nil, fmt.Errorf("wire: unknown frame kind %d", buf[3])
+	}
+	flags := buf[4]
+	if flags&^byte(flagFlate) != 0 {
+		return Frame{}, nil, fmt.Errorf("wire: unknown flags %#x", flags)
+	}
+	if buf[5] != 0 || buf[6] != 0 || buf[7] != 0 {
+		return Frame{}, nil, fmt.Errorf("wire: nonzero reserved bytes")
+	}
+	stored := binary.LittleEndian.Uint32(buf[8:12])
+	raw := binary.LittleEndian.Uint32(buf[12:16])
+	if int(stored) > len(buf)-HeaderSize {
+		return Frame{}, nil, fmt.Errorf("wire: truncated frame: header claims %d payload bytes, %d present",
+			stored, len(buf)-HeaderSize)
+	}
+	compressed := flags&flagFlate != 0
+	if !compressed && raw != stored {
+		return Frame{}, nil, fmt.Errorf("wire: uncompressed frame with raw length %d != stored length %d", raw, stored)
+	}
+	if compressed && raw <= stored {
+		// The encoder only keeps the compressed form when it shrank; a
+		// frame claiming otherwise is corrupt (and bounds the
+		// decompression ratio a decoder can be made to pay).
+		return Frame{}, nil, fmt.Errorf("wire: compressed frame with raw length %d <= stored length %d", raw, stored)
+	}
+	f := Frame{
+		Kind:       kind,
+		Compressed: compressed,
+		RawLen:     int(raw),
+		stored:     buf[HeaderSize : HeaderSize+int(stored)],
+	}
+	return f, buf[HeaderSize+int(stored):], nil
+}
+
+// Payload returns the frame's decoded payload. Uncompressed payloads are
+// returned as a direct view of the decode buffer (zero copy); compressed
+// payloads are inflated into scratch's capacity (grown as needed). Callers
+// must validate RawLen against their size limit first.
+func (f *Frame) Payload(scratch []byte) ([]byte, error) {
+	if !f.Compressed {
+		return f.stored, nil
+	}
+	return InflateInto(scratch, f.stored, f.RawLen)
+}

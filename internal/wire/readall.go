@@ -1,0 +1,25 @@
+package wire
+
+import "io"
+
+// ReadAllInto reads r to EOF into buf, reusing buf's capacity and growing
+// it only when the payload outgrows it. The filled slice is returned. It is
+// the metadata plane's shared body reader (digest pulls, update ingest,
+// metrics scrapes): a worker that keeps the returned slice across calls
+// reads every subsequent body allocation-free once the buffer has grown to
+// the steady-state size.
+func ReadAllInto(buf []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}

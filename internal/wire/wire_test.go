@@ -1,0 +1,313 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTripUncompressed(t *testing.T) {
+	for _, kind := range []Kind{KindHintBatch, KindDigestFull, KindDigestDelta, KindSchedule} {
+		payload := []byte("twenty-byte-ish payload for " + kind.String())
+		frame := AppendFrame(nil, kind, payload, 0)
+		if !IsFrame(frame) {
+			t.Fatalf("%v: IsFrame = false on a framed message", kind)
+		}
+		f, rest, err := Decode(frame)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", kind, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%v: %d trailing bytes after a single frame", kind, len(rest))
+		}
+		if f.Kind != kind || f.Compressed || f.RawLen != len(payload) {
+			t.Fatalf("%v: header = %+v", kind, f)
+		}
+		got, err := f.Payload(nil)
+		if err != nil {
+			t.Fatalf("%v: payload: %v", kind, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("%v: payload mangled", kind)
+		}
+	}
+}
+
+func TestFrameCompression(t *testing.T) {
+	// Highly compressible payload well above the threshold.
+	payload := bytes.Repeat([]byte("abcdefgh"), 4096)
+	frame := AppendFrame(nil, KindDigestFull, payload, 256)
+	if len(frame) >= len(payload) {
+		t.Fatalf("compressible payload did not shrink: %d >= %d", len(frame), len(payload))
+	}
+	f, _, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Compressed {
+		t.Fatal("frame not marked compressed")
+	}
+	if f.RawLen != len(payload) {
+		t.Fatalf("raw length %d, want %d", f.RawLen, len(payload))
+	}
+	got, err := f.Payload(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("inflated payload differs")
+	}
+
+	// Incompressible payload: the frame must fall back to raw even though
+	// it crosses the threshold.
+	rng := rand.New(rand.NewSource(7))
+	noise := make([]byte, 4096)
+	rng.Read(noise)
+	frame = AppendFrame(nil, KindHintBatch, noise, 256)
+	f, _, err = Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Compressed {
+		t.Fatal("incompressible payload stored compressed")
+	}
+
+	// Below the threshold: never compressed.
+	frame = AppendFrame(nil, KindHintBatch, payload[:64], 256)
+	if f, _, _ := Decode(frame); f.Compressed {
+		t.Fatal("payload below compressMin stored compressed")
+	}
+}
+
+func TestFrameAppendsToExistingBuffer(t *testing.T) {
+	prefix := []byte("prefix")
+	frame := AppendFrame(append([]byte(nil), prefix...), KindSchedule, []byte("payload"), 0)
+	if !bytes.HasPrefix(frame, prefix) {
+		t.Fatal("AppendFrame clobbered the existing buffer contents")
+	}
+	f, rest, err := Decode(frame[len(prefix):])
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode after prefix: %v (rest %d)", err, len(rest))
+	}
+	if got, _ := f.Payload(nil); string(got) != "payload" {
+		t.Fatalf("payload = %q", got)
+	}
+}
+
+func TestBeginFinishFrameMatchesAppendFrame(t *testing.T) {
+	payload := []byte("columnar bytes appended in place")
+	direct := AppendFrame(nil, KindSchedule, payload, 0)
+	out, start := BeginFrame(nil, KindSchedule)
+	out = append(out, payload...)
+	out = FinishFrame(out, start)
+	if !bytes.Equal(direct, out) {
+		t.Fatal("BeginFrame/FinishFrame bytes differ from AppendFrame")
+	}
+}
+
+func TestDecodeRejectsCorruptFrames(t *testing.T) {
+	good := AppendFrame(nil, KindHintBatch, bytes.Repeat([]byte("x"), 100), 0)
+	cases := map[string]func([]byte) []byte{
+		"short":           func(b []byte) []byte { return b[:HeaderSize-1] },
+		"bad magic":       func(b []byte) []byte { b[0] = 'z'; return b },
+		"bad version":     func(b []byte) []byte { b[2] = 9; return b },
+		"zero kind":       func(b []byte) []byte { b[3] = 0; return b },
+		"unknown kind":    func(b []byte) []byte { b[3] = 200; return b },
+		"unknown flags":   func(b []byte) []byte { b[4] = 0x80; return b },
+		"reserved":        func(b []byte) []byte { b[5] = 1; return b },
+		"truncated":       func(b []byte) []byte { return b[:len(b)-1] },
+		"oversize stored": func(b []byte) []byte { binary.LittleEndian.PutUint32(b[8:], 1<<30); return b },
+		"raw mismatch":    func(b []byte) []byte { binary.LittleEndian.PutUint32(b[12:], 7); return b },
+	}
+	for name, corrupt := range cases {
+		b := corrupt(append([]byte(nil), good...))
+		if _, _, err := Decode(b); err == nil {
+			t.Errorf("%s: corrupt frame accepted", name)
+		}
+	}
+	// A compressed frame whose declared raw length does not exceed the
+	// stored length is corrupt by construction.
+	comp := AppendFrame(nil, KindDigestFull, bytes.Repeat([]byte("y"), 4096), 64)
+	if f, _, _ := Decode(comp); !f.Compressed {
+		t.Fatal("setup: expected a compressed frame")
+	}
+	binary.LittleEndian.PutUint32(comp[12:], 1)
+	if _, _, err := Decode(comp); err == nil {
+		t.Error("compressed frame with raw <= stored accepted")
+	}
+}
+
+func TestPayloadRejectsBadCompressedStreams(t *testing.T) {
+	frame := AppendFrame(nil, KindDigestFull, bytes.Repeat([]byte("z"), 4096), 64)
+	f, _, err := Decode(frame)
+	if err != nil || !f.Compressed {
+		t.Fatalf("setup: %v compressed=%v", err, f.Compressed)
+	}
+	// Declare one byte less than the stream inflates to: the exact-length
+	// check must fire.
+	f.RawLen--
+	if _, err := f.Payload(nil); err == nil {
+		t.Error("undersized raw length accepted")
+	}
+	// Garbage stored bytes must error, not panic.
+	g := Frame{Kind: KindDigestFull, Compressed: true, RawLen: 4096, stored: []byte("not flate")}
+	if _, err := g.Payload(nil); err == nil {
+		t.Error("garbage compressed stream accepted")
+	}
+}
+
+func TestDecodeSequentialFrames(t *testing.T) {
+	buf := AppendFrame(nil, KindHintBatch, []byte("first"), 0)
+	buf = AppendFrame(buf, KindDigestDelta, []byte("second"), 0)
+	f1, rest, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, rest, err := Decode(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes after second frame", len(rest))
+	}
+	p1, _ := f1.Payload(nil)
+	p2, _ := f2.Payload(nil)
+	if string(p1) != "first" || string(p2) != "second" {
+		t.Fatalf("payloads = %q, %q", p1, p2)
+	}
+}
+
+func TestAppendDeflateInflateRoundTrip(t *testing.T) {
+	src := bytes.Repeat([]byte("the quick brown fox "), 512)
+	comp, ok := AppendDeflate(nil, src)
+	if !ok {
+		t.Fatal("compressible input reported incompressible")
+	}
+	out, err := InflateInto(nil, comp, len(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, src) {
+		t.Fatal("round trip differs")
+	}
+	// Scratch reuse: a big-enough scratch must be reused, not reallocated.
+	scratch := make([]byte, len(src))
+	out, err = InflateInto(scratch, comp, len(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &scratch[0] {
+		t.Error("InflateInto ignored usable scratch capacity")
+	}
+}
+
+// --- ReadAllInto (the shared body reader) ---
+
+func TestReadAllIntoGrowth(t *testing.T) {
+	payload := make([]byte, 70_000) // forces several growth rounds from zero capacity
+	rand.New(rand.NewSource(3)).Read(payload)
+	got, err := ReadAllInto(nil, bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("grown read differs from payload")
+	}
+	// A second read reusing the grown buffer must not reallocate.
+	buf := got[:0]
+	got2, err := ReadAllInto(buf, bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got2[0] != &buf[0:1][0] {
+		t.Error("ReadAllInto reallocated despite sufficient capacity")
+	}
+	if !bytes.Equal(got2, payload) {
+		t.Fatal("reused-buffer read differs from payload")
+	}
+}
+
+func TestReadAllIntoEOFAtBoundary(t *testing.T) {
+	// Reader returns exactly the buffer capacity then EOF on the next
+	// call: the boundary case where the buffer is full but the stream is
+	// done.
+	payload := []byte("0123456789abcdef")
+	buf := make([]byte, 0, len(payload))
+	got, err := ReadAllInto(buf, bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("got %q", got)
+	}
+	// iotest-style reader that returns (n, io.EOF) together.
+	got, err = ReadAllInto(nil, &eofWithData{data: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("eof-with-data read = %q", got)
+	}
+}
+
+// eofWithData returns all its data plus io.EOF in one Read call.
+type eofWithData struct {
+	data []byte
+	done bool
+}
+
+func (r *eofWithData) Read(p []byte) (int, error) {
+	if r.done {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data)
+	if n == len(r.data) {
+		r.done = true
+		return n, io.EOF
+	}
+	r.data = r.data[n:]
+	return n, nil
+}
+
+func TestReadAllIntoLimitBehavior(t *testing.T) {
+	payload := strings.Repeat("x", 100)
+	// Under the limit: the whole payload arrives.
+	got, err := ReadAllInto(nil, io.LimitReader(strings.NewReader(payload), 200))
+	if err != nil || len(got) != 100 {
+		t.Fatalf("under-limit read: %d bytes, err %v", len(got), err)
+	}
+	// Over the limit: LimitReader truncates silently (EOF at the limit) —
+	// which is why protocol paths read with limit+1 and compare, exactly
+	// as readUpdatesBody does.
+	got, err = ReadAllInto(nil, io.LimitReader(strings.NewReader(payload), 60))
+	if err != nil || len(got) != 60 {
+		t.Fatalf("over-limit read: %d bytes, err %v", len(got), err)
+	}
+	// Appending to a partially filled buffer keeps the existing bytes.
+	got, err = ReadAllInto([]byte("pre-"), strings.NewReader("fix"))
+	if err != nil || string(got) != "pre-fix" {
+		t.Fatalf("append read = %q, err %v", got, err)
+	}
+	// Errors propagate with whatever was read so far.
+	_, err = ReadAllInto(nil, io.MultiReader(strings.NewReader("abc"), &failReader{}))
+	if err == nil {
+		t.Fatal("reader error swallowed")
+	}
+}
+
+type failReader struct{}
+
+func (*failReader) Read([]byte) (int, error) { return 0, io.ErrUnexpectedEOF }
+
+func BenchmarkAppendFrame(b *testing.B) {
+	payload := bytes.Repeat([]byte("record-bytes-20-long"), 512) // ~10 KB batch
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendFrame(buf[:0], KindHintBatch, payload, 0)
+	}
+}
