@@ -5,10 +5,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strconv"
 	"sync"
 	"testing"
 
+	"beyondcache/internal/digest"
+	"beyondcache/internal/hintcache"
 	"beyondcache/internal/wire"
 )
 
@@ -243,6 +246,177 @@ func TestDigestServeCoalesces(t *testing.T) {
 	digestGet(t, n, 0)
 	if builds := n.snapBuilds.Load(); builds != 2 {
 		t.Errorf("snapshot builds after churn = %d, want 2", builds)
+	}
+}
+
+// TestDigestCursorAtomicWithFrame hammers the journal with churn while a
+// puller replays serves against a local replica, checking two things on
+// every response: the advertised X-Digest-Cursor matches the ops the frame
+// actually carries (head == since + ops), and — once the churn quiesces —
+// the delta-maintained replica is byte-identical to the owner's filter. A
+// cursor read outside the lock that encoded the frame attributes ops
+// journaled in the gap to the response without delivering them, so the
+// replica silently diverges.
+func TestDigestCursorAtomicWithFrame(t *testing.T) {
+	n := newMetaNode(t, NodeConfig{Name: "cursor-atomic", UseDigests: true, DigestCapacity: 64 << 10})
+	for i := uint64(1); i <= 1024; i++ {
+		n.digestTrack(i, true)
+	}
+
+	// Serve through the handler directly (no real HTTP round trip), so the
+	// serve path runs tens of thousands of times against live churn.
+	serve := func(since uint64) (wire.Frame, []byte, uint64) {
+		t.Helper()
+		url := "/digest"
+		if since > 0 {
+			url += "?since=" + strconv.FormatUint(since, 10)
+		}
+		rec := httptest.NewRecorder()
+		n.handleDigest(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		resp := rec.Result()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s status %d: %s", url, resp.StatusCode, body)
+		}
+		cursor, err := strconv.ParseUint(resp.Header.Get(headerDigestCursor), 10, 64)
+		if err != nil {
+			t.Fatalf("bad %s header: %v", headerDigestCursor, err)
+		}
+		frame, _, err := wire.Decode(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, err := frame.Payload(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return frame, payload, cursor
+	}
+
+	replica := &digest.Counting{}
+	frame, payload, cursor := serve(0)
+	if frame.Kind != wire.KindDigestFull {
+		t.Fatalf("first serve kind = %s, want %s", frame.Kind, wire.KindDigestFull)
+	}
+	if err := replica.UnmarshalBinary(payload); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(1 << 20); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			n.digestTrack(i, true)
+			n.digestTrack(i, false)
+		}
+	}()
+
+	apply := func(round int, kind wire.Kind, payload []byte, since, next uint64) {
+		t.Helper()
+		switch kind {
+		case wire.KindDigestDelta:
+			ops, err := digest.AppendDecodedOps(nil, payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if next != since+uint64(len(ops)) {
+				t.Fatalf("round %d: since %d + %d ops delivered, but response advertises cursor %d (%d ops skipped)",
+					round, since, len(ops), next, next-since-uint64(len(ops)))
+			}
+			for _, op := range ops {
+				replica.Apply(op)
+			}
+		case wire.KindDigestFull:
+			if err := replica.UnmarshalBinary(payload); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			t.Fatalf("round %d: unexpected frame kind %s", round, kind)
+		}
+	}
+
+	for round := 1; round <= 20000; round++ {
+		frame, payload, next := serve(cursor)
+		apply(round, frame.Kind, payload, cursor, next)
+		cursor = next
+	}
+	close(stop)
+	wg.Wait()
+
+	// Churn has quiesced: one more pull drains the tail, after which the
+	// replica must match the owner bit for bit — any op a skewed cursor
+	// skipped shows up here as a counter mismatch.
+	frame, payload, next := serve(cursor)
+	apply(-1, frame.Kind, payload, cursor, next)
+
+	n.digestMu.RLock()
+	want := n.own.AppendBinary(nil)
+	n.digestMu.RUnlock()
+	if got := replica.AppendBinary(nil); !bytes.Equal(got, want) {
+		t.Error("replayed replica diverged from the owner filter")
+	}
+}
+
+// TestDigestLegacyPeerFallback points a puller at a peer that predates the
+// wire plane — its GET /digest serves raw plain-filter bytes with no frame
+// header — and checks the pull still lands during a rolling upgrade: the
+// bits widen into the counting slot and probe identically, and the cursor
+// stays zero (legacy peers journal nothing to resume from).
+func TestDigestLegacyPeerFallback(t *testing.T) {
+	legacy, err := digest.NewForCapacity(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 32; i++ {
+		legacy.Add(i)
+	}
+	body, err := legacy.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.RawQuery != "" {
+			t.Errorf("legacy peer got query %q, want none (nothing to resume)", r.URL.RawQuery)
+		}
+		w.Write(body)
+	}))
+	defer peer.Close()
+
+	n := newMetaNode(t, NodeConfig{Name: "legacy-pull", UseDigests: true})
+	n.AddPeer(peer.URL)
+	n.PullDigests()
+	n.PullDigests() // the re-pull must also be cursorless
+
+	st := n.Stats()
+	if st.SendErrors != 0 {
+		t.Fatalf("send errors = %d, want 0 (legacy body must not be treated as a bad frame)", st.SendErrors)
+	}
+	if st.DigestsPulled != 2 {
+		t.Fatalf("digests pulled = %d, want 2", st.DigestsPulled)
+	}
+
+	peerID := hintcache.HashMachine(hostPortOf(peer.URL))
+	n.digestMu.RLock()
+	f, ok := n.peerDigests[peerID]
+	cursor := n.peerCursor[peerID]
+	n.digestMu.RUnlock()
+	if !ok {
+		t.Fatal("no peer digest installed from the legacy body")
+	}
+	if cursor != 0 {
+		t.Errorf("peer cursor = %d, want 0 for a legacy peer", cursor)
+	}
+	for i := uint64(1); i <= 4096; i++ {
+		if f.MayContain(i) != legacy.MayContain(i) {
+			t.Fatalf("widened copy disagrees with the source filter on id %d", i)
+		}
 	}
 }
 

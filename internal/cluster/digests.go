@@ -100,27 +100,36 @@ func (n *Node) rebuildDigestLocked() {
 	n.stats.digestRebuilds.Add(1)
 }
 
+// digestSnap is one generation-stamped snapshot frame: the cursor a serve
+// advertises MUST be the generation the frame was encoded at, so the two
+// travel together through the cache and the singleflight.
+type digestSnap struct {
+	frame []byte
+	gen   uint64
+}
+
 // digestSnapshotFrame returns the framed full-snapshot encoding of the own
-// digest at the current journal generation, rebuilding the cached frame
-// only when the generation has moved. Concurrent callers coalesce onto one
-// marshal. The returned slice is immutable: each build allocates a fresh
-// frame, so a served reference stays valid across later rebuilds.
-func (n *Node) digestSnapshotFrame() []byte {
+// digest plus the journal generation it encodes (the client's next delta
+// cursor), rebuilding the cached frame only when the generation has moved.
+// Concurrent callers coalesce onto one marshal. The returned slice is
+// immutable: each build allocates a fresh frame, so a served reference
+// stays valid across later rebuilds.
+func (n *Node) digestSnapshotFrame() ([]byte, uint64) {
 	n.digestMu.RLock()
 	if n.snapValid && n.snapGen == n.journal.Head() {
-		f := n.snapFrame
+		s := digestSnap{frame: n.snapFrame, gen: n.snapGen}
 		n.digestMu.RUnlock()
-		return f
+		return s.frame, s.gen
 	}
 	n.digestMu.RUnlock()
 
-	out, _ := n.digestFlight.do("snapshot", func() []byte {
+	out, _ := n.digestFlight.do("snapshot", func() digestSnap {
 		n.digestMu.RLock()
 		if n.snapValid && n.snapGen == n.journal.Head() {
 			// Another builder won between our check and the flight.
-			f := n.snapFrame
+			s := digestSnap{frame: n.snapFrame, gen: n.snapGen}
 			n.digestMu.RUnlock()
-			return f
+			return s
 		}
 		gen := n.journal.Head()
 		payload := n.own.AppendBinary(make([]byte, 0, wire.HeaderSize+int(n.own.SizeBytes())+16))
@@ -140,9 +149,9 @@ func (n *Node) digestSnapshotFrame() []byte {
 			n.snapFrame = frame
 		}
 		n.digestMu.Unlock()
-		return frame
+		return digestSnap{frame: frame, gen: gen}
 	})
-	return out
+	return out.frame, out.gen
 }
 
 // handleDigest serves GET /digest: the node's current contents summary as
@@ -169,18 +178,19 @@ func (n *Node) handleDigest(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// The advertised cursor is captured under the same lock that encoded
+	// the frame: a head read taken afterwards could attribute ops journaled
+	// during the gap to this response without delivering them, silently
+	// diverging the puller's delta-maintained replica.
 	var frame []byte
+	var head uint64
 	var delta bool
 	if since > 0 {
-		frame, delta = n.digestDeltaFrame(since)
+		frame, head, delta = n.digestDeltaFrame(since)
 	}
 	if !delta {
-		frame = n.digestSnapshotFrame()
+		frame, head = n.digestSnapshotFrame()
 	}
-
-	n.digestMu.RLock()
-	head := n.journal.Head()
-	n.digestMu.RUnlock()
 
 	// Stamp the response with its generation sequence and wall clock so
 	// the puller can measure how stale each pulled digest grows between
@@ -207,28 +217,31 @@ func (n *Node) handleDigest(w http.ResponseWriter, r *http.Request) {
 var digestDeltaBufPool = sync.Pool{New: func() any { return new([]byte) }}
 
 // digestDeltaFrame encodes the membership ops since the given cursor as a
-// KindDigestDelta frame. ok is false — and the caller serves a full
-// snapshot instead — when the cursor has aged out of the journal (counted
-// as a cursor loss) or when the delta would not beat the full transfer.
-func (n *Node) digestDeltaFrame(since uint64) (frame []byte, ok bool) {
+// KindDigestDelta frame, plus the journal head observed under the same
+// lock (the cursor the serve must advertise — exactly the last op the
+// frame carries). ok is false — and the caller serves a full snapshot
+// instead — when the cursor has aged out of the journal (counted as a
+// cursor loss) or when the delta would not beat the full transfer.
+func (n *Node) digestDeltaFrame(since uint64) (frame []byte, head uint64, ok bool) {
 	bufp := digestDeltaBufPool.Get().(*[]byte)
 	defer digestDeltaBufPool.Put(bufp)
 
 	n.digestMu.RLock()
 	ops, served := n.journal.AppendSince((*bufp)[:0], since)
+	head = n.journal.Head()
 	snapSize := int(n.own.SizeBytes())
 	n.digestMu.RUnlock()
 	*bufp = ops[:0]
 	if !served {
 		n.stats.digestCursorLost.Add(1)
-		return nil, false
+		return nil, 0, false
 	}
 	if len(ops) >= snapSize {
 		// More churn than filter: the full snapshot is the cheaper (and
 		// cacheable) transfer. The cursor itself was fine — not a loss.
-		return nil, false
+		return nil, 0, false
 	}
-	return wire.AppendFrame(nil, wire.KindDigestDelta, ops, n.frameCompressMin()), true
+	return wire.AppendFrame(nil, wire.KindDigestDelta, ops, n.frameCompressMin()), head, true
 }
 
 // digestBodyLimit bounds one pulled digest's wire size (stored frame and
@@ -313,6 +326,7 @@ func (n *Node) pullDigest(p digestSource, scratch *digestPullScratch) {
 	var genNs int64
 	var cursor uint64
 	var frame wire.Frame
+	var legacy bool
 	retries, err := n.backoff.Retry(context.Background(), 3, func() error {
 		ctx, cancel := context.WithTimeout(context.Background(), metadataTimeout)
 		defer cancel()
@@ -341,6 +355,15 @@ func (n *Node) pullDigest(p digestSource, scratch *digestPullScratch) {
 		if err != nil {
 			return err
 		}
+		// A peer that predates the wire plane serves raw Bloom-filter
+		// bytes with no frame header (their first byte is a filter bit
+		// count, never 'b'); keep pulling from it during a rolling
+		// upgrade instead of erroring until the fleet converges.
+		legacy = !wire.IsFrame(scratch.body)
+		if legacy {
+			frame = wire.Frame{}
+			return nil
+		}
 		frame, _, err = wire.Decode(scratch.body)
 		return err
 	})
@@ -349,22 +372,28 @@ func (n *Node) pullDigest(p digestSource, scratch *digestPullScratch) {
 		n.stats.sendErrors.Add(1)
 		return
 	}
-	if frame.RawLen > digestBodyLimit {
-		n.stats.sendErrors.Add(1)
-		return
-	}
-	payload, err := frame.Payload(scratch.payload[:0])
-	if err != nil {
-		n.stats.sendErrors.Add(1)
-		return
-	}
-	if frame.Compressed {
-		scratch.payload = payload[:0]
-	}
-
-	if err := n.applyDigestResponse(p.id, frame.Kind, payload, cursor, scratch); err != nil {
-		n.stats.sendErrors.Add(1)
-		return
+	if legacy {
+		if err := n.applyLegacyDigest(p.id, scratch.body); err != nil {
+			n.stats.sendErrors.Add(1)
+			return
+		}
+	} else {
+		if frame.RawLen > digestBodyLimit {
+			n.stats.sendErrors.Add(1)
+			return
+		}
+		payload, err := frame.Payload(scratch.payload[:0])
+		if err != nil {
+			n.stats.sendErrors.Add(1)
+			return
+		}
+		if frame.Compressed {
+			scratch.payload = payload[:0]
+		}
+		if err := n.applyDigestResponse(p.id, frame.Kind, payload, cursor, scratch); err != nil {
+			n.stats.sendErrors.Add(1)
+			return
+		}
 	}
 	now := time.Now().UnixNano()
 	if genNs == 0 {
@@ -431,6 +460,28 @@ func (n *Node) applyDigestResponse(peerID uint64, kind wire.Kind, payload []byte
 	default:
 		return fmt.Errorf("unexpected digest frame kind %s", kind)
 	}
+}
+
+// applyLegacyDigest installs a pre-framing digest body: raw plain-filter
+// bits from a peer that predates the wire plane, widened into the peer's
+// counting slot (which probes identically). Legacy peers journal nothing,
+// so the cursor resets and every pull from them stays a full fetch until
+// the peer upgrades.
+func (n *Node) applyLegacyDigest(peerID uint64, body []byte) error {
+	n.digestMu.Lock()
+	defer n.digestMu.Unlock()
+	f, ok := n.peerDigests[peerID]
+	if !ok {
+		f = &digest.Counting{}
+		n.peerDigests[peerID] = f
+	}
+	if err := f.UnmarshalFilter(body); err != nil {
+		delete(n.peerDigests, peerID)
+		delete(n.peerCursor, peerID)
+		return err
+	}
+	n.peerCursor[peerID] = 0
+	return nil
 }
 
 // digestPeer returns the base URL of the first peer whose digest claims the

@@ -448,7 +448,7 @@ type Node struct {
 	snapGen      uint64
 	snapValid    bool
 	snapFrame    []byte
-	digestFlight flightGroup[[]byte]
+	digestFlight flightGroup[digestSnap]
 	snapBuilds   atomic.Int64
 	// digestSeq numbers the digest snapshots this node serves.
 	digestSeq atomic.Int64

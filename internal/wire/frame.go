@@ -28,6 +28,7 @@ package wire
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 )
 
 // Kind identifies what a frame carries.
@@ -175,11 +176,18 @@ func Decode(buf []byte) (Frame, []byte, error) {
 	if buf[5] != 0 || buf[6] != 0 || buf[7] != 0 {
 		return Frame{}, nil, fmt.Errorf("wire: nonzero reserved bytes")
 	}
-	stored := binary.LittleEndian.Uint32(buf[8:12])
-	raw := binary.LittleEndian.Uint32(buf[12:16])
-	if int(stored) > len(buf)-HeaderSize {
+	// Length validation happens in 64-bit space: a direct int cast of an
+	// attacker-controlled uint32 goes negative on 32-bit platforms, where
+	// a negative bound sails past the truncation check and panics the
+	// payload reslice below.
+	stored := uint64(binary.LittleEndian.Uint32(buf[8:12]))
+	raw := uint64(binary.LittleEndian.Uint32(buf[12:16]))
+	if stored > uint64(len(buf)-HeaderSize) {
 		return Frame{}, nil, fmt.Errorf("wire: truncated frame: header claims %d payload bytes, %d present",
 			stored, len(buf)-HeaderSize)
+	}
+	if raw > math.MaxInt32 {
+		return Frame{}, nil, fmt.Errorf("wire: raw payload length %d exceeds the frame maximum", raw)
 	}
 	compressed := flags&flagFlate != 0
 	if !compressed && raw != stored {

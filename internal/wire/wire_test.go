@@ -140,6 +140,29 @@ func TestDecodeRejectsCorruptFrames(t *testing.T) {
 	}
 }
 
+// TestDecodeRejectsLengthsPastInt32 plants stored/raw lengths in the range
+// that a direct int cast turns negative on 32-bit platforms; both must be
+// rejected as errors (never panic) regardless of GOARCH.
+func TestDecodeRejectsLengthsPastInt32(t *testing.T) {
+	comp := AppendFrame(nil, KindDigestFull, bytes.Repeat([]byte("y"), 4096), 64)
+	for _, raw := range []uint32{1 << 31, 0xFFFFFFFF} {
+		b := append([]byte(nil), comp...)
+		binary.LittleEndian.PutUint32(b[12:], raw)
+		if _, _, err := Decode(b); err == nil {
+			t.Errorf("raw length %#x accepted", raw)
+		}
+	}
+	plain := AppendFrame(nil, KindHintBatch, bytes.Repeat([]byte("x"), 100), 0)
+	for _, stored := range []uint32{1 << 31, 0xFFFFFFFF} {
+		b := append([]byte(nil), plain...)
+		binary.LittleEndian.PutUint32(b[8:], stored)
+		binary.LittleEndian.PutUint32(b[12:], stored)
+		if _, _, err := Decode(b); err == nil {
+			t.Errorf("stored length %#x accepted", stored)
+		}
+	}
+}
+
 func TestPayloadRejectsBadCompressedStreams(t *testing.T) {
 	frame := AppendFrame(nil, KindDigestFull, bytes.Repeat([]byte("z"), 4096), 64)
 	f, _, err := Decode(frame)
