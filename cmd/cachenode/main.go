@@ -76,6 +76,8 @@ func run(args []string, out io.Writer, wait func()) error {
 		digests     = fs.Bool("digests", false, "exchange Bloom-filter cache digests instead of exact hint records")
 		digDelta    = fs.Bool("digest-delta", true, "pull cursor-based digest deltas (ops since last pull) instead of full snapshots every round")
 		wireComp    = fs.Bool("wire-compress", false, "flate-compress metadata frames (hint batches, digests) past 256 bytes")
+		hintPart    = fs.Bool("hint-partition", false, "partition the hint directory across the fleet: each object's hints live on a Plaxton-routed owner set instead of every node (DESIGN.md \u00a714)")
+		hintReps    = fs.Int("hint-replicas", 0, "owner-set size R per object in partitioned mode (0: 2 default)")
 		objectSize  = fs.Int64("object-size", 8<<10, "origin default object size")
 		traceSample = fs.Float64("trace-sample", 0, "fraction of fetches recorded in /debug/traces (0: node default of 1/64, >=1: all, <0: none)")
 		spanRing    = fs.Int("span-ring", 0, "structured-span ring capacity behind /debug/spans, rounded up to a power of two (0: 4096 default)")
@@ -116,6 +118,9 @@ func run(args []string, out io.Writer, wait func()) error {
 	if *originURL == "" {
 		return fmt.Errorf("-origin-url is required for cache nodes")
 	}
+	if *hintPart && *updateTo != "" {
+		return fmt.Errorf("-hint-partition routes hint batches by object ownership and cannot be combined with -update-targets relays")
+	}
 	n, err := cluster.NewNode(cluster.NodeConfig{
 		Name:            *name,
 		CacheBytes:      *cacheBytes,
@@ -134,6 +139,8 @@ func run(args []string, out io.Writer, wait func()) error {
 		UseDigests:      *digests,
 		DigestFull:      !*digDelta,
 		WireCompress:    *wireComp,
+		HintPartition:   *hintPart,
+		HintReplicas:    *hintReps,
 		TraceSample:     *traceSample,
 		SpanRing:        *spanRing,
 		PeerTimeout:     *peerTimeout,
@@ -157,22 +164,56 @@ func run(args []string, out io.Writer, wait func()) error {
 	if err := n.Start(*listen); err != nil {
 		return err
 	}
-	npeers := 0
-	for _, p := range strings.Split(*peers, ",") {
-		if p = strings.TrimSpace(p); p != "" {
-			n.AddPeer(p)
-			npeers++
-		}
+	peerURLs, err := normalizeTargets(*peers, "-peers", n.Addr())
+	if err != nil {
+		_ = n.Close()
+		return err
 	}
-	for _, u := range strings.Split(*updateTo, ",") {
-		if u = strings.TrimSpace(u); u != "" {
-			n.AddUpdateTarget(u)
-		}
+	relayURLs, err := normalizeTargets(*updateTo, "-update-targets", n.Addr())
+	if err != nil {
+		_ = n.Close()
+		return err
 	}
+	for _, p := range peerURLs {
+		n.AddPeer(p)
+	}
+	for _, u := range relayURLs {
+		n.AddUpdateTarget(u)
+	}
+	npeers := len(peerURLs)
 	fmt.Fprintf(out, "cache node serving on %s (origin %s, %d peers)\n",
 		n.URL(), *originURL, npeers)
 	wait()
 	return n.Close()
+}
+
+// normalizeTargets splits a comma-separated URL list, trims whitespace,
+// drops empty entries, dedupes (first occurrence wins, compared on the
+// host:port behind any scheme and trailing slash), and rejects the node's
+// own listen address — a node feeding hints or probes back to itself is
+// always a misconfiguration and in partitioned mode would double-count the
+// local machine in the overlay.
+func normalizeTargets(list, kind, self string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	for _, raw := range strings.Split(list, ",") {
+		u := strings.TrimSpace(raw)
+		if u == "" {
+			continue
+		}
+		key := strings.TrimSuffix(u, "/")
+		key = strings.TrimPrefix(key, "http://")
+		key = strings.TrimPrefix(key, "https://")
+		if self != "" && key == self {
+			return nil, fmt.Errorf("%s includes this node's own listen address %s", kind, self)
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, u)
+	}
+	return out, nil
 }
 
 // serveDebug binds net/http/pprof (via DefaultServeMux) on addr. Opt-in

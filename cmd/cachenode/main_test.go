@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"regexp"
 	"strings"
@@ -135,4 +137,90 @@ func TestBadFlagsRejected(t *testing.T) {
 	if err := run([]string{"-origin", "-listen", "999.999.999.999:1"}, &bytes.Buffer{}, func() {}); err == nil {
 		t.Error("unlistenable address accepted")
 	}
+}
+
+func TestNormalizeTargets(t *testing.T) {
+	got, err := normalizeTargets(
+		" http://a:1 ,, http://b:2/ ,http://a:1, b:2 , https://c:3", "-peers", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http://a:1", "http://b:2/", "https://c:3"}
+	if len(got) != len(want) {
+		t.Fatalf("normalizeTargets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("normalizeTargets = %v, want %v", got, want)
+		}
+	}
+
+	if _, err := normalizeTargets("http://x:1,http://127.0.0.1:9999", "-peers", "127.0.0.1:9999"); err == nil {
+		t.Error("own listen address accepted")
+	} else if !strings.Contains(err.Error(), "own listen address") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestPartitionRejectsUpdateTargets(t *testing.T) {
+	err := run([]string{
+		"-origin-url", "http://127.0.0.1:1",
+		"-hint-partition", "-update-targets", "http://127.0.0.1:2",
+	}, &bytes.Buffer{}, func() {})
+	if err == nil || !strings.Contains(err.Error(), "update-targets") {
+		t.Errorf("partition + relays not rejected: %v", err)
+	}
+}
+
+// freeAddr reserves an ephemeral port and releases it, so two nodes can be
+// started with each other's address on the command line.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// TestPartitionedPairEndToEnd boots two partitioned nodes peered at each
+// other; after node A fills an object and hints flush, node B's fetch must
+// land REMOTE via either its local directory partition or the object's
+// hint home.
+func TestPartitionedPairEndToEnd(t *testing.T) {
+	originURL, stopOrigin := startDaemon(t, []string{"-origin"})
+	defer stopOrigin()
+	addrA, addrB := freeAddr(t), freeAddr(t)
+	aURL, stopA := startDaemon(t, []string{
+		"-origin-url", originURL, "-hint-partition", "-update-interval", "50ms",
+		"-listen", addrA, "-peers", "http://" + addrB})
+	defer stopA()
+	_, stopB := startDaemon(t, []string{
+		"-origin-url", originURL, "-hint-partition", "-update-interval", "50ms",
+		"-listen", addrB, "-peers", "http://" + addrA})
+	defer stopB()
+	client := &http.Client{Timeout: 5 * time.Second}
+	bURL := "http://" + addrB
+
+	// A fresh object per attempt: once B misses to the origin it holds the
+	// object itself and every later fetch of the same URL is LOCAL.
+	var last cluster.FetchResult
+	for i := 0; i < 20; i++ {
+		url := fmt.Sprintf("http://example.com/pp-%d", i)
+		if _, err := cluster.FetchFrom(client, aURL, url); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(250 * time.Millisecond) // several 50ms flush intervals
+		res, err := cluster.FetchFrom(client, bURL, url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Remote() {
+			return
+		}
+		last = res
+	}
+	t.Fatalf("fetch from B never went REMOTE (last %+v)", last)
 }

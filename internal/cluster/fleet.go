@@ -27,6 +27,9 @@ type Fleet struct {
 	// cfg remembers the boot configuration so RestartNode can rebuild a
 	// node identically (same cache dir, same knobs).
 	cfg FleetConfig
+	// killed marks slots taken down by KillNode (lazily sized); FlushAll
+	// skips them and RestartNode revives them.
+	killed []bool
 }
 
 // FleetConfig parameterizes StartFleet.
@@ -56,6 +59,12 @@ type FleetConfig struct {
 	UseDigests   bool
 	DigestFull   bool
 	WireCompress bool
+	// HintPartition switches every node to the partitioned hint directory
+	// (Plaxton-routed hint homes; see NodeConfig.HintPartition);
+	// HintReplicas is the owner-set size R (<= 0 for the node default
+	// of 2).
+	HintPartition bool
+	HintReplicas  int
 
 	// PeerTimeout, OriginTimeout, HedgeBudget, and Breaker pass through
 	// to every node's NodeConfig (see there for semantics and defaults).
@@ -111,6 +120,8 @@ func (cfg FleetConfig) nodeConfig(i int, originURL string) NodeConfig {
 		Seed:            int64(i) + 1,
 		UseDigests:      cfg.UseDigests,
 		DigestFull:      cfg.DigestFull,
+		HintPartition:   cfg.HintPartition,
+		HintReplicas:    cfg.HintReplicas,
 		WireCompress:    cfg.WireCompress,
 		PeerTimeout:     cfg.PeerTimeout,
 		OriginTimeout:   cfg.OriginTimeout,
@@ -176,6 +187,9 @@ func (f *Fleet) RestartNode(i int) error {
 	if addr == "" {
 		return fmt.Errorf("cluster: restart: node %d does not own its listener", i)
 	}
+	if i < len(f.killed) {
+		f.killed[i] = false
+	}
 	if err := old.Close(); err != nil {
 		return fmt.Errorf("cluster: restart: close node %d: %w", i, err)
 	}
@@ -200,6 +214,27 @@ func (f *Fleet) RestartNode(i int) error {
 		}
 	}
 	return nil
+}
+
+// KillNode shuts node i down and leaves its slot dead — the fleet-level
+// model of a crash (RestartNode revives the slot). The dead node's URL
+// stays in every survivor's peer table; a partition-mode fleet detects
+// the death through failed deliveries and probes within two flush rounds
+// and re-homes its directory share.
+func (f *Fleet) KillNode(i int) error {
+	if i < 0 || i >= len(f.Nodes) {
+		return fmt.Errorf("cluster: kill: no node %d", i)
+	}
+	if f.killed == nil {
+		f.killed = make([]bool, len(f.Nodes))
+	}
+	f.killed[i] = true
+	return f.Nodes[i].Close()
+}
+
+// Alive reports whether node i has not been killed.
+func (f *Fleet) Alive(i int) bool {
+	return i >= 0 && i < len(f.Nodes) && (i >= len(f.killed) || !f.killed[i])
 }
 
 // NodeURLs returns every node's base URL, in node order.
@@ -261,7 +296,21 @@ func (f *Fleet) Close() error {
 // or a digest pull in digest mode. Tests and demos use it instead of
 // waiting for the batch timers.
 func (f *Fleet) FlushAll() {
-	for _, n := range f.Nodes {
+	// Partition mode: converge membership across the whole fleet before any
+	// node routes records. Without this pre-pass a node flushing early in
+	// the loop can deliver re-homed records to a peer whose stale view
+	// still rejects them at the ownership filter (in a real deployment the
+	// jittered flush timers interleave probe and delivery rounds, which
+	// closes the same window).
+	for i, n := range f.Nodes {
+		if f.Alive(i) && n.partitioned() {
+			n.syncMembership()
+		}
+	}
+	for i, n := range f.Nodes {
+		if !f.Alive(i) {
+			continue
+		}
 		n.exchange()
 	}
 }

@@ -94,8 +94,38 @@ func (n *Node) Metrics() *obs.Expo {
 		"Membership ops applied from pulled digest deltas.",
 		st.DigestDeltaOps)
 	e.Counter("beyondcache_hint_wire_bytes_total",
-		"Framed hint-batch bytes successfully POSTed to /updates targets.",
-		st.WireHintBytes)
+		"Framed hint-batch bytes successfully POSTed to /updates targets, by routing mode.",
+		st.WireHintBytes, obs.L("mode", "broadcast"))
+	e.Counter("beyondcache_hint_wire_bytes_total", "",
+		st.WireHintBytesPartitioned, obs.L("mode", "partitioned"))
+
+	// Partitioned hint directory (DESIGN.md §14). Families are emitted in
+	// every mode (zero-valued under broadcast) so the /metrics surface is
+	// mode-independent.
+	e.Counter("beyondcache_hint_home_hops_total",
+		"Hint-home consults taken on the miss path, by outcome.",
+		st.HintHomeHits, obs.L("outcome", "hit"))
+	e.Counter("beyondcache_hint_home_hops_total", "",
+		st.HintHomeMisses, obs.L("outcome", "miss"))
+	e.Counter("beyondcache_hint_home_hops_total", "",
+		st.HintHomeErrors, obs.L("outcome", "error"))
+	e.Counter("beyondcache_hint_home_serves_total",
+		"GET /hinthome consults served as a hint home, by outcome.",
+		st.HintHomeServes, obs.L("outcome", "hit"))
+	e.Counter("beyondcache_hint_home_serves_total", "",
+		st.HintHomeServeMisses, obs.L("outcome", "miss"))
+	e.Counter("beyondcache_hint_rehome_objects_total",
+		"Re-homing work units: records re-announced, forwarded, or dropped because their owner set changed.",
+		st.RehomedObjects)
+	var partitionObjects, overlayMembers float64
+	if n.partitioned() {
+		partitionObjects = float64(n.hints.Occupied())
+		overlayMembers = float64(n.overlay.View().Size())
+	}
+	e.Gauge("beyondcache_hint_directory_partition_objects",
+		"Directory records held as a hint home (0 in broadcast mode).", partitionObjects)
+	e.Gauge("beyondcache_overlay_members",
+		"Live members in the hint-routing overlay (0 in broadcast mode).", overlayMembers)
 
 	// Metadata-plane pipeline: coalescing, queue bounds, and oversize
 	// rejects (see DESIGN.md §10).
@@ -225,6 +255,8 @@ func (n *Node) Metrics() *obs.Expo {
 	e.Counter("beyondcache_hint_evictions_total", "Hint records evicted by set pressure.", hs.Evictions)
 	e.Counter("beyondcache_hint_deletes_total", "Hint records deleted by invalidations.", hs.Deletes)
 	e.Counter("beyondcache_hint_conflicts_total", "Hint inserts that displaced a live record.", hs.Conflicts)
+	e.Counter("beyondcache_hint_nonowner_rejected_total",
+		"Hint inserts refused by the ownership filter (object not homed here).", hs.FilterRejects)
 
 	e.Histogram("beyondcache_fetch_duration_seconds",
 		"Client-facing /fetch latency by terminal outcome class.",

@@ -21,6 +21,7 @@ import (
 	"beyondcache/internal/faults"
 	"beyondcache/internal/hintcache"
 	"beyondcache/internal/obs"
+	"beyondcache/internal/overlay"
 	"beyondcache/internal/resilience"
 	"beyondcache/internal/store"
 	"beyondcache/internal/wire"
@@ -125,6 +126,20 @@ type NodeConfig struct {
 	// default: the framing layer is zero-copy either way, and most
 	// metadata payloads are small or incompressible.
 	WireCompress bool
+
+	// HintPartition partitions the hint directory over the fleet: instead
+	// of broadcasting every hint record to every peer, each object's
+	// records route to its owner set — the object's Plaxton root plus
+	// ring successors over the live membership (internal/overlay) — so
+	// per-node directory memory and update fanout are O(R/N). The miss
+	// path consults the local directory first and then the object's hint
+	// home (one extra breaker-gated, hedged hop). Off keeps the broadcast
+	// behavior. Mutually exclusive with UseDigests (digests are already a
+	// non-directory design). See DESIGN.md §14.
+	HintPartition bool
+	// HintReplicas is the owner-set size R in partition mode (<= 0 means
+	// 2, capped at overlay.MaxReplicas).
+	HintReplicas int
 
 	// PeerTimeout bounds one cache-to-cache probe (<= 0 means 2s). A
 	// hinted peer that cannot produce the object inside this deadline
@@ -257,7 +272,23 @@ type Stats struct {
 	DigestDeltaOps   int64 `json:"digestDeltaOps"`
 	// WireHintBytes counts framed hint-batch bytes successfully POSTed to
 	// /updates targets (after optional compression — actual wire bytes).
-	WireHintBytes int64 `json:"wireHintBytes"`
+	// In partition mode the same bytes land in WireHintBytesPartitioned
+	// instead, so the two modes' wire costs stay separately comparable.
+	WireHintBytes            int64 `json:"wireHintBytes"`
+	WireHintBytesPartitioned int64 `json:"wireHintBytesPartitioned"`
+	// HintHomeHits/Misses/Errors classify hint-home consults on the miss
+	// path (partition mode): the home named a live holder / answered "no
+	// holder" / failed or timed out. HintHomeServes/ServeMisses are the
+	// serving side of GET /hinthome.
+	HintHomeHits        int64 `json:"hintHomeHits"`
+	HintHomeMisses      int64 `json:"hintHomeMisses"`
+	HintHomeErrors      int64 `json:"hintHomeErrors"`
+	HintHomeServes      int64 `json:"hintHomeServes"`
+	HintHomeServeMisses int64 `json:"hintHomeServeMisses"`
+	// RehomedObjects counts re-homing work units: records re-announced,
+	// forwarded, or dropped because their owner set changed with
+	// membership (proportional to churn, not directory size).
+	RehomedObjects int64 `json:"rehomedObjects"`
 }
 
 // counters is the node's live (concurrently updated) form of Stats.
@@ -293,6 +324,14 @@ type counters struct {
 	digestRebuilds        atomic.Int64
 	digestDeltaOps        atomic.Int64
 	wireHintBytes         atomic.Int64
+	wireHintBytesPart     atomic.Int64
+
+	hintHomeHits        atomic.Int64
+	hintHomeMisses      atomic.Int64
+	hintHomeErrors      atomic.Int64
+	hintHomeServes      atomic.Int64
+	hintHomeServeMisses atomic.Int64
+	rehomeObjects       atomic.Int64
 }
 
 // nodeHists are the node's latency histograms: client-facing fetch time per
@@ -377,6 +416,14 @@ func (c *counters) snapshot() Stats {
 		DigestRebuilds:        c.digestRebuilds.Load(),
 		DigestDeltaOps:        c.digestDeltaOps.Load(),
 		WireHintBytes:         c.wireHintBytes.Load(),
+
+		WireHintBytesPartitioned: c.wireHintBytesPart.Load(),
+		HintHomeHits:             c.hintHomeHits.Load(),
+		HintHomeMisses:           c.hintHomeMisses.Load(),
+		HintHomeErrors:           c.hintHomeErrors.Load(),
+		HintHomeServes:           c.hintHomeServes.Load(),
+		HintHomeServeMisses:      c.hintHomeServeMisses.Load(),
+		RehomedObjects:           c.rehomeObjects.Load(),
 	}
 }
 
@@ -421,6 +468,16 @@ type Node struct {
 	// update targets), keyed by base URL and created eagerly so /metrics
 	// exposes every queue from the first scrape.
 	senders map[string]*peerSender
+
+	// overlay is the partitioned hint directory's live routing plane (nil
+	// in broadcast mode); mbr tracks the per-peer liveness evidence that
+	// feeds it; homedView is the membership view the directory was last
+	// re-homed against — syncMembership compares it to the overlay's
+	// current view and runs one incremental re-homing pass per version
+	// step. See members.go.
+	overlay   *overlay.Overlay
+	mbr       membership
+	homedView atomic.Pointer[overlay.View]
 
 	// digestMu guards the digest state (own and pulled). The node's own
 	// digest is a counting filter maintained incrementally: digestTrack
@@ -534,6 +591,15 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if err := validateDigestConfig(&cfg); err != nil {
 		return nil, err
 	}
+	if cfg.HintReplicas <= 0 {
+		cfg.HintReplicas = 2
+	}
+	if cfg.HintReplicas > overlay.MaxReplicas {
+		cfg.HintReplicas = overlay.MaxReplicas
+	}
+	if cfg.HintPartition && cfg.UseDigests {
+		return nil, fmt.Errorf("cluster: node %q: HintPartition and UseDigests are mutually exclusive (digests already replace the hint directory)", cfg.Name)
+	}
 	sample := cfg.TraceSample
 	if sample == 0 {
 		// Default: every 64th request. Cheap enough for the hit path
@@ -615,6 +681,15 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 			n.queueInvalidate(o.ID)
 		})
 	}
+	if cfg.HintPartition {
+		ov, err := overlay.New(overlayBits, cfg.HintReplicas)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %q: %w", cfg.Name, err)
+		}
+		n.overlay = ov
+		n.mbr.fails = make(map[string]int)
+		n.mbr.contact = make(map[string]uint64)
+	}
 	if cfg.UseDigests {
 		own, err := digest.NewCountingForCapacity(cfg.DigestCapacity, cfg.DigestBitsPerEntry)
 		if err != nil {
@@ -673,6 +748,8 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("/debug/traces", n.handleTraces)
 	mux.HandleFunc("/debug/spans", n.handleSpans)
 	mux.HandleFunc("/digest", n.handleDigest)
+	mux.HandleFunc("/hinthome", n.handleHintHome)
+	mux.HandleFunc("/ping", n.handlePing)
 	if n.inboundInj == nil {
 		return mux
 	}
@@ -696,6 +773,7 @@ func (n *Node) Start(addr string) error {
 	if n.nodeLabel == "" {
 		n.nodeLabel = lis.Addr().String()
 	}
+	n.initOverlay()
 
 	n.srv = &http.Server{
 		Handler:           n.Handler(),
@@ -721,6 +799,7 @@ func (n *Node) Bind(baseURL string) {
 	if n.nodeLabel == "" {
 		n.nodeLabel = hostPortOf(baseURL)
 	}
+	n.initOverlay()
 	go n.batchLoop()
 	go n.recoverDisk()
 }
@@ -959,7 +1038,16 @@ func (n *Node) exchange() {
 // wait on for this round's delivery, plus the record count. With an empty
 // batch nothing is enqueued; the returned generations make waiting a
 // barrier on whatever the senders already had in flight.
+//
+// In partition mode the round starts with a membership sync (so any
+// re-homing informs it enqueues ride this same round) and records route to
+// their owner sets instead of broadcasting.
 func (n *Node) distribute() (senders []*peerSender, seqs []int64, records int) {
+	if n.partitioned() {
+		n.syncMembership()
+		batch, stampNs := n.pend.drain(nil)
+		return n.distributePartitioned(batch, stampNs)
+	}
 	batch, stampNs := n.pend.drain(nil)
 
 	n.peerMu.RLock()
@@ -1178,22 +1266,31 @@ func (n *Node) fill(h uint64, url, reqID string, sampled bool) fetchOutcome {
 	}
 
 	// Local metadata lookup (the find-nearest command). Misses are
-	// detected locally: no hint or digest match means go straight to the
-	// origin.
+	// detected locally in broadcast and digest modes: no hint or digest
+	// match means go straight to the origin. In partition mode a local
+	// miss is only authoritative when this node is one of the object's
+	// hint homes; otherwise the home is consulted — one extra hop, hedged
+	// against the origin so it can never slow the miss down.
 	var peerURL string
+	var holder uint64
 	if n.cfg.UseDigests {
 		peerURL = n.digestPeer(h)
 	} else if machine, ok := n.hints.Lookup(h); ok && machine != n.machineID {
+		holder = machine
 		n.peerMu.RLock()
 		peerURL = n.peers[machine]
 		n.peerMu.RUnlock()
+	} else if !ok && n.partitioned() {
+		if homeURL := n.hintHomeFor(h); homeURL != "" {
+			return n.fillViaHome(h, url, reqID, homeURL, sampled)
+		}
 	}
 
 	var hops []obs.Hop
 	if peerURL != "" {
 		br := n.breakers.Get(peerURL)
 		if br.Allow() {
-			return n.fillRaced(h, url, reqID, peerURL, br, sampled)
+			return n.fillRaced(h, url, reqID, peerURL, holder, br, sampled)
 		}
 		// The peer's breaker is open: a known-bad peer must not cost
 		// this request anything. Straight to the origin, hint kept —
@@ -1222,7 +1319,7 @@ func (n *Node) fill(h uint64, url, reqID string, sampled bool) fetchOutcome {
 // dead peer's hints stop costing anything — the paper's principles 1–2
 // enforced under faults: a stale hint must never make a request slower
 // than going straight to the origin.
-func (n *Node) fillRaced(h uint64, url, reqID, peerURL string, br *resilience.Breaker, sampled bool) fetchOutcome {
+func (n *Node) fillRaced(h uint64, url, reqID, peerURL string, holder uint64, br *resilience.Breaker, sampled bool) fetchOutcome {
 	peerHost := hostPortOf(peerURL)
 	probeStart := time.Now()
 	// The probe's elapsed time is written by the primary goroutine and
@@ -1261,7 +1358,7 @@ func (n *Node) fillRaced(h uint64, url, reqID, peerURL string, br *resilience.Br
 		// unhealthy so later requests skip it.
 		br.Record(false)
 		n.stats.hedgeOriginWins.Add(1)
-		n.demoteHint(h)
+		n.demoteHint(h, holder)
 		probe := time.Since(probeStart)
 		n.hist.falsePositive.Observe(probe)
 		hops := append([]obs.Hop{{Node: peerHost, Outcome: "PEER-ABANDON", Elapsed: probe}}, r.Value.hops...)
@@ -1278,7 +1375,7 @@ func (n *Node) fillRaced(h uint64, url, reqID, peerURL string, br *resilience.Br
 		if r.Hedged {
 			n.stats.hedgeOriginWins.Add(1)
 		}
-		n.demoteHint(h)
+		n.demoteHint(h, holder)
 		probe := time.Duration(probeNS.Load())
 		n.hist.falsePositive.Observe(probe)
 		n.stats.falsePositives.Add(1)
@@ -1294,10 +1391,22 @@ func (n *Node) fillRaced(h uint64, url, reqID, peerURL string, br *resilience.Br
 }
 
 // demoteHint drops the exact hint for h (digest mode has nothing to
-// delete — the stale bit ages out at the next digest pull).
-func (n *Node) demoteHint(h uint64) {
-	if !n.cfg.UseDigests {
-		n.hints.Delete(h, 0)
+// delete — the stale bit ages out at the next digest pull). In partition
+// mode the authoritative record lives at the object's hint homes, so a
+// routed machine-matched invalidate withdraws the stale record there too;
+// machine-matched so a home that already learned of a fresher holder
+// keeps it.
+func (n *Node) demoteHint(h, machine uint64) {
+	if n.cfg.UseDigests {
+		return
+	}
+	n.hints.Delete(h, 0)
+	if n.partitioned() && machine != 0 {
+		n.enqueueLocal(hintcache.Update{
+			Action:  hintcache.ActionInvalidate,
+			URLHash: h,
+			Machine: machine,
+		})
 	}
 }
 
@@ -1497,6 +1606,10 @@ func (n *Node) handleUpdates(w http.ResponseWriter, r *http.Request) {
 			n.hintLag.Observe(hostPortOf(from), time.Since(time.Unix(0, st.UnixNs)))
 		}
 	}
+	// An inbound batch is a sign of life from its sender: feed the
+	// membership tracker so a revived peer rejoins the routing plane
+	// without waiting out a probe round.
+	n.noteInboundContact(r.Header.Get("X-Relay-From"))
 	w.WriteHeader(http.StatusNoContent)
 }
 

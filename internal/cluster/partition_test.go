@@ -1,0 +1,414 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"testing"
+	"time"
+
+	"beyondcache/internal/hintcache"
+	"beyondcache/internal/overlay"
+)
+
+// Partitioned hint directory integration tests (DESIGN.md §14): ownership
+// routing over the wire, the ownership admission filter, the hint-home
+// consult on the miss path, the partition-vs-broadcast footprint bound the
+// PR is accepted on, and re-convergence after killing part of the fleet.
+
+// benchPartitionOut, when set, makes TestRecordPartitionBench run the
+// 16-node broadcast-vs-partitioned comparison and merge a "partition"
+// section into the JSON file at that path (BENCH_cluster.json):
+//
+//	go test ./internal/cluster -run TestRecordPartitionBench \
+//	    -bench-partition-out ../../BENCH_cluster.json
+var benchPartitionOut = flag.String("bench-partition-out", "", "merge the partitioned-directory bench JSON into this file")
+
+// startPartFleet boots a partitioned fleet with manual flushing and runs
+// one empty flush round so every node's membership view converges on the
+// full mesh before the test's own traffic starts.
+func startPartFleet(t *testing.T, nodes int, tweak func(*FleetConfig)) *Fleet {
+	t.Helper()
+	cfg := FleetConfig{
+		Nodes:          nodes,
+		HintPartition:  true,
+		UpdateInterval: time.Hour,
+		ObjectSize:     512,
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	f, err := StartFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := f.Close(); err != nil {
+			t.Errorf("fleet close: %v", err)
+		}
+	})
+	f.FlushAll()
+	for i, n := range f.Nodes {
+		if got := n.homedView.Load().Size(); got != nodes {
+			t.Fatalf("node %d membership = %d after first sync, want %d", i, got, nodes)
+		}
+	}
+	return f
+}
+
+// TestPartitionedRoutingTargetsOwners checks the tentpole's routing
+// contract: after one node fills an object and flushes, the hint record
+// lands on exactly the object's R owners — nowhere else — and every node
+// agrees on who those owners are.
+func TestPartitionedRoutingTargetsOwners(t *testing.T) {
+	const nodes = 8
+	f := startPartFleet(t, nodes, nil)
+
+	for i := 0; i < 12; i++ {
+		url := fmt.Sprintf("http://part.example/route-%d", i)
+		h := hintcache.HashURL(url)
+
+		var want [overlay.MaxReplicas]uint64
+		owners := f.Nodes[0].homedView.Load().Owners(h, want[:0])
+		if len(owners) != 2 {
+			t.Fatalf("object %d has %d owners, want R=2", i, len(owners))
+		}
+		for j := 1; j < nodes; j++ {
+			var buf [overlay.MaxReplicas]uint64
+			got := f.Nodes[j].homedView.Load().Owners(h, buf[:0])
+			if len(got) != len(owners) || got[0] != owners[0] || got[1] != owners[1] {
+				t.Fatalf("node %d owners(%#x) = %v, node 0 says %v", j, h, got, owners)
+			}
+		}
+
+		holder := i % nodes
+		if _, err := f.Fetch(holder, url); err != nil {
+			t.Fatal(err)
+		}
+		f.FlushAll()
+
+		ownerSet := map[uint64]bool{owners[0]: true, owners[1]: true}
+		for j, n := range f.Nodes {
+			machine, ok := n.hints.Lookup(h)
+			if ownerSet[n.machineID] {
+				if !ok {
+					t.Errorf("object %d: owner node %d has no record", i, j)
+				} else if machine != f.Nodes[holder].machineID {
+					t.Errorf("object %d: owner node %d names machine %#x, want holder %d", i, j, machine, holder)
+				}
+			} else if ok {
+				t.Errorf("object %d: non-owner node %d stored a record", i, j)
+			}
+		}
+	}
+}
+
+// TestOwnershipFilterRejectsForeignRecords checks the admission side: an
+// inform for an object a node does not own, arriving straight over the
+// wire, is dropped and counted rather than stored.
+func TestOwnershipFilterRejectsForeignRecords(t *testing.T) {
+	f := startPartFleet(t, 4, nil)
+	n := f.Nodes[0]
+
+	// Find an object node 0 does not own.
+	var h uint64
+	for i := 0; ; i++ {
+		h = hintcache.HashURL(fmt.Sprintf("http://part.example/foreign-%d", i))
+		if !n.homedView.Load().IsOwner(h, n.machineID) {
+			break
+		}
+	}
+	body := hintcache.EncodeUpdates([]hintcache.Update{
+		{Action: hintcache.ActionInform, URLHash: h, Machine: f.Nodes[1].machineID},
+	})
+	resp, err := http.Post(n.URL()+"/updates", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("POST /updates = %d, want 204", resp.StatusCode)
+	}
+	if _, ok := n.hints.Lookup(h); ok {
+		t.Error("non-owned record was stored")
+	}
+	if got := n.hints.Stats().FilterRejects; got < 1 {
+		t.Errorf("FilterRejects = %d, want >= 1", got)
+	}
+}
+
+// TestHintHomeConsultResolvesMiss checks the extra metadata hop: a node
+// that is not an owner of a missed object consults the object's hint home
+// and completes a cache-to-cache transfer, with the consult accounted on
+// both ends.
+func TestHintHomeConsultResolvesMiss(t *testing.T) {
+	const nodes = 8
+	f := startPartFleet(t, nodes, nil)
+
+	// Find an object whose owner set excludes both the holder (node 0) and
+	// the fetcher (node 1), so the fetch must take the consult path.
+	var url string
+	var h uint64
+	for i := 0; ; i++ {
+		url = fmt.Sprintf("http://part.example/consult-%d", i)
+		h = hintcache.HashURL(url)
+		v := f.Nodes[0].homedView.Load()
+		if !v.IsOwner(h, f.Nodes[0].machineID) && !v.IsOwner(h, f.Nodes[1].machineID) {
+			break
+		}
+	}
+	if _, err := f.Fetch(0, url); err != nil {
+		t.Fatal(err)
+	}
+	f.FlushAll()
+
+	res, err := f.Fetch(1, url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Remote() {
+		t.Fatalf("consult fetch = %+v, want REMOTE", res)
+	}
+	if got := f.Nodes[1].Stats().HintHomeHits; got != 1 {
+		t.Errorf("fetcher HintHomeHits = %d, want 1", got)
+	}
+	var serves int64
+	for _, n := range f.Nodes {
+		serves += n.Stats().HintHomeServes
+	}
+	if serves != 1 {
+		t.Errorf("fleet HintHomeServes = %d, want 1", serves)
+	}
+}
+
+// partitionFootprint drives the same workload through a 16-node fleet in
+// one hint-distribution mode and reports the per-node averages the
+// acceptance bound is written against: hint wire bytes per flush round and
+// occupied hint-directory entries.
+func partitionFootprint(t *testing.T, partitioned bool, objects, rounds int) (wireBytesPerRound, entries float64) {
+	t.Helper()
+	cfg := FleetConfig{
+		Nodes:          16,
+		HintPartition:  partitioned,
+		HintReplicas:   2,
+		UpdateInterval: time.Hour,
+		ObjectSize:     512,
+	}
+	f, err := StartFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := f.Close(); err != nil {
+			t.Errorf("fleet close: %v", err)
+		}
+	}()
+	if partitioned {
+		f.FlushAll() // converge membership before measuring
+	}
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < objects/rounds; i++ {
+			obj := r*objects/rounds + i
+			url := fmt.Sprintf("http://part.example/bench-%d", obj)
+			if _, err := f.Fetch(obj%cfg.Nodes, url); err != nil {
+				t.Fatal(err)
+			}
+		}
+		f.FlushAll()
+	}
+	var bytes, occupied int64
+	for _, n := range f.Nodes {
+		st := n.Stats()
+		if partitioned {
+			bytes += st.WireHintBytesPartitioned
+		} else {
+			bytes += st.WireHintBytes
+		}
+		occupied += int64(n.hints.Occupied())
+	}
+	nodes := float64(cfg.Nodes)
+	return float64(bytes) / float64(rounds) / nodes, float64(occupied) / nodes
+}
+
+// TestPartitionBytesBound is the PR's acceptance bound, enforced in CI: on
+// a 16-node fleet at R=2, the partitioned directory must cost each node at
+// most 25% of the broadcast baseline in BOTH hint wire bytes per round and
+// stored directory entries (theory: R/(N-1) ~ 13%).
+func TestPartitionBytesBound(t *testing.T) {
+	const objects, rounds = 96, 2
+	bcastBytes, bcastEntries := partitionFootprint(t, false, objects, rounds)
+	partBytes, partEntries := partitionFootprint(t, true, objects, rounds)
+
+	t.Logf("per-node wire bytes/round: broadcast %.0f, partitioned %.0f (%.1f%%)",
+		bcastBytes, partBytes, 100*partBytes/bcastBytes)
+	t.Logf("per-node directory entries: broadcast %.1f, partitioned %.1f (%.1f%%)",
+		bcastEntries, partEntries, 100*partEntries/bcastEntries)
+
+	if partBytes > 0.25*bcastBytes {
+		t.Errorf("partitioned wire bytes/round %.0f exceeds 25%% of broadcast %.0f", partBytes, bcastBytes)
+	}
+	if partEntries > 0.25*bcastEntries {
+		t.Errorf("partitioned directory entries %.1f exceed 25%% of broadcast %.1f", partEntries, bcastEntries)
+	}
+}
+
+// TestRecordPartitionBench records the broadcast-vs-partitioned footprint
+// comparison as a "partition" section merged into the existing
+// BENCH_cluster.json (other sections untouched). Skipped unless
+// -bench-partition-out is set.
+func TestRecordPartitionBench(t *testing.T) {
+	if *benchPartitionOut == "" {
+		t.Skip("set -bench-partition-out to record the partition bench")
+	}
+	const objects, rounds = 96, 2
+	bcastBytes, bcastEntries := partitionFootprint(t, false, objects, rounds)
+	partBytes, partEntries := partitionFootprint(t, true, objects, rounds)
+
+	doc := map[string]any{}
+	if prev, err := os.ReadFile(*benchPartitionOut); err == nil {
+		if err := json.Unmarshal(prev, &doc); err != nil {
+			t.Fatalf("existing %s is not JSON: %v", *benchPartitionOut, err)
+		}
+	}
+	doc["partition"] = map[string]any{
+		"description":                          "16-node fleet, 96 objects round-robin: full hint broadcast vs Plaxton-partitioned hint homes at R=2.",
+		"nodes":                                16,
+		"hint_replicas":                        2,
+		"objects":                              objects,
+		"flush_rounds":                         rounds,
+		"broadcast_wire_bytes_per_node_round":  bcastBytes,
+		"partition_wire_bytes_per_node_round":  partBytes,
+		"wire_bytes_ratio":                     partBytes / bcastBytes,
+		"broadcast_directory_entries_per_node": bcastEntries,
+		"partition_directory_entries_per_node": partEntries,
+		"directory_entries_ratio":              partEntries / bcastEntries,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*benchPartitionOut, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("merged partition section into %s: bytes ratio %.3f, entries ratio %.3f",
+		*benchPartitionOut, partBytes/bcastBytes, partEntries/bcastEntries)
+}
+
+// TestChaosPartitionedHintsReconverge kills 2 of 16 nodes (12.5% of the
+// fleet) and checks the partitioned directory heals itself: survivor
+// membership re-converges within a few probe rounds, every object still
+// resident on a survivor is reachable cache-to-cache again, and the
+// re-homing work each survivor did is proportional to the dead nodes'
+// partition share — not to the directory size.
+func TestChaosPartitionedHintsReconverge(t *testing.T) {
+	const (
+		nodes   = 16
+		objects = 128
+	)
+	f := startPartFleet(t, nodes, func(cfg *FleetConfig) {
+		// Hedging off: a reconverged fetch must succeed through the consult
+		// path on its own, not because the origin hedge papered over it.
+		cfg.HedgeBudget = -1
+	})
+
+	urls := make([]string, objects)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://part.example/chaos-%d", i)
+		if _, err := f.Fetch(i%nodes, urls[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.FlushAll()
+	viewBefore := f.Nodes[0].homedView.Load()
+
+	dead := map[int]bool{5: true, 11: true}
+	for i := range dead {
+		if err := f.KillNode(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Dead peers stop answering probes; two consecutive failed contacts
+	// evict them. Survivor flush rounds double as probe rounds.
+	reconverged := -1
+	for round := 1; round <= 5; round++ {
+		f.FlushAll()
+		ok := true
+		for i, n := range f.Nodes {
+			if dead[i] {
+				continue
+			}
+			if n.homedView.Load().Size() != nodes-len(dead) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			reconverged = round
+			break
+		}
+	}
+	if reconverged < 0 {
+		t.Fatal("survivor membership never re-converged")
+	}
+	t.Logf("membership re-converged after %d flush rounds", reconverged)
+	f.FlushAll() // settle: deliver the re-homed records everywhere
+
+	viewAfter := f.Nodes[0].homedView.Load()
+	changedAll, changedSurvivorHeld := 0, 0
+	for i, u := range urls {
+		if overlay.SameOwners(viewBefore, viewAfter, hintcache.HashURL(u)) {
+			continue
+		}
+		changedAll++
+		if !dead[i%nodes] {
+			changedSurvivorHeld++
+		}
+	}
+	if changedAll == 0 {
+		t.Fatal("no object changed owners after losing 2/16 nodes")
+	}
+
+	// Reachability: every survivor-resident object must again land REMOTE
+	// from a survivor that is neither its holder nor already caching it.
+	for i, u := range urls {
+		holder := i % nodes
+		if dead[holder] {
+			continue // its only replica died with it
+		}
+		fetcher := (holder + 1) % nodes
+		for dead[fetcher] {
+			fetcher = (fetcher + 1) % nodes
+		}
+		res, err := f.Fetch(fetcher, u)
+		if err != nil {
+			t.Fatalf("object %d from node %d: %v", i, fetcher, err)
+		}
+		if !res.Remote() {
+			t.Errorf("object %d from node %d = %+v, want REMOTE after re-homing", i, fetcher, res)
+		}
+	}
+
+	// Re-homing work: each changed object is announced once by its
+	// surviving holder and forwarded/dropped by at most its R=2 old homes,
+	// so the fleet-wide count sits between the survivor-held changed share
+	// and a small multiple of all changed objects — never near the full
+	// directory size.
+	var rehomed int64
+	for i, n := range f.Nodes {
+		if !dead[i] {
+			rehomed += n.Stats().RehomedObjects
+		}
+	}
+	t.Logf("rehomed %d (changed objects: %d total, %d survivor-held, of %d)",
+		rehomed, changedAll, changedSurvivorHeld, objects)
+	if rehomed < int64(changedSurvivorHeld) {
+		t.Errorf("rehomed %d < %d survivor-held changed objects", rehomed, changedSurvivorHeld)
+	}
+	if max := int64(4*changedAll + 16); rehomed > max {
+		t.Errorf("rehomed %d > %d (~4x changed objects): re-home work not proportional to churn", rehomed, max)
+	}
+}

@@ -193,12 +193,20 @@ func (s *peerSender) send(body []byte, records int, stampNs int64) {
 		return nil
 	})
 	n.stats.retries.Add(int64(retries))
+	// Delivery outcomes double as membership liveness evidence in
+	// partition mode (noteSendOutcome is a no-op otherwise): a target that
+	// burned the whole retry budget counts one failed contact.
+	n.noteSendOutcome(s.target, err == nil)
 	if err != nil {
 		n.stats.sendErrors.Add(1)
 		return
 	}
 	n.stats.batchesSent.Add(1)
 	n.stats.updatesSent.Add(int64(records))
-	n.stats.wireHintBytes.Add(int64(len(body)))
+	if n.partitioned() {
+		n.stats.wireHintBytesPart.Add(int64(len(body)))
+	} else {
+		n.stats.wireHintBytes.Add(int64(len(body)))
+	}
 	n.hist.fanout.Observe(time.Since(start))
 }

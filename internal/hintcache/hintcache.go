@@ -228,6 +228,10 @@ type Stats struct {
 	Evictions int64
 	Deletes   int64
 	Conflicts int64
+	// FilterRejects counts inform inserts dropped by an installed insert
+	// filter (Striped.SetInsertFilter); always zero for the unfiltered
+	// single-lock Cache.
+	FilterRejects int64
 }
 
 // Stats returns the accumulated counters.

@@ -28,6 +28,14 @@ type Striped struct {
 	evicts   atomic.Int64
 	deletes  atomic.Int64
 	conflict atomic.Int64
+	rejects  atomic.Int64
+
+	// filter, when set, gates inform inserts: records whose URL hash the
+	// predicate rejects are dropped instead of stored. The partitioned
+	// hint directory installs an ownership predicate here, so a node only
+	// ever stores records for objects it is a hint home of, regardless of
+	// what arrives on the wire.
+	filter atomic.Pointer[func(urlHash uint64) bool]
 }
 
 // hintStripe is one independently locked slice of the table.
@@ -135,11 +143,36 @@ func (s *Striped) Lookup(urlHash uint64) (machine uint64, ok bool) {
 	return machine, true
 }
 
+// SetInsertFilter installs (nil clears) the insert admission predicate.
+// Deletes and lookups are never filtered: a node that stopped owning an
+// object must still be able to withdraw its leftover records.
+func (s *Striped) SetInsertFilter(f func(urlHash uint64) bool) {
+	if f == nil {
+		s.filter.Store(nil)
+		return
+	}
+	s.filter.Store(&f)
+}
+
+// admit applies the insert filter to a normalized hash, counting rejects.
+// The predicate must not call back into the table.
+func (s *Striped) admit(urlHash uint64) bool {
+	fp := s.filter.Load()
+	if fp == nil || (*fp)(urlHash) {
+		return true
+	}
+	s.rejects.Add(1)
+	return false
+}
+
 // Insert records that machine holds a copy of the object, replacing any
 // previous hint for the same object and evicting the set's LRU slot if the
 // set is full.
 func (s *Striped) Insert(urlHash, machine uint64) error {
 	urlHash = normalizeHash(urlHash)
+	if !s.admit(urlHash) {
+		return nil
+	}
 	st, base := s.locate(urlHash)
 	s.inserts.Add(1)
 	st.mu.Lock()
@@ -290,6 +323,9 @@ func (s *Striped) ApplyBatch(updates []Update) error {
 				break
 			}
 			if u.Action == ActionInform {
+				if !s.admit(h) {
+					continue
+				}
 				s.inserts.Add(1)
 				s.insertLocked(st, s.setBase(h), h, u.Machine)
 			} else {
@@ -321,14 +357,36 @@ func (s *Striped) Occupied() int {
 	return total
 }
 
+// Range calls fn for every live record, stripe by stripe under each
+// stripe's read lock, stopping early when fn returns false. fn must not
+// call back into the table (it would deadlock on the stripe lock); the
+// iteration is not a cross-stripe atomic snapshot.
+func (s *Striped) Range(fn func(Record) bool) {
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		for _, r := range st.recs {
+			if r.URLHash == invalidHash {
+				continue
+			}
+			if !fn(r) {
+				st.mu.RUnlock()
+				return
+			}
+		}
+		st.mu.RUnlock()
+	}
+}
+
 // Stats returns the accumulated counters.
 func (s *Striped) Stats() Stats {
 	return Stats{
-		Lookups:   s.lookups.Load(),
-		Hits:      s.hits.Load(),
-		Inserts:   s.inserts.Load(),
-		Evictions: s.evicts.Load(),
-		Deletes:   s.deletes.Load(),
-		Conflicts: s.conflict.Load(),
+		Lookups:       s.lookups.Load(),
+		Hits:          s.hits.Load(),
+		Inserts:       s.inserts.Load(),
+		Evictions:     s.evicts.Load(),
+		Deletes:       s.deletes.Load(),
+		Conflicts:     s.conflict.Load(),
+		FilterRejects: s.rejects.Load(),
 	}
 }

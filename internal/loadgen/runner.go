@@ -79,7 +79,7 @@ func Run(sc *Scenario, opt RunOptions) (*RunReport, error) {
 	}
 	logf("%s: schedule %d requests over %v (sha256 %s...)", sc.Name, sched.Len(), sc.Span(), fp[:12])
 
-	hasEvents := len(sc.Faults)+len(sc.OriginEvents)+len(sc.Invalidates)+len(sc.Restarts) > 0
+	hasEvents := len(sc.Faults)+len(sc.OriginEvents)+len(sc.Invalidates)+len(sc.Restarts)+len(sc.Kills) > 0
 	var fleet *cluster.Fleet
 	targets := opt.Targets
 	if len(targets) == 0 {
@@ -108,6 +108,8 @@ func Run(sc *Scenario, opt RunOptions) (*RunReport, error) {
 			HintEntries:    sc.HintEntries,
 			UpdateInterval: interval,
 			HedgeBudget:    sc.HedgeBudget,
+			HintPartition:  sc.HintPartition > 0,
+			HintReplicas:   sc.HintPartition,
 			Faults:         inj,
 			CacheDirs:      cacheDirs,
 		})
@@ -187,6 +189,20 @@ func Run(sc *Scenario, opt RunOptions) (*RunReport, error) {
 				restarts = append(restarts, r)
 				restartMu.Unlock()
 			}); err != nil && ctx.Err() == nil {
+				errMu.Lock()
+				if eventsErr == nil {
+					eventsErr = err
+				}
+				errMu.Unlock()
+			}
+		}()
+	}
+
+	if len(sc.Kills) > 0 {
+		eventsDone.Add(1)
+		go func() {
+			defer eventsDone.Done()
+			if err := runKills(ctx, fleet, sc, logf); err != nil && ctx.Err() == nil {
 				errMu.Lock()
 				if eventsErr == nil {
 					eventsErr = err
@@ -358,6 +374,33 @@ func runRestarts(ctx context.Context, fleet *cluster.Fleet, sc *Scenario, logf f
 		logf("%s: node %d recovered %d objects (%d bytes) in %v",
 			sc.Name, e.Node, rec.Objects, rec.Bytes, rec.Duration)
 		record(RestartResult{Node: e.Node, At: e.At, Objects: rec.Objects, Bytes: rec.Bytes, Duration: rec.Duration})
+	}
+	return nil
+}
+
+// runKills walks the scenario's kill events in offset order, sleeping to
+// each one and taking the named node down for good. Load keeps flowing:
+// requests pointed at the dead node fail and are recorded, and a
+// partitioned fleet re-homes the dead node's directory share.
+func runKills(ctx context.Context, fleet *cluster.Fleet, sc *Scenario, logf func(string, ...any)) error {
+	events := append([]KillEvent(nil), sc.Kills...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	start := time.Now()
+	for _, e := range events {
+		if d := e.At - time.Since(start); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return nil
+			}
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+		logf("%s: killing node %d", sc.Name, e.Node)
+		if err := fleet.KillNode(e.Node); err != nil {
+			return fmt.Errorf("kill node %d: %w", e.Node, err)
+		}
 	}
 	return nil
 }

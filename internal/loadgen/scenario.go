@@ -73,6 +73,16 @@ type InvalidateEvent struct {
 	Count int
 }
 
+// KillEvent shuts fleet node Node down At after the run starts and leaves
+// it down for the rest of the run — the crash a partitioned hint directory
+// (hint-partition) must detect and re-home around while load continues.
+// Requests the driver routes at the dead node fail and are recorded like
+// any other error.
+type KillEvent struct {
+	At   time.Duration
+	Node int
+}
+
 // RestartEvent stops fleet node Node At after the run starts and boots a
 // replacement on the same address — and, with disk-tier enabled, the same
 // cache directory, so the replacement recovers its population from disk and
@@ -157,6 +167,11 @@ type Scenario struct {
 	// CacheBytes and HintEntries bound each node (0 = node defaults).
 	CacheBytes  int64
 	HintEntries int
+	// HintPartition > 0 switches the fleet to the partitioned hint
+	// directory (Plaxton-routed hint homes, DESIGN.md §14) with an
+	// owner-set size of HintPartition replicas per object; 0 keeps the
+	// default full broadcast.
+	HintPartition int
 	// DiskTier gives every node a persistent disk tier in a run-scoped
 	// temporary directory: memory evictions spill to disk, and a restart
 	// event's replacement node recovers the population from it.
@@ -170,6 +185,7 @@ type Scenario struct {
 	OriginEvents []OriginEvent
 	Invalidates  []InvalidateEvent
 	Restarts     []RestartEvent
+	Kills        []KillEvent
 	Bounds       []Bound
 }
 
@@ -239,7 +255,7 @@ func Parse(text string) (*Scenario, error) {
 		// Singleton keys may appear once; phase/fault/origin-at/invalidate/
 		// accept accumulate.
 		switch key {
-		case "phase", "fault", "heal", "origin-at", "invalidate", "restart", "accept":
+		case "phase", "fault", "heal", "origin-at", "invalidate", "restart", "kill", "accept":
 		default:
 			if seen[key] {
 				return nil, fmt.Errorf("loadgen: line %d: duplicate %q", ln+1, key)
@@ -284,6 +300,8 @@ func Parse(text string) (*Scenario, error) {
 			}
 		case "hint-entries":
 			err = oneInt(args, &sc.HintEntries)
+		case "hint-partition":
+			err = oneInt(args, &sc.HintPartition)
 		case "disk-tier":
 			var w string
 			if err = oneWord(args, &w); err == nil {
@@ -373,6 +391,19 @@ func Parse(text string) (*Scenario, error) {
 				break
 			}
 			sc.Restarts = append(sc.Restarts, ev)
+		case "kill":
+			if len(args) != 2 {
+				err = fmt.Errorf("want: kill <offset> <node>")
+				break
+			}
+			var ev KillEvent
+			if ev.At, err = time.ParseDuration(args[0]); err != nil {
+				break
+			}
+			if ev.Node, err = strconv.Atoi(args[1]); err != nil {
+				break
+			}
+			sc.Kills = append(sc.Kills, ev)
 		case "accept":
 			var b Bound
 			if b, err = parseBound(args); err == nil {
@@ -515,6 +546,9 @@ func (s *Scenario) Validate() error {
 	if s.OriginLatency < 0 || s.UpdateInterval < 0 || s.Duration < 0 {
 		return fmt.Errorf("loadgen: %s: negative durations", s.Name)
 	}
+	if s.HintPartition < 0 || s.HintPartition > 8 {
+		return fmt.Errorf("loadgen: %s: hint-partition %d outside [0,8] replicas", s.Name, s.HintPartition)
+	}
 	if len(s.Phases) > 255 {
 		return fmt.Errorf("loadgen: %s: at most 255 phases", s.Name)
 	}
@@ -588,6 +622,28 @@ func (s *Scenario) Validate() error {
 		// walk that slot concurrently.
 		return fmt.Errorf("loadgen: %s: restart events cannot combine with fault or invalidation events or strong consistency", s.Name)
 	}
+	killed := map[int]bool{}
+	for _, e := range s.Kills {
+		if e.At < 0 || e.At > span {
+			return fmt.Errorf("loadgen: %s: kill offset %v outside the run window %v", s.Name, e.At, span)
+		}
+		if e.Node < 0 || e.Node >= s.Nodes {
+			return fmt.Errorf("loadgen: %s: kill names node %d of a %d-node fleet", s.Name, e.Node, s.Nodes)
+		}
+		if killed[e.Node] {
+			return fmt.Errorf("loadgen: %s: node %d killed twice", s.Name, e.Node)
+		}
+		killed[e.Node] = true
+	}
+	if len(s.Kills) > 0 && (len(s.Restarts) > 0 || len(s.Invalidates) > 0 || s.StrongConsistency) {
+		// A killed node stays dead: the purge fan-out behind invalidations
+		// and strong consistency would error against it, and a restart of
+		// the same fleet races the kill bookkeeping.
+		return fmt.Errorf("loadgen: %s: kill events cannot combine with restart or invalidation events or strong consistency", s.Name)
+	}
+	if len(s.Kills) >= s.Nodes {
+		return fmt.Errorf("loadgen: %s: kill events would take down the whole %d-node fleet", s.Name, s.Nodes)
+	}
 	for _, b := range s.Bounds {
 		for _, a := range b.Args {
 			if s.PhaseIndex(a) < 0 {
@@ -650,6 +706,9 @@ func (s *Scenario) Format() string {
 	if s.HintEntries != 0 {
 		line("hint-entries", strconv.Itoa(s.HintEntries))
 	}
+	if s.HintPartition != 0 {
+		line("hint-partition", strconv.Itoa(s.HintPartition))
+	}
 	if s.DiskTier {
 		line("disk-tier", "true")
 	}
@@ -688,6 +747,9 @@ func (s *Scenario) Format() string {
 	}
 	for _, e := range s.Restarts {
 		line("restart", e.At.String(), strconv.Itoa(e.Node))
+	}
+	for _, e := range s.Kills {
+		line("kill", e.At.String(), strconv.Itoa(e.Node))
 	}
 	for _, b := range s.Bounds {
 		line("accept", b.Expr())
@@ -785,6 +847,9 @@ func (s *Scenario) sortedEventOffsets() []time.Duration {
 		out = append(out, e.At)
 	}
 	for _, e := range s.Restarts {
+		out = append(out, e.At)
+	}
+	for _, e := range s.Kills {
 		out = append(out, e.At)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })

@@ -113,6 +113,13 @@ func TestParseRejects(t *testing.T) {
 		{"trace no duration", "name x\nprofile DEC\nnodes 1\npacing trace", "needs a duration"},
 		{"bad scale", "name x\nprofile DEC\nnodes 1\nscale 2\nphase p 1s rate=1", "outside [0,1]"},
 		{"negative invalidate", "name x\nprofile DEC\nnodes 1\nphase p 1s rate=1\ninvalidate 0s -3", "must be positive"},
+		{"partition replicas", "name x\nprofile DEC\nnodes 2\nhint-partition 9\nphase p 1s rate=1", "outside [0,8]"},
+		{"kill bad node", "name x\nprofile DEC\nnodes 2\nphase p 1s rate=1\nkill 0s 5", "of a 2-node fleet"},
+		{"kill late", "name x\nprofile DEC\nnodes 2\nphase p 1s rate=1\nkill 2s 0", "outside the run window"},
+		{"kill twice", "name x\nprofile DEC\nnodes 2\nphase p 1s rate=1\nkill 0s 0\nkill 1s 0", "killed twice"},
+		{"kill all", "name x\nprofile DEC\nnodes 2\nphase p 1s rate=1\nkill 0s 0\nkill 0s 1", "whole 2-node fleet"},
+		{"kill plus restart", "name x\nprofile DEC\nnodes 3\nphase p 1s rate=1\nkill 0s 0\nrestart 0s 1", "cannot combine"},
+		{"kill plus invalidate", "name x\nprofile DEC\nnodes 3\nphase p 1s rate=1\nkill 0s 0\ninvalidate 0s 2", "cannot combine"},
 	}
 	for _, c := range cases {
 		_, err := Parse(c.text)
@@ -128,7 +135,7 @@ func TestParseRejects(t *testing.T) {
 
 func TestBuiltinMatrix(t *testing.T) {
 	names := BuiltinNames()
-	want := []string{"diurnal-ramp", "flash-crowd", "invalidation-storm", "origin-brownout", "regional-partition", "restart-recovery"}
+	want := []string{"diurnal-ramp", "flash-crowd", "invalidation-storm", "origin-brownout", "partition-node-loss", "regional-partition", "restart-recovery"}
 	if !reflect.DeepEqual(names, want) {
 		t.Fatalf("builtin names = %v, want %v", names, want)
 	}

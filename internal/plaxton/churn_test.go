@@ -1,0 +1,181 @@
+package plaxton
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomHashedNetwork builds n nodes with unique random IDs under the
+// hashed pseudo-distance (the live cluster's construction).
+func randomHashedNetwork(t *testing.T, n int, bits uint, rng *rand.Rand) *Network {
+	t.Helper()
+	nodes := make([]Node, 0, n)
+	used := map[uint64]bool{}
+	for len(nodes) < n {
+		id := rng.Uint64()
+		if id == 0 || used[id] {
+			continue
+		}
+		used[id] = true
+		nodes = append(nodes, Node{ID: id, Addr: fmt.Sprintf("node-%d", len(nodes))})
+	}
+	nw, err := NewHashed(nodes, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestHashDistIsAMetricSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		a, b := rng.Uint64(), rng.Uint64()
+		if hashDist(a, a) != 0 {
+			t.Fatalf("hashDist(%#x, %#x) != 0", a, a)
+		}
+		if d := hashDist(a, b); d != hashDist(b, a) {
+			t.Fatalf("asymmetric: %v vs %v", d, hashDist(b, a))
+		}
+		if a != b && hashDist(a, b) <= 0 {
+			t.Fatalf("non-positive distance for distinct IDs %#x %#x", a, b)
+		}
+	}
+}
+
+func TestNewHashedDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randomHashedNetwork(t, 24, 4, rng)
+	b, err := NewHashed(a.nodes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch, total := TableDiff(a, b); ch != 0 || total == 0 {
+		t.Fatalf("rebuild from same membership differs: changed=%d total=%d", ch, total)
+	}
+}
+
+// TestChurnTableDiffBounded is the re-homing cost property: under
+// randomized join/leave churn, each single membership change disturbs a
+// bounded fraction of the routing table — on the order of 1/N of the
+// entries, never a constant fraction — so re-home work is proportional to
+// churn rather than to directory size.
+func TestChurnTableDiffBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	nw := randomHashedNetwork(t, 32, 4, rng)
+	used := map[uint64]bool{}
+	for _, n := range nw.nodes {
+		used[n.ID] = true
+	}
+	for step := 0; step < 40; step++ {
+		var next *Network
+		var err error
+		if nw.Len() <= 16 || (nw.Len() < 48 && rng.Intn(2) == 0) {
+			id := rng.Uint64()
+			for id == 0 || used[id] {
+				id = rng.Uint64()
+			}
+			used[id] = true
+			next, err = nw.AddNode(Node{ID: id, Addr: fmt.Sprintf("join-%d", step)})
+		} else {
+			victim := nw.nodes[rng.Intn(nw.Len())].ID
+			delete(used, victim)
+			next, err = nw.RemoveNodeID(victim)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		changed, total := TableDiff(nw, next)
+		if total == 0 {
+			t.Fatalf("step %d: empty diff (levels drifted apart?)", step)
+		}
+		frac := float64(changed) / float64(total)
+		n := nw.Len()
+		if next.Len() < n {
+			n = next.Len()
+		}
+		// One joining/leaving node appears in O(levels * arity) entries of
+		// each survivor's table out of levels*arity*N total shared entries;
+		// allow generous constant slack over the 1/N ideal for surrogate
+		// reshuffling, but reject anything resembling a global rebuild.
+		bound := 8.0 / float64(n)
+		if bound > 0.5 {
+			bound = 0.5
+		}
+		if frac > bound {
+			t.Fatalf("step %d (N=%d): churn disturbed %.1f%% of table entries (changed=%d total=%d), bound %.1f%%",
+				step, n, 100*frac, changed, total, 100*bound)
+		}
+		nw = next
+	}
+}
+
+// TestChurnRootPathTotal is the totality property: after any sequence of
+// joins and leaves, Root and Path remain defined for every object ID —
+// every path starts at its origin, ends at the unique root, and visits
+// only live node indices.
+func TestChurnRootPathTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	nw := randomHashedNetwork(t, 20, 4, rng)
+	used := map[uint64]bool{}
+	for _, n := range nw.nodes {
+		used[n.ID] = true
+	}
+	objects := make([]uint64, 64)
+	for i := range objects {
+		objects[i] = rng.Uint64()
+	}
+	for step := 0; step < 30; step++ {
+		if nw.Len() <= 4 || rng.Intn(2) == 0 {
+			id := rng.Uint64()
+			for id == 0 || used[id] {
+				id = rng.Uint64()
+			}
+			used[id] = true
+			next, err := nw.AddNode(Node{ID: id, Addr: "join"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			nw = next
+		} else {
+			victim := nw.nodes[rng.Intn(nw.Len())].ID
+			delete(used, victim)
+			next, err := nw.RemoveNodeID(victim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nw = next
+		}
+		for _, obj := range objects {
+			root := nw.Root(obj)
+			if root < 0 || root >= nw.Len() {
+				t.Fatalf("step %d: Root(%#x) = %d out of range [0,%d)", step, obj, root, nw.Len())
+			}
+			for from := 0; from < nw.Len(); from++ {
+				p := nw.Path(obj, from)
+				if len(p) == 0 || p[0] != from {
+					t.Fatalf("step %d: Path(%#x, %d) does not start at origin: %v", step, obj, from, p)
+				}
+				if p[len(p)-1] != root {
+					t.Fatalf("step %d: Path(%#x, %d) ends at %d, root is %d", step, obj, from, p[len(p)-1], root)
+				}
+				for _, idx := range p {
+					if idx < 0 || idx >= nw.Len() {
+						t.Fatalf("step %d: path visits dead index %d", step, idx)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRemoveNodeIDUnknown(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	nw := randomHashedNetwork(t, 8, 4, rng)
+	if _, err := nw.RemoveNodeID(0xdeadbeef); err == nil {
+		t.Fatal("expected error removing unknown ID")
+	}
+	if i, ok := nw.Index(nw.nodes[3].ID); !ok || i != 3 {
+		t.Fatalf("Index lookup: got (%d, %v)", i, ok)
+	}
+}

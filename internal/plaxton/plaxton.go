@@ -52,6 +52,11 @@ type Network struct {
 	// groupSize[n][l] is the number of nodes whose bottom l digits equal
 	// n's bottom l digits.
 	groupSize [][]int32
+
+	// hashed marks networks built by NewHashed: membership changes rebuild
+	// through NewHashed again, so a long join/leave chain never stacks
+	// index-remapping distance closures.
+	hashed bool
 }
 
 // New builds the embedding. bits is the digit width (1 → binary trees,
@@ -86,6 +91,44 @@ func New(nodes []Node, bits uint, dist DistanceFunc) (*Network, error) {
 	nw.levels = nw.computeLevels(maxLevels)
 	nw.build()
 	return nw, nil
+}
+
+// NewHashed builds the embedding the live cluster uses. Cluster nodes know
+// each other only by hashed address — there is no coordinate space to
+// measure real network distance in — but the embedding only needs SOME
+// fixed symmetric metric to pick parents deterministically, so distances
+// are derived by hashing each ID pair. Every node that sees the same
+// membership derives byte-identical tables without exchanging any
+// measurements.
+func NewHashed(nodes []Node, bits uint) (*Network, error) {
+	local := append([]Node(nil), nodes...)
+	nw, err := New(local, bits, func(i, j int) float64 {
+		return hashDist(local[i].ID, local[j].ID)
+	})
+	if err != nil {
+		return nil, err
+	}
+	nw.hashed = true
+	return nw, nil
+}
+
+// hashDist derives a deterministic, symmetric, strictly positive
+// pseudo-distance from a pair of distinct node IDs (0 for a node and
+// itself).
+func hashDist(a, b uint64) float64 {
+	if a == b {
+		return 0
+	}
+	if a > b {
+		a, b = b, a
+	}
+	x := a*0x9e3779b97f4a7c15 + b*0xbf58476d1ce4e5b9
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	// Keep the value inside float64's exact-integer range so comparisons
+	// stay total.
+	return float64(x>>11) + 1
 }
 
 // computeLevels finds the smallest level count at which every group is a
@@ -247,10 +290,23 @@ func (nw *Network) ParentDistance(object uint64, i, l int) float64 {
 	return nw.dist(i, int(next))
 }
 
+// Index returns the position of the node carrying id.
+func (nw *Network) Index(id uint64) (int, bool) {
+	for i, n := range nw.nodes {
+		if n.ID == id {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
 // AddNode rebuilds the embedding with an extra node and returns the new
 // network. The receiver is unchanged.
 func (nw *Network) AddNode(n Node) (*Network, error) {
 	nodes := append(append([]Node(nil), nw.nodes...), n)
+	if nw.hashed {
+		return NewHashed(nodes, nw.bits)
+	}
 	return New(nodes, nw.bits, nw.dist)
 }
 
@@ -269,9 +325,23 @@ func (nw *Network) RemoveNode(i int) (*Network, error) {
 		nodes = append(nodes, n)
 		remap = append(remap, j)
 	}
+	if nw.hashed {
+		return NewHashed(nodes, nw.bits)
+	}
 	old := nw.dist
 	dist := func(a, b int) float64 { return old(remap[a], remap[b]) }
 	return New(nodes, nw.bits, dist)
+}
+
+// RemoveNodeID rebuilds the embedding without the node carrying id — the
+// live membership path, where departures are known by machine ID rather
+// than index.
+func (nw *Network) RemoveNodeID(id uint64) (*Network, error) {
+	i, ok := nw.Index(id)
+	if !ok {
+		return nil, fmt.Errorf("plaxton: no node with ID %#x", id)
+	}
+	return nw.RemoveNode(i)
 }
 
 // TableDiff counts how many routing-table entries changed between two

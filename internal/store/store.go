@@ -369,6 +369,20 @@ func (s *Store) Contains(id uint64) bool {
 	return ok
 }
 
+// IDs snapshots the IDs of every indexed object, in no particular order.
+// The snapshot is taken under the index lock; callers acting on an ID
+// re-check residency as usual (the re-homing scan only enqueues advisory
+// informs, so a racing eviction is harmless).
+func (s *Store) IDs() []uint64 {
+	s.mu.Lock()
+	ids := make([]uint64, 0, len(s.index))
+	for id := range s.index {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	return ids
+}
+
 // RecoverStats summarizes a boot-time recovery scan.
 type RecoverStats struct {
 	Objects     int           // valid objects indexed

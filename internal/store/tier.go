@@ -66,6 +66,12 @@ func (t *Tier) Contains(id uint64) bool {
 	return t.disk.Contains(id)
 }
 
+// DiskIDs snapshots the IDs indexed on the disk store — the re-homing
+// scan's view of spilled residency. Objects still in flight on the spill
+// queue are missed by one scan and picked up by the next (the queue
+// drains between flush rounds); hints are advisory either way.
+func (t *Tier) DiskIDs() []uint64 { return t.disk.IDs() }
+
 // Discard removes an object from the spill queue and the disk store
 // without firing the drop callback — the purge path queues its own
 // invalidate. It reports whether either layer held the object.
